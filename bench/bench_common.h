@@ -1,0 +1,127 @@
+#ifndef NASSC_BENCH_BENCH_COMMON_H
+#define NASSC_BENCH_BENCH_COMMON_H
+
+/**
+ * @file
+ * Shared harness code for the table/figure reproduction binaries.
+ *
+ * Every bench binary accepts:
+ *   --seeds N   number of layout seeds averaged per cell (default 3;
+ *               the paper averages 10 — pass --seeds 10 to match)
+ *   --csv PATH  also write the table as CSV
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "nassc/circuits/library.h"
+#include "nassc/transpile/transpile.h"
+
+namespace nassc::bench {
+
+struct Args
+{
+    int seeds = 3;
+    std::string csv;
+};
+
+inline Args
+parse_args(int argc, char **argv, int default_seeds = 3)
+{
+    Args a;
+    a.seeds = default_seeds;
+    for (int i = 1; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--seeds") && i + 1 < argc)
+            a.seeds = std::atoi(argv[++i]);
+        else if (!std::strcmp(argv[i], "--csv") && i + 1 < argc)
+            a.csv = argv[++i];
+    }
+    if (a.seeds < 1)
+        a.seeds = 1;
+    return a;
+}
+
+/** Seed-averaged metrics of one (benchmark, router) cell. */
+struct Cell
+{
+    double cx_total = 0.0;
+    double cx_add = 0.0;
+    double depth_total = 0.0;
+    double depth_add = 0.0;
+    double seconds = 0.0;
+    RoutingStats stats; // accumulated over seeds
+};
+
+inline Cell
+run_cell(const QuantumCircuit &circuit, const Backend &backend,
+         RoutingAlgorithm router, int seeds, int base_cx, int base_depth,
+         bool noise_aware = false)
+{
+    Cell cell;
+    for (int s = 0; s < seeds; ++s) {
+        TranspileOptions opts;
+        opts.router = router;
+        opts.seed = static_cast<unsigned>(s);
+        opts.noise_aware = noise_aware;
+        TranspileResult r = transpile(circuit, backend, opts);
+        cell.cx_total += r.cx_total;
+        cell.depth_total += r.depth;
+        cell.seconds += r.seconds;
+        cell.stats.num_swaps += r.routing_stats.num_swaps;
+        cell.stats.flagged_swaps += r.routing_stats.flagged_swaps;
+        cell.stats.c2q_hits += r.routing_stats.c2q_hits;
+        cell.stats.commute1_hits += r.routing_stats.commute1_hits;
+        cell.stats.commute2_hits += r.routing_stats.commute2_hits;
+    }
+    cell.cx_total /= seeds;
+    cell.depth_total /= seeds;
+    cell.seconds /= seeds;
+    cell.cx_add = cell.cx_total - base_cx;
+    cell.depth_add = cell.depth_total - base_depth;
+    return cell;
+}
+
+/** Geometric mean of ratios 1 - nassc/sabre, reported as percent. */
+class GeoMean
+{
+  public:
+    void
+    add_ratio(double nassc, double sabre)
+    {
+        if (sabre <= 0.0 || nassc <= 0.0)
+            return; // degenerate cell; skip like the paper's tooling
+        log_sum_ += std::log(nassc / sabre);
+        ++n_;
+    }
+
+    double
+    reduction_percent() const
+    {
+        if (n_ == 0)
+            return 0.0;
+        return 100.0 * (1.0 - std::exp(log_sum_ / n_));
+    }
+
+  private:
+    double log_sum_ = 0.0;
+    int n_ = 0;
+};
+
+inline void
+write_csv(const std::string &path, const std::vector<std::string> &rows)
+{
+    if (path.empty())
+        return;
+    std::ofstream f(path);
+    for (const std::string &r : rows)
+        f << r << "\n";
+    std::printf("csv written to %s\n", path.c_str());
+}
+
+} // namespace nassc::bench
+
+#endif // NASSC_BENCH_BENCH_COMMON_H

@@ -1,0 +1,125 @@
+// google-benchmark microbenchmarks for the compiler's hot kernels:
+// KAK decomposition, two-qubit synthesis, CNOT-cost classification,
+// commutation checks, and full routing passes.
+
+#include <random>
+
+#include <benchmark/benchmark.h>
+
+#include "nassc/circuits/library.h"
+#include "nassc/math/weyl.h"
+#include "nassc/passes/basis_translation.h"
+#include "nassc/passes/commutation.h"
+#include "nassc/route/sabre.h"
+#include "nassc/synth/kak2q.h"
+#include "nassc/transpile/transpile.h"
+
+namespace {
+
+using namespace nassc;
+
+Mat4
+random_u4(std::mt19937 &rng, int n_cx)
+{
+    std::uniform_real_distribution<double> ang(-M_PI, M_PI);
+    auto su2 = [&] {
+        return mul(rz_gate(ang(rng)),
+                   mul(ry_gate(ang(rng)), rz_gate(ang(rng))));
+    };
+    Mat4 u = tensor2(su2(), su2());
+    for (int k = 0; k < n_cx; ++k)
+        u = mul(tensor2(su2(), su2()), mul(cx_mat(), u));
+    return u;
+}
+
+void
+BM_KakDecompose(benchmark::State &state)
+{
+    std::mt19937 rng(1);
+    std::vector<Mat4> inputs;
+    for (int i = 0; i < 64; ++i)
+        inputs.push_back(random_u4(rng, 3));
+    size_t i = 0;
+    for (auto _ : state) {
+        Kak k = kak_decompose(inputs[i++ % inputs.size()]);
+        benchmark::DoNotOptimize(k);
+    }
+}
+BENCHMARK(BM_KakDecompose);
+
+void
+BM_CnotCost(benchmark::State &state)
+{
+    std::mt19937 rng(2);
+    std::vector<Mat4> inputs;
+    for (int i = 0; i < 64; ++i)
+        inputs.push_back(random_u4(rng, static_cast<int>(state.range(0))));
+    size_t i = 0;
+    for (auto _ : state) {
+        int c = cnot_cost(inputs[i++ % inputs.size()]);
+        benchmark::DoNotOptimize(c);
+    }
+}
+BENCHMARK(BM_CnotCost)->Arg(1)->Arg(2)->Arg(3);
+
+void
+BM_Synth2q(benchmark::State &state)
+{
+    std::mt19937 rng(3);
+    std::vector<Mat4> inputs;
+    for (int i = 0; i < 64; ++i)
+        inputs.push_back(random_u4(rng, 3));
+    size_t i = 0;
+    for (auto _ : state) {
+        auto gates = synth_2q_kak(inputs[i++ % inputs.size()], 0, 1);
+        benchmark::DoNotOptimize(gates);
+    }
+}
+BENCHMARK(BM_Synth2q);
+
+void
+BM_GatesCommute(benchmark::State &state)
+{
+    Gate a = Gate::two_q(OpKind::kCX, 0, 1);
+    Gate b = Gate::two_q(OpKind::kCRX, 0, 2, 0.7);
+    for (auto _ : state) {
+        bool r = gates_commute(a, b);
+        benchmark::DoNotOptimize(r);
+    }
+}
+BENCHMARK(BM_GatesCommute);
+
+void
+BM_RouteQft15(benchmark::State &state)
+{
+    Backend dev = linear_backend(25);
+    QuantumCircuit logical = decompose_to_2q(qft(15));
+    auto dist = hop_distance(dev.coupling);
+    RoutingOptions opts;
+    opts.algorithm = static_cast<RoutingAlgorithm>(state.range(0));
+    Layout init(15, 25);
+    for (auto _ : state) {
+        RoutingResult r =
+            route_circuit(logical, dev.coupling, dist, init, opts);
+        benchmark::DoNotOptimize(r);
+    }
+}
+BENCHMARK(BM_RouteQft15)->Arg(0)->Arg(1); // 0 = SABRE, 1 = NASSC
+
+void
+BM_TranspileGrover8(benchmark::State &state)
+{
+    Backend dev = montreal_backend();
+    QuantumCircuit logical = grover(8);
+    for (auto _ : state) {
+        TranspileOptions opts;
+        opts.router = static_cast<RoutingAlgorithm>(state.range(0));
+        TranspileResult r = transpile(logical, dev, opts);
+        benchmark::DoNotOptimize(r);
+    }
+}
+BENCHMARK(BM_TranspileGrover8)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,57 @@
+// Scenario: estimate real-device success rates under a calibrated noise
+// model (the paper's Fig. 11 protocol) and see how routing choices change
+// the outcome — including the HA noise-aware distance matrix (eq. 3).
+//
+//   $ ./noise_aware_routing [trials]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "nassc/circuits/library.h"
+#include "nassc/sim/noise.h"
+#include "nassc/transpile/transpile.h"
+
+using namespace nassc;
+
+int
+main(int argc, char **argv)
+{
+    int trials = argc > 1 ? std::atoi(argv[1]) : 8192;
+    Backend device = montreal_backend();
+    NoiseModel noise = NoiseModel::from_backend(device);
+
+    QuantumCircuit logical = bernstein_vazirani(5, 0b1101);
+    uint64_t ideal = ideal_outcome(logical);
+    std::printf("bernstein-vazirani n=5, secret 1101, ideal outcome %llu\n",
+                static_cast<unsigned long long>(ideal));
+    std::printf("device %s, %d noisy trials per config\n\n",
+                device.name.c_str(), trials);
+
+    struct
+    {
+        const char *label;
+        RoutingAlgorithm router;
+        bool ha;
+    } configs[] = {
+        {"SABRE    ", RoutingAlgorithm::kSabre, false},
+        {"NASSC    ", RoutingAlgorithm::kNassc, false},
+        {"SABRE+HA ", RoutingAlgorithm::kSabre, true},
+        {"NASSC+HA ", RoutingAlgorithm::kNassc, true},
+    };
+
+    for (auto &cfg : configs) {
+        TranspileOptions opts;
+        opts.router = cfg.router;
+        opts.noise_aware = cfg.ha;
+        TranspileResult res = transpile(logical, device, opts);
+        SuccessRate sr = monte_carlo_success(res.circuit, noise,
+                                             res.final_l2p, ideal, trials);
+        std::printf("%s  CNOTs %3d   success %.3f   (%d/%d)\n", cfg.label,
+                    res.cx_total, sr.rate, sr.hits, sr.trials);
+    }
+
+    std::printf("\nFewer CNOTs -> fewer two-qubit error events -> higher "
+                "success rate;\nNASSC buys exactly that (paper Sec. "
+                "VI-D).\n");
+    return 0;
+}

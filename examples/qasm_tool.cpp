@@ -1,0 +1,71 @@
+// Scenario: a command-line transpiler for OpenQASM 2.0 files — read a
+// circuit, compile it for a chosen topology with either router, and
+// print the compiled QASM plus a cost summary.
+//
+//   $ ./qasm_tool <file.qasm> [montreal|linear|grid|full] [sabre|nassc]
+//
+// With no arguments, a built-in demo circuit is used.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "nassc/circuits/library.h"
+#include "nassc/ir/qasm.h"
+#include "nassc/transpile/transpile.h"
+
+using namespace nassc;
+
+int
+main(int argc, char **argv)
+{
+    QuantumCircuit circuit;
+    if (argc > 1) {
+        std::ifstream f(argv[1]);
+        if (!f) {
+            std::fprintf(stderr, "cannot open %s\n", argv[1]);
+            return 1;
+        }
+        std::ostringstream text;
+        text << f.rdbuf();
+        circuit = from_qasm(text.str());
+        std::printf("loaded %s: %d qubits, %zu gates\n", argv[1],
+                    circuit.num_qubits(), circuit.size());
+    } else {
+        circuit = cuccaro_adder(4);
+        std::printf("no input file; using the 10-qubit Cuccaro adder\n");
+    }
+
+    const char *topo = argc > 2 ? argv[2] : "montreal";
+    Backend device;
+    if (!std::strcmp(topo, "linear"))
+        device = linear_backend(std::max(25, circuit.num_qubits()));
+    else if (!std::strcmp(topo, "grid"))
+        device = grid_backend(5, 5);
+    else if (!std::strcmp(topo, "full"))
+        device = fully_connected_backend(circuit.num_qubits());
+    else
+        device = montreal_backend();
+
+    TranspileOptions opts;
+    if (argc > 3 && !std::strcmp(argv[3], "sabre"))
+        opts.router = RoutingAlgorithm::kSabre;
+
+    if (circuit.num_qubits() > device.coupling.num_qubits()) {
+        std::fprintf(stderr, "circuit does not fit on %s\n",
+                     device.name.c_str());
+        return 1;
+    }
+
+    TranspileResult res = transpile(circuit, device, opts);
+    std::fprintf(stderr,
+                 "# backend=%s router=%s swaps=%d cx=%d depth=%d "
+                 "time=%.3fs\n",
+                 device.name.c_str(),
+                 opts.router == RoutingAlgorithm::kNassc ? "nassc" : "sabre",
+                 res.routing_stats.num_swaps, res.cx_total, res.depth,
+                 res.seconds);
+    std::printf("%s", to_qasm(res.circuit).c_str());
+    return 0;
+}

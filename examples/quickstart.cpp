@@ -1,0 +1,45 @@
+// Quickstart: build a circuit, transpile it for a real device topology
+// with the NASSC router, and inspect the result.
+//
+//   $ ./quickstart
+
+#include <cstdio>
+
+#include "nassc/circuits/library.h"
+#include "nassc/ir/qasm.h"
+#include "nassc/transpile/transpile.h"
+
+using namespace nassc;
+
+int
+main()
+{
+    // 1. Build a circuit with the fluent API (or load OpenQASM 2.0).
+    QuantumCircuit bell(3);
+    bell.h(0);
+    bell.cx(0, 1);
+    bell.cx(0, 2); // long-range: will need routing on a line
+
+    // 2. Pick a device. montreal_backend() is the 27-qubit heavy-hex
+    //    lattice from the paper; linear/grid builders are also available.
+    Backend device = linear_backend(5);
+
+    // 3. Transpile. TranspileOptions selects SABRE (baseline) or NASSC
+    //    (optimization-aware routing, the default).
+    TranspileOptions options;
+    options.router = RoutingAlgorithm::kNassc;
+    TranspileResult result = transpile(bell, device, options);
+
+    std::printf("device:          %s\n", device.name.c_str());
+    std::printf("inserted swaps:  %d\n", result.routing_stats.num_swaps);
+    std::printf("CNOT total:      %d\n", result.cx_total);
+    std::printf("depth:           %d\n", result.depth);
+    std::printf("initial layout:  ");
+    for (size_t l = 0; l < result.initial_l2p.size(); ++l)
+        std::printf("q%zu->%d ", l, result.initial_l2p[l]);
+    std::printf("\n\n%s\n", result.circuit.to_string().c_str());
+
+    // 4. Export as OpenQASM for any downstream tool.
+    std::printf("--- OpenQASM ---\n%s", to_qasm(result.circuit).c_str());
+    return 0;
+}

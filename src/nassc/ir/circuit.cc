@@ -1,0 +1,140 @@
+#include "nassc/ir/circuit.h"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+
+namespace nassc {
+
+QuantumCircuit::QuantumCircuit(int num_qubits) : num_qubits_(num_qubits)
+{
+    if (num_qubits < 0)
+        throw std::invalid_argument("negative qubit count");
+}
+
+void
+QuantumCircuit::append(Gate g)
+{
+    for (int q : g.qubits) {
+        if (q < 0 || q >= num_qubits_)
+            throw std::out_of_range("gate operand " + std::to_string(q) +
+                                    " outside register of size " +
+                                    std::to_string(num_qubits_));
+    }
+    gates_.push_back(std::move(g));
+}
+
+void
+QuantumCircuit::compose(const QuantumCircuit &other)
+{
+    if (other.num_qubits_ > num_qubits_)
+        throw std::invalid_argument("compose: register too small");
+    for (const Gate &g : other.gates_)
+        append(g);
+}
+
+void
+QuantumCircuit::measure_all()
+{
+    for (int q = 0; q < num_qubits_; ++q)
+        measure(q);
+}
+
+void
+QuantumCircuit::barrier()
+{
+    std::vector<int> qs(num_qubits_);
+    std::iota(qs.begin(), qs.end(), 0);
+    append(Gate::barrier(std::move(qs)));
+}
+
+int
+QuantumCircuit::depth() const
+{
+    std::vector<int> level(num_qubits_, 0);
+    int out = 0;
+    for (const Gate &g : gates_) {
+        if (g.kind == OpKind::kBarrier) {
+            // Barriers synchronize but do not add depth.
+            int mx = 0;
+            for (int q : g.qubits)
+                mx = std::max(mx, level[q]);
+            for (int q : g.qubits)
+                level[q] = mx;
+            continue;
+        }
+        int mx = 0;
+        for (int q : g.qubits)
+            mx = std::max(mx, level[q]);
+        ++mx;
+        for (int q : g.qubits)
+            level[q] = mx;
+        out = std::max(out, mx);
+    }
+    return out;
+}
+
+std::map<std::string, int>
+QuantumCircuit::count_ops() const
+{
+    std::map<std::string, int> counts;
+    for (const Gate &g : gates_)
+        ++counts[op_name(g.kind)];
+    return counts;
+}
+
+int
+QuantumCircuit::count(OpKind k) const
+{
+    int n = 0;
+    for (const Gate &g : gates_)
+        if (g.kind == k)
+            ++n;
+    return n;
+}
+
+int
+QuantumCircuit::count_2q() const
+{
+    int n = 0;
+    for (const Gate &g : gates_)
+        if (g.num_qubits() == 2 && is_unitary_op(g.kind))
+            ++n;
+    return n;
+}
+
+QuantumCircuit
+QuantumCircuit::inverse() const
+{
+    QuantumCircuit inv(num_qubits_);
+    for (auto it = gates_.rbegin(); it != gates_.rend(); ++it) {
+        if (it->kind == OpKind::kMeasure)
+            continue;
+        inv.append(it->inverse());
+    }
+    return inv;
+}
+
+QuantumCircuit
+QuantumCircuit::without_non_unitary() const
+{
+    QuantumCircuit out(num_qubits_);
+    for (const Gate &g : gates_)
+        if (is_unitary_op(g.kind))
+            out.append(g);
+    return out;
+}
+
+std::string
+QuantumCircuit::to_string() const
+{
+    std::ostringstream os;
+    os << "circuit(" << num_qubits_ << " qubits, " << gates_.size()
+       << " gates)\n";
+    for (const Gate &g : gates_)
+        os << "  " << g.to_string() << "\n";
+    return os.str();
+}
+
+} // namespace nassc

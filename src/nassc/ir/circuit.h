@@ -1,0 +1,140 @@
+#ifndef NASSC_IR_CIRCUIT_H
+#define NASSC_IR_CIRCUIT_H
+
+/**
+ * @file
+ * A flat quantum circuit: an ordered list of gates over n qubits.
+ */
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "nassc/ir/gate.h"
+
+namespace nassc {
+
+/** An ordered gate list over a fixed-size qubit register. */
+class QuantumCircuit
+{
+  public:
+    QuantumCircuit() = default;
+    explicit QuantumCircuit(int num_qubits);
+
+    int num_qubits() const { return num_qubits_; }
+    size_t size() const { return gates_.size(); }
+    bool empty() const { return gates_.empty(); }
+
+    const std::vector<Gate> &gates() const { return gates_; }
+    std::vector<Gate> &mutable_gates() { return gates_; }
+    const Gate &gate(size_t i) const { return gates_[i]; }
+
+    /** Append a gate, validating operand indices against the register. */
+    void append(Gate g);
+
+    /** Append every gate of `other` (registers must match). */
+    void compose(const QuantumCircuit &other);
+
+    /** @name Builder shorthands. @{ */
+    void id(int q) { append(Gate::one_q(OpKind::kId, q)); }
+    void x(int q) { append(Gate::one_q(OpKind::kX, q)); }
+    void y(int q) { append(Gate::one_q(OpKind::kY, q)); }
+    void z(int q) { append(Gate::one_q(OpKind::kZ, q)); }
+    void h(int q) { append(Gate::one_q(OpKind::kH, q)); }
+    void s(int q) { append(Gate::one_q(OpKind::kS, q)); }
+    void sdg(int q) { append(Gate::one_q(OpKind::kSdg, q)); }
+    void t(int q) { append(Gate::one_q(OpKind::kT, q)); }
+    void tdg(int q) { append(Gate::one_q(OpKind::kTdg, q)); }
+    void sx(int q) { append(Gate::one_q(OpKind::kSX, q)); }
+    void sxdg(int q) { append(Gate::one_q(OpKind::kSXdg, q)); }
+    void rx(double th, int q) { append(Gate::one_q(OpKind::kRX, q, th)); }
+    void ry(double th, int q) { append(Gate::one_q(OpKind::kRY, q, th)); }
+    void rz(double th, int q) { append(Gate::one_q(OpKind::kRZ, q, th)); }
+    void p(double lam, int q) { append(Gate::one_q(OpKind::kP, q, lam)); }
+    void u(double th, double ph, double lam, int q)
+    {
+        append(Gate::u(q, th, ph, lam));
+    }
+    void cx(int c, int t) { append(Gate::two_q(OpKind::kCX, c, t)); }
+    void cy(int c, int t) { append(Gate::two_q(OpKind::kCY, c, t)); }
+    void cz(int c, int t) { append(Gate::two_q(OpKind::kCZ, c, t)); }
+    void ch(int c, int t) { append(Gate::two_q(OpKind::kCH, c, t)); }
+    void cp(double lam, int c, int t)
+    {
+        append(Gate::two_q(OpKind::kCP, c, t, lam));
+    }
+    void crx(double th, int c, int t)
+    {
+        append(Gate::two_q(OpKind::kCRX, c, t, th));
+    }
+    void cry(double th, int c, int t)
+    {
+        append(Gate::two_q(OpKind::kCRY, c, t, th));
+    }
+    void crz(double th, int c, int t)
+    {
+        append(Gate::two_q(OpKind::kCRZ, c, t, th));
+    }
+    void rzz(double th, int a, int b)
+    {
+        append(Gate::two_q(OpKind::kRZZ, a, b, th));
+    }
+    void rxx(double th, int a, int b)
+    {
+        append(Gate::two_q(OpKind::kRXX, a, b, th));
+    }
+    void swap(int a, int b) { append(Gate::two_q(OpKind::kSwap, a, b)); }
+    void iswap(int a, int b) { append(Gate::two_q(OpKind::kISwap, a, b)); }
+    void ccx(int c0, int c1, int t)
+    {
+        append(Gate(OpKind::kCCX, {c0, c1, t}));
+    }
+    void ccz(int c0, int c1, int t)
+    {
+        append(Gate(OpKind::kCCZ, {c0, c1, t}));
+    }
+    void cswap(int c, int a, int b)
+    {
+        append(Gate(OpKind::kCSwap, {c, a, b}));
+    }
+    void mcx(const std::vector<int> &controls, int target)
+    {
+        append(Gate::mcx(controls, target));
+    }
+    void measure(int q) { append(Gate::measure(q)); }
+    void measure_all();
+    void barrier();
+    /** @} */
+
+    /** Circuit depth counting every non-barrier gate as one layer unit. */
+    int depth() const;
+
+    /** Number of gates of each mnemonic. */
+    std::map<std::string, int> count_ops() const;
+
+    /** Number of gates of one kind. */
+    int count(OpKind k) const;
+
+    /** Number of two-qubit gates of any kind. */
+    int count_2q() const;
+
+    /** Number of CX gates (the routing-overhead metric of the paper). */
+    int cx_count() const { return count(OpKind::kCX); }
+
+    /** The adjoint circuit (reversed order, inverted gates). */
+    QuantumCircuit inverse() const;
+
+    /** Remove measures/barriers (for unitary analysis). */
+    QuantumCircuit without_non_unitary() const;
+
+    /** Multi-line textual dump, one gate per line. */
+    std::string to_string() const;
+
+  private:
+    int num_qubits_ = 0;
+    std::vector<Gate> gates_;
+};
+
+} // namespace nassc
+
+#endif // NASSC_IR_CIRCUIT_H

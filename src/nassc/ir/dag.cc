@@ -1,0 +1,74 @@
+#include "nassc/ir/dag.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace nassc {
+
+DagCircuit::DagCircuit(const QuantumCircuit &qc)
+    : num_qubits_(qc.num_qubits()), gates_(qc.gates())
+{
+    int n = static_cast<int>(gates_.size());
+    preds_.resize(n);
+    succs_.resize(n);
+    distinct_preds_.assign(n, 0);
+    wire_front_.assign(num_qubits_, -1);
+    wire_back_.assign(num_qubits_, -1);
+
+    std::vector<int> last_on_wire(num_qubits_, -1);
+    for (int id = 0; id < n; ++id) {
+        const Gate &g = gates_[id];
+        size_t nq = g.qubits.size();
+        preds_[id].assign(nq, -1);
+        succs_[id].assign(nq, -1);
+        for (size_t pos = 0; pos < nq; ++pos) {
+            int q = g.qubits[pos];
+            int prev = last_on_wire[q];
+            preds_[id][pos] = prev;
+            if (prev >= 0) {
+                // Fill the matching successor slot of the predecessor.
+                const Gate &pg = gates_[prev];
+                for (size_t ppos = 0; ppos < pg.qubits.size(); ++ppos) {
+                    if (pg.qubits[ppos] == q) {
+                        succs_[prev][ppos] = id;
+                        break;
+                    }
+                }
+            } else {
+                wire_front_[q] = id;
+            }
+            last_on_wire[q] = id;
+        }
+        // Count distinct predecessor nodes.
+        std::vector<int> ps = preds_[id];
+        std::sort(ps.begin(), ps.end());
+        ps.erase(std::unique(ps.begin(), ps.end()), ps.end());
+        int cnt = 0;
+        for (int p : ps)
+            if (p >= 0)
+                ++cnt;
+        distinct_preds_[id] = cnt;
+        if (cnt == 0)
+            initial_front_.push_back(id);
+    }
+    wire_back_ = last_on_wire;
+}
+
+std::vector<int>
+DagCircuit::topological_order() const
+{
+    std::vector<int> order(gates_.size());
+    std::iota(order.begin(), order.end(), 0);
+    return order;
+}
+
+QuantumCircuit
+DagCircuit::to_circuit() const
+{
+    QuantumCircuit qc(num_qubits_);
+    for (const Gate &g : gates_)
+        qc.append(g);
+    return qc;
+}
+
+} // namespace nassc

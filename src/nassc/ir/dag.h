@@ -1,0 +1,68 @@
+#ifndef NASSC_IR_DAG_H
+#define NASSC_IR_DAG_H
+
+/**
+ * @file
+ * Dependency DAG over the gates of a circuit.
+ *
+ * Node i represents gate i of the source circuit; an edge i -> j exists
+ * when gate j is the next gate after i on one of i's wires.  The DAG is
+ * immutable; consumers that "execute" gates (e.g. the routers) keep their
+ * own frontier bookkeeping on top of it.
+ */
+
+#include <vector>
+
+#include "nassc/ir/circuit.h"
+
+namespace nassc {
+
+/** Immutable gate-dependency DAG of a QuantumCircuit. */
+class DagCircuit
+{
+  public:
+    explicit DagCircuit(const QuantumCircuit &qc);
+
+    int num_qubits() const { return num_qubits_; }
+    int num_nodes() const { return static_cast<int>(gates_.size()); }
+
+    const Gate &gate(int id) const { return gates_[id]; }
+
+    /** Predecessor node per operand position (-1 when first on wire). */
+    const std::vector<int> &preds(int id) const { return preds_[id]; }
+
+    /** Successor node per operand position (-1 when last on wire). */
+    const std::vector<int> &succs(int id) const { return succs_[id]; }
+
+    /** Number of distinct predecessor nodes (for indegree counting). */
+    int num_distinct_preds(int id) const { return distinct_preds_[id]; }
+
+    /** Nodes with no predecessors, in source order. */
+    const std::vector<int> &initial_front() const { return initial_front_; }
+
+    /** First node on each wire (-1 for idle wires). */
+    int wire_front(int qubit) const { return wire_front_[qubit]; }
+
+    /** Last node on each wire (-1 for idle wires). */
+    int wire_back(int qubit) const { return wire_back_[qubit]; }
+
+    /** Nodes in a topological order (source order, which is topological). */
+    std::vector<int> topological_order() const;
+
+    /** Rebuild a flat circuit (identical to the source circuit). */
+    QuantumCircuit to_circuit() const;
+
+  private:
+    int num_qubits_ = 0;
+    std::vector<Gate> gates_;
+    std::vector<std::vector<int>> preds_;
+    std::vector<std::vector<int>> succs_;
+    std::vector<int> distinct_preds_;
+    std::vector<int> initial_front_;
+    std::vector<int> wire_front_;
+    std::vector<int> wire_back_;
+};
+
+} // namespace nassc
+
+#endif // NASSC_IR_DAG_H

@@ -1,0 +1,149 @@
+#include "nassc/ir/gate.h"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace nassc {
+
+Gate::Gate(OpKind k, std::vector<int> qs, std::vector<double> ps)
+    : kind(k), qubits(std::move(qs)), params(std::move(ps))
+{
+    int ar = op_arity(k);
+    if (ar >= 0 && static_cast<int>(qubits.size()) != ar)
+        throw std::invalid_argument(std::string("gate ") + op_name(k) +
+                                    ": wrong operand count");
+    if (static_cast<int>(params.size()) != op_num_params(k))
+        throw std::invalid_argument(std::string("gate ") + op_name(k) +
+                                    ": wrong parameter count");
+    for (size_t i = 0; i < qubits.size(); ++i)
+        for (size_t j = i + 1; j < qubits.size(); ++j)
+            if (qubits[i] == qubits[j])
+                throw std::invalid_argument(std::string("gate ") +
+                                            op_name(k) +
+                                            ": duplicate operand");
+}
+
+Gate
+Gate::one_q(OpKind k, int q)
+{
+    return Gate(k, {q});
+}
+
+Gate
+Gate::one_q(OpKind k, int q, double param)
+{
+    return Gate(k, {q}, {param});
+}
+
+Gate
+Gate::u(int q, double theta, double phi, double lambda)
+{
+    return Gate(OpKind::kU, {q}, {theta, phi, lambda});
+}
+
+Gate
+Gate::two_q(OpKind k, int a, int b)
+{
+    return Gate(k, {a, b});
+}
+
+Gate
+Gate::two_q(OpKind k, int a, int b, double param)
+{
+    return Gate(k, {a, b}, {param});
+}
+
+Gate
+Gate::mcx(std::vector<int> controls, int target)
+{
+    controls.push_back(target);
+    return Gate(OpKind::kMCX, std::move(controls));
+}
+
+Gate
+Gate::measure(int q)
+{
+    return Gate(OpKind::kMeasure, {q});
+}
+
+Gate
+Gate::barrier(std::vector<int> qs)
+{
+    return Gate(OpKind::kBarrier, std::move(qs));
+}
+
+bool
+Gate::acts_on(int q) const
+{
+    return std::find(qubits.begin(), qubits.end(), q) != qubits.end();
+}
+
+Gate
+Gate::inverse() const
+{
+    if (kind == OpKind::kMeasure)
+        throw std::logic_error("measure has no inverse");
+    if (is_self_inverse(kind) || kind == OpKind::kBarrier ||
+        kind == OpKind::kMCX)
+        return *this;
+
+    Gate g = *this;
+    switch (kind) {
+      case OpKind::kS: g.kind = OpKind::kSdg; break;
+      case OpKind::kSdg: g.kind = OpKind::kS; break;
+      case OpKind::kT: g.kind = OpKind::kTdg; break;
+      case OpKind::kTdg: g.kind = OpKind::kT; break;
+      case OpKind::kSX: g.kind = OpKind::kSXdg; break;
+      case OpKind::kSXdg: g.kind = OpKind::kSX; break;
+      case OpKind::kRX:
+      case OpKind::kRY:
+      case OpKind::kRZ:
+      case OpKind::kP:
+      case OpKind::kCP:
+      case OpKind::kCRX:
+      case OpKind::kCRY:
+      case OpKind::kCRZ:
+      case OpKind::kRZZ:
+      case OpKind::kRXX:
+        g.params[0] = -params[0];
+        break;
+      case OpKind::kU:
+        // u(t, p, l)^-1 = u(-t, -l, -p)
+        g.params = {-params[0], -params[2], -params[1]};
+        break;
+      case OpKind::kISwap:
+        // No dedicated iswap_dg kind; callers should decompose first.
+        throw std::logic_error("iswap inverse not representable as a "
+                               "single gate; decompose first");
+      default:
+        break;
+    }
+    return g;
+}
+
+std::string
+Gate::to_string() const
+{
+    std::ostringstream os;
+    os << op_name(kind);
+    if (!params.empty()) {
+        os << "(";
+        for (size_t i = 0; i < params.size(); ++i)
+            os << params[i] << (i + 1 < params.size() ? ", " : "");
+        os << ")";
+    }
+    os << " ";
+    for (size_t i = 0; i < qubits.size(); ++i)
+        os << "q" << qubits[i] << (i + 1 < qubits.size() ? ", " : "");
+    return os.str();
+}
+
+bool
+Gate::operator==(const Gate &other) const
+{
+    return kind == other.kind && qubits == other.qubits &&
+           params == other.params;
+}
+
+} // namespace nassc

@@ -1,0 +1,69 @@
+#ifndef NASSC_IR_GATE_H
+#define NASSC_IR_GATE_H
+
+/**
+ * @file
+ * A single quantum operation instance: kind + qubit operands + parameters.
+ */
+
+#include <string>
+#include <vector>
+
+#include "nassc/ir/op_kind.h"
+
+namespace nassc {
+
+/** How a SWAP should be decomposed into three CNOTs. */
+enum class SwapOrient : int8_t {
+    kDefault = -1, ///< no preference; first CNOT control = first operand
+    kFirst = 0,    ///< first CNOT control = first operand (explicit flag)
+    kSecond = 1,   ///< first CNOT control = second operand
+};
+
+/** One gate in a circuit. */
+struct Gate
+{
+    OpKind kind = OpKind::kId;
+    std::vector<int> qubits;
+    std::vector<double> params;
+
+    /**
+     * Decomposition orientation flag for SWAP gates, set by the NASSC
+     * router when a commutation-based cancellation was identified
+     * (paper Sec. IV-E, optimization-aware SWAP decomposition).
+     */
+    SwapOrient swap_orient = SwapOrient::kDefault;
+
+    Gate() = default;
+    Gate(OpKind k, std::vector<int> qs, std::vector<double> ps = {});
+
+    /** @name Convenience factories. @{ */
+    static Gate one_q(OpKind k, int q);
+    static Gate one_q(OpKind k, int q, double param);
+    static Gate u(int q, double theta, double phi, double lambda);
+    static Gate two_q(OpKind k, int a, int b);
+    static Gate two_q(OpKind k, int a, int b, double param);
+    static Gate mcx(std::vector<int> controls, int target);
+    static Gate measure(int q);
+    static Gate barrier(std::vector<int> qs);
+    /** @} */
+
+    /** Number of qubit operands. */
+    int num_qubits() const { return static_cast<int>(qubits.size()); }
+
+    /** True if the gate touches qubit q. */
+    bool acts_on(int q) const;
+
+    /** The inverse gate (throws for measure). */
+    Gate inverse() const;
+
+    /** Human-readable rendering, e.g. "cx q2, q5". */
+    std::string to_string() const;
+
+    /** Structural equality on kind, qubits, and parameters (exact). */
+    bool operator==(const Gate &other) const;
+};
+
+} // namespace nassc
+
+#endif // NASSC_IR_GATE_H

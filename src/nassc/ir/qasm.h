@@ -1,0 +1,32 @@
+#ifndef NASSC_IR_QASM_H
+#define NASSC_IR_QASM_H
+
+/**
+ * @file
+ * OpenQASM 2.0 subset import/export.
+ *
+ * Supported statements: OPENQASM, include, qreg, creg, barrier, measure,
+ * and every gate in OpKind (plus the u1/u2/u3/cnot aliases).  Multiple
+ * quantum registers are flattened into one contiguous index space in
+ * declaration order.  Parameter expressions understand numbers, `pi`,
+ * unary minus, and the + - * / operators with parentheses.
+ */
+
+#include <string>
+
+#include "nassc/ir/circuit.h"
+
+namespace nassc {
+
+/** Serialize a circuit as OpenQASM 2.0 text. */
+std::string to_qasm(const QuantumCircuit &qc);
+
+/**
+ * Parse OpenQASM 2.0 text into a circuit.
+ * @throws std::runtime_error with a line-numbered message on bad input.
+ */
+QuantumCircuit from_qasm(const std::string &text);
+
+} // namespace nassc
+
+#endif // NASSC_IR_QASM_H

@@ -1,0 +1,608 @@
+#include "nassc/math/complex_mat.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace nassc {
+
+namespace {
+
+const Cx kI(0.0, 1.0);
+
+} // namespace
+
+// ---- Mat2 ------------------------------------------------------------------
+
+Mat2
+Mat2::identity()
+{
+    Mat2 m;
+    m(0, 0) = 1.0;
+    m(1, 1) = 1.0;
+    return m;
+}
+
+Mat2
+Mat2::zero()
+{
+    return Mat2{};
+}
+
+Mat2
+mul(const Mat2 &a, const Mat2 &b)
+{
+    Mat2 r;
+    for (int i = 0; i < 2; ++i) {
+        for (int j = 0; j < 2; ++j) {
+            Cx s = 0.0;
+            for (int k = 0; k < 2; ++k)
+                s += a(i, k) * b(k, j);
+            r(i, j) = s;
+        }
+    }
+    return r;
+}
+
+Mat2
+add(const Mat2 &a, const Mat2 &b)
+{
+    Mat2 r;
+    for (int i = 0; i < 4; ++i)
+        r.v[i] = a.v[i] + b.v[i];
+    return r;
+}
+
+Mat2
+scale(const Mat2 &a, Cx s)
+{
+    Mat2 r;
+    for (int i = 0; i < 4; ++i)
+        r.v[i] = a.v[i] * s;
+    return r;
+}
+
+Mat2
+adjoint(const Mat2 &a)
+{
+    Mat2 r;
+    for (int i = 0; i < 2; ++i)
+        for (int j = 0; j < 2; ++j)
+            r(i, j) = std::conj(a(j, i));
+    return r;
+}
+
+Cx
+det(const Mat2 &a)
+{
+    return a(0, 0) * a(1, 1) - a(0, 1) * a(1, 0);
+}
+
+Cx
+trace(const Mat2 &a)
+{
+    return a(0, 0) + a(1, 1);
+}
+
+double
+frobenius_distance(const Mat2 &a, const Mat2 &b)
+{
+    double s = 0.0;
+    for (int i = 0; i < 4; ++i)
+        s += std::norm(a.v[i] - b.v[i]);
+    return std::sqrt(s);
+}
+
+bool
+approx_equal(const Mat2 &a, const Mat2 &b, double tol)
+{
+    return frobenius_distance(a, b) < tol;
+}
+
+bool
+equal_up_to_phase(const Mat2 &a, const Mat2 &b, double tol)
+{
+    // Find the largest entry of b and align phases on it.
+    int best = 0;
+    double mag = 0.0;
+    for (int i = 0; i < 4; ++i) {
+        if (std::abs(b.v[i]) > mag) {
+            mag = std::abs(b.v[i]);
+            best = i;
+        }
+    }
+    if (mag < tol)
+        return frobenius_distance(a, b) < tol;
+    Cx phase = a.v[best] / b.v[best];
+    double p = std::abs(phase);
+    if (std::abs(p - 1.0) > tol)
+        return false;
+    phase /= p;
+    return frobenius_distance(a, scale(b, phase)) < tol;
+}
+
+bool
+is_unitary(const Mat2 &a, double tol)
+{
+    return approx_equal(mul(adjoint(a), a), Mat2::identity(), tol);
+}
+
+std::string
+to_string(const Mat2 &a)
+{
+    std::ostringstream os;
+    for (int i = 0; i < 2; ++i) {
+        os << "[";
+        for (int j = 0; j < 2; ++j)
+            os << a(i, j) << (j == 1 ? "]\n" : ", ");
+    }
+    return os.str();
+}
+
+// ---- Mat4 ------------------------------------------------------------------
+
+Mat4
+Mat4::identity()
+{
+    Mat4 m;
+    for (int i = 0; i < 4; ++i)
+        m(i, i) = 1.0;
+    return m;
+}
+
+Mat4
+Mat4::zero()
+{
+    return Mat4{};
+}
+
+Mat4
+mul(const Mat4 &a, const Mat4 &b)
+{
+    Mat4 r;
+    for (int i = 0; i < 4; ++i) {
+        for (int k = 0; k < 4; ++k) {
+            Cx aik = a(i, k);
+            if (aik == Cx(0.0, 0.0))
+                continue;
+            for (int j = 0; j < 4; ++j)
+                r(i, j) += aik * b(k, j);
+        }
+    }
+    return r;
+}
+
+Mat4
+add(const Mat4 &a, const Mat4 &b)
+{
+    Mat4 r;
+    for (int i = 0; i < 16; ++i)
+        r.v[i] = a.v[i] + b.v[i];
+    return r;
+}
+
+Mat4
+scale(const Mat4 &a, Cx s)
+{
+    Mat4 r;
+    for (int i = 0; i < 16; ++i)
+        r.v[i] = a.v[i] * s;
+    return r;
+}
+
+Mat4
+adjoint(const Mat4 &a)
+{
+    Mat4 r;
+    for (int i = 0; i < 4; ++i)
+        for (int j = 0; j < 4; ++j)
+            r(i, j) = std::conj(a(j, i));
+    return r;
+}
+
+Mat4
+transpose(const Mat4 &a)
+{
+    Mat4 r;
+    for (int i = 0; i < 4; ++i)
+        for (int j = 0; j < 4; ++j)
+            r(i, j) = a(j, i);
+    return r;
+}
+
+Cx
+det(const Mat4 &a)
+{
+    // Gaussian elimination with partial pivoting on a copy.
+    Mat4 m = a;
+    Cx d = 1.0;
+    for (int col = 0; col < 4; ++col) {
+        int piv = col;
+        double best = std::abs(m(col, col));
+        for (int r = col + 1; r < 4; ++r) {
+            if (std::abs(m(r, col)) > best) {
+                best = std::abs(m(r, col));
+                piv = r;
+            }
+        }
+        if (best == 0.0)
+            return 0.0;
+        if (piv != col) {
+            for (int c = 0; c < 4; ++c)
+                std::swap(m(piv, c), m(col, c));
+            d = -d;
+        }
+        d *= m(col, col);
+        for (int r = col + 1; r < 4; ++r) {
+            Cx f = m(r, col) / m(col, col);
+            for (int c = col; c < 4; ++c)
+                m(r, c) -= f * m(col, c);
+        }
+    }
+    return d;
+}
+
+Cx
+trace(const Mat4 &a)
+{
+    return a(0, 0) + a(1, 1) + a(2, 2) + a(3, 3);
+}
+
+double
+frobenius_distance(const Mat4 &a, const Mat4 &b)
+{
+    double s = 0.0;
+    for (int i = 0; i < 16; ++i)
+        s += std::norm(a.v[i] - b.v[i]);
+    return std::sqrt(s);
+}
+
+bool
+approx_equal(const Mat4 &a, const Mat4 &b, double tol)
+{
+    return frobenius_distance(a, b) < tol;
+}
+
+bool
+equal_up_to_phase(const Mat4 &a, const Mat4 &b, double tol)
+{
+    int best = 0;
+    double mag = 0.0;
+    for (int i = 0; i < 16; ++i) {
+        if (std::abs(b.v[i]) > mag) {
+            mag = std::abs(b.v[i]);
+            best = i;
+        }
+    }
+    if (mag < tol)
+        return frobenius_distance(a, b) < tol;
+    Cx phase = a.v[best] / b.v[best];
+    double p = std::abs(phase);
+    if (std::abs(p - 1.0) > tol)
+        return false;
+    phase /= p;
+    return frobenius_distance(a, scale(b, phase)) < tol;
+}
+
+bool
+is_unitary(const Mat4 &a, double tol)
+{
+    return approx_equal(mul(adjoint(a), a), Mat4::identity(), tol);
+}
+
+std::string
+to_string(const Mat4 &a)
+{
+    std::ostringstream os;
+    for (int i = 0; i < 4; ++i) {
+        os << "[";
+        for (int j = 0; j < 4; ++j)
+            os << a(i, j) << (j == 3 ? "]\n" : ", ");
+    }
+    return os.str();
+}
+
+Mat4
+tensor2(const Mat2 &a, const Mat2 &b)
+{
+    // Row index (r1 << 1) | r0; `a` acts on bit 0, `b` on bit 1.
+    Mat4 m;
+    for (int r1 = 0; r1 < 2; ++r1)
+        for (int r0 = 0; r0 < 2; ++r0)
+            for (int c1 = 0; c1 < 2; ++c1)
+                for (int c0 = 0; c0 < 2; ++c0)
+                    m((r1 << 1) | r0, (c1 << 1) | c0) = b(r1, c1) * a(r0, c0);
+    return m;
+}
+
+// ---- MatN ------------------------------------------------------------------
+
+MatN
+MatN::identity(int dim)
+{
+    MatN m(dim);
+    for (int i = 0; i < dim; ++i)
+        m(i, i) = 1.0;
+    return m;
+}
+
+MatN
+mul(const MatN &a, const MatN &b)
+{
+    int n = a.dim();
+    MatN r(n);
+    for (int i = 0; i < n; ++i) {
+        for (int k = 0; k < n; ++k) {
+            Cx aik = a(i, k);
+            if (aik == Cx(0.0, 0.0))
+                continue;
+            for (int j = 0; j < n; ++j)
+                r(i, j) += aik * b(k, j);
+        }
+    }
+    return r;
+}
+
+MatN
+adjoint(const MatN &a)
+{
+    int n = a.dim();
+    MatN r(n);
+    for (int i = 0; i < n; ++i)
+        for (int j = 0; j < n; ++j)
+            r(i, j) = std::conj(a(j, i));
+    return r;
+}
+
+double
+frobenius_distance(const MatN &a, const MatN &b)
+{
+    double s = 0.0;
+    int n = a.dim();
+    for (int i = 0; i < n; ++i)
+        for (int j = 0; j < n; ++j)
+            s += std::norm(a(i, j) - b(i, j));
+    return std::sqrt(s);
+}
+
+bool
+equal_up_to_phase(const MatN &a, const MatN &b, double tol)
+{
+    int n = a.dim();
+    if (b.dim() != n)
+        return false;
+    int br = 0, bc = 0;
+    double mag = 0.0;
+    for (int i = 0; i < n; ++i) {
+        for (int j = 0; j < n; ++j) {
+            if (std::abs(b(i, j)) > mag) {
+                mag = std::abs(b(i, j));
+                br = i;
+                bc = j;
+            }
+        }
+    }
+    if (mag < tol)
+        return frobenius_distance(a, b) < tol;
+    Cx phase = a(br, bc) / b(br, bc);
+    double p = std::abs(phase);
+    if (std::abs(p - 1.0) > tol * 10)
+        return false;
+    phase /= p;
+    double s = 0.0;
+    for (int i = 0; i < n; ++i)
+        for (int j = 0; j < n; ++j)
+            s += std::norm(a(i, j) - phase * b(i, j));
+    return std::sqrt(s) < tol * n;
+}
+
+bool
+is_unitary(const MatN &a, double tol)
+{
+    MatN p = mul(adjoint(a), a);
+    return frobenius_distance(p, MatN::identity(a.dim())) < tol * a.dim();
+}
+
+// ---- constants ---------------------------------------------------------------
+
+Mat2
+pauli_i()
+{
+    return Mat2::identity();
+}
+
+Mat2
+pauli_x()
+{
+    Mat2 m;
+    m(0, 1) = 1.0;
+    m(1, 0) = 1.0;
+    return m;
+}
+
+Mat2
+pauli_y()
+{
+    Mat2 m;
+    m(0, 1) = -kI;
+    m(1, 0) = kI;
+    return m;
+}
+
+Mat2
+pauli_z()
+{
+    Mat2 m;
+    m(0, 0) = 1.0;
+    m(1, 1) = -1.0;
+    return m;
+}
+
+Mat2
+hadamard()
+{
+    const double s = 1.0 / std::sqrt(2.0);
+    Mat2 m;
+    m(0, 0) = s;
+    m(0, 1) = s;
+    m(1, 0) = s;
+    m(1, 1) = -s;
+    return m;
+}
+
+Mat2
+s_gate()
+{
+    Mat2 m;
+    m(0, 0) = 1.0;
+    m(1, 1) = kI;
+    return m;
+}
+
+Mat2
+sdg_gate()
+{
+    Mat2 m;
+    m(0, 0) = 1.0;
+    m(1, 1) = -kI;
+    return m;
+}
+
+Mat2
+sx_gate()
+{
+    Mat2 m;
+    m(0, 0) = Cx(0.5, 0.5);
+    m(0, 1) = Cx(0.5, -0.5);
+    m(1, 0) = Cx(0.5, -0.5);
+    m(1, 1) = Cx(0.5, 0.5);
+    return m;
+}
+
+Mat2
+sxdg_gate()
+{
+    return adjoint(sx_gate());
+}
+
+Mat2
+t_gate()
+{
+    Mat2 m;
+    m(0, 0) = 1.0;
+    m(1, 1) = std::exp(kI * (M_PI / 4.0));
+    return m;
+}
+
+Mat2
+tdg_gate()
+{
+    return adjoint(t_gate());
+}
+
+Mat2
+rx_gate(double theta)
+{
+    Mat2 m;
+    m(0, 0) = std::cos(theta / 2.0);
+    m(0, 1) = -kI * std::sin(theta / 2.0);
+    m(1, 0) = -kI * std::sin(theta / 2.0);
+    m(1, 1) = std::cos(theta / 2.0);
+    return m;
+}
+
+Mat2
+ry_gate(double theta)
+{
+    Mat2 m;
+    m(0, 0) = std::cos(theta / 2.0);
+    m(0, 1) = -std::sin(theta / 2.0);
+    m(1, 0) = std::sin(theta / 2.0);
+    m(1, 1) = std::cos(theta / 2.0);
+    return m;
+}
+
+Mat2
+rz_gate(double theta)
+{
+    Mat2 m;
+    m(0, 0) = std::exp(-kI * (theta / 2.0));
+    m(1, 1) = std::exp(kI * (theta / 2.0));
+    return m;
+}
+
+Mat2
+phase_gate(double lambda)
+{
+    Mat2 m;
+    m(0, 0) = 1.0;
+    m(1, 1) = std::exp(kI * lambda);
+    return m;
+}
+
+Mat2
+u3_gate(double theta, double phi, double lambda)
+{
+    Mat2 m;
+    m(0, 0) = std::cos(theta / 2.0);
+    m(0, 1) = -std::exp(kI * lambda) * std::sin(theta / 2.0);
+    m(1, 0) = std::exp(kI * phi) * std::sin(theta / 2.0);
+    m(1, 1) = std::exp(kI * (phi + lambda)) * std::cos(theta / 2.0);
+    return m;
+}
+
+Mat4
+cx_mat()
+{
+    // Control = bit 0, target = bit 1: |c t> -> |c, t ^ c>.
+    // Basis index (t << 1) | c.
+    Mat4 m;
+    m(0, 0) = 1.0;
+    m(2, 2) = 1.0;
+    m(3, 1) = 1.0;
+    m(1, 3) = 1.0;
+    return m;
+}
+
+Mat4
+cx_rev_mat()
+{
+    // Control = bit 1, target = bit 0.
+    Mat4 m;
+    m(0, 0) = 1.0;
+    m(1, 1) = 1.0;
+    m(3, 2) = 1.0;
+    m(2, 3) = 1.0;
+    return m;
+}
+
+Mat4
+cz_mat()
+{
+    Mat4 m = Mat4::identity();
+    m(3, 3) = -1.0;
+    return m;
+}
+
+Mat4
+swap_mat()
+{
+    Mat4 m;
+    m(0, 0) = 1.0;
+    m(1, 2) = 1.0;
+    m(2, 1) = 1.0;
+    m(3, 3) = 1.0;
+    return m;
+}
+
+Mat4
+iswap_mat()
+{
+    Mat4 m;
+    m(0, 0) = 1.0;
+    m(1, 2) = kI;
+    m(2, 1) = kI;
+    m(3, 3) = 1.0;
+    return m;
+}
+
+} // namespace nassc

@@ -1,0 +1,152 @@
+#ifndef NASSC_MATH_COMPLEX_MAT_H
+#define NASSC_MATH_COMPLEX_MAT_H
+
+/**
+ * @file
+ * Small dense complex matrices used throughout the compiler.
+ *
+ * Mat2 and Mat4 are fixed-size row-major matrices over
+ * std::complex<double>; MatN is a dynamically sized square matrix used by
+ * the simulator and the verification utilities.
+ *
+ * Index convention for two-qubit operators: the basis state |b1 b0> of a
+ * gate acting on ordered operands (q0, q1) has index (b1 << 1) | b0, i.e.
+ * the gate's *first* operand is the least significant bit.  tensor2(a, b)
+ * builds the 4x4 operator with `a` acting on the first operand and `b` on
+ * the second.
+ */
+
+#include <array>
+#include <complex>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace nassc {
+
+using Cx = std::complex<double>;
+
+/** A 2x2 complex matrix (row major). */
+struct Mat2
+{
+    std::array<Cx, 4> v{};
+
+    Cx &operator()(int r, int c) { return v[2 * r + c]; }
+    const Cx &operator()(int r, int c) const { return v[2 * r + c]; }
+
+    static Mat2 identity();
+    static Mat2 zero();
+};
+
+/** A 4x4 complex matrix (row major). */
+struct Mat4
+{
+    std::array<Cx, 16> v{};
+
+    Cx &operator()(int r, int c) { return v[4 * r + c]; }
+    const Cx &operator()(int r, int c) const { return v[4 * r + c]; }
+
+    static Mat4 identity();
+    static Mat4 zero();
+};
+
+/** A dynamically sized dense square complex matrix (row major). */
+class MatN
+{
+  public:
+    MatN() = default;
+    explicit MatN(int dim) : dim_(dim), v_(static_cast<size_t>(dim) * dim) {}
+
+    int dim() const { return dim_; }
+    Cx &operator()(int r, int c) { return v_[static_cast<size_t>(r) * dim_ + c]; }
+    const Cx &operator()(int r, int c) const
+    {
+        return v_[static_cast<size_t>(r) * dim_ + c];
+    }
+
+    static MatN identity(int dim);
+
+  private:
+    int dim_ = 0;
+    std::vector<Cx> v_;
+};
+
+// ---- Mat2 operations -----------------------------------------------------
+
+Mat2 mul(const Mat2 &a, const Mat2 &b);
+Mat2 add(const Mat2 &a, const Mat2 &b);
+Mat2 scale(const Mat2 &a, Cx s);
+Mat2 adjoint(const Mat2 &a);
+Cx det(const Mat2 &a);
+Cx trace(const Mat2 &a);
+double frobenius_distance(const Mat2 &a, const Mat2 &b);
+bool approx_equal(const Mat2 &a, const Mat2 &b, double tol = 1e-9);
+/** True if a == phase * b for some unit scalar phase. */
+bool equal_up_to_phase(const Mat2 &a, const Mat2 &b, double tol = 1e-9);
+bool is_unitary(const Mat2 &a, double tol = 1e-9);
+std::string to_string(const Mat2 &a);
+
+// ---- Mat4 operations -----------------------------------------------------
+
+Mat4 mul(const Mat4 &a, const Mat4 &b);
+Mat4 add(const Mat4 &a, const Mat4 &b);
+Mat4 scale(const Mat4 &a, Cx s);
+Mat4 adjoint(const Mat4 &a);
+Mat4 transpose(const Mat4 &a);
+Cx det(const Mat4 &a);
+Cx trace(const Mat4 &a);
+double frobenius_distance(const Mat4 &a, const Mat4 &b);
+bool approx_equal(const Mat4 &a, const Mat4 &b, double tol = 1e-9);
+/** True if a == phase * b for some unit scalar phase. */
+bool equal_up_to_phase(const Mat4 &a, const Mat4 &b, double tol = 1e-9);
+bool is_unitary(const Mat4 &a, double tol = 1e-9);
+std::string to_string(const Mat4 &a);
+
+/**
+ * Tensor product with this library's operand convention: `a` acts on the
+ * first (least significant) operand and `b` on the second.
+ */
+Mat4 tensor2(const Mat2 &a, const Mat2 &b);
+
+// ---- MatN operations -------------------------------------------------------
+
+MatN mul(const MatN &a, const MatN &b);
+MatN adjoint(const MatN &a);
+double frobenius_distance(const MatN &a, const MatN &b);
+bool equal_up_to_phase(const MatN &a, const MatN &b, double tol = 1e-8);
+bool is_unitary(const MatN &a, double tol = 1e-8);
+
+// ---- Pauli / Clifford constants -------------------------------------------
+
+/** @name Standard single-qubit constant matrices. @{ */
+Mat2 pauli_i();
+Mat2 pauli_x();
+Mat2 pauli_y();
+Mat2 pauli_z();
+Mat2 hadamard();
+Mat2 s_gate();
+Mat2 sdg_gate();
+Mat2 sx_gate();
+Mat2 sxdg_gate();
+Mat2 t_gate();
+Mat2 tdg_gate();
+Mat2 rx_gate(double theta);
+Mat2 ry_gate(double theta);
+Mat2 rz_gate(double theta);
+Mat2 phase_gate(double lambda);
+/** U(theta, phi, lambda) = Rz(phi) Ry(theta) Rz(lambda) up to global phase
+ *  using the OpenQASM u3 convention (u3(t,p,l)[0][0] = cos(t/2)). */
+Mat2 u3_gate(double theta, double phi, double lambda);
+/** @} */
+
+/** CX with control = first operand (bit 0), target = second operand. */
+Mat4 cx_mat();
+/** CX with control = second operand, target = first operand. */
+Mat4 cx_rev_mat();
+Mat4 cz_mat();
+Mat4 swap_mat();
+Mat4 iswap_mat();
+
+} // namespace nassc
+
+#endif // NASSC_MATH_COMPLEX_MAT_H

@@ -1,0 +1,127 @@
+#include "nassc/math/eig.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace nassc {
+
+namespace {
+
+inline double &
+at(RMat4 &m, int r, int c)
+{
+    return m[4 * r + c];
+}
+
+inline double
+at(const RMat4 &m, int r, int c)
+{
+    return m[4 * r + c];
+}
+
+} // namespace
+
+void
+jacobi_eig_sym4(const RMat4 &a, RMat4 &vecs, std::array<double, 4> &w)
+{
+    RMat4 m = a;
+    // Initialize eigenvector accumulator to identity.
+    vecs.fill(0.0);
+    for (int i = 0; i < 4; ++i)
+        at(vecs, i, i) = 1.0;
+
+    const int max_sweeps = 64;
+    for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+        double off = 0.0;
+        for (int r = 0; r < 4; ++r)
+            for (int c = r + 1; c < 4; ++c)
+                off += at(m, r, c) * at(m, r, c);
+        if (off < 1e-26)
+            break;
+
+        for (int p = 0; p < 4; ++p) {
+            for (int q = p + 1; q < 4; ++q) {
+                double apq = at(m, p, q);
+                if (std::abs(apq) < 1e-300)
+                    continue;
+                double app = at(m, p, p);
+                double aqq = at(m, q, q);
+                double tau = (aqq - app) / (2.0 * apq);
+                double t = (tau >= 0.0)
+                    ? 1.0 / (tau + std::sqrt(1.0 + tau * tau))
+                    : 1.0 / (tau - std::sqrt(1.0 + tau * tau));
+                double c = 1.0 / std::sqrt(1.0 + t * t);
+                double s = t * c;
+
+                // Apply rotation: m <- J^T m J with J affecting rows/cols p,q.
+                for (int k = 0; k < 4; ++k) {
+                    double mkp = at(m, k, p);
+                    double mkq = at(m, k, q);
+                    at(m, k, p) = c * mkp - s * mkq;
+                    at(m, k, q) = s * mkp + c * mkq;
+                }
+                for (int k = 0; k < 4; ++k) {
+                    double mpk = at(m, p, k);
+                    double mqk = at(m, q, k);
+                    at(m, p, k) = c * mpk - s * mqk;
+                    at(m, q, k) = s * mpk + c * mqk;
+                }
+                for (int k = 0; k < 4; ++k) {
+                    double vkp = at(vecs, k, p);
+                    double vkq = at(vecs, k, q);
+                    at(vecs, k, p) = c * vkp - s * vkq;
+                    at(vecs, k, q) = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+
+    // Extract and sort eigenvalues ascending, permuting columns of vecs.
+    std::array<int, 4> order = {0, 1, 2, 3};
+    std::array<double, 4> diag;
+    for (int i = 0; i < 4; ++i)
+        diag[i] = at(m, i, i);
+    std::sort(order.begin(), order.end(),
+              [&](int x, int y) { return diag[x] < diag[y]; });
+
+    RMat4 sorted_vecs;
+    for (int i = 0; i < 4; ++i) {
+        w[i] = diag[order[i]];
+        for (int r = 0; r < 4; ++r)
+            at(sorted_vecs, r, i) = at(vecs, r, order[i]);
+    }
+    vecs = sorted_vecs;
+}
+
+double
+det4(const RMat4 &a)
+{
+    RMat4 m = a;
+    double d = 1.0;
+    for (int col = 0; col < 4; ++col) {
+        int piv = col;
+        double best = std::abs(at(m, col, col));
+        for (int r = col + 1; r < 4; ++r) {
+            if (std::abs(at(m, r, col)) > best) {
+                best = std::abs(at(m, r, col));
+                piv = r;
+            }
+        }
+        if (best == 0.0)
+            return 0.0;
+        if (piv != col) {
+            for (int c = 0; c < 4; ++c)
+                std::swap(at(m, piv, c), at(m, col, c));
+            d = -d;
+        }
+        d *= at(m, col, col);
+        for (int r = col + 1; r < 4; ++r) {
+            double f = at(m, r, col) / at(m, col, col);
+            for (int c = col; c < 4; ++c)
+                at(m, r, c) -= f * at(m, col, c);
+        }
+    }
+    return d;
+}
+
+} // namespace nassc

@@ -1,0 +1,33 @@
+#ifndef NASSC_MATH_EIG_H
+#define NASSC_MATH_EIG_H
+
+/**
+ * @file
+ * Small real-symmetric eigensolvers used by the Weyl/KAK decomposition.
+ */
+
+#include <array>
+
+namespace nassc {
+
+/** A 4x4 real matrix (row major) used by the eigensolver. */
+using RMat4 = std::array<double, 16>;
+
+/**
+ * Jacobi eigendecomposition of a real symmetric 4x4 matrix.
+ *
+ * On return `vecs` holds the eigenvectors as *columns* (so that
+ * A = V diag(w) V^T) and `w` the eigenvalues, sorted ascending.
+ *
+ * @param a     symmetric input matrix
+ * @param vecs  output eigenvector matrix (orthogonal)
+ * @param w     output eigenvalues
+ */
+void jacobi_eig_sym4(const RMat4 &a, RMat4 &vecs, std::array<double, 4> &w);
+
+/** Determinant of a 4x4 real matrix. */
+double det4(const RMat4 &a);
+
+} // namespace nassc
+
+#endif // NASSC_MATH_EIG_H

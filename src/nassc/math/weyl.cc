@@ -1,0 +1,469 @@
+#include "nassc/math/weyl.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "nassc/math/eig.h"
+
+namespace nassc {
+
+namespace {
+
+const Cx kI(0.0, 1.0);
+const double kPi = M_PI;
+const double kPi2 = M_PI / 2.0;
+const double kPi4 = M_PI / 4.0;
+
+/** Diagonal (in the magic basis) representations of XX, YY, ZZ. */
+struct MagicDiagonals
+{
+    std::array<double, 4> dx, dy, dz;
+};
+
+Mat4
+build_magic()
+{
+    // Columns are the magic states; basis index (b1 << 1) | b0.
+    const double s = 1.0 / std::sqrt(2.0);
+    Mat4 b;
+    // col 0: (|00> + |11>)/sqrt(2)
+    b(0, 0) = s;
+    b(3, 0) = s;
+    // col 1: i(|00> - |11>)/sqrt(2)
+    b(0, 1) = s * kI;
+    b(3, 1) = -s * kI;
+    // col 2: i(|01> + |10>)/sqrt(2)
+    b(1, 2) = s * kI;
+    b(2, 2) = s * kI;
+    // col 3: (|01> - |10>)/sqrt(2)
+    b(1, 3) = s;
+    b(2, 3) = -s;
+    return b;
+}
+
+const MagicDiagonals &
+magic_diagonals()
+{
+    static const MagicDiagonals md = [] {
+        MagicDiagonals r;
+        const Mat4 &bm = magic_basis();
+        Mat4 bd = adjoint(bm);
+        auto diag_of = [&](const Mat4 &pauli2q) {
+            Mat4 d = mul(bd, mul(pauli2q, bm));
+            std::array<double, 4> out{};
+            for (int i = 0; i < 4; ++i)
+                out[i] = d(i, i).real();
+            return out;
+        };
+        r.dx = diag_of(tensor2(pauli_x(), pauli_x()));
+        r.dy = diag_of(tensor2(pauli_y(), pauli_y()));
+        r.dz = diag_of(tensor2(pauli_z(), pauli_z()));
+        return r;
+    }();
+    return md;
+}
+
+/** Off-diagonal Frobenius mass of P^T A P for real matrices. */
+double
+offdiag_after(const RMat4 &p, const RMat4 &a)
+{
+    // Compute P^T A P and accumulate off-diagonal weight.
+    RMat4 ap{};
+    for (int i = 0; i < 4; ++i)
+        for (int j = 0; j < 4; ++j) {
+            double s = 0.0;
+            for (int k = 0; k < 4; ++k)
+                s += a[4 * i + k] * p[4 * k + j];
+            ap[4 * i + j] = s;
+        }
+    double off = 0.0;
+    for (int i = 0; i < 4; ++i)
+        for (int j = 0; j < 4; ++j) {
+            double s = 0.0;
+            for (int k = 0; k < 4; ++k)
+                s += p[4 * k + i] * ap[4 * k + j];
+            if (i != j)
+                off += s * s;
+        }
+    return off;
+}
+
+/** Attempt the full decomposition with blend parameter t; empty on failure. */
+bool
+try_decompose(const Mat4 &u, double t, Kak &out)
+{
+    const Mat4 &bm = magic_basis();
+    Mat4 bd = adjoint(bm);
+
+    // Normalize to SU(4).
+    Cx d = det(u);
+    Cx alpha = std::exp(kI * (std::arg(d) / 4.0));
+    Mat4 v = scale(u, Cx(1.0, 0.0) / alpha);
+
+    Mat4 up = mul(bd, mul(v, bm));
+    Mat4 m = mul(transpose(up), up);
+
+    RMat4 x{}, y{}, blend{};
+    for (int i = 0; i < 16; ++i) {
+        x[i] = m.v[i].real();
+        y[i] = m.v[i].imag();
+        blend[i] = x[i] + t * y[i];
+    }
+
+    RMat4 p;
+    std::array<double, 4> w;
+    jacobi_eig_sym4(blend, p, w);
+
+    // P must diagonalize both X and Y simultaneously.
+    if (offdiag_after(p, x) > 1e-16 || offdiag_after(p, y) > 1e-16)
+        return false;
+
+    if (det4(p) < 0.0) {
+        for (int r = 0; r < 4; ++r)
+            p[4 * r + 0] = -p[4 * r + 0];
+    }
+
+    // W = Up * P; column j equals e^{i theta_j} times a real vector.
+    Mat4 pc;
+    for (int i = 0; i < 16; ++i)
+        pc.v[i] = p[i];
+    Mat4 wm = mul(up, pc);
+
+    std::array<double, 4> theta{};
+    RMat4 o1{};
+    for (int j = 0; j < 4; ++j) {
+        int best = 0;
+        double mag = 0.0;
+        for (int r = 0; r < 4; ++r) {
+            if (std::abs(wm(r, j)) > mag) {
+                mag = std::abs(wm(r, j));
+                best = r;
+            }
+        }
+        theta[j] = std::arg(wm(best, j));
+        Cx ph = std::exp(-kI * theta[j]);
+        for (int r = 0; r < 4; ++r) {
+            Cx e = wm(r, j) * ph;
+            if (std::abs(e.imag()) > 1e-8)
+                return false;
+            o1[4 * r + j] = e.real();
+        }
+    }
+
+    if (det4(o1) < 0.0) {
+        theta[0] += kPi;
+        for (int r = 0; r < 4; ++r)
+            o1[4 * r + 0] = -o1[4 * r + 0];
+    }
+
+    // Coordinates from the diagonal phases.
+    const MagicDiagonals &md = magic_diagonals();
+    double a = 0.0, b = 0.0, c = 0.0;
+    for (int j = 0; j < 4; ++j) {
+        a += theta[j] * md.dx[j] / 4.0;
+        b += theta[j] * md.dy[j] / 4.0;
+        c += theta[j] * md.dz[j] / 4.0;
+    }
+
+    // K1 = B O1 B^dag, K2 = B P^T B^dag.
+    Mat4 o1c, ptc;
+    for (int r = 0; r < 4; ++r)
+        for (int col = 0; col < 4; ++col) {
+            o1c(r, col) = o1[4 * r + col];
+            ptc(r, col) = p[4 * col + r];
+        }
+    Mat4 k1 = mul(bm, mul(o1c, bd));
+    Mat4 k2 = mul(bm, mul(ptc, bd));
+
+    Kak k;
+    Cx ph1, ph2;
+    if (!split_tensor2(k1, k.k1_0, k.k1_1, ph1, 1e-7))
+        return false;
+    if (!split_tensor2(k2, k.k2_0, k.k2_1, ph2, 1e-7))
+        return false;
+    k.a = a;
+    k.b = b;
+    k.c = c;
+
+    // Determine the global phase by comparing against the input.
+    Mat4 recon = mul(tensor2(k.k1_0, k.k1_1),
+                     mul(canonical_gate(a, b, c), tensor2(k.k2_0, k.k2_1)));
+    int bi = 0;
+    double mag = 0.0;
+    for (int i = 0; i < 16; ++i) {
+        if (std::abs(recon.v[i]) > mag) {
+            mag = std::abs(recon.v[i]);
+            bi = i;
+        }
+    }
+    if (mag < 1e-9)
+        return false;
+    k.phase = u.v[bi] / recon.v[bi];
+    if (std::abs(std::abs(k.phase) - 1.0) > 1e-7)
+        return false;
+    k.phase /= std::abs(k.phase);
+
+    if (frobenius_distance(u, scale(recon, k.phase)) > 1e-7)
+        return false;
+
+    out = k;
+    return true;
+}
+
+// ---- Weyl-chamber moves ------------------------------------------------------
+//
+// Each move rewrites the stored (coords, locals, phase) without changing
+// the reconstructed unitary.
+
+/** coord[idx] += pi/2 (sign > 0) or -= pi/2 (sign < 0). */
+void
+move_shift(Kak &k, int idx, int sign)
+{
+    static const Mat2 paulis[3] = {pauli_x(), pauli_y(), pauli_z()};
+    const Mat2 &pm = paulis[idx];
+    double *coords[3] = {&k.a, &k.b, &k.c};
+    *coords[idx] += sign * kPi2;
+    // N(t) = N(t + pi/2) * (-i P(x)P) = N(t - pi/2) * (i P(x)P)
+    k.k2_0 = mul(pm, k.k2_0);
+    k.k2_1 = mul(pm, k.k2_1);
+    k.phase *= (sign > 0) ? -kI : kI;
+}
+
+/** Flip the signs of coords i and j (i != j). */
+void
+move_flip2(Kak &k, int i, int j)
+{
+    // Conjugating by (P (x) I) with P the Pauli matching the *fixed* axis
+    // flips the other two coordinates.
+    int fixed = 3 - i - j;
+    static const Mat2 paulis[3] = {pauli_x(), pauli_y(), pauli_z()};
+    const Mat2 &pm = paulis[fixed];
+    double *coords[3] = {&k.a, &k.b, &k.c};
+    *coords[i] = -*coords[i];
+    *coords[j] = -*coords[j];
+    k.k1_0 = mul(k.k1_0, pm);
+    k.k2_0 = mul(pm, k.k2_0);
+}
+
+/** Exchange coords i and j (i != j). */
+void
+move_swap2(Kak &k, int i, int j)
+{
+    // Conjugation cliffords: swap(a,b) via S, swap(a,c) via H,
+    // swap(b,c) via Rx(pi/2).
+    int lo = std::min(i, j), hi = std::max(i, j);
+    Mat2 g;
+    if (lo == 0 && hi == 1)
+        g = s_gate();
+    else if (lo == 0 && hi == 2)
+        g = hadamard();
+    else
+        g = rx_gate(kPi2);
+    Mat2 gd = adjoint(g);
+    double *coords[3] = {&k.a, &k.b, &k.c};
+    std::swap(*coords[i], *coords[j]);
+    // N(orig) = (G^dag (x) G^dag) N(swapped) (G (x) G)
+    k.k1_0 = mul(k.k1_0, gd);
+    k.k1_1 = mul(k.k1_1, gd);
+    k.k2_0 = mul(g, k.k2_0);
+    k.k2_1 = mul(g, k.k2_1);
+}
+
+} // namespace
+
+const Mat4 &
+magic_basis()
+{
+    static const Mat4 b = build_magic();
+    return b;
+}
+
+Mat4
+canonical_gate(double a, double b, double c)
+{
+    const Mat4 &bm = magic_basis();
+    Mat4 bd = adjoint(bm);
+    const MagicDiagonals &md = magic_diagonals();
+    Mat4 diag;
+    for (int j = 0; j < 4; ++j) {
+        double lam = a * md.dx[j] + b * md.dy[j] + c * md.dz[j];
+        diag(j, j) = std::exp(kI * lam);
+    }
+    return mul(bm, mul(diag, bd));
+}
+
+Kak
+kak_decompose(const Mat4 &u)
+{
+    if (!is_unitary(u, 1e-7))
+        throw std::runtime_error("kak_decompose: input is not unitary");
+
+    static const double ts[] = {1.0,       0.0,     0.6180339887, -0.4142135,
+                                2.2360679, -1.3217, 0.1234567,    3.3333333,
+                                -2.718281, 0.57721};
+    Kak k;
+    for (double t : ts) {
+        if (try_decompose(u, t, k))
+            return k;
+    }
+    throw std::runtime_error("kak_decompose: simultaneous diagonalization "
+                             "failed for all blend parameters");
+}
+
+Mat4
+kak_reconstruct(const Kak &k)
+{
+    Mat4 m = mul(tensor2(k.k1_0, k.k1_1),
+                 mul(canonical_gate(k.a, k.b, k.c),
+                     tensor2(k.k2_0, k.k2_1)));
+    return scale(m, k.phase);
+}
+
+void
+canonicalize(Kak &k)
+{
+    const double eps = 1e-10;
+    double *coords[3] = {&k.a, &k.b, &k.c};
+
+    // 1. Shift every coordinate into (-pi/4, pi/4].
+    for (int i = 0; i < 3; ++i) {
+        while (*coords[i] <= -kPi4 + eps)
+            move_shift(k, i, +1);
+        while (*coords[i] > kPi4 + eps)
+            move_shift(k, i, -1);
+    }
+
+    // 2. Reduce the number of negative coordinates to at most one.
+    {
+        int negs[3], n = 0;
+        for (int i = 0; i < 3; ++i)
+            if (*coords[i] < -eps)
+                negs[n++] = i;
+        if (n >= 2)
+            move_flip2(k, negs[0], negs[1]);
+    }
+
+    // 3. Sort by absolute value, descending (3-element bubble sort).
+    for (int pass = 0; pass < 2; ++pass)
+        for (int i = 0; i + 1 < 3 - pass; ++i)
+            if (std::abs(*coords[i]) < std::abs(*coords[i + 1]) - eps)
+                move_swap2(k, i, i + 1);
+
+    // 4. If a single negative coordinate remains, move its sign onto c.
+    for (int i = 0; i < 2; ++i)
+        if (*coords[i] < -eps)
+            move_flip2(k, i, 2);
+
+    // 5. On the a == pi/4 boundary the classes (pi/4, b, -c) and
+    //    (pi/4, b, c) coincide; normalize c >= 0 there.
+    if (*coords[2] < -eps && std::abs(*coords[0] - kPi4) < 1e-9) {
+        move_shift(k, 0, -1); // a -> -pi/4
+        move_flip2(k, 0, 2);  // a -> pi/4, c -> -c
+    }
+
+    // Numerical hygiene: snap tiny values to zero.
+    for (int i = 0; i < 3; ++i)
+        if (std::abs(*coords[i]) < 1e-12)
+            *coords[i] = 0.0;
+}
+
+int
+cnot_cost_coords(double a, double b, double c, double tol)
+{
+    if (a < tol && b < tol && std::abs(c) < tol)
+        return 0;
+    if (std::abs(a - kPi4) < tol && b < tol && std::abs(c) < tol)
+        return 1;
+    if (std::abs(c) < tol)
+        return 2;
+    return 3;
+}
+
+int
+cnot_cost(const Mat4 &u, double tol)
+{
+    Kak k = kak_decompose(u);
+    canonicalize(k);
+    return cnot_cost_coords(k.a, k.b, k.c, tol);
+}
+
+std::array<double, 3>
+weyl_coords(const Mat4 &u)
+{
+    Kak k = kak_decompose(u);
+    canonicalize(k);
+    return {k.a, k.b, k.c};
+}
+
+bool
+split_tensor2(const Mat4 &k, Mat2 &a0, Mat2 &a1, Cx &phase, double tol)
+{
+    // Block (r1, c1) of K equals a1(r1, c1) * a0.
+    int br = 0, bc = 0;
+    double best = -1.0;
+    for (int r1 = 0; r1 < 2; ++r1) {
+        for (int c1 = 0; c1 < 2; ++c1) {
+            double nrm = 0.0;
+            for (int r0 = 0; r0 < 2; ++r0)
+                for (int c0 = 0; c0 < 2; ++c0)
+                    nrm += std::norm(k((r1 << 1) | r0, (c1 << 1) | c0));
+            if (nrm > best) {
+                best = nrm;
+                br = r1;
+                bc = c1;
+            }
+        }
+    }
+    if (best < tol)
+        return false;
+
+    Mat2 a0_raw;
+    for (int r0 = 0; r0 < 2; ++r0)
+        for (int c0 = 0; c0 < 2; ++c0)
+            a0_raw(r0, c0) = k((br << 1) | r0, (bc << 1) | c0);
+
+    // a1_raw(r1, c1) = <a0_raw, block(r1, c1)> / |a0_raw|^2.
+    double a0n = 0.0;
+    for (int i = 0; i < 4; ++i)
+        a0n += std::norm(a0_raw.v[i]);
+    Mat2 a1_raw;
+    for (int r1 = 0; r1 < 2; ++r1) {
+        for (int c1 = 0; c1 < 2; ++c1) {
+            Cx ip = 0.0;
+            for (int r0 = 0; r0 < 2; ++r0)
+                for (int c0 = 0; c0 < 2; ++c0)
+                    ip += std::conj(a0_raw(r0, c0)) *
+                          k((r1 << 1) | r0, (c1 << 1) | c0);
+            a1_raw(r1, c1) = ip / a0n;
+        }
+    }
+
+    // Normalize both factors into SU(2).
+    Cx d0 = det(a0_raw);
+    Cx d1 = det(a1_raw);
+    if (std::abs(d0) < tol || std::abs(d1) < tol)
+        return false;
+    Cx s0 = std::sqrt(d0);
+    Cx s1 = std::sqrt(d1);
+    a0 = scale(a0_raw, Cx(1.0, 0.0) / s0);
+    a1 = scale(a1_raw, Cx(1.0, 0.0) / s1);
+
+    Mat4 recon = tensor2(a0, a1);
+    int bi = 0;
+    double mag = 0.0;
+    for (int i = 0; i < 16; ++i) {
+        if (std::abs(recon.v[i]) > mag) {
+            mag = std::abs(recon.v[i]);
+            bi = i;
+        }
+    }
+    if (mag < tol)
+        return false;
+    phase = k.v[bi] / recon.v[bi];
+    if (std::abs(std::abs(phase) - 1.0) > 1e-6)
+        return false;
+    phase /= std::abs(phase);
+    return frobenius_distance(k, scale(recon, phase)) < std::max(tol, 1e-7);
+}
+
+} // namespace nassc

@@ -1,0 +1,89 @@
+#ifndef NASSC_MATH_WEYL_H
+#define NASSC_MATH_WEYL_H
+
+/**
+ * @file
+ * Weyl-chamber (KAK / Cartan) decomposition of two-qubit unitaries.
+ *
+ * Any U in U(4) factors as
+ *
+ *   U = phase * (k1_0 (x) k1_1) * N(a, b, c) * (k2_0 (x) k2_1)
+ *
+ * with N(a, b, c) = exp(i (a XX + b YY + c ZZ)) the canonical gate and
+ * k*_0 / k*_1 single-qubit unitaries acting on the first/second operand.
+ * After canonicalize() the coordinates satisfy the Weyl-chamber conditions
+ *
+ *   pi/4 >= a >= b >= |c|,  a, b >= 0,  and c >= 0 whenever a == pi/4,
+ *
+ * which makes the minimal CNOT count of U a direct function of (a, b, c):
+ * 0 CNOTs at the origin, 1 at (pi/4, 0, 0), 2 whenever c == 0, else 3
+ * [Vidal & Dawson '04; Shende, Bullock & Markov '04].
+ *
+ * This is the engine behind two-qubit block resynthesis and the C2q term
+ * of the NASSC routing cost function.
+ */
+
+#include "nassc/math/complex_mat.h"
+
+namespace nassc {
+
+/** Result of the KAK decomposition. */
+struct Kak
+{
+    Mat2 k1_0; ///< left local on operand 0 (applied after the canonical gate)
+    Mat2 k1_1; ///< left local on operand 1
+    Mat2 k2_0; ///< right local on operand 0 (applied before the canonical gate)
+    Mat2 k2_1; ///< right local on operand 1
+    double a = 0.0, b = 0.0, c = 0.0; ///< canonical (Weyl) coordinates
+    Cx phase = 1.0;                   ///< global phase
+};
+
+/** The magic (Bell-like) basis change matrix. */
+const Mat4 &magic_basis();
+
+/** The canonical two-qubit gate N(a,b,c) = exp(i(a XX + b YY + c ZZ)). */
+Mat4 canonical_gate(double a, double b, double c);
+
+/**
+ * KAK-decompose a two-qubit unitary.  The returned coordinates are *raw*
+ * (not yet reduced into the Weyl chamber); call canonicalize() for
+ * chamber-normalized coordinates.
+ *
+ * @throws std::runtime_error if u is not unitary or the decomposition
+ *         cannot be verified numerically.
+ */
+Kak kak_decompose(const Mat4 &u);
+
+/**
+ * Reduce the coordinates of a KAK decomposition into the Weyl chamber,
+ * updating the local factors and phase so the reconstruction is unchanged.
+ */
+void canonicalize(Kak &k);
+
+/** Rebuild the 4x4 unitary from its KAK factors. */
+Mat4 kak_reconstruct(const Kak &k);
+
+/**
+ * Minimal number of CNOT gates needed to implement a unitary with the
+ * given *chamber-canonical* coordinates.
+ */
+int cnot_cost_coords(double a, double b, double c, double tol = 1e-7);
+
+/** Minimal number of CNOTs needed to implement u exactly. */
+int cnot_cost(const Mat4 &u, double tol = 1e-7);
+
+/** Chamber-canonical Weyl coordinates of u. */
+std::array<double, 3> weyl_coords(const Mat4 &u);
+
+/**
+ * Split a (phase times) tensor-product unitary K = phase * (a0 (x) a1)
+ * into its SU(2) factors.
+ *
+ * @return false if K is not a tensor product within tol.
+ */
+bool split_tensor2(const Mat4 &k, Mat2 &a0, Mat2 &a1, Cx &phase,
+                   double tol = 1e-8);
+
+} // namespace nassc
+
+#endif // NASSC_MATH_WEYL_H

@@ -1,0 +1,173 @@
+#include "nassc/passes/cancellation.h"
+
+#include <cmath>
+#include <map>
+
+#include "nassc/passes/commutation.h"
+
+namespace nassc {
+
+namespace {
+
+bool
+is_z_rotation_like(OpKind k)
+{
+    switch (k) {
+      case OpKind::kZ:
+      case OpKind::kS:
+      case OpKind::kSdg:
+      case OpKind::kT:
+      case OpKind::kTdg:
+      case OpKind::kRZ:
+      case OpKind::kP:
+        return true;
+      default:
+        return false;
+    }
+}
+
+double
+z_angle(const Gate &g)
+{
+    switch (g.kind) {
+      case OpKind::kZ: return M_PI;
+      case OpKind::kS: return M_PI / 2.0;
+      case OpKind::kSdg: return -M_PI / 2.0;
+      case OpKind::kT: return M_PI / 4.0;
+      case OpKind::kTdg: return -M_PI / 4.0;
+      case OpKind::kRZ:
+      case OpKind::kP:
+        return g.params[0];
+      default:
+        return 0.0;
+    }
+}
+
+double
+norm_angle(double a)
+{
+    a = std::fmod(a, 2.0 * M_PI);
+    if (a <= -M_PI)
+        a += 2.0 * M_PI;
+    if (a > M_PI)
+        a -= 2.0 * M_PI;
+    return a;
+}
+
+} // namespace
+
+int
+run_commutative_cancellation(QuantumCircuit &qc)
+{
+    CommutationInfo info = analyze_commutation(qc);
+    size_t n_gates = qc.size();
+    std::vector<bool> removed(n_gates, false);
+    std::vector<bool> rewritten(n_gates, false);
+    std::map<int, Gate> replacement;
+    int removed_count = 0;
+
+    // --- self-inverse pair cancellation -----------------------------------
+    // Candidates grouped within each commute set of each wire; a pair
+    // cancels when both gates sit in the same commute set on *every* wire
+    // they act on.
+    auto same_sets_everywhere = [&](int i, int j) {
+        const Gate &g = qc.gate(i);
+        for (int w : g.qubits) {
+            if (info.set_of(w, i) != info.set_of(w, j))
+                return false;
+        }
+        return true;
+    };
+
+    for (int w = 0; w < qc.num_qubits(); ++w) {
+        for (const std::vector<int> &set : info.wire_sets[w]) {
+            // Collect self-inverse gates keyed by (kind, qubits).
+            std::map<std::pair<int, std::vector<int>>, std::vector<int>>
+                groups;
+            for (int idx : set) {
+                const Gate &g = qc.gate(idx);
+                if (removed[idx] || !is_self_inverse(g.kind))
+                    continue;
+                // Handle each gate from its first wire only, so a 2q gate
+                // is not processed twice.
+                if (g.qubits[0] != w)
+                    continue;
+                groups[{static_cast<int>(g.kind), g.qubits}].push_back(idx);
+            }
+            for (auto &[key, idxs] : groups) {
+                // Cancel adjacent-in-set pairs greedily.
+                size_t i = 0;
+                while (i + 1 < idxs.size()) {
+                    int a = idxs[i], b = idxs[i + 1];
+                    if (!removed[a] && !removed[b] &&
+                        same_sets_everywhere(a, b)) {
+                        removed[a] = removed[b] = true;
+                        removed_count += 2;
+                        i += 2;
+                    } else {
+                        ++i;
+                    }
+                }
+            }
+        }
+    }
+
+    // --- z-rotation merging -------------------------------------------------
+    for (int w = 0; w < qc.num_qubits(); ++w) {
+        for (const std::vector<int> &set : info.wire_sets[w]) {
+            std::vector<int> zs;
+            for (int idx : set) {
+                const Gate &g = qc.gate(idx);
+                if (!removed[idx] && !rewritten[idx] &&
+                    g.num_qubits() == 1 && g.qubits[0] == w &&
+                    is_z_rotation_like(g.kind))
+                    zs.push_back(idx);
+            }
+            if (zs.size() < 2)
+                continue;
+            double total = 0.0;
+            for (int idx : zs)
+                total += z_angle(qc.gate(idx));
+            total = norm_angle(total);
+            for (size_t i = 1; i < zs.size(); ++i) {
+                removed[zs[i]] = true;
+                ++removed_count;
+            }
+            if (std::abs(total) < 1e-12) {
+                removed[zs[0]] = true;
+                ++removed_count;
+            } else {
+                replacement[zs[0]] = Gate::one_q(OpKind::kRZ, w, total);
+                rewritten[zs[0]] = true;
+            }
+        }
+    }
+
+    // Rebuild the circuit.
+    QuantumCircuit out(qc.num_qubits());
+    for (size_t i = 0; i < n_gates; ++i) {
+        if (removed[i])
+            continue;
+        if (rewritten[i])
+            out.append(replacement[static_cast<int>(i)]);
+        else
+            out.append(qc.gate(i));
+    }
+    qc = std::move(out);
+    return removed_count;
+}
+
+int
+run_commutative_cancellation_to_fixpoint(QuantumCircuit &qc, int max_rounds)
+{
+    int total = 0;
+    for (int round = 0; round < max_rounds; ++round) {
+        int r = run_commutative_cancellation(qc);
+        total += r;
+        if (r == 0)
+            break;
+    }
+    return total;
+}
+
+} // namespace nassc

@@ -1,0 +1,28 @@
+#ifndef NASSC_PASSES_CANCELLATION_H
+#define NASSC_PASSES_CANCELLATION_H
+
+/**
+ * @file
+ * CommutativeCancellation: cancel pairs of identical self-inverse gates
+ * that can be brought together through commutation, and merge z-axis
+ * rotations inside a commute set (paper Sec. II-C / III).
+ */
+
+#include "nassc/ir/circuit.h"
+
+namespace nassc {
+
+/**
+ * Run the pass once; returns the number of gates removed.  Call in a loop
+ * (or use run_commutative_cancellation_to_fixpoint) for cascaded
+ * cancellations.
+ */
+int run_commutative_cancellation(QuantumCircuit &qc);
+
+/** Iterate the pass until no further gates are removed. */
+int run_commutative_cancellation_to_fixpoint(QuantumCircuit &qc,
+                                             int max_rounds = 10);
+
+} // namespace nassc
+
+#endif // NASSC_PASSES_CANCELLATION_H

@@ -1,0 +1,177 @@
+#include "nassc/passes/collect_blocks.h"
+
+#include <algorithm>
+
+#include "nassc/math/weyl.h"
+#include "nassc/synth/kak2q.h"
+
+namespace nassc {
+
+namespace {
+
+struct Builder
+{
+    // Open block per wire: index into `blocks`, or -1.
+    std::vector<int> open;
+    // 1q gates waiting for a block on each wire.
+    std::vector<std::vector<int>> pending_1q;
+    std::vector<TwoQubitBlock> blocks;
+
+    explicit Builder(int n) : open(n, -1), pending_1q(n) {}
+
+    void
+    close_wire(int q)
+    {
+        if (open[q] >= 0) {
+            TwoQubitBlock &blk = blocks[open[q]];
+            open[blk.q0] = -1;
+            open[blk.q1] = -1;
+        }
+        pending_1q[q].clear();
+    }
+};
+
+} // namespace
+
+int
+cx_equivalent_cost(const Gate &g)
+{
+    switch (g.kind) {
+      case OpKind::kCX:
+      case OpKind::kCZ:
+      case OpKind::kCY:
+        return 1;
+      case OpKind::kSwap:
+        return 3;
+      case OpKind::kISwap:
+      case OpKind::kCH:
+      case OpKind::kCP:
+      case OpKind::kCRX:
+      case OpKind::kCRY:
+      case OpKind::kCRZ:
+      case OpKind::kRZZ:
+      case OpKind::kRXX:
+        return 2;
+      default:
+        return 0;
+    }
+}
+
+std::vector<TwoQubitBlock>
+collect_2q_blocks(const QuantumCircuit &qc)
+{
+    Builder b(qc.num_qubits());
+
+    for (size_t i = 0; i < qc.size(); ++i) {
+        const Gate &g = qc.gate(i);
+        int idx = static_cast<int>(i);
+
+        if (is_one_qubit(g.kind)) {
+            int q = g.qubits[0];
+            if (b.open[q] >= 0)
+                b.blocks[b.open[q]].gate_indices.push_back(idx);
+            else
+                b.pending_1q[q].push_back(idx);
+            continue;
+        }
+        if (g.num_qubits() == 2 && is_unitary_op(g.kind)) {
+            int a = g.qubits[0], q0 = std::min(a, g.qubits[1]);
+            int q1 = std::max(a, g.qubits[1]);
+            int cur = b.open[q0];
+            if (cur >= 0 && cur == b.open[q1] && b.blocks[cur].q0 == q0 &&
+                b.blocks[cur].q1 == q1) {
+                b.blocks[cur].gate_indices.push_back(idx);
+                ++b.blocks[cur].num_2q;
+                continue;
+            }
+            // Close whatever the wires were doing, open a fresh block and
+            // absorb the pending 1q prefixes.
+            TwoQubitBlock blk;
+            blk.q0 = q0;
+            blk.q1 = q1;
+            std::vector<int> prefix;
+            for (int q : {q0, q1})
+                for (int p : b.pending_1q[q])
+                    prefix.push_back(p);
+            std::sort(prefix.begin(), prefix.end());
+            b.close_wire(q0);
+            b.close_wire(q1);
+            blk.gate_indices = std::move(prefix);
+            blk.gate_indices.push_back(idx);
+            blk.num_2q = 1;
+            b.blocks.push_back(std::move(blk));
+            b.open[q0] = static_cast<int>(b.blocks.size()) - 1;
+            b.open[q1] = b.open[q0];
+            continue;
+        }
+        // Barrier / measure / >=3q gate: hard break on all touched wires.
+        for (int q : g.qubits)
+            b.close_wire(q);
+    }
+    return b.blocks;
+}
+
+ConsolidateStats
+consolidate_2q_blocks(QuantumCircuit &qc, Basis1q basis)
+{
+    ConsolidateStats stats;
+    std::vector<TwoQubitBlock> blocks = collect_2q_blocks(qc);
+
+    // Decide replacements.
+    size_t n = qc.size();
+    std::vector<bool> removed(n, false);
+    // Replacement gate lists anchored at a block's *last* gate index so
+    // the new gates appear where the block ended.
+    std::vector<std::vector<Gate>> anchored(n);
+
+    for (const TwoQubitBlock &blk : blocks) {
+        if (blk.num_2q == 0)
+            continue;
+        ++stats.blocks_considered;
+
+        int old_cost = 0;
+        int old_total = static_cast<int>(blk.gate_indices.size());
+        std::vector<Gate> member_gates;
+        member_gates.reserve(blk.gate_indices.size());
+        for (int idx : blk.gate_indices) {
+            member_gates.push_back(qc.gate(idx));
+            old_cost += cx_equivalent_cost(qc.gate(idx));
+        }
+        stats.cx_before += old_cost;
+
+        Mat4 u = unitary_of_2q_gates(member_gates, blk.q0, blk.q1);
+        std::vector<Gate> synth = synth_2q_kak(u, blk.q0, blk.q1, basis);
+        int new_cost = 0;
+        for (const Gate &g : synth)
+            new_cost += cx_equivalent_cost(g);
+
+        bool better =
+            new_cost < old_cost ||
+            (new_cost == old_cost &&
+             static_cast<int>(synth.size()) < old_total);
+        if (!better) {
+            stats.cx_after += old_cost;
+            continue;
+        }
+        ++stats.blocks_replaced;
+        stats.cx_after += new_cost;
+        for (int idx : blk.gate_indices)
+            removed[idx] = true;
+        anchored[blk.gate_indices.back()] = std::move(synth);
+    }
+
+    QuantumCircuit out(qc.num_qubits());
+    for (size_t i = 0; i < n; ++i) {
+        if (!anchored[i].empty()) {
+            for (Gate &g : anchored[i])
+                out.append(std::move(g));
+            continue;
+        }
+        if (!removed[i])
+            out.append(qc.gate(i));
+    }
+    qc = std::move(out);
+    return stats;
+}
+
+} // namespace nassc

@@ -1,0 +1,58 @@
+#ifndef NASSC_PASSES_COLLECT_BLOCKS_H
+#define NASSC_PASSES_COLLECT_BLOCKS_H
+
+/**
+ * @file
+ * Collect2qBlocks + ConsolidateBlocks/UnitarySynthesis.
+ *
+ * A two-qubit block is a maximal uninterrupted run of gates confined to
+ * one qubit pair (1q gates on those wires included).  Consolidation
+ * multiplies each block into a 4x4 unitary and re-synthesizes it through
+ * the KAK engine, replacing the block when that lowers the CNOT-
+ * equivalent cost (paper Sec. III / IV-D).  SWAP gates participate like
+ * any other two-qubit gate, which is how a SWAP adjacent to a rich block
+ * becomes cheap or even free.
+ */
+
+#include <vector>
+
+#include "nassc/ir/circuit.h"
+#include "nassc/synth/euler1q.h"
+
+namespace nassc {
+
+/** One collected block. */
+struct TwoQubitBlock
+{
+    int q0 = -1, q1 = -1;          ///< the wire pair (q0 < q1)
+    std::vector<int> gate_indices; ///< member gates, circuit order
+    int num_2q = 0;                ///< member two-qubit gate count
+};
+
+/** Find all two-qubit blocks (including pure-1q runs as 1-wire blocks is
+ *  NOT done here; only pair blocks with >= 1 two-qubit gate). */
+std::vector<TwoQubitBlock> collect_2q_blocks(const QuantumCircuit &qc);
+
+/** Statistics of one consolidation run. */
+struct ConsolidateStats
+{
+    int blocks_considered = 0;
+    int blocks_replaced = 0;
+    int cx_before = 0; ///< CX-equivalent count of considered blocks
+    int cx_after = 0;  ///< CX-equivalent count after resynthesis
+};
+
+/**
+ * Re-synthesize profitable blocks in place.
+ *
+ * @param basis 1q basis for the synthesized replacement
+ */
+ConsolidateStats consolidate_2q_blocks(QuantumCircuit &qc,
+                                       Basis1q basis = Basis1q::kUGate);
+
+/** CX-equivalent cost of one gate when translated individually. */
+int cx_equivalent_cost(const Gate &g);
+
+} // namespace nassc
+
+#endif // NASSC_PASSES_COLLECT_BLOCKS_H

@@ -1,0 +1,33 @@
+#include "nassc/passes/decompose_swaps.h"
+
+namespace nassc {
+
+int
+decompose_swaps(QuantumCircuit &qc, bool orientation_aware)
+{
+    int expanded = 0;
+    QuantumCircuit out(qc.num_qubits());
+    for (const Gate &g : qc.gates()) {
+        if (g.kind != OpKind::kSwap) {
+            out.append(g);
+            continue;
+        }
+        ++expanded;
+        int a = g.qubits[0];
+        int b = g.qubits[1];
+        bool second = orientation_aware && g.swap_orient == SwapOrient::kSecond;
+        if (second) {
+            out.cx(b, a);
+            out.cx(a, b);
+            out.cx(b, a);
+        } else {
+            out.cx(a, b);
+            out.cx(b, a);
+            out.cx(a, b);
+        }
+    }
+    qc = std::move(out);
+    return expanded;
+}
+
+} // namespace nassc

@@ -1,0 +1,28 @@
+#ifndef NASSC_PASSES_DECOMPOSE_SWAPS_H
+#define NASSC_PASSES_DECOMPOSE_SWAPS_H
+
+/**
+ * @file
+ * SWAP-gate expansion into three CNOTs.
+ *
+ * The fixed template (SABRE baseline) always orients the first CNOT with
+ * the control on the gate's first operand.  The optimization-aware mode
+ * honours the SwapOrient flag the NASSC router attached, so the first /
+ * last CNOT faces the cancellation partner the router identified
+ * (paper Sec. IV-E, Figs. 7-8).
+ */
+
+#include "nassc/ir/circuit.h"
+
+namespace nassc {
+
+/**
+ * Expand every SWAP; returns the number of SWAPs expanded.
+ *
+ * @param orientation_aware honour Gate::swap_orient flags (NASSC mode)
+ */
+int decompose_swaps(QuantumCircuit &qc, bool orientation_aware);
+
+} // namespace nassc
+
+#endif // NASSC_PASSES_DECOMPOSE_SWAPS_H

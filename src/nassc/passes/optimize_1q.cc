@@ -1,0 +1,11 @@
+#include "nassc/passes/optimize_1q.h"
+
+namespace nassc {
+
+int
+run_optimize_1q(QuantumCircuit &qc, Basis1q basis)
+{
+    return optimize_1q_runs(qc.mutable_gates(), qc.num_qubits(), basis);
+}
+
+} // namespace nassc

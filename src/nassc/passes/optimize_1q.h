@@ -1,0 +1,20 @@
+#ifndef NASSC_PASSES_OPTIMIZE_1Q_H
+#define NASSC_PASSES_OPTIMIZE_1Q_H
+
+/**
+ * @file
+ * Qiskit-style Optimize1qGates pass: merge runs of single-qubit gates and
+ * re-synthesize each run in the chosen basis.
+ */
+
+#include "nassc/ir/circuit.h"
+#include "nassc/synth/euler1q.h"
+
+namespace nassc {
+
+/** Run the pass in place; returns number of gates removed. */
+int run_optimize_1q(QuantumCircuit &qc, Basis1q basis = Basis1q::kZsx);
+
+} // namespace nassc
+
+#endif // NASSC_PASSES_OPTIMIZE_1Q_H

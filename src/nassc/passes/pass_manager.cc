@@ -1,0 +1,55 @@
+#include "nassc/passes/pass_manager.h"
+
+#include <chrono>
+
+namespace nassc {
+
+void
+PassManager::add(std::string name, PassFn fn)
+{
+    passes_.push_back({std::move(name), std::move(fn)});
+}
+
+void
+PassManager::run(QuantumCircuit &qc)
+{
+    for (const Entry &e : passes_) {
+        PassReport r;
+        r.name = e.name;
+        r.gates_before = static_cast<int>(qc.size());
+        r.cx_before = qc.cx_count();
+        auto t0 = std::chrono::steady_clock::now();
+        e.fn(qc);
+        auto t1 = std::chrono::steady_clock::now();
+        r.seconds = std::chrono::duration<double>(t1 - t0).count();
+        r.gates_after = static_cast<int>(qc.size());
+        r.cx_after = qc.cx_count();
+        reports_.push_back(std::move(r));
+    }
+}
+
+int
+PassManager::run_to_fixpoint(QuantumCircuit &qc, int max_rounds)
+{
+    size_t last = qc.size() + 1;
+    int rounds = 0;
+    while (rounds < max_rounds && qc.size() < last) {
+        last = qc.size();
+        run(qc);
+        ++rounds;
+        if (qc.size() == last)
+            break;
+    }
+    return rounds;
+}
+
+double
+PassManager::total_seconds() const
+{
+    double t = 0.0;
+    for (const PassReport &r : reports_)
+        t += r.seconds;
+    return t;
+}
+
+} // namespace nassc

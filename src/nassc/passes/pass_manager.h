@@ -1,0 +1,72 @@
+#ifndef NASSC_PASSES_PASS_MANAGER_H
+#define NASSC_PASSES_PASS_MANAGER_H
+
+/**
+ * @file
+ * A small pass-pipeline runner with per-pass instrumentation, mirroring
+ * the role of Qiskit's PassManager in the paper's Fig. 2/5 flow.
+ *
+ * Passes are named callables mutating a QuantumCircuit.  The manager
+ * records per-pass wall time and gate/CX deltas, which the benchmarks use
+ * to attribute savings to individual optimizations.
+ */
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "nassc/ir/circuit.h"
+
+namespace nassc {
+
+/** Record of one executed pass. */
+struct PassReport
+{
+    std::string name;
+    double seconds = 0.0;
+    int gates_before = 0;
+    int gates_after = 0;
+    int cx_before = 0;
+    int cx_after = 0;
+};
+
+/** Ordered, instrumented pass pipeline. */
+class PassManager
+{
+  public:
+    using PassFn = std::function<void(QuantumCircuit &)>;
+
+    /** Append a pass to the pipeline. */
+    void add(std::string name, PassFn fn);
+
+    /** Run every pass once, in order. */
+    void run(QuantumCircuit &qc);
+
+    /**
+     * Run the pipeline repeatedly until the circuit stops shrinking or
+     * `max_rounds` is reached; returns the number of rounds executed.
+     */
+    int run_to_fixpoint(QuantumCircuit &qc, int max_rounds = 8);
+
+    /** Reports of every pass execution, in order. */
+    const std::vector<PassReport> &reports() const { return reports_; }
+
+    /** Drop accumulated reports. */
+    void clear_reports() { reports_.clear(); }
+
+    /** Total wall time across recorded executions. */
+    double total_seconds() const;
+
+  private:
+    struct Entry
+    {
+        std::string name;
+        PassFn fn;
+    };
+    std::vector<Entry> passes_;
+    std::vector<PassReport> reports_;
+};
+
+} // namespace nassc
+
+#endif // NASSC_PASSES_PASS_MANAGER_H

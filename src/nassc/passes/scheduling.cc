@@ -1,0 +1,92 @@
+#include "nassc/passes/scheduling.h"
+
+#include <algorithm>
+
+namespace nassc {
+
+double
+DurationModel::gate_ns(const Gate &g, const Backend &backend) const
+{
+    switch (g.kind) {
+      case OpKind::kBarrier:
+        return 0.0;
+      case OpKind::kMeasure:
+        return measure_ns;
+      case OpKind::kRZ:
+      case OpKind::kP:
+      case OpKind::kZ:
+      case OpKind::kS:
+      case OpKind::kSdg:
+      case OpKind::kT:
+      case OpKind::kTdg:
+      case OpKind::kId:
+        return rz_ns;
+      default:
+        break;
+    }
+    if (g.num_qubits() == 1)
+        return one_q_ns;
+    if (g.num_qubits() == 2) {
+        const auto &dur = backend.calibration.duration_cx;
+        int a = std::min(g.qubits[0], g.qubits[1]);
+        int b = std::max(g.qubits[0], g.qubits[1]);
+        auto it = dur.find({a, b});
+        return it != dur.end() ? it->second : default_cx_ns;
+    }
+    return default_cx_ns; // multi-qubit gates should be decomposed first
+}
+
+Schedule
+schedule_asap(const QuantumCircuit &qc, const Backend &backend,
+              const DurationModel &model)
+{
+    Schedule sched;
+    std::vector<double> free_at(qc.num_qubits(), 0.0);
+    sched.gates.reserve(qc.size());
+    for (size_t i = 0; i < qc.size(); ++i) {
+        const Gate &g = qc.gate(i);
+        double start = 0.0;
+        for (int q : g.qubits)
+            start = std::max(start, free_at[q]);
+        double dur = model.gate_ns(g, backend);
+        for (int q : g.qubits)
+            free_at[q] = start + dur;
+        sched.gates.push_back({static_cast<int>(i), start, dur});
+        sched.total_ns = std::max(sched.total_ns, start + dur);
+    }
+    return sched;
+}
+
+Schedule
+schedule_alap(const QuantumCircuit &qc, const Backend &backend,
+              const DurationModel &model)
+{
+    // Schedule the reversed circuit ASAP, then mirror the time axis.
+    std::vector<double> free_at(qc.num_qubits(), 0.0);
+    std::vector<double> rev_start(qc.size(), 0.0);
+    std::vector<double> durs(qc.size(), 0.0);
+    double makespan = 0.0;
+    for (size_t k = 0; k < qc.size(); ++k) {
+        size_t i = qc.size() - 1 - k;
+        const Gate &g = qc.gate(i);
+        double start = 0.0;
+        for (int q : g.qubits)
+            start = std::max(start, free_at[q]);
+        double dur = model.gate_ns(g, backend);
+        for (int q : g.qubits)
+            free_at[q] = start + dur;
+        rev_start[i] = start;
+        durs[i] = dur;
+        makespan = std::max(makespan, start + dur);
+    }
+    Schedule sched;
+    sched.total_ns = makespan;
+    sched.gates.reserve(qc.size());
+    for (size_t i = 0; i < qc.size(); ++i) {
+        double start = makespan - rev_start[i] - durs[i];
+        sched.gates.push_back({static_cast<int>(i), start, durs[i]});
+    }
+    return sched;
+}
+
+} // namespace nassc

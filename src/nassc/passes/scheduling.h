@@ -1,0 +1,58 @@
+#ifndef NASSC_PASSES_SCHEDULING_H
+#define NASSC_PASSES_SCHEDULING_H
+
+/**
+ * @file
+ * Gate scheduling (the final compiler stage in the paper's Fig. 2).
+ *
+ * ASAP/ALAP list scheduling with per-gate durations from the backend
+ * calibration: CX durations are per-edge, single-qubit gates use a fixed
+ * default, rz is free (virtual-Z convention of IBM backends).  The
+ * schedule yields the wall-clock duration metric that complements depth.
+ */
+
+#include <vector>
+
+#include "nassc/ir/circuit.h"
+#include "nassc/topo/backends.h"
+
+namespace nassc {
+
+/** One scheduled gate. */
+struct ScheduledGate
+{
+    int gate_index = 0;
+    double start_ns = 0.0;
+    double duration_ns = 0.0;
+};
+
+/** Result of scheduling a circuit. */
+struct Schedule
+{
+    std::vector<ScheduledGate> gates; ///< circuit order
+    double total_ns = 0.0;            ///< makespan
+};
+
+/** Duration model derived from a backend. */
+struct DurationModel
+{
+    double one_q_ns = 35.0; ///< sx / x pulse length
+    double rz_ns = 0.0;     ///< virtual Z
+    double measure_ns = 700.0;
+    double default_cx_ns = 400.0;
+
+    /** Duration of a gate on a given backend. */
+    double gate_ns(const Gate &g, const Backend &backend) const;
+};
+
+/** Schedule every gate as soon as its wires are free (ASAP). */
+Schedule schedule_asap(const QuantumCircuit &qc, const Backend &backend,
+                       const DurationModel &model = {});
+
+/** Schedule every gate as late as possible (ALAP), same makespan. */
+Schedule schedule_alap(const QuantumCircuit &qc, const Backend &backend,
+                       const DurationModel &model = {});
+
+} // namespace nassc
+
+#endif // NASSC_PASSES_SCHEDULING_H

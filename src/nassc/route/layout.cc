@@ -1,0 +1,65 @@
+#include "nassc/route/layout.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace nassc {
+
+Layout::Layout(int num_logical, int num_physical)
+{
+    if (num_logical > num_physical)
+        throw std::invalid_argument("more logical than physical qubits");
+    l2p_.resize(num_logical);
+    std::iota(l2p_.begin(), l2p_.end(), 0);
+    p2l_.assign(num_physical, -1);
+    for (int l = 0; l < num_logical; ++l)
+        p2l_[l] = l;
+}
+
+Layout
+Layout::random(int num_logical, int num_physical, std::mt19937 &rng)
+{
+    if (num_logical > num_physical)
+        throw std::invalid_argument("more logical than physical qubits");
+    std::vector<int> perm(num_physical);
+    std::iota(perm.begin(), perm.end(), 0);
+    std::shuffle(perm.begin(), perm.end(), rng);
+    Layout lay;
+    lay.l2p_.assign(perm.begin(), perm.begin() + num_logical);
+    lay.p2l_.assign(num_physical, -1);
+    for (int l = 0; l < num_logical; ++l)
+        lay.p2l_[lay.l2p_[l]] = l;
+    return lay;
+}
+
+Layout
+Layout::from_l2p(const std::vector<int> &l2p, int num_physical)
+{
+    Layout lay;
+    lay.l2p_ = l2p;
+    lay.p2l_.assign(num_physical, -1);
+    for (size_t l = 0; l < l2p.size(); ++l) {
+        int p = l2p[l];
+        if (p < 0 || p >= num_physical)
+            throw std::out_of_range("layout target out of range");
+        if (lay.p2l_[p] != -1)
+            throw std::invalid_argument("layout is not injective");
+        lay.p2l_[p] = static_cast<int>(l);
+    }
+    return lay;
+}
+
+void
+Layout::swap_physical(int p, int q)
+{
+    int lp = p2l_[p];
+    int lq = p2l_[q];
+    std::swap(p2l_[p], p2l_[q]);
+    if (lp >= 0)
+        l2p_[lp] = q;
+    if (lq >= 0)
+        l2p_[lq] = p;
+}
+
+} // namespace nassc

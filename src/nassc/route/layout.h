@@ -1,0 +1,51 @@
+#ifndef NASSC_ROUTE_LAYOUT_H
+#define NASSC_ROUTE_LAYOUT_H
+
+/**
+ * @file
+ * Logical-to-physical qubit assignment, mutated by SWAP insertion.
+ */
+
+#include <random>
+#include <vector>
+
+namespace nassc {
+
+/** Bijective-on-its-image mapping of logical onto physical qubits. */
+class Layout
+{
+  public:
+    Layout() = default;
+
+    /** Trivial layout: logical i on physical i. */
+    Layout(int num_logical, int num_physical);
+
+    /** Uniformly random injection of logicals into physicals. */
+    static Layout random(int num_logical, int num_physical,
+                         std::mt19937 &rng);
+
+    /** Build from an explicit logical->physical vector. */
+    static Layout from_l2p(const std::vector<int> &l2p, int num_physical);
+
+    int num_logical() const { return static_cast<int>(l2p_.size()); }
+    int num_physical() const { return static_cast<int>(p2l_.size()); }
+
+    /** Physical qubit currently holding logical l. */
+    int phys_of(int l) const { return l2p_[l]; }
+
+    /** Logical qubit on physical p, or -1 if p is an ancilla. */
+    int log_of(int p) const { return p2l_[p]; }
+
+    /** Exchange the contents of two physical qubits. */
+    void swap_physical(int p, int q);
+
+    const std::vector<int> &l2p() const { return l2p_; }
+
+  private:
+    std::vector<int> l2p_;
+    std::vector<int> p2l_;
+};
+
+} // namespace nassc
+
+#endif // NASSC_ROUTE_LAYOUT_H

@@ -1,0 +1,305 @@
+#include "nassc/route/nassc_router.h"
+
+#include <algorithm>
+
+#include "nassc/ir/matrices.h"
+#include "nassc/math/weyl.h"
+#include "nassc/passes/commutation.h"
+#include "nassc/synth/kak2q.h"
+
+namespace nassc {
+
+namespace {
+
+/** Block unitary convention: bit 0 = min(p, partner), bit 1 = max. */
+Mat4
+lift_1q(const Mat2 &m, bool on_min)
+{
+    return on_min ? tensor2(m, Mat2::identity())
+                  : tensor2(Mat2::identity(), m);
+}
+
+} // namespace
+
+OptAwareTracker::OptAwareTracker(int num_physical, const RoutingOptions &opts)
+    : opts_(opts), num_physical_(num_physical), partner_(num_physical, -1),
+      block_u_(num_physical, Mat4::identity()),
+      pending_mat_(num_physical, Mat2::identity()), window_(num_physical),
+      trailing_(num_physical)
+{
+}
+
+void
+OptAwareTracker::break_block(int p)
+{
+    int q = partner_[p];
+    if (q >= 0) {
+        partner_[p] = -1;
+        partner_[q] = -1;
+        block_u_[std::min(p, q)] = Mat4::identity();
+    }
+    pending_mat_[p] = Mat2::identity();
+}
+
+void
+OptAwareTracker::fold_trailing_into_window(int p)
+{
+    // Interior 1q gates either commute with every window member (then the
+    // window survives) or invalidate the cancellation chain.  SWAP
+    // records are transparent: gates pass through a SWAP by relabeling,
+    // which the orientation-aware decomposition and the post-routing
+    // passes exploit (paper Sec. IV-E).
+    for (const Rec &r : trailing_[p]) {
+        bool ok = true;
+        for (const Rec &w : window_[p]) {
+            if (w.gate.kind == OpKind::kSwap)
+                continue;
+            if (!gates_commute(r.gate, w.gate)) {
+                ok = false;
+                break;
+            }
+        }
+        if (!ok) {
+            window_[p].clear();
+            break;
+        }
+    }
+    trailing_[p].clear();
+}
+
+void
+OptAwareTracker::on_gate(const Gate &g, int out_idx)
+{
+    if (g.kind == OpKind::kBarrier || g.kind == OpKind::kMeasure) {
+        for (int q : g.qubits) {
+            break_block(q);
+            window_[q].clear();
+            trailing_[q].clear();
+        }
+        return;
+    }
+    if (g.num_qubits() == 1) {
+        int p = g.qubits[0];
+        trailing_[p].push_back({g, out_idx});
+        if (partner_[p] >= 0) {
+            int mn = std::min(p, partner_[p]);
+            Mat4 &u = block_u_[mn];
+            u = mul(lift_1q(gate_matrix1(g), p == mn), u);
+        } else {
+            pending_mat_[p] = mul(gate_matrix1(g), pending_mat_[p]);
+        }
+        return;
+    }
+
+    // Two-qubit gate.
+    int p = g.qubits[0];
+    int q = g.qubits[1];
+    int mn = std::min(p, q), mx = std::max(p, q);
+
+    // --- block tracking ---
+    if (partner_[p] == q) {
+        accumulate_2q_gate(block_u_[mn], g, mn, mx);
+    } else {
+        break_block(p);
+        break_block(q);
+        Mat4 u = tensor2(pending_mat_[mn], pending_mat_[mx]);
+        pending_mat_[p] = Mat2::identity();
+        pending_mat_[q] = Mat2::identity();
+        accumulate_2q_gate(u, g, mn, mx);
+        block_u_[mn] = u;
+        partner_[p] = q;
+        partner_[q] = p;
+    }
+
+    // --- commute windows ---
+    fold_trailing_into_window(p);
+    fold_trailing_into_window(q);
+    for (int w : {p, q}) {
+        bool fits = true;
+        for (const Rec &r : window_[w]) {
+            if (r.gate.kind == OpKind::kSwap)
+                continue; // transparent marker, see above
+            if (!gates_commute(r.gate, g)) {
+                fits = false;
+                break;
+            }
+        }
+        if (!fits)
+            window_[w].clear();
+        window_[w].push_back({g, out_idx});
+        if (static_cast<int>(window_[w].size()) > 2 * opts_.commute_window)
+            window_[w].erase(window_[w].begin());
+    }
+}
+
+void
+OptAwareTracker::consume_record(int out_idx)
+{
+    if (out_idx < 0)
+        return;
+    for (auto &win : window_) {
+        for (auto it = win.begin(); it != win.end();) {
+            if (it->out_idx == out_idx)
+                it = win.erase(it);
+            else
+                ++it;
+        }
+    }
+}
+
+std::vector<int>
+OptAwareTracker::take_trailing_1q(int p)
+{
+    std::vector<int> idxs;
+    idxs.reserve(trailing_[p].size());
+    for (const Rec &r : trailing_[p])
+        idxs.push_back(r.out_idx);
+    trailing_[p].clear();
+    // The moved gates leave this wire: their contribution to the open
+    // block / pending matrix must be undone.  The router re-emits them
+    // after the SWAP, so the simplest sound model is to reset the block
+    // state of this wire (the SWAP itself restarts the block anyway).
+    break_block(p);
+    return idxs;
+}
+
+SwapReduction
+OptAwareTracker::evaluate_swap(int p, int q) const
+{
+    SwapReduction red;
+
+    // --- C2q: SWAP joins the active block on (p, q) ------------------------
+    if (opts_.enable_c2q && partner_[p] == q) {
+        int mn = std::min(p, q);
+        const Mat4 &u = block_u_[mn];
+        int k_old = cnot_cost(u);
+        Mat4 merged = mul(swap_mat(), u);
+        int m_new = cnot_cost(merged);
+        int saved = 3 + k_old - m_new;
+        saved = std::clamp(saved, 0, 3);
+        if (saved > 0) {
+            red.c2q = saved;
+            red.total += saved;
+        }
+    }
+
+    // --- Ccommute1: cancellable CNOT on the same pair ----------------------
+    // Search the current commute windows of both wires (newest first,
+    // bounded by the paper's 20-gate search window) for a shared CX record
+    // on exactly {p, q}.
+    auto find_common = [&](OpKind kind, int &out_idx, Gate &found) {
+        int checked = 0;
+        for (auto it = window_[p].rbegin();
+             it != window_[p].rend() && checked < opts_.commute_window;
+             ++it, ++checked) {
+            if (it->gate.kind != kind)
+                continue;
+            const Gate &g = it->gate;
+            bool on_pair = (g.qubits[0] == p && g.qubits[1] == q) ||
+                           (g.qubits[0] == q && g.qubits[1] == p);
+            if (!on_pair)
+                continue;
+            // Must also be live in q's window.
+            int checked_q = 0;
+            for (auto jt = window_[q].rbegin();
+                 jt != window_[q].rend() &&
+                 checked_q < opts_.commute_window;
+                 ++jt, ++checked_q) {
+                if (jt->out_idx == it->out_idx) {
+                    out_idx = it->out_idx;
+                    found = g;
+                    return true;
+                }
+            }
+        }
+        return false;
+    };
+
+    if (opts_.enable_commute1) {
+        int idx = -1;
+        Gate cxg;
+        if (find_common(OpKind::kCX, idx, cxg)) {
+            // An intervening SWAP record relabels the wires, which voids
+            // a plain CX-CX cancellation; be conservative there.
+            bool swap_after = false;
+            for (int w : {p, q}) {
+                for (const Rec &r : window_[w])
+                    if (r.gate.kind == OpKind::kSwap && r.out_idx > idx)
+                        swap_after = true;
+            }
+            if (!swap_after) {
+                // Trailing 1q gates will be moved through the SWAP, so
+                // they cannot block the cancellation.
+                red.commute1 = true;
+                red.total += 2.0;
+                red.orient = (cxg.qubits[0] == p) ? SwapOrient::kFirst
+                                                  : SwapOrient::kSecond;
+                red.used_record_idx = idx;
+            }
+        }
+    }
+
+    // --- Ccommute2: commuting set sandwiched by two SWAPs ------------------
+    if (opts_.enable_commute2 && !red.commute1) {
+        int idx = -1;
+        Gate swg;
+        if (find_common(OpKind::kSwap, idx, swg)) {
+            // All window records after the earlier SWAP must commute with
+            // the facing CNOT; try both orientations.  Additionally the
+            // trailing 1q gates of both wires must commute with the
+            // facing CNOT: unlike Ccommute1 they sit *between* the two
+            // facing CNOTs after decomposition and cannot all be moved
+            // out of the way, so contamination voids the cancellation.
+            for (SwapOrient o :
+                 {SwapOrient::kFirst, SwapOrient::kSecond}) {
+                Gate face = (o == SwapOrient::kFirst)
+                                ? Gate::two_q(OpKind::kCX, p, q)
+                                : Gate::two_q(OpKind::kCX, q, p);
+                bool ok = true;
+                for (int w : {p, q}) {
+                    bool after = false;
+                    for (const Rec &r : window_[w]) {
+                        if (r.out_idx == idx) {
+                            after = true;
+                            continue;
+                        }
+                        if (!after || r.out_idx <= idx)
+                            continue;
+                        if (!gates_commute(r.gate, face)) {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    for (const Rec &r : trailing_[w]) {
+                        if (!ok)
+                            break;
+                        if (r.out_idx > idx &&
+                            !gates_commute(r.gate, face))
+                            ok = false;
+                    }
+                    if (!ok)
+                        break;
+                }
+                if (ok) {
+                    red.commute2 = true;
+                    red.total += 2.0;
+                    red.orient = o;
+                    red.partner_swap_out_idx = idx;
+                    break;
+                }
+            }
+        }
+    }
+
+    // The paper sums the enabled C_k terms (eq. 1).  We additionally cap
+    // the claim at the SWAP's own three CNOTs: the optimizations largely
+    // recover the *same* CNOTs, and without the cap SWAPs look profitable
+    // in themselves, so the router chains "free" swaps that do not
+    // advance the front layer.
+    if (red.total > 3.0)
+        red.total = 3.0;
+
+    return red;
+}
+
+} // namespace nassc

@@ -1,0 +1,99 @@
+#ifndef NASSC_ROUTE_NASSC_ROUTER_H
+#define NASSC_ROUTE_NASSC_ROUTER_H
+
+/**
+ * @file
+ * Optimization-aware routing state (the core NASSC contribution).
+ *
+ * The tracker shadows the routed (physical) circuit as it is emitted and
+ * maintains, per physical wire:
+ *
+ *  - the active two-qubit block unitary on each wire pair, giving the
+ *    C2q reduction: how many of the 3 CNOTs of a candidate SWAP vanish
+ *    when the SWAP is resynthesized into the block (paper Sec. IV-D);
+ *
+ *  - incremental commute sets of two-qubit gates (single-qubit gates are
+ *    skipped, matching the paper), giving the Ccommute1 reduction when a
+ *    CNOT on the same pair can cancel a CNOT of the SWAP, and Ccommute2
+ *    when two SWAPs sandwich a commuting set (paper Sec. IV-E, Fig. 7-8);
+ *
+ *  - the trailing single-qubit gates of each wire, which the router moves
+ *    through a flagged SWAP so they cannot block the cancellation.
+ */
+
+#include <vector>
+
+#include "nassc/ir/gate.h"
+#include "nassc/math/complex_mat.h"
+#include "nassc/route/sabre.h"
+
+namespace nassc {
+
+/** What a candidate SWAP would save, and how it must be decomposed. */
+struct SwapReduction
+{
+    double total = 0.0; ///< sum of enabled C_k terms
+    int c2q = 0;        ///< CNOTs saved via block resynthesis (0..3)
+    bool commute1 = false;
+    bool commute2 = false;
+    SwapOrient orient = SwapOrient::kDefault;
+    /** Output-circuit index of the earlier SWAP to re-flag (Ccommute2). */
+    int partner_swap_out_idx = -1;
+    /** Output-circuit index of the CNOT claimed by Ccommute1. */
+    int used_record_idx = -1;
+};
+
+/** Routing-time optimization tracker (one per NASSC routing run). */
+class OptAwareTracker
+{
+  public:
+    OptAwareTracker(int num_physical, const RoutingOptions &opts);
+
+    /** Record an emitted physical gate occupying out-circuit slot idx. */
+    void on_gate(const Gate &g, int out_idx);
+
+    /** Score a candidate SWAP on physical edge (p, q). */
+    SwapReduction evaluate_swap(int p, int q) const;
+
+    /**
+     * Mark the record at out-circuit index `out_idx` as consumed by a
+     * flagged SWAP: a cancellation partner can serve only one SWAP, so
+     * later candidates must not claim it again.
+     */
+    void consume_record(int out_idx);
+
+    /**
+     * Out-circuit indices of the trailing 1q gates of wire p (the gates a
+     * flagged SWAP moves through), oldest first; clears the internal
+     * list.  The router marks them dead and re-emits them retargeted.
+     */
+    std::vector<int> take_trailing_1q(int p);
+
+  private:
+    struct Rec
+    {
+        Gate gate;
+        int out_idx;
+    };
+
+    void break_block(int p);
+    void fold_trailing_into_window(int p);
+
+    const RoutingOptions &opts_;
+    int num_physical_;
+
+    // --- two-qubit block state (C2q) ---
+    std::vector<int> partner_;      ///< open-block partner wire or -1
+    std::vector<Mat4> block_u_;     ///< block unitary, stored at min wire
+    std::vector<Mat2> pending_mat_; ///< accumulated 1q prefix per wire
+
+    // --- commute windows (Ccommute1/2) ---
+    std::vector<std::vector<Rec>> window_;
+
+    // --- trailing 1q gates per wire (movement through SWAPs) ---
+    std::vector<std::vector<Rec>> trailing_;
+};
+
+} // namespace nassc
+
+#endif // NASSC_ROUTE_NASSC_ROUTER_H

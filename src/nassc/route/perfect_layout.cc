@@ -1,0 +1,120 @@
+#include "nassc/route/perfect_layout.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace nassc {
+
+std::vector<std::pair<int, int>>
+interaction_edges(const QuantumCircuit &qc)
+{
+    std::vector<std::pair<int, int>> edges;
+    for (const Gate &g : qc.gates()) {
+        if (g.num_qubits() != 2 || !is_unitary_op(g.kind))
+            continue;
+        int a = std::min(g.qubits[0], g.qubits[1]);
+        int b = std::max(g.qubits[0], g.qubits[1]);
+        edges.emplace_back(a, b);
+    }
+    std::sort(edges.begin(), edges.end());
+    edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+    return edges;
+}
+
+namespace {
+
+struct Searcher
+{
+    int nl, np;
+    std::vector<std::vector<bool>> ladj; // logical adjacency
+    const CouplingMap &cm;
+    std::vector<int> order;   // logical vertices, most-constrained first
+    std::vector<int> l2p;     // current assignment (-1 unassigned)
+    std::vector<bool> used;   // physical occupancy
+    long budget;
+
+    Searcher(const CouplingMap &coupling) : cm(coupling), budget(0) {}
+
+    bool
+    feasible(int l, int p) const
+    {
+        // Every already-assigned logical neighbour must sit adjacent.
+        for (int m = 0; m < nl; ++m) {
+            if (!ladj[l][m] || l2p[m] < 0)
+                continue;
+            if (!cm.connected(p, l2p[m]))
+                return false;
+        }
+        return true;
+    }
+
+    bool
+    solve(size_t depth)
+    {
+        if (depth == order.size())
+            return true;
+        if (--budget < 0)
+            return false;
+        int l = order[depth];
+        for (int p = 0; p < np; ++p) {
+            if (used[p] || !feasible(l, p))
+                continue;
+            l2p[l] = p;
+            used[p] = true;
+            if (solve(depth + 1))
+                return true;
+            used[p] = false;
+            l2p[l] = -1;
+            if (budget < 0)
+                return false;
+        }
+        return false;
+    }
+};
+
+} // namespace
+
+std::optional<Layout>
+find_perfect_layout(const QuantumCircuit &qc, const CouplingMap &cm,
+                    long budget)
+{
+    int nl = qc.num_qubits();
+    int np = cm.num_qubits();
+    if (nl > np)
+        return std::nullopt;
+
+    Searcher s(cm);
+    s.nl = nl;
+    s.np = np;
+    s.budget = budget;
+    s.ladj.assign(nl, std::vector<bool>(nl, false));
+    std::vector<int> degree(nl, 0);
+    for (auto [a, b] : interaction_edges(qc)) {
+        if (!s.ladj[a][b]) {
+            s.ladj[a][b] = s.ladj[b][a] = true;
+            ++degree[a];
+            ++degree[b];
+        }
+    }
+    // A logical vertex needing more neighbours than the densest physical
+    // vertex can never embed.
+    size_t max_pdeg = 0;
+    for (int p = 0; p < np; ++p)
+        max_pdeg = std::max(max_pdeg, cm.neighbors(p).size());
+    for (int l = 0; l < nl; ++l)
+        if (degree[l] > static_cast<int>(max_pdeg))
+            return std::nullopt;
+
+    s.order.resize(nl);
+    std::iota(s.order.begin(), s.order.end(), 0);
+    std::sort(s.order.begin(), s.order.end(),
+              [&](int a, int b) { return degree[a] > degree[b]; });
+    s.l2p.assign(nl, -1);
+    s.used.assign(np, false);
+
+    if (!s.solve(0))
+        return std::nullopt;
+    return Layout::from_l2p(s.l2p, np);
+}
+
+} // namespace nassc

@@ -1,0 +1,40 @@
+#ifndef NASSC_ROUTE_PERFECT_LAYOUT_H
+#define NASSC_ROUTE_PERFECT_LAYOUT_H
+
+/**
+ * @file
+ * Subgraph-isomorphism layout search (the role of Qiskit's VF2Layout):
+ * if the circuit's interaction graph embeds into the coupling graph, a
+ * perfect layout needs zero SWAPs and routing is the identity.
+ *
+ * Backtracking with degree-based vertex ordering and a work budget; this
+ * is exact for the benchmark sizes used here (<= 27 qubits).
+ */
+
+#include <optional>
+#include <vector>
+
+#include "nassc/ir/circuit.h"
+#include "nassc/route/layout.h"
+#include "nassc/topo/coupling_map.h"
+
+namespace nassc {
+
+/** Undirected interaction graph of a circuit's two-qubit gates. */
+std::vector<std::pair<int, int>>
+interaction_edges(const QuantumCircuit &qc);
+
+/**
+ * Search for an injective mapping of logical onto physical qubits such
+ * that every interacting pair lands on a coupled pair.
+ *
+ * @param budget maximum number of backtracking steps
+ * @return a perfect layout, or nullopt if none found within budget
+ */
+std::optional<Layout>
+find_perfect_layout(const QuantumCircuit &qc, const CouplingMap &cm,
+                    long budget = 200000);
+
+} // namespace nassc
+
+#endif // NASSC_ROUTE_PERFECT_LAYOUT_H

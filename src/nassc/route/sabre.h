@@ -1,0 +1,98 @@
+#ifndef NASSC_ROUTE_SABRE_H
+#define NASSC_ROUTE_SABRE_H
+
+/**
+ * @file
+ * SWAP-based bidirectional heuristic routing.
+ *
+ * route_circuit() implements the SABRE algorithm [Li, Ding & Xie,
+ * ASPLOS'19]: a front layer of blocked two-qubit gates, an extended
+ * lookahead layer, and a per-swap heuristic cost
+ *
+ *   H = (1/|F|) (3 * sum_F D[g.i][g.j] - sum_k b_k C_k)
+ *     + (W/|E|)      sum_E D[g.i][g.j]                      (paper eq. 2)
+ *
+ * With all b_k = 0 this is the SABRE baseline; with
+ * RoutingAlgorithm::kNassc the C_k terms are supplied by the
+ * optimization-aware tracker (route/nassc_router.h) and profitable SWAPs
+ * are flagged for orientation-aware decomposition, with single-qubit
+ * gates moved through flagged SWAPs (paper Sec. IV).
+ *
+ * sabre_initial_layout() implements the reverse-traversal initial mapping
+ * search shared by SABRE and NASSC (paper Sec. IV-A).
+ */
+
+#include "nassc/ir/circuit.h"
+#include "nassc/route/layout.h"
+#include "nassc/topo/coupling_map.h"
+
+namespace nassc {
+
+/** Which routing cost model to use. */
+enum class RoutingAlgorithm {
+    kSabre, ///< distance-only cost (baseline)
+    kNassc, ///< optimization-aware cost + SWAP decomposition flags
+};
+
+/** Router configuration (defaults follow the paper's Sec. V settings). */
+struct RoutingOptions
+{
+    RoutingAlgorithm algorithm = RoutingAlgorithm::kSabre;
+    int extended_size = 20;        ///< |E|, lookahead window
+    double extended_weight = 0.5;  ///< W
+    bool use_decay = true;         ///< SABRE decay for parallelism
+    double decay_delta = 0.001;
+    int decay_reset_interval = 5;
+    /** b_k switches for the three NASSC optimizations (Sec. IV-F). */
+    bool enable_c2q = true;
+    bool enable_commute1 = true;
+    bool enable_commute2 = true;
+    int commute_window = 20; ///< max commute-set search size (Sec. IV-E)
+    unsigned seed = 0;       ///< randomizes the initial layout only
+};
+
+/** Counters reported by one routing run. */
+struct RoutingStats
+{
+    int num_swaps = 0;
+    int flagged_swaps = 0;  ///< SWAPs with orientation flags (NASSC)
+    int c2q_hits = 0;       ///< swaps chosen with a C2q reduction
+    int commute1_hits = 0;
+    int commute2_hits = 0;
+    int moved_1q = 0;       ///< 1q gates moved through flagged SWAPs
+    int forced_moves = 0;   ///< deadlock-breaking shortest-path swaps
+};
+
+/** Output of routing. */
+struct RoutingResult
+{
+    QuantumCircuit circuit; ///< physical circuit; SWAPs still kSwap gates
+    std::vector<int> initial_l2p;
+    std::vector<int> final_l2p;
+    RoutingStats stats;
+};
+
+/**
+ * Route `logical` (gates must act on <= 2 qubits) onto the device.
+ *
+ * @param dist    distance matrix (hop_distance or noise_aware_distance)
+ * @param initial initial layout (e.g. from sabre_initial_layout)
+ */
+RoutingResult route_circuit(const QuantumCircuit &logical,
+                            const CouplingMap &coupling,
+                            const std::vector<std::vector<double>> &dist,
+                            const Layout &initial,
+                            const RoutingOptions &opts);
+
+/**
+ * SABRE reverse-traversal initial layout: random seed layout refined by
+ * alternating forward/backward routing passes.
+ */
+Layout sabre_initial_layout(const QuantumCircuit &logical,
+                            const CouplingMap &coupling,
+                            const std::vector<std::vector<double>> &dist,
+                            const RoutingOptions &opts, int iterations = 3);
+
+} // namespace nassc
+
+#endif // NASSC_ROUTE_SABRE_H

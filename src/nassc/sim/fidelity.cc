@@ -1,0 +1,39 @@
+#include "nassc/sim/fidelity.h"
+
+namespace nassc {
+
+double
+estimate_success_probability(const QuantumCircuit &physical,
+                             const Backend &backend)
+{
+    double p = 1.0;
+    for (const Gate &g : physical.gates()) {
+        switch (g.kind) {
+          case OpKind::kBarrier:
+            break;
+          case OpKind::kMeasure:
+            p *= 1.0 - backend.calibration.readout_error[g.qubits[0]];
+            break;
+          case OpKind::kRZ:
+          case OpKind::kP:
+          case OpKind::kZ:
+          case OpKind::kS:
+          case OpKind::kSdg:
+          case OpKind::kT:
+          case OpKind::kTdg:
+          case OpKind::kId:
+            break; // virtual Z: error-free
+          default:
+            if (g.num_qubits() == 1) {
+                p *= 1.0 - backend.calibration.error_1q[g.qubits[0]];
+            } else if (g.num_qubits() == 2) {
+                p *= 1.0 - backend.calibration.cx_error(g.qubits[0],
+                                                        g.qubits[1]);
+            }
+            break;
+        }
+    }
+    return p;
+}
+
+} // namespace nassc

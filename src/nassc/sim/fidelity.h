@@ -1,0 +1,29 @@
+#ifndef NASSC_SIM_FIDELITY_H
+#define NASSC_SIM_FIDELITY_H
+
+/**
+ * @file
+ * Closed-form success-probability estimation: the product of per-gate
+ * survival probabilities (1 - error) over a physical circuit, the model
+ * behind hardware-aware routing cost functions [Niu et al., HA].
+ * Cheaper than Monte-Carlo simulation and monotone in the CNOT count,
+ * which is exactly why reducing CNOTs (NASSC) raises fidelity.
+ */
+
+#include "nassc/ir/circuit.h"
+#include "nassc/topo/backends.h"
+
+namespace nassc {
+
+/**
+ * Estimated success probability of a routed circuit on a backend:
+ *   prod over 1q gates (1 - e1q) * prod over 2q gates (1 - ecx)
+ *   * prod over measures (1 - readout)
+ * rz-type gates are free (virtual Z).
+ */
+double estimate_success_probability(const QuantumCircuit &physical,
+                                    const Backend &backend);
+
+} // namespace nassc
+
+#endif // NASSC_SIM_FIDELITY_H

@@ -1,0 +1,196 @@
+#include "nassc/sim/statevector.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "nassc/ir/matrices.h"
+
+namespace nassc {
+
+namespace {
+
+void
+apply_mat2(std::vector<Cx> &amps, int q, const Mat2 &m)
+{
+    const uint64_t bit = uint64_t(1) << q;
+    const uint64_t n = amps.size();
+    for (uint64_t i = 0; i < n; ++i) {
+        if (i & bit)
+            continue;
+        uint64_t j = i | bit;
+        Cx a0 = amps[i];
+        Cx a1 = amps[j];
+        amps[i] = m(0, 0) * a0 + m(0, 1) * a1;
+        amps[j] = m(1, 0) * a0 + m(1, 1) * a1;
+    }
+}
+
+void
+apply_mat4(std::vector<Cx> &amps, int q0, int q1, const Mat4 &m)
+{
+    const uint64_t b0 = uint64_t(1) << q0;
+    const uint64_t b1 = uint64_t(1) << q1;
+    const uint64_t n = amps.size();
+    for (uint64_t i = 0; i < n; ++i) {
+        if ((i & b0) || (i & b1))
+            continue;
+        uint64_t idx[4] = {i, i | b0, i | b1, i | b0 | b1};
+        Cx in[4] = {amps[idx[0]], amps[idx[1]], amps[idx[2]], amps[idx[3]]};
+        for (int r = 0; r < 4; ++r) {
+            Cx s = 0.0;
+            for (int c = 0; c < 4; ++c)
+                s += m(r, c) * in[c];
+            amps[idx[r]] = s;
+        }
+    }
+}
+
+} // namespace
+
+void
+apply_gate_to_amplitudes(std::vector<Cx> &amps, int num_qubits, const Gate &g)
+{
+    switch (g.kind) {
+      case OpKind::kBarrier:
+      case OpKind::kMeasure:
+        return;
+      case OpKind::kCCX:
+      case OpKind::kMCX: {
+        // Flip target amplitude pairs when all controls are 1.
+        uint64_t cmask = 0;
+        for (size_t i = 0; i + 1 < g.qubits.size(); ++i)
+            cmask |= uint64_t(1) << g.qubits[i];
+        uint64_t tbit = uint64_t(1) << g.qubits.back();
+        const uint64_t n = amps.size();
+        for (uint64_t i = 0; i < n; ++i) {
+            if ((i & cmask) == cmask && !(i & tbit))
+                std::swap(amps[i], amps[i | tbit]);
+        }
+        return;
+      }
+      case OpKind::kCCZ: {
+        uint64_t mask = 0;
+        for (int q : g.qubits)
+            mask |= uint64_t(1) << q;
+        const uint64_t n = amps.size();
+        for (uint64_t i = 0; i < n; ++i)
+            if ((i & mask) == mask)
+                amps[i] = -amps[i];
+        return;
+      }
+      case OpKind::kCSwap: {
+        uint64_t cbit = uint64_t(1) << g.qubits[0];
+        uint64_t abit = uint64_t(1) << g.qubits[1];
+        uint64_t bbit = uint64_t(1) << g.qubits[2];
+        const uint64_t n = amps.size();
+        for (uint64_t i = 0; i < n; ++i) {
+            // Swap |..a=1, b=0..> with |..a=0, b=1..> under control.
+            if ((i & cbit) && (i & abit) && !(i & bbit))
+                std::swap(amps[i], amps[(i & ~abit) | bbit]);
+        }
+        return;
+      }
+      default:
+        break;
+    }
+    if (g.num_qubits() == 1) {
+        apply_mat2(amps, g.qubits[0], gate_matrix1(g));
+        return;
+    }
+    if (g.num_qubits() == 2) {
+        apply_mat4(amps, g.qubits[0], g.qubits[1], gate_matrix2(g));
+        return;
+    }
+    throw std::invalid_argument(std::string("statevector: unsupported gate ") +
+                                op_name(g.kind));
+    (void)num_qubits;
+}
+
+Statevector::Statevector(int num_qubits)
+    : num_qubits_(num_qubits), amps_(uint64_t(1) << num_qubits, Cx(0.0, 0.0))
+{
+    if (num_qubits < 0 || num_qubits > 26)
+        throw std::invalid_argument("statevector limited to 26 qubits");
+    amps_[0] = 1.0;
+}
+
+void
+Statevector::apply(const Gate &g)
+{
+    apply_gate_to_amplitudes(amps_, num_qubits_, g);
+}
+
+void
+Statevector::apply_circuit(const QuantumCircuit &qc)
+{
+    if (qc.num_qubits() != num_qubits_)
+        throw std::invalid_argument("statevector: register size mismatch");
+    for (const Gate &g : qc.gates())
+        apply(g);
+}
+
+void
+Statevector::apply_pauli(int pauli, int q)
+{
+    switch (pauli) {
+      case 1: apply_mat2(amps_, q, pauli_x()); break;
+      case 2: apply_mat2(amps_, q, pauli_y()); break;
+      case 3: apply_mat2(amps_, q, pauli_z()); break;
+      default: throw std::invalid_argument("pauli must be 1..3");
+    }
+}
+
+double
+Statevector::probability(uint64_t basis) const
+{
+    return std::norm(amps_[basis]);
+}
+
+uint64_t
+Statevector::argmax() const
+{
+    uint64_t best = 0;
+    double mag = -1.0;
+    for (uint64_t i = 0; i < amps_.size(); ++i) {
+        double p = std::norm(amps_[i]);
+        if (p > mag) {
+            mag = p;
+            best = i;
+        }
+    }
+    return best;
+}
+
+uint64_t
+Statevector::sample(std::mt19937 &rng) const
+{
+    std::uniform_real_distribution<double> d(0.0, 1.0);
+    double r = d(rng);
+    double acc = 0.0;
+    for (uint64_t i = 0; i < amps_.size(); ++i) {
+        acc += std::norm(amps_[i]);
+        if (r <= acc)
+            return i;
+    }
+    return amps_.size() - 1;
+}
+
+double
+Statevector::fidelity(const Statevector &other) const
+{
+    Cx ip = 0.0;
+    for (uint64_t i = 0; i < amps_.size(); ++i)
+        ip += std::conj(amps_[i]) * other.amps_[i];
+    return std::norm(ip);
+}
+
+double
+Statevector::norm2() const
+{
+    double s = 0.0;
+    for (const Cx &a : amps_)
+        s += std::norm(a);
+    return s;
+}
+
+} // namespace nassc

@@ -1,0 +1,73 @@
+#ifndef NASSC_SIM_STATEVECTOR_H
+#define NASSC_SIM_STATEVECTOR_H
+
+/**
+ * @file
+ * Dense statevector simulator.
+ *
+ * Supports every unitary OpKind natively (including CCX/CSwap/MCX without
+ * prior decomposition), Pauli error injection for the noise model, and
+ * sampling.  Used for end-to-end transpiler verification and for the
+ * Fig. 11 success-rate experiments.
+ */
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "nassc/ir/circuit.h"
+#include "nassc/math/complex_mat.h"
+
+namespace nassc {
+
+/** A 2^n-amplitude pure state. */
+class Statevector
+{
+  public:
+    /** Initialize to |0...0>. */
+    explicit Statevector(int num_qubits);
+
+    int num_qubits() const { return num_qubits_; }
+
+    const std::vector<Cx> &amplitudes() const { return amps_; }
+    std::vector<Cx> &mutable_amplitudes() { return amps_; }
+
+    /** Apply a unitary gate (measure/barrier are no-ops). */
+    void apply(const Gate &g);
+
+    /** Apply every gate of a circuit. */
+    void apply_circuit(const QuantumCircuit &qc);
+
+    /** Apply a single Pauli (1 = X, 2 = Y, 3 = Z) on one qubit. */
+    void apply_pauli(int pauli, int q);
+
+    Cx amplitude(uint64_t basis) const { return amps_[basis]; }
+    double probability(uint64_t basis) const;
+
+    /** Basis state with the highest probability. */
+    uint64_t argmax() const;
+
+    /** Sample a basis state from the output distribution. */
+    uint64_t sample(std::mt19937 &rng) const;
+
+    /** |<this|other>|^2. */
+    double fidelity(const Statevector &other) const;
+
+    /** Squared norm (should stay 1 within rounding). */
+    double norm2() const;
+
+  private:
+    int num_qubits_;
+    std::vector<Cx> amps_;
+};
+
+/**
+ * Apply a gate to a raw amplitude vector over `num_qubits` qubits.
+ * Shared kernel between Statevector and the unitary builder.
+ */
+void apply_gate_to_amplitudes(std::vector<Cx> &amps, int num_qubits,
+                              const Gate &g);
+
+} // namespace nassc
+
+#endif // NASSC_SIM_STATEVECTOR_H

@@ -1,0 +1,137 @@
+#include "nassc/sim/unitary.h"
+
+#include <cmath>
+#include <random>
+#include <stdexcept>
+
+#include "nassc/sim/statevector.h"
+
+namespace nassc {
+
+MatN
+unitary_of_circuit(const QuantumCircuit &qc)
+{
+    int n = qc.num_qubits();
+    if (n > 12)
+        throw std::invalid_argument("unitary_of_circuit limited to 12 qubits");
+    uint64_t dim = uint64_t(1) << n;
+
+    // Evolve every basis state; columns of the unitary.
+    MatN u(static_cast<int>(dim));
+    std::vector<Cx> col(dim);
+    for (uint64_t c = 0; c < dim; ++c) {
+        std::fill(col.begin(), col.end(), Cx(0.0, 0.0));
+        col[c] = 1.0;
+        for (const Gate &g : qc.gates())
+            apply_gate_to_amplitudes(col, n, g);
+        for (uint64_t r = 0; r < dim; ++r)
+            u(static_cast<int>(r), static_cast<int>(c)) = col[r];
+    }
+    return u;
+}
+
+bool
+circuits_equivalent(const QuantumCircuit &a, const QuantumCircuit &b,
+                    double tol)
+{
+    if (a.num_qubits() != b.num_qubits())
+        return false;
+    MatN ua = unitary_of_circuit(a);
+    MatN ub = unitary_of_circuit(b);
+    return equal_up_to_phase(ua, ub, tol);
+}
+
+namespace {
+
+/** Random product state over n qubits (keeps simulation cheap). */
+std::vector<std::pair<double, double>>
+random_bloch_angles(int n, std::mt19937 &rng)
+{
+    std::uniform_real_distribution<double> d(0.0, 2.0 * M_PI);
+    std::vector<std::pair<double, double>> out;
+    out.reserve(n);
+    for (int i = 0; i < n; ++i)
+        out.emplace_back(d(rng), d(rng));
+    return out;
+}
+
+} // namespace
+
+bool
+equivalent_with_layout(const QuantumCircuit &logical,
+                       const QuantumCircuit &physical,
+                       const std::vector<int> &initial_l2p,
+                       const std::vector<int> &final_l2p,
+                       int num_random_states, double tol, unsigned seed)
+{
+    int nl = logical.num_qubits();
+    int np = physical.num_qubits();
+    if (static_cast<int>(initial_l2p.size()) != nl ||
+        static_cast<int>(final_l2p.size()) != nl)
+        return false;
+
+    std::mt19937 rng(seed);
+    for (int trial = 0; trial < num_random_states; ++trial) {
+        auto angles = random_bloch_angles(nl, rng);
+
+        // Logical side: prepare |psi>, run the logical circuit.
+        Statevector lhs(nl);
+        for (int q = 0; q < nl; ++q) {
+            lhs.apply(Gate::one_q(OpKind::kRY, q, angles[q].first));
+            lhs.apply(Gate::one_q(OpKind::kRZ, q, angles[q].second));
+        }
+        lhs.apply_circuit(logical.without_non_unitary());
+
+        // Physical side: prepare the same state on the initial layout.
+        Statevector rhs(np);
+        for (int q = 0; q < nl; ++q) {
+            rhs.apply(
+                Gate::one_q(OpKind::kRY, initial_l2p[q], angles[q].first));
+            rhs.apply(
+                Gate::one_q(OpKind::kRZ, initial_l2p[q], angles[q].second));
+        }
+        rhs.apply_circuit(physical.without_non_unitary());
+
+        // Compare amplitudes: every basis state of the logical register
+        // must match the physical state at the final layout positions,
+        // with ancillas remaining |0>.
+        uint64_t nl_dim = uint64_t(1) << nl;
+        auto map_index = [&](uint64_t i) {
+            uint64_t p = 0;
+            for (int q = 0; q < nl; ++q)
+                if (i & (uint64_t(1) << q))
+                    p |= uint64_t(1) << final_l2p[q];
+            return p;
+        };
+
+        // Align global phase on the logical state's largest amplitude.
+        uint64_t imax = 0;
+        double amax = -1.0;
+        for (uint64_t i = 0; i < nl_dim; ++i) {
+            if (std::abs(lhs.amplitude(i)) > amax) {
+                amax = std::abs(lhs.amplitude(i));
+                imax = i;
+            }
+        }
+        Cx phase = rhs.amplitude(map_index(imax)) / lhs.amplitude(imax);
+        if (std::abs(std::abs(phase) - 1.0) > tol)
+            return false;
+
+        double err = 0.0;
+        double covered = 0.0;
+        for (uint64_t i = 0; i < nl_dim; ++i) {
+            Cx al = lhs.amplitude(i);
+            Cx ap = rhs.amplitude(map_index(i));
+            covered += std::norm(ap);
+            err += std::norm(ap - phase * al);
+        }
+        // All probability mass must live on the mapped subspace.
+        if (std::abs(covered - 1.0) > tol)
+            return false;
+        if (std::sqrt(err) > tol * (1 << nl))
+            return false;
+    }
+    return true;
+}
+
+} // namespace nassc

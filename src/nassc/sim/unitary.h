@@ -1,0 +1,47 @@
+#ifndef NASSC_SIM_UNITARY_H
+#define NASSC_SIM_UNITARY_H
+
+/**
+ * @file
+ * Dense unitary construction and circuit-equivalence checks used by the
+ * test suite and the transpiler's internal verification.
+ */
+
+#include <vector>
+
+#include "nassc/ir/circuit.h"
+#include "nassc/math/complex_mat.h"
+
+namespace nassc {
+
+/**
+ * Build the full 2^n x 2^n unitary of a circuit (measures/barriers
+ * skipped).  Guarded to n <= 12.
+ */
+MatN unitary_of_circuit(const QuantumCircuit &qc);
+
+/** True if the circuits implement the same unitary up to global phase. */
+bool circuits_equivalent(const QuantumCircuit &a, const QuantumCircuit &b,
+                         double tol = 1e-7);
+
+/**
+ * Verify a routed/physical circuit against its logical source.
+ *
+ * `initial_l2p[l]` is the physical qubit initially holding logical l, and
+ * `final_l2p[l]` the physical qubit holding it after routing (SWAPs move
+ * logical qubits).  Checks, on a set of random product input states, that
+ *
+ *   physical(embed_initial(|psi>)) == embed_final(logical(|psi>))
+ *
+ * up to global phase, with ancilla wires in |0>.
+ */
+bool equivalent_with_layout(const QuantumCircuit &logical,
+                            const QuantumCircuit &physical,
+                            const std::vector<int> &initial_l2p,
+                            const std::vector<int> &final_l2p,
+                            int num_random_states = 4, double tol = 1e-6,
+                            unsigned seed = 7);
+
+} // namespace nassc
+
+#endif // NASSC_SIM_UNITARY_H

@@ -1,0 +1,57 @@
+#include "nassc/sim/verify.h"
+
+#include <stdexcept>
+
+#include "nassc/sim/unitary.h"
+
+namespace nassc {
+
+bool
+verify_transpilation(const QuantumCircuit &logical,
+                     const TranspileResult &result, int num_states,
+                     double tol)
+{
+    const QuantumCircuit &physical = result.circuit;
+
+    // Collect active physical wires: everything the circuit touches plus
+    // every layout slot.
+    std::vector<int> phys_to_compact(physical.num_qubits(), -1);
+    std::vector<int> active;
+    auto touch = [&](int p) {
+        if (p >= 0 && phys_to_compact[p] < 0) {
+            phys_to_compact[p] = static_cast<int>(active.size());
+            active.push_back(p);
+        }
+    };
+    for (int p : result.initial_l2p)
+        touch(p);
+    for (int p : result.final_l2p)
+        touch(p);
+    for (const Gate &g : physical.gates())
+        for (int q : g.qubits)
+            touch(q);
+
+    if (active.size() > 20)
+        throw std::invalid_argument(
+            "verify_transpilation: too many active wires");
+
+    QuantumCircuit compact(static_cast<int>(active.size()));
+    for (const Gate &g : physical.gates()) {
+        Gate cg = g;
+        for (int &q : cg.qubits)
+            q = phys_to_compact[q];
+        compact.append(std::move(cg));
+    }
+
+    std::vector<int> initial(result.initial_l2p.size());
+    std::vector<int> final_map(result.final_l2p.size());
+    for (size_t l = 0; l < initial.size(); ++l)
+        initial[l] = phys_to_compact[result.initial_l2p[l]];
+    for (size_t l = 0; l < final_map.size(); ++l)
+        final_map[l] = phys_to_compact[result.final_l2p[l]];
+
+    return equivalent_with_layout(logical, compact, initial, final_map,
+                                  num_states, tol);
+}
+
+} // namespace nassc

@@ -1,0 +1,34 @@
+#ifndef NASSC_SIM_VERIFY_H
+#define NASSC_SIM_VERIFY_H
+
+/**
+ * @file
+ * Transpilation verification that scales to large devices.
+ *
+ * equivalent_with_layout() needs a statevector over every device wire;
+ * on a 27-qubit backend that is prohibitive when the circuit only
+ * touches a handful of wires.  verify_transpilation() compacts the
+ * physical circuit onto its active wires first, then performs the same
+ * random-state unitary comparison.
+ */
+
+#include "nassc/transpile/transpile.h"
+
+namespace nassc {
+
+/**
+ * Check that a transpile() result implements the logical circuit.
+ *
+ * @param logical   the pre-transpilation circuit
+ * @param result    transpile() output (circuit + layouts)
+ * @param num_states random product states to probe with
+ * @return true when every probe matches up to global phase
+ * @throws std::invalid_argument if the active wire count exceeds 20
+ */
+bool verify_transpilation(const QuantumCircuit &logical,
+                          const TranspileResult &result,
+                          int num_states = 4, double tol = 1e-6);
+
+} // namespace nassc
+
+#endif // NASSC_SIM_VERIFY_H

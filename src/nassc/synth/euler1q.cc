@@ -1,0 +1,121 @@
+#include "nassc/synth/euler1q.h"
+
+#include <cmath>
+
+#include "nassc/ir/matrices.h"
+#include "nassc/math/su2.h"
+
+namespace nassc {
+
+namespace {
+
+/** Normalize an angle into (-pi, pi]. */
+double
+norm_angle(double a)
+{
+    a = std::fmod(a, 2.0 * M_PI);
+    if (a <= -M_PI)
+        a += 2.0 * M_PI;
+    if (a > M_PI)
+        a -= 2.0 * M_PI;
+    return a;
+}
+
+bool
+is_zero_angle(double a, double tol)
+{
+    return std::abs(norm_angle(a)) < tol;
+}
+
+void
+emit_rz(std::vector<Gate> &out, int q, double angle, double tol)
+{
+    angle = norm_angle(angle);
+    if (std::abs(angle) >= tol)
+        out.push_back(Gate::one_q(OpKind::kRZ, q, angle));
+}
+
+} // namespace
+
+std::vector<Gate>
+synth_1q(const Mat2 &u, int q, Basis1q basis, double tol)
+{
+    EulerZyz e = euler_zyz(u);
+    std::vector<Gate> out;
+
+    if (basis == Basis1q::kUGate) {
+        if (e.theta < tol && is_zero_angle(e.phi + e.lam, tol))
+            return out;
+        out.push_back(Gate::u(q, e.theta, e.phi, e.lam));
+        return out;
+    }
+
+    // ZSX basis.  euler_zyz returns theta in [0, pi].
+    if (e.theta < tol) {
+        emit_rz(out, q, e.phi + e.lam, tol);
+        return out;
+    }
+    if (std::abs(e.theta - M_PI) < tol) {
+        // u(pi, phi, lam) ~ x . rz(lam - phi + pi)   (circuit order)
+        emit_rz(out, q, e.lam - e.phi + M_PI, tol);
+        out.push_back(Gate::one_q(OpKind::kX, q));
+        return out;
+    }
+    if (std::abs(e.theta - M_PI / 2.0) < tol) {
+        // u(pi/2, phi, lam) ~ rz(phi + pi/2) . sx . rz(lam - pi/2)
+        emit_rz(out, q, e.lam - M_PI / 2.0, tol);
+        out.push_back(Gate::one_q(OpKind::kSX, q));
+        emit_rz(out, q, e.phi + M_PI / 2.0, tol);
+        return out;
+    }
+    // Generic: rz(phi+pi) . sx . rz(theta+pi) . sx . rz(lam)
+    emit_rz(out, q, e.lam, tol);
+    out.push_back(Gate::one_q(OpKind::kSX, q));
+    emit_rz(out, q, e.theta + M_PI, tol);
+    out.push_back(Gate::one_q(OpKind::kSX, q));
+    emit_rz(out, q, e.phi + M_PI, tol);
+    return out;
+}
+
+int
+optimize_1q_runs(std::vector<Gate> &gates, int num_qubits, Basis1q basis,
+                 double tol)
+{
+    std::vector<Gate> out;
+    out.reserve(gates.size());
+
+    // Pending accumulated unitary per wire; identity when inactive.
+    std::vector<Mat2> pending(num_qubits, Mat2::identity());
+    std::vector<bool> active(num_qubits, false);
+    int before = static_cast<int>(gates.size());
+
+    auto flush = [&](int q) {
+        if (!active[q])
+            return;
+        std::vector<Gate> synth = synth_1q(pending[q], q, basis, tol);
+        for (Gate &g : synth)
+            out.push_back(std::move(g));
+        pending[q] = Mat2::identity();
+        active[q] = false;
+    };
+
+    for (Gate &g : gates) {
+        if (is_one_qubit(g.kind)) {
+            int q = g.qubits[0];
+            pending[q] = mul(gate_matrix1(g), pending[q]);
+            active[q] = true;
+            continue;
+        }
+        for (int q : g.qubits)
+            flush(q);
+        out.push_back(std::move(g));
+    }
+    for (int q = 0; q < num_qubits; ++q)
+        flush(q);
+
+    int removed = before - static_cast<int>(out.size());
+    gates = std::move(out);
+    return removed;
+}
+
+} // namespace nassc

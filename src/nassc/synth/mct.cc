@@ -1,0 +1,176 @@
+#include "nassc/synth/mct.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace nassc {
+
+namespace {
+
+/** Qubits in [0, num_qubits) not used by the gate, ascending. */
+std::vector<int>
+free_qubits(const std::vector<int> &controls, int target, int num_qubits)
+{
+    std::vector<bool> used(num_qubits, false);
+    for (int c : controls)
+        used[c] = true;
+    used[target] = true;
+    std::vector<int> out;
+    for (int q = 0; q < num_qubits; ++q)
+        if (!used[q])
+            out.push_back(q);
+    return out;
+}
+
+void
+append(std::vector<Gate> &out, std::vector<Gate> more)
+{
+    for (Gate &g : more)
+        out.push_back(std::move(g));
+}
+
+/**
+ * Dirty-ancilla V-chain: A B C B' A B C B' with
+ *   A  = ccx(c[k-1], anc[k-3], t)
+ *   B  = descending ladder ccx(c[i], anc[i-2], anc[i-1]), i = k-2 .. 2
+ *   C  = ccx(c[0], c[1], anc[0])
+ *   B' = reverse of B
+ */
+void
+mcx_vchain_dirty(const std::vector<int> &c, int t,
+                 const std::vector<int> &anc, std::vector<Gate> &out)
+{
+    int k = static_cast<int>(c.size());
+    auto half = [&]() {
+        out.push_back(Gate(OpKind::kCCX, {c[k - 1], anc[k - 3], t}));
+        for (int i = k - 2; i >= 2; --i)
+            out.push_back(Gate(OpKind::kCCX, {c[i], anc[i - 2], anc[i - 1]}));
+        out.push_back(Gate(OpKind::kCCX, {c[0], c[1], anc[0]}));
+        for (int i = 2; i <= k - 2; ++i)
+            out.push_back(Gate(OpKind::kCCX, {c[i], anc[i - 2], anc[i - 1]}));
+    };
+    half();
+    half();
+}
+
+} // namespace
+
+std::vector<Gate>
+decompose_ccx(int c0, int c1, int t)
+{
+    std::vector<Gate> g;
+    g.push_back(Gate::one_q(OpKind::kH, t));
+    g.push_back(Gate::two_q(OpKind::kCX, c1, t));
+    g.push_back(Gate::one_q(OpKind::kTdg, t));
+    g.push_back(Gate::two_q(OpKind::kCX, c0, t));
+    g.push_back(Gate::one_q(OpKind::kT, t));
+    g.push_back(Gate::two_q(OpKind::kCX, c1, t));
+    g.push_back(Gate::one_q(OpKind::kTdg, t));
+    g.push_back(Gate::two_q(OpKind::kCX, c0, t));
+    g.push_back(Gate::one_q(OpKind::kT, c1));
+    g.push_back(Gate::one_q(OpKind::kT, t));
+    g.push_back(Gate::one_q(OpKind::kH, t));
+    g.push_back(Gate::two_q(OpKind::kCX, c0, c1));
+    g.push_back(Gate::one_q(OpKind::kT, c0));
+    g.push_back(Gate::one_q(OpKind::kTdg, c1));
+    g.push_back(Gate::two_q(OpKind::kCX, c0, c1));
+    return g;
+}
+
+std::vector<Gate>
+decompose_ccz(int c0, int c1, int t)
+{
+    std::vector<Gate> g;
+    g.push_back(Gate::one_q(OpKind::kH, t));
+    append(g, decompose_ccx(c0, c1, t));
+    g.push_back(Gate::one_q(OpKind::kH, t));
+    return g;
+}
+
+std::vector<Gate>
+decompose_cswap(int c, int a, int b)
+{
+    std::vector<Gate> g;
+    g.push_back(Gate::two_q(OpKind::kCX, b, a));
+    g.push_back(Gate(OpKind::kCCX, {c, a, b}));
+    g.push_back(Gate::two_q(OpKind::kCX, b, a));
+    return g;
+}
+
+std::vector<Gate>
+decompose_mcx(const std::vector<int> &controls, int target, int num_qubits)
+{
+    int k = static_cast<int>(controls.size());
+    std::vector<Gate> out;
+    if (k == 0) {
+        out.push_back(Gate::one_q(OpKind::kX, target));
+        return out;
+    }
+    if (k == 1) {
+        out.push_back(Gate::two_q(OpKind::kCX, controls[0], target));
+        return out;
+    }
+    if (k == 2) {
+        out.push_back(Gate(OpKind::kCCX, {controls[0], controls[1], target}));
+        return out;
+    }
+
+    std::vector<int> anc = free_qubits(controls, target, num_qubits);
+    if (static_cast<int>(anc.size()) >= k - 2) {
+        anc.resize(k - 2);
+        mcx_vchain_dirty(controls, target, anc, out);
+        return out;
+    }
+    if (!anc.empty()) {
+        // Barenco halving through one borrowed qubit h:
+        //   C^k X = M2 M1 M2 M1,  M1 = C^{m1}X(first half -> h),
+        //   M2 = C^{m2+1}X(second half + h -> target).
+        int h = anc[0];
+        int m1 = (k + 1) / 2;
+        std::vector<int> first(controls.begin(), controls.begin() + m1);
+        std::vector<int> second(controls.begin() + m1, controls.end());
+        second.push_back(h);
+        append(out, decompose_mcx(second, target, num_qubits));
+        append(out, decompose_mcx(first, h, num_qubits));
+        append(out, decompose_mcx(second, target, num_qubits));
+        append(out, decompose_mcx(first, h, num_qubits));
+        return out;
+    }
+    // No spare qubit at all: C^k X = H(t) . C^k Z . H(t), with C^k Z the
+    // multi-controlled phase mcp(pi) over the same wires.  Inside the
+    // recursion the target itself becomes the borrowed qubit for the
+    // half-size MCXs, so this terminates without clean ancillas.
+    out.push_back(Gate::one_q(OpKind::kH, target));
+    append(out, decompose_mcp(M_PI, controls, target, num_qubits));
+    out.push_back(Gate::one_q(OpKind::kH, target));
+    return out;
+}
+
+std::vector<Gate>
+decompose_mcp(double lambda, const std::vector<int> &controls, int target,
+              int num_qubits)
+{
+    std::vector<Gate> out;
+    if (controls.empty()) {
+        out.push_back(Gate::one_q(OpKind::kP, target, lambda));
+        return out;
+    }
+    if (controls.size() == 1) {
+        out.push_back(Gate::two_q(OpKind::kCP, controls[0], target, lambda));
+        return out;
+    }
+    // mcp(lam; c0..c_{m-1}; t) =
+    //   cp(lam/2)(c_{m-1}, t) . mcx(c0..c_{m-2} -> c_{m-1}) .
+    //   cp(-lam/2)(c_{m-1}, t) . mcx(...) . mcp(lam/2; c0..c_{m-2}; t)
+    int last = controls.back();
+    std::vector<int> prefix(controls.begin(), controls.end() - 1);
+    out.push_back(Gate::two_q(OpKind::kCP, last, target, lambda / 2.0));
+    append(out, decompose_mcx(prefix, last, num_qubits));
+    out.push_back(Gate::two_q(OpKind::kCP, last, target, -lambda / 2.0));
+    append(out, decompose_mcx(prefix, last, num_qubits));
+    append(out, decompose_mcp(lambda / 2.0, prefix, target, num_qubits));
+    return out;
+}
+
+} // namespace nassc

@@ -1,0 +1,52 @@
+#ifndef NASSC_SYNTH_MCT_H
+#define NASSC_SYNTH_MCT_H
+
+/**
+ * @file
+ * Multi-controlled-X (Toffoli cascade) decompositions.
+ *
+ * Three strategies, chosen automatically by ancilla availability:
+ *   - dirty-ancilla V-chain (Barenco et al. Lemma 7.2): 4(k-2) Toffolis
+ *     when at least k-2 qubits outside the gate are available;
+ *   - recursive halving (Barenco Lemma 7.3): two half-size MCXs applied
+ *     twice through one borrowed qubit;
+ *   - ancilla-free multi-controlled phase recursion as a last resort
+ *     (C^k X = H . C^k Z . H with C^k Z built from CP + half-size MCX).
+ *
+ * All outputs use only {x, cx, ccx, p, cp, h}; CCX gates are expanded by
+ * the basis-translation pass.
+ */
+
+#include <vector>
+
+#include "nassc/ir/gate.h"
+
+namespace nassc {
+
+/** Textbook 6-CNOT Toffoli decomposition (circuit order). */
+std::vector<Gate> decompose_ccx(int c0, int c1, int t);
+
+/** CCZ via CCX conjugated with Hadamards on the target. */
+std::vector<Gate> decompose_ccz(int c0, int c1, int t);
+
+/** Fredkin gate via CCX conjugated with CNOTs. */
+std::vector<Gate> decompose_cswap(int c, int a, int b);
+
+/**
+ * Decompose a multi-controlled X over a register of `num_qubits` qubits.
+ * Qubits outside controls+target are borrowed as dirty ancillas when
+ * needed; they are always restored.
+ */
+std::vector<Gate> decompose_mcx(const std::vector<int> &controls, int target,
+                                int num_qubits);
+
+/**
+ * Multi-controlled phase gate: applies phase e^{i lambda} when all
+ * controls and the target are 1.  Ancilla-free (recursive CP + MCX).
+ */
+std::vector<Gate> decompose_mcp(double lambda, const std::vector<int> &controls,
+                                int target, int num_qubits);
+
+} // namespace nassc
+
+#endif // NASSC_SYNTH_MCT_H

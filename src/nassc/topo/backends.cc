@@ -1,0 +1,172 @@
+#include "nassc/topo/backends.h"
+
+#include <random>
+#include <stdexcept>
+
+namespace nassc {
+
+namespace {
+
+/** Deterministic synthetic calibration for a topology. */
+Calibration
+make_calibration(const CouplingMap &cm, unsigned seed)
+{
+    std::mt19937 rng(seed);
+    std::uniform_real_distribution<double> cx_err(0.005, 0.03);
+    std::uniform_real_distribution<double> one_err(0.0002, 0.001);
+    std::uniform_real_distribution<double> ro_err(0.01, 0.04);
+    std::uniform_real_distribution<double> dur(250.0, 550.0);
+
+    Calibration cal;
+    cal.error_1q.resize(cm.num_qubits());
+    cal.readout_error.resize(cm.num_qubits());
+    for (int q = 0; q < cm.num_qubits(); ++q) {
+        cal.error_1q[q] = one_err(rng);
+        cal.readout_error[q] = ro_err(rng);
+    }
+    for (auto e : cm.edges()) {
+        cal.error_cx[e] = cx_err(rng);
+        cal.duration_cx[e] = dur(rng);
+    }
+    return cal;
+}
+
+} // namespace
+
+double
+Calibration::cx_error(int a, int b) const
+{
+    if (a > b)
+        std::swap(a, b);
+    auto it = error_cx.find({a, b});
+    if (it == error_cx.end())
+        throw std::out_of_range("no calibration for edge");
+    return it->second;
+}
+
+double
+Calibration::cx_duration(int a, int b) const
+{
+    if (a > b)
+        std::swap(a, b);
+    auto it = duration_cx.find({a, b});
+    if (it == duration_cx.end())
+        throw std::out_of_range("no calibration for edge");
+    return it->second;
+}
+
+Backend
+montreal_backend()
+{
+    // Undirected edge list of the 27-qubit IBM heavy-hex lattice
+    // (Falcon r4, used by ibmq_montreal / mumbai / toronto).
+    std::vector<std::pair<int, int>> edges = {
+        {0, 1},   {1, 2},   {1, 4},   {2, 3},   {3, 5},   {4, 7},
+        {5, 8},   {6, 7},   {7, 10},  {8, 9},   {8, 11},  {10, 12},
+        {11, 14}, {12, 13}, {12, 15}, {13, 14}, {14, 16}, {15, 18},
+        {16, 19}, {17, 18}, {18, 21}, {19, 20}, {19, 22}, {21, 23},
+        {22, 25}, {23, 24}, {24, 25}, {25, 26},
+    };
+    Backend b;
+    b.name = "ibmq_montreal";
+    b.coupling = CouplingMap(27, std::move(edges));
+    b.calibration = make_calibration(b.coupling, 0x4d6f6e74); // "Mont"
+    return b;
+}
+
+Backend
+linear_backend(int n)
+{
+    std::vector<std::pair<int, int>> edges;
+    for (int i = 0; i + 1 < n; ++i)
+        edges.emplace_back(i, i + 1);
+    Backend b;
+    b.name = "linear_" + std::to_string(n);
+    b.coupling = CouplingMap(n, std::move(edges));
+    b.calibration = make_calibration(b.coupling, 0x4c696e00 + n);
+    return b;
+}
+
+Backend
+grid_backend(int rows, int cols)
+{
+    std::vector<std::pair<int, int>> edges;
+    auto id = [cols](int r, int c) { return r * cols + c; };
+    for (int r = 0; r < rows; ++r) {
+        for (int c = 0; c < cols; ++c) {
+            if (c + 1 < cols)
+                edges.emplace_back(id(r, c), id(r, c + 1));
+            if (r + 1 < rows)
+                edges.emplace_back(id(r, c), id(r + 1, c));
+        }
+    }
+    Backend b;
+    b.name = "grid_" + std::to_string(rows) + "x" + std::to_string(cols);
+    b.coupling = CouplingMap(rows * cols, std::move(edges));
+    b.calibration = make_calibration(b.coupling, 0x47726900 + rows * cols);
+    return b;
+}
+
+Backend
+fully_connected_backend(int n)
+{
+    std::vector<std::pair<int, int>> edges;
+    for (int i = 0; i < n; ++i)
+        for (int j = i + 1; j < n; ++j)
+            edges.emplace_back(i, j);
+    Backend b;
+    b.name = "full_" + std::to_string(n);
+    b.coupling = CouplingMap(n, std::move(edges));
+    b.calibration = make_calibration(b.coupling, 0x46756c00 + n);
+    return b;
+}
+
+std::vector<std::vector<double>>
+noise_aware_distance(const Backend &backend, double alpha1, double alpha2,
+                     double alpha3)
+{
+    const CouplingMap &cm = backend.coupling;
+    int n = cm.num_qubits();
+
+    double max_err = 0.0, max_dur = 0.0;
+    for (auto e : cm.edges()) {
+        max_err = std::max(max_err, backend.calibration.error_cx.at(e));
+        max_dur = std::max(max_dur, backend.calibration.duration_cx.at(e));
+    }
+    if (max_err <= 0.0)
+        max_err = 1.0;
+    if (max_dur <= 0.0)
+        max_dur = 1.0;
+
+    const double inf = 1e18;
+    std::vector<std::vector<double>> d(n, std::vector<double>(n, inf));
+    for (int i = 0; i < n; ++i)
+        d[i][i] = 0.0;
+    for (auto e : cm.edges()) {
+        double w = alpha1 * backend.calibration.error_cx.at(e) / max_err +
+                   alpha2 * backend.calibration.duration_cx.at(e) / max_dur +
+                   alpha3;
+        d[e.first][e.second] = std::min(d[e.first][e.second], w);
+        d[e.second][e.first] = d[e.first][e.second];
+    }
+    // Floyd-Warshall (device sizes are small).
+    for (int k = 0; k < n; ++k)
+        for (int i = 0; i < n; ++i)
+            for (int j = 0; j < n; ++j)
+                if (d[i][k] + d[k][j] < d[i][j])
+                    d[i][j] = d[i][k] + d[k][j];
+    return d;
+}
+
+std::vector<std::vector<double>>
+hop_distance(const CouplingMap &cm)
+{
+    int n = cm.num_qubits();
+    std::vector<std::vector<double>> d(n, std::vector<double>(n));
+    for (int i = 0; i < n; ++i)
+        for (int j = 0; j < n; ++j)
+            d[i][j] = cm.distance(i, j);
+    return d;
+}
+
+} // namespace nassc

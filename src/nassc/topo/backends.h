@@ -1,0 +1,73 @@
+#ifndef NASSC_TOPO_BACKENDS_H
+#define NASSC_TOPO_BACKENDS_H
+
+/**
+ * @file
+ * Device models used in the paper's evaluation (Sec. V, Fig. 10):
+ * the 27-qubit heavy-hex `ibmq_montreal`, a 25-qubit linear nearest
+ * neighbour chain, a 5x5 2D grid, and a fully connected reference.
+ *
+ * Real calibration data is not redistributable, so each backend carries a
+ * deterministic synthetic calibration whose ranges mimic published
+ * Falcon-generation numbers (CX error 0.5-3%, 1q error 0.02-0.1%,
+ * readout 1-4%).  The HA noise-aware distance matrix (paper eq. 3) is
+ * derived from it.
+ */
+
+#include <map>
+#include <string>
+
+#include "nassc/topo/coupling_map.h"
+
+namespace nassc {
+
+/** Synthetic device calibration. */
+struct Calibration
+{
+    std::vector<double> error_1q;      ///< per-qubit 1q gate error
+    std::vector<double> readout_error; ///< per-qubit readout flip prob
+    /** Per-edge CX error, keyed by (min, max) qubit pair. */
+    std::map<std::pair<int, int>, double> error_cx;
+    /** Per-edge CX duration in ns. */
+    std::map<std::pair<int, int>, double> duration_cx;
+
+    double cx_error(int a, int b) const;
+    double cx_duration(int a, int b) const;
+};
+
+/** A topology plus its calibration. */
+struct Backend
+{
+    std::string name;
+    CouplingMap coupling;
+    Calibration calibration;
+};
+
+/** 27-qubit heavy-hex lattice of ibmq_montreal. */
+Backend montreal_backend();
+
+/** Linear nearest-neighbour chain. */
+Backend linear_backend(int n = 25);
+
+/** rows x cols 2D grid. */
+Backend grid_backend(int rows = 5, int cols = 5);
+
+/** Fully connected device (routing becomes a no-op). */
+Backend fully_connected_backend(int n);
+
+/**
+ * Noise-aware all-pairs distance matrix (paper eq. 3):
+ * edge weight alpha1 * eps_hat + alpha2 * T_hat + alpha3, with eps/T
+ * normalized by their maxima, expanded to all pairs by shortest path.
+ * With (alpha1, alpha2, alpha3) = (0, 0, 1) this reduces to hop distance.
+ */
+std::vector<std::vector<double>>
+noise_aware_distance(const Backend &backend, double alpha1 = 0.5,
+                     double alpha2 = 0.0, double alpha3 = 0.5);
+
+/** Plain hop-distance matrix as doubles (the SABRE default). */
+std::vector<std::vector<double>> hop_distance(const CouplingMap &cm);
+
+} // namespace nassc
+
+#endif // NASSC_TOPO_BACKENDS_H

@@ -1,0 +1,73 @@
+#include "nassc/topo/coupling_map.h"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+
+namespace nassc {
+
+CouplingMap::CouplingMap(int num_qubits,
+                         std::vector<std::pair<int, int>> edges)
+    : num_qubits_(num_qubits)
+{
+    adj_.assign(num_qubits, std::vector<bool>(num_qubits, false));
+    nbrs_.assign(num_qubits, {});
+    for (auto [a, b] : edges) {
+        if (a < 0 || b < 0 || a >= num_qubits || b >= num_qubits)
+            throw std::out_of_range("coupling edge outside register");
+        if (a == b)
+            throw std::invalid_argument("self-loop in coupling map");
+        if (a > b)
+            std::swap(a, b);
+        if (adj_[a][b])
+            continue;
+        adj_[a][b] = adj_[b][a] = true;
+        edges_.emplace_back(a, b);
+        nbrs_[a].push_back(b);
+        nbrs_[b].push_back(a);
+    }
+    for (auto &n : nbrs_)
+        std::sort(n.begin(), n.end());
+    std::sort(edges_.begin(), edges_.end());
+
+    // BFS all-pairs distances.
+    const int inf = num_qubits + 1;
+    dist_.assign(num_qubits, std::vector<int>(num_qubits, inf));
+    for (int s = 0; s < num_qubits; ++s) {
+        dist_[s][s] = 0;
+        std::queue<int> q;
+        q.push(s);
+        while (!q.empty()) {
+            int u = q.front();
+            q.pop();
+            for (int v : nbrs_[u]) {
+                if (dist_[s][v] > dist_[s][u] + 1) {
+                    dist_[s][v] = dist_[s][u] + 1;
+                    q.push(v);
+                }
+            }
+        }
+    }
+}
+
+int
+CouplingMap::diameter() const
+{
+    int d = 0;
+    for (int i = 0; i < num_qubits_; ++i)
+        for (int j = 0; j < num_qubits_; ++j)
+            d = std::max(d, dist_[i][j]);
+    return d;
+}
+
+bool
+CouplingMap::is_connected_graph() const
+{
+    for (int i = 0; i < num_qubits_; ++i)
+        for (int j = 0; j < num_qubits_; ++j)
+            if (dist_[i][j] > num_qubits_)
+                return false;
+    return true;
+}
+
+} // namespace nassc

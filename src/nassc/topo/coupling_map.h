@@ -1,0 +1,57 @@
+#ifndef NASSC_TOPO_COUPLING_MAP_H
+#define NASSC_TOPO_COUPLING_MAP_H
+
+/**
+ * @file
+ * Undirected device-connectivity graph with all-pairs hop distances.
+ */
+
+#include <utility>
+#include <vector>
+
+namespace nassc {
+
+/** Qubit connectivity of a backend. */
+class CouplingMap
+{
+  public:
+    CouplingMap() = default;
+
+    /** Build from an undirected edge list (duplicates are ignored). */
+    CouplingMap(int num_qubits, std::vector<std::pair<int, int>> edges);
+
+    int num_qubits() const { return num_qubits_; }
+
+    /** Unique undirected edges with a < b. */
+    const std::vector<std::pair<int, int>> &edges() const { return edges_; }
+
+    bool connected(int a, int b) const { return adj_[a][b]; }
+
+    const std::vector<int> &neighbors(int q) const { return nbrs_[q]; }
+
+    /** Hop distance (BFS); throws if the graph is disconnected. */
+    int distance(int a, int b) const { return dist_[a][b]; }
+
+    /** All-pairs hop distance matrix. */
+    const std::vector<std::vector<int>> &distance_matrix() const
+    {
+        return dist_;
+    }
+
+    /** Longest shortest path in the graph. */
+    int diameter() const;
+
+    /** True when every qubit can reach every other. */
+    bool is_connected_graph() const;
+
+  private:
+    int num_qubits_ = 0;
+    std::vector<std::pair<int, int>> edges_;
+    std::vector<std::vector<bool>> adj_;
+    std::vector<std::vector<int>> nbrs_;
+    std::vector<std::vector<int>> dist_;
+};
+
+} // namespace nassc
+
+#endif // NASSC_TOPO_COUPLING_MAP_H

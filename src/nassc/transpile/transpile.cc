@@ -1,0 +1,130 @@
+#include "nassc/transpile/transpile.h"
+
+#include <chrono>
+
+#include "nassc/passes/basis_translation.h"
+#include "nassc/passes/cancellation.h"
+#include "nassc/passes/collect_blocks.h"
+#include "nassc/passes/decompose_swaps.h"
+#include "nassc/passes/optimize_1q.h"
+
+namespace nassc {
+
+namespace {
+
+/** Post-routing optimization loop (paper Fig. 2 "optimization" stage). */
+void
+optimization_loop(QuantumCircuit &qc, int rounds)
+{
+    int last_size = -1;
+    for (int r = 0; r < rounds; ++r) {
+        run_optimize_1q(qc, Basis1q::kZsx);
+        run_commutative_cancellation_to_fixpoint(qc);
+        consolidate_2q_blocks(qc, Basis1q::kZsx);
+        // Consolidation can emit non-basis 1q gates; normalize.
+        qc = translate_to_basis(qc);
+        run_optimize_1q(qc, Basis1q::kZsx);
+        int size = static_cast<int>(qc.size());
+        if (size == last_size)
+            break;
+        last_size = size;
+    }
+}
+
+} // namespace
+
+TranspileResult
+transpile(const QuantumCircuit &qc, const Backend &backend,
+          const TranspileOptions &opts)
+{
+    auto t0 = std::chrono::steady_clock::now();
+
+    // 1. Lower to <= 2q gates.
+    QuantumCircuit c = decompose_to_2q(qc);
+
+    // 2. Pre-routing optimization: canonicalize 1q runs and 2q blocks so
+    //    the router's C2q estimates see concise block unitaries.
+    run_optimize_1q(c, Basis1q::kUGate);
+    consolidate_2q_blocks(c, Basis1q::kUGate);
+
+    // 3. Distance matrix: plain hops, or the HA noise-aware variant.
+    std::vector<std::vector<double>> dist =
+        opts.noise_aware ? noise_aware_distance(backend)
+                         : hop_distance(backend.coupling);
+
+    // 4. Initial layout (shared between SABRE and NASSC, paper Sec. IV-A).
+    RoutingOptions ropts;
+    ropts.algorithm = opts.router;
+    ropts.extended_size = opts.extended_size;
+    ropts.extended_weight = opts.extended_weight;
+    ropts.enable_c2q = opts.enable_c2q;
+    ropts.enable_commute1 = opts.enable_commute1;
+    ropts.enable_commute2 = opts.enable_commute2;
+    ropts.use_decay = opts.use_decay;
+    ropts.seed = opts.seed;
+
+    Layout initial = sabre_initial_layout(c, backend.coupling, dist, ropts,
+                                          opts.layout_iterations);
+
+    // 5. Routing.
+    RoutingResult routed =
+        route_circuit(c, backend.coupling, dist, initial, ropts);
+
+    QuantumCircuit phys = std::move(routed.circuit);
+
+    // 6. SWAP handling.
+    if (opts.router == RoutingAlgorithm::kNassc) {
+        // Give block resynthesis a chance to absorb whole SWAPs (C2q),
+        // then expand the remaining SWAPs with their orientation flags.
+        consolidate_2q_blocks(phys, Basis1q::kUGate);
+        decompose_swaps(phys, opts.orientation_aware_decomposition);
+    } else {
+        // Qiskit+SABRE: fixed decomposition at the routing step.
+        decompose_swaps(phys, /*orientation_aware=*/false);
+    }
+
+    // 7. Basis translation + optimization loop.
+    phys = translate_to_basis(phys);
+    optimization_loop(phys, opts.opt_loop_rounds);
+
+    auto t1 = std::chrono::steady_clock::now();
+
+    TranspileResult res;
+    res.circuit = std::move(phys);
+    res.initial_l2p = std::move(routed.initial_l2p);
+    res.final_l2p = std::move(routed.final_l2p);
+    res.routing_stats = routed.stats;
+    res.cx_total = res.circuit.cx_count();
+    res.depth = res.circuit.depth();
+    res.seconds = std::chrono::duration<double>(t1 - t0).count();
+    return res;
+}
+
+TranspileResult
+optimize_only(const QuantumCircuit &qc)
+{
+    auto t0 = std::chrono::steady_clock::now();
+
+    QuantumCircuit c = decompose_to_2q(qc);
+    run_optimize_1q(c, Basis1q::kUGate);
+    consolidate_2q_blocks(c, Basis1q::kUGate);
+    c = translate_to_basis(c);
+    optimization_loop(c, 4);
+
+    auto t1 = std::chrono::steady_clock::now();
+
+    TranspileResult res;
+    res.circuit = std::move(c);
+    res.initial_l2p.resize(qc.num_qubits());
+    res.final_l2p.resize(qc.num_qubits());
+    for (int i = 0; i < qc.num_qubits(); ++i) {
+        res.initial_l2p[i] = i;
+        res.final_l2p[i] = i;
+    }
+    res.cx_total = res.circuit.cx_count();
+    res.depth = res.circuit.depth();
+    res.seconds = std::chrono::duration<double>(t1 - t0).count();
+    return res;
+}
+
+} // namespace nassc

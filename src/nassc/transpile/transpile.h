@@ -1,0 +1,71 @@
+#ifndef NASSC_TRANSPILE_TRANSPILE_H
+#define NASSC_TRANSPILE_TRANSPILE_H
+
+/**
+ * @file
+ * End-to-end transpilation pipelines.
+ *
+ * transpile() mirrors the paper's Fig. 5 flow:
+ *
+ *   decompose -> pre-routing optimization (Optimize1qGates,
+ *   Collect2qBlocks resynthesis, commutation analysis happens inside the
+ *   router) -> SabreLayout -> routing (SABRE or NASSC) -> [NASSC only:
+ *   consolidate blocks including SWAPs, flag-aware SWAP decomposition] ->
+ *   basis translation -> optimization loop (Optimize1qGates,
+ *   CommutativeCancellation, Collect2qBlocks) to fixpoint.
+ *
+ * optimize_only() is the "original circuit optimized by Qiskit" baseline
+ * of Tables I-IV: the same pipeline on a fully connected device (no
+ * routing), used to compute CNOT_add = CNOT_total - CNOT_baseline.
+ */
+
+#include "nassc/ir/circuit.h"
+#include "nassc/route/sabre.h"
+#include "nassc/topo/backends.h"
+
+namespace nassc {
+
+/** Transpiler configuration (paper Sec. V defaults). */
+struct TranspileOptions
+{
+    RoutingAlgorithm router = RoutingAlgorithm::kNassc;
+    unsigned seed = 0;
+    bool noise_aware = false; ///< HA distance matrix (eq. 3), Sec. VI-D
+    /** b_k switches of the three NASSC optimizations (Fig. 9). */
+    bool enable_c2q = true;
+    bool enable_commute1 = true;
+    bool enable_commute2 = true;
+    int extended_size = 20;       ///< |E|
+    double extended_weight = 0.5; ///< W
+    int layout_iterations = 3;    ///< reverse-traversal rounds
+    int opt_loop_rounds = 4;      ///< post-routing optimization loop cap
+    /** Ablation switch: honour SWAP orientation flags when expanding
+     *  SWAPs (NASSC Sec. IV-E).  Disabling isolates the contribution of
+     *  the optimization-aware cost function alone. */
+    bool orientation_aware_decomposition = true;
+    /** Ablation switch: SABRE decay factor in the router. */
+    bool use_decay = true;
+};
+
+/** Transpilation output and metrics. */
+struct TranspileResult
+{
+    QuantumCircuit circuit; ///< {rz, sx, x, cx} circuit on device wires
+    std::vector<int> initial_l2p;
+    std::vector<int> final_l2p;
+    RoutingStats routing_stats;
+    int cx_total = 0;
+    int depth = 0;
+    double seconds = 0.0;
+};
+
+/** Full pipeline against a backend. */
+TranspileResult transpile(const QuantumCircuit &qc, const Backend &backend,
+                          const TranspileOptions &opts = {});
+
+/** Optimization-only baseline (full connectivity, no routing). */
+TranspileResult optimize_only(const QuantumCircuit &qc);
+
+} // namespace nassc
+
+#endif // NASSC_TRANSPILE_TRANSPILE_H

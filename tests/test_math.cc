@@ -1,0 +1,256 @@
+// Unit tests for the small complex-matrix layer and the 1-qubit
+// decompositions.
+
+#include <cmath>
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "nassc/math/complex_mat.h"
+#include "nassc/math/eig.h"
+#include "nassc/math/su2.h"
+
+namespace nassc {
+namespace {
+
+Mat2
+random_su2(std::mt19937 &rng)
+{
+    std::uniform_real_distribution<double> ang(0.0, 2.0 * M_PI);
+    Mat2 m = mul(rz_gate(ang(rng)), mul(ry_gate(ang(rng)), rz_gate(ang(rng))));
+    return m;
+}
+
+TEST(Mat2, IdentityAndMul)
+{
+    Mat2 i = Mat2::identity();
+    Mat2 x = pauli_x();
+    EXPECT_TRUE(approx_equal(mul(i, x), x));
+    EXPECT_TRUE(approx_equal(mul(x, x), i));
+}
+
+TEST(Mat2, PauliAlgebra)
+{
+    // XY = iZ, YZ = iX, ZX = iY.
+    Cx i(0.0, 1.0);
+    EXPECT_TRUE(approx_equal(mul(pauli_x(), pauli_y()),
+                             scale(pauli_z(), i)));
+    EXPECT_TRUE(approx_equal(mul(pauli_y(), pauli_z()),
+                             scale(pauli_x(), i)));
+    EXPECT_TRUE(approx_equal(mul(pauli_z(), pauli_x()),
+                             scale(pauli_y(), i)));
+}
+
+TEST(Mat2, SxSquaredIsX)
+{
+    EXPECT_TRUE(equal_up_to_phase(mul(sx_gate(), sx_gate()), pauli_x()));
+    EXPECT_FALSE(equal_up_to_phase(sx_gate(), pauli_x()));
+}
+
+TEST(Mat2, HadamardConjugatesXZ)
+{
+    Mat2 h = hadamard();
+    EXPECT_TRUE(approx_equal(mul(h, mul(pauli_x(), h)), pauli_z()));
+    EXPECT_TRUE(approx_equal(mul(h, mul(pauli_z(), h)), pauli_x()));
+}
+
+TEST(Mat2, SConjugatesXToY)
+{
+    Mat2 s = s_gate();
+    EXPECT_TRUE(approx_equal(mul(s, mul(pauli_x(), adjoint(s))), pauli_y()));
+}
+
+TEST(Mat2, RotationsAreUnitary)
+{
+    for (double t : {0.0, 0.3, 1.0, M_PI, 5.0}) {
+        EXPECT_TRUE(is_unitary(rx_gate(t)));
+        EXPECT_TRUE(is_unitary(ry_gate(t)));
+        EXPECT_TRUE(is_unitary(rz_gate(t)));
+        EXPECT_TRUE(is_unitary(u3_gate(t, 0.4, 1.1)));
+    }
+}
+
+TEST(Mat2, RzIsPhaseUpToGlobalPhase)
+{
+    EXPECT_TRUE(equal_up_to_phase(rz_gate(0.7), phase_gate(0.7)));
+}
+
+TEST(Mat2, DetAndTrace)
+{
+    EXPECT_NEAR(std::abs(det(hadamard()) - Cx(-1.0, 0.0)), 0.0, 1e-12);
+    EXPECT_NEAR(std::abs(trace(pauli_x())), 0.0, 1e-12);
+}
+
+TEST(Mat4, TensorConvention)
+{
+    // tensor2(X, I) must act on bit 0: it maps |b1 b0> -> |b1, !b0>,
+    // i.e. swaps indices 0<->1 and 2<->3.
+    Mat4 xi = tensor2(pauli_x(), pauli_i());
+    EXPECT_EQ(xi(1, 0), Cx(1.0, 0.0));
+    EXPECT_EQ(xi(0, 1), Cx(1.0, 0.0));
+    EXPECT_EQ(xi(3, 2), Cx(1.0, 0.0));
+    EXPECT_EQ(xi(2, 3), Cx(1.0, 0.0));
+    EXPECT_EQ(xi(0, 0), Cx(0.0, 0.0));
+
+    Mat4 ix = tensor2(pauli_i(), pauli_x());
+    EXPECT_EQ(ix(2, 0), Cx(1.0, 0.0));
+    EXPECT_EQ(ix(3, 1), Cx(1.0, 0.0));
+}
+
+TEST(Mat4, CxActsOnBasisStates)
+{
+    // Control = bit 0: |c=1, t=0> (index 1) -> |c=1, t=1> (index 3).
+    Mat4 cx = cx_mat();
+    EXPECT_EQ(cx(3, 1), Cx(1.0, 0.0));
+    EXPECT_EQ(cx(1, 3), Cx(1.0, 0.0));
+    EXPECT_EQ(cx(0, 0), Cx(1.0, 0.0));
+    EXPECT_EQ(cx(2, 2), Cx(1.0, 0.0));
+    EXPECT_TRUE(is_unitary(cx));
+}
+
+TEST(Mat4, SwapEqualsThreeCx)
+{
+    Mat4 prod = mul(cx_mat(), mul(cx_rev_mat(), cx_mat()));
+    EXPECT_TRUE(approx_equal(prod, swap_mat()));
+    Mat4 prod2 = mul(cx_rev_mat(), mul(cx_mat(), cx_rev_mat()));
+    EXPECT_TRUE(approx_equal(prod2, swap_mat()));
+}
+
+TEST(Mat4, CzSymmetricUnderConjugationBySwap)
+{
+    Mat4 sw = swap_mat();
+    EXPECT_TRUE(approx_equal(mul(sw, mul(cz_mat(), sw)), cz_mat()));
+}
+
+TEST(Mat4, DetOfKnownMatrices)
+{
+    EXPECT_NEAR(std::abs(det(cx_mat()) - Cx(-1.0, 0.0)), 0.0, 1e-12);
+    EXPECT_NEAR(std::abs(det(swap_mat()) - Cx(-1.0, 0.0)), 0.0, 1e-12);
+    EXPECT_NEAR(std::abs(det(Mat4::identity()) - Cx(1.0, 0.0)), 0.0, 1e-12);
+}
+
+TEST(Mat4, TensorOfUnitariesIsUnitary)
+{
+    std::mt19937 rng(7);
+    for (int i = 0; i < 20; ++i) {
+        Mat4 m = tensor2(random_su2(rng), random_su2(rng));
+        EXPECT_TRUE(is_unitary(m));
+        EXPECT_NEAR(std::abs(det(m) - Cx(1.0, 0.0)), 0.0, 1e-9);
+    }
+}
+
+TEST(MatN, IdentityMul)
+{
+    MatN a = MatN::identity(8);
+    EXPECT_TRUE(is_unitary(a));
+    EXPECT_NEAR(frobenius_distance(mul(a, a), a), 0.0, 1e-12);
+}
+
+TEST(Eig, DiagonalizesKnownMatrix)
+{
+    // A = diag(1, 2, 3, 4) conjugated by a rotation in the (0,1) plane.
+    RMat4 a{};
+    a[0] = 1.5;
+    a[1] = 0.5;
+    a[4] = 0.5;
+    a[5] = 1.5;
+    a[10] = 3.0;
+    a[15] = 4.0;
+    RMat4 v;
+    std::array<double, 4> w;
+    jacobi_eig_sym4(a, v, w);
+    EXPECT_NEAR(w[0], 1.0, 1e-10);
+    EXPECT_NEAR(w[1], 2.0, 1e-10);
+    EXPECT_NEAR(w[2], 3.0, 1e-10);
+    EXPECT_NEAR(w[3], 4.0, 1e-10);
+}
+
+TEST(Eig, ReconstructsRandomSymmetric)
+{
+    std::mt19937 rng(3);
+    std::uniform_real_distribution<double> d(-1.0, 1.0);
+    for (int trial = 0; trial < 50; ++trial) {
+        RMat4 a{};
+        for (int i = 0; i < 4; ++i)
+            for (int j = i; j < 4; ++j) {
+                double x = d(rng);
+                a[4 * i + j] = x;
+                a[4 * j + i] = x;
+            }
+        RMat4 v;
+        std::array<double, 4> w;
+        jacobi_eig_sym4(a, v, w);
+        // Check A V = V diag(w).
+        for (int col = 0; col < 4; ++col) {
+            for (int r = 0; r < 4; ++r) {
+                double av = 0.0;
+                for (int k = 0; k < 4; ++k)
+                    av += a[4 * r + k] * v[4 * k + col];
+                EXPECT_NEAR(av, w[col] * v[4 * r + col], 1e-9);
+            }
+        }
+        // Eigenvalues sorted.
+        EXPECT_LE(w[0], w[1]);
+        EXPECT_LE(w[1], w[2]);
+        EXPECT_LE(w[2], w[3]);
+    }
+}
+
+TEST(Eig, Det4)
+{
+    RMat4 i{};
+    for (int k = 0; k < 4; ++k)
+        i[5 * k] = 1.0;
+    EXPECT_NEAR(det4(i), 1.0, 1e-12);
+    i[0] = 2.0;
+    EXPECT_NEAR(det4(i), 2.0, 1e-12);
+}
+
+TEST(EulerZyz, RoundTripRandom)
+{
+    std::mt19937 rng(11);
+    std::uniform_real_distribution<double> d(-1.0, 1.0);
+    for (int trial = 0; trial < 100; ++trial) {
+        // Random unitary with random global phase.
+        Mat2 u = random_su2(rng);
+        u = scale(u, std::exp(Cx(0.0, d(rng) * 3.0)));
+        EulerZyz e = euler_zyz(u);
+        Mat2 r = from_euler_zyz(e);
+        EXPECT_LT(frobenius_distance(u, r), 1e-9) << to_string(u);
+    }
+}
+
+TEST(EulerZyz, HandlesDiagonal)
+{
+    EulerZyz e = euler_zyz(rz_gate(0.8));
+    EXPECT_NEAR(e.theta, 0.0, 1e-12);
+    Mat2 r = from_euler_zyz(e);
+    EXPECT_LT(frobenius_distance(rz_gate(0.8), r), 1e-10);
+}
+
+TEST(EulerZyz, HandlesAntiDiagonal)
+{
+    EulerZyz e = euler_zyz(pauli_x());
+    EXPECT_NEAR(e.theta, M_PI, 1e-12);
+    Mat2 r = from_euler_zyz(e);
+    EXPECT_LT(frobenius_distance(pauli_x(), r), 1e-10);
+}
+
+TEST(EulerZyz, IdentityGivesZeroAngles)
+{
+    EulerZyz e = euler_zyz(Mat2::identity());
+    EXPECT_NEAR(e.theta, 0.0, 1e-12);
+    EXPECT_NEAR(std::fmod(std::abs(e.phi + e.lam), 2.0 * M_PI), 0.0, 1e-9);
+}
+
+TEST(DistanceFromIdentity, Basics)
+{
+    EXPECT_NEAR(distance_from_identity(Mat2::identity()), 0.0, 1e-12);
+    EXPECT_NEAR(distance_from_identity(scale(Mat2::identity(),
+                                             std::exp(Cx(0.0, 1.3)))),
+                0.0, 1e-12);
+    EXPECT_GT(distance_from_identity(pauli_x()), 0.5);
+}
+
+} // namespace
+} // namespace nassc

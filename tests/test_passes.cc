@@ -1,0 +1,456 @@
+// Tests for the optimization passes: basis translation, block
+// collection/consolidation, commutation analysis, commutative
+// cancellation, and SWAP decomposition.
+
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "nassc/circuits/library.h"
+#include "nassc/passes/basis_translation.h"
+#include "nassc/passes/cancellation.h"
+#include "nassc/passes/collect_blocks.h"
+#include "nassc/passes/commutation.h"
+#include "nassc/passes/decompose_swaps.h"
+#include "nassc/passes/optimize_1q.h"
+#include "nassc/sim/unitary.h"
+
+namespace nassc {
+namespace {
+
+// ---- basis translation ------------------------------------------------------
+
+TEST(BasisTranslation, DecomposesToffoli)
+{
+    QuantumCircuit qc(3);
+    qc.ccx(0, 1, 2);
+    QuantumCircuit low = decompose_to_2q(qc);
+    for (const Gate &g : low.gates())
+        EXPECT_LE(g.num_qubits(), 2);
+    EXPECT_TRUE(circuits_equivalent(qc, low));
+}
+
+TEST(BasisTranslation, DecomposesMcxThroughCcx)
+{
+    QuantumCircuit qc(6);
+    qc.mcx({0, 1, 2, 3}, 4);
+    QuantumCircuit low = decompose_to_2q(qc);
+    for (const Gate &g : low.gates())
+        EXPECT_LE(g.num_qubits(), 2);
+    EXPECT_TRUE(circuits_equivalent(qc, low));
+}
+
+TEST(BasisTranslation, TranslatesToIbmBasis)
+{
+    QuantumCircuit qc(3);
+    qc.h(0);
+    qc.t(1);
+    qc.cz(0, 1);
+    qc.cp(0.3, 1, 2);
+    qc.swap(0, 2);
+    qc.rzz(0.5, 0, 1);
+    QuantumCircuit basis = translate_to_basis(qc);
+    EXPECT_TRUE(is_basis_circuit(basis));
+    EXPECT_TRUE(circuits_equivalent(qc, basis));
+}
+
+TEST(BasisTranslation, CzCostsOneCx)
+{
+    QuantumCircuit qc(2);
+    qc.cz(0, 1);
+    QuantumCircuit basis = translate_to_basis(qc);
+    EXPECT_EQ(basis.cx_count(), 1);
+}
+
+TEST(BasisTranslation, CpCostsTwoCx)
+{
+    QuantumCircuit qc(2);
+    qc.cp(0.4, 0, 1);
+    QuantumCircuit basis = translate_to_basis(qc);
+    EXPECT_EQ(basis.cx_count(), 2);
+}
+
+TEST(BasisTranslation, PreservesMeasure)
+{
+    QuantumCircuit qc(1);
+    qc.h(0);
+    qc.measure(0);
+    QuantumCircuit basis = translate_to_basis(qc);
+    EXPECT_EQ(basis.count(OpKind::kMeasure), 1);
+}
+
+// ---- block collection -------------------------------------------------------
+
+TEST(CollectBlocks, SingleBlock)
+{
+    QuantumCircuit qc(2);
+    qc.h(0);
+    qc.cx(0, 1);
+    qc.t(1);
+    qc.cx(0, 1);
+    auto blocks = collect_2q_blocks(qc);
+    ASSERT_EQ(blocks.size(), 1u);
+    EXPECT_EQ(blocks[0].q0, 0);
+    EXPECT_EQ(blocks[0].q1, 1);
+    EXPECT_EQ(blocks[0].gate_indices.size(), 4u);
+    EXPECT_EQ(blocks[0].num_2q, 2);
+}
+
+TEST(CollectBlocks, BrokenByThirdWire)
+{
+    QuantumCircuit qc(3);
+    qc.cx(0, 1);
+    qc.cx(1, 2); // touches wire 1 -> closes first block
+    qc.cx(0, 1);
+    auto blocks = collect_2q_blocks(qc);
+    ASSERT_EQ(blocks.size(), 3u);
+}
+
+TEST(CollectBlocks, BrokenByBarrier)
+{
+    QuantumCircuit qc(2);
+    qc.cx(0, 1);
+    qc.barrier();
+    qc.cx(0, 1);
+    auto blocks = collect_2q_blocks(qc);
+    ASSERT_EQ(blocks.size(), 2u);
+}
+
+TEST(Consolidate, CancelsDoubleCx)
+{
+    QuantumCircuit qc(2);
+    qc.cx(0, 1);
+    qc.cx(0, 1);
+    auto stats = consolidate_2q_blocks(qc);
+    EXPECT_EQ(stats.blocks_replaced, 1);
+    EXPECT_EQ(qc.cx_count(), 0);
+}
+
+TEST(Consolidate, CompressesLongBlock)
+{
+    // Any block on one pair can be rewritten with <= 3 CNOTs.
+    QuantumCircuit qc(2);
+    for (int i = 0; i < 6; ++i) {
+        qc.cx(i % 2, 1 - i % 2);
+        qc.t(0);
+        qc.rx(0.3 + i, 1);
+    }
+    QuantumCircuit before = qc;
+    auto stats = consolidate_2q_blocks(qc);
+    EXPECT_EQ(stats.blocks_replaced, 1);
+    EXPECT_LE(qc.cx_count(), 3);
+    EXPECT_TRUE(circuits_equivalent(before, qc));
+}
+
+TEST(Consolidate, AbsorbsSwapIntoRichBlock)
+{
+    // Paper Sec. III: a SWAP following a 3-CNOT block is free.
+    QuantumCircuit qc(2);
+    qc.cx(0, 1);
+    qc.ry(0.4, 0);
+    qc.cx(1, 0);
+    qc.rz(0.7, 1);
+    qc.cx(0, 1);
+    qc.ry(1.1, 1);
+    qc.swap(0, 1);
+    QuantumCircuit before = qc;
+    consolidate_2q_blocks(qc);
+    EXPECT_LE(qc.cx_count() + 3 * qc.count(OpKind::kSwap), 3);
+    EXPECT_TRUE(circuits_equivalent(before, qc));
+}
+
+TEST(Consolidate, SwapPlusCnotCostsTwo)
+{
+    QuantumCircuit qc(2);
+    qc.cx(0, 1);
+    qc.swap(0, 1);
+    QuantumCircuit before = qc;
+    consolidate_2q_blocks(qc);
+    EXPECT_EQ(qc.cx_count() + 3 * qc.count(OpKind::kSwap), 2);
+    EXPECT_TRUE(circuits_equivalent(before, qc));
+}
+
+TEST(Consolidate, LeavesSingleCheapGates)
+{
+    QuantumCircuit qc(2);
+    qc.cx(0, 1);
+    auto stats = consolidate_2q_blocks(qc);
+    EXPECT_EQ(stats.blocks_replaced, 0);
+    EXPECT_EQ(qc.cx_count(), 1);
+}
+
+TEST(Consolidate, PreservesSemanticsOnBenchmarks)
+{
+    QuantumCircuit qc = decompose_to_2q(grover(4));
+    QuantumCircuit before = qc;
+    consolidate_2q_blocks(qc);
+    EXPECT_TRUE(circuits_equivalent(before, qc));
+    QuantumCircuit qc2 = qft(4);
+    QuantumCircuit before2 = qc2;
+    consolidate_2q_blocks(qc2);
+    EXPECT_TRUE(circuits_equivalent(before2, qc2));
+}
+
+// ---- commutation ------------------------------------------------------------
+
+TEST(Commutation, DisjointGatesCommute)
+{
+    EXPECT_TRUE(gates_commute(Gate::one_q(OpKind::kH, 0),
+                              Gate::one_q(OpKind::kX, 1)));
+}
+
+TEST(Commutation, CxSharingControlCommutes)
+{
+    EXPECT_TRUE(gates_commute(Gate::two_q(OpKind::kCX, 0, 1),
+                              Gate::two_q(OpKind::kCX, 0, 2)));
+}
+
+TEST(Commutation, CxSharingTargetCommutes)
+{
+    // The paper's Fig. 4 example.
+    EXPECT_TRUE(gates_commute(Gate::two_q(OpKind::kCX, 0, 2),
+                              Gate::two_q(OpKind::kCX, 1, 2)));
+}
+
+TEST(Commutation, CxControlMeetingTargetDoesNot)
+{
+    EXPECT_FALSE(gates_commute(Gate::two_q(OpKind::kCX, 0, 1),
+                               Gate::two_q(OpKind::kCX, 1, 2)));
+    EXPECT_FALSE(gates_commute(Gate::two_q(OpKind::kCX, 0, 1),
+                               Gate::two_q(OpKind::kCX, 1, 0)));
+}
+
+TEST(Commutation, RzOnControlCommutes)
+{
+    EXPECT_TRUE(gates_commute(Gate::one_q(OpKind::kRZ, 0, 0.3),
+                              Gate::two_q(OpKind::kCX, 0, 1)));
+    EXPECT_FALSE(gates_commute(Gate::one_q(OpKind::kRZ, 1, 0.3),
+                               Gate::two_q(OpKind::kCX, 0, 1)));
+}
+
+TEST(Commutation, XOnTargetCommutes)
+{
+    EXPECT_TRUE(gates_commute(Gate::one_q(OpKind::kX, 1),
+                              Gate::two_q(OpKind::kCX, 0, 1)));
+    EXPECT_FALSE(gates_commute(Gate::one_q(OpKind::kX, 0),
+                               Gate::two_q(OpKind::kCX, 0, 1)));
+}
+
+TEST(Commutation, MatrixFallbackCrx)
+{
+    // The controlled-Rx commutes with a CX sharing the control wire
+    // (paper Sec. IV-B example) ...
+    EXPECT_TRUE(gates_commute(Gate::two_q(OpKind::kCRX, 0, 1, 0.7),
+                              Gate::two_q(OpKind::kCX, 0, 2)));
+    // ... and with a CX sharing its *target* as the target.
+    EXPECT_TRUE(gates_commute(Gate::two_q(OpKind::kCRX, 0, 1, 0.7),
+                              Gate::two_q(OpKind::kCX, 2, 1)));
+}
+
+TEST(Commutation, AnalysisGroupsSets)
+{
+    QuantumCircuit qc(3);
+    qc.cx(0, 2); // 0
+    qc.cx(1, 2); // 1  (commutes with 0: shared target)
+    qc.h(2);     // 2  (breaks the set on wire 2)
+    qc.cx(0, 2); // 3
+    CommutationInfo info = analyze_commutation(qc);
+    EXPECT_EQ(info.set_of(2, 0), info.set_of(2, 1));
+    EXPECT_NE(info.set_of(2, 1), info.set_of(2, 3));
+    EXPECT_EQ(info.set_of(1, 1), 0);
+    EXPECT_EQ(info.set_of(2, 2), info.set_of(2, 2));
+}
+
+// ---- cancellation -----------------------------------------------------------
+
+TEST(Cancellation, AdjacentCxPair)
+{
+    QuantumCircuit qc(2);
+    qc.cx(0, 1);
+    qc.cx(0, 1);
+    EXPECT_EQ(run_commutative_cancellation(qc), 2);
+    EXPECT_EQ(qc.size(), 0u);
+}
+
+TEST(Cancellation, ThroughCommutingCx)
+{
+    // Paper Fig. 4: cx(0,2) cx(1,2) cx(0,2) -> cx(1,2).
+    QuantumCircuit qc(3);
+    qc.cx(0, 2);
+    qc.cx(1, 2);
+    qc.cx(0, 2);
+    QuantumCircuit before = qc;
+    run_commutative_cancellation(qc);
+    EXPECT_EQ(qc.cx_count(), 1);
+    EXPECT_TRUE(circuits_equivalent(before, qc));
+}
+
+TEST(Cancellation, BlockedByHadamard)
+{
+    QuantumCircuit qc(2);
+    qc.cx(0, 1);
+    qc.h(1);
+    qc.cx(0, 1);
+    run_commutative_cancellation(qc);
+    EXPECT_EQ(qc.cx_count(), 2);
+}
+
+TEST(Cancellation, NotBlockedByRzOnControl)
+{
+    QuantumCircuit qc(2);
+    qc.cx(0, 1);
+    qc.rz(0.4, 0);
+    qc.cx(0, 1);
+    QuantumCircuit before = qc;
+    run_commutative_cancellation(qc);
+    EXPECT_EQ(qc.cx_count(), 0);
+    EXPECT_TRUE(circuits_equivalent(before, qc));
+}
+
+TEST(Cancellation, MergesZRotations)
+{
+    QuantumCircuit qc(1);
+    qc.t(0);
+    qc.s(0);
+    qc.rz(0.25, 0);
+    QuantumCircuit before = qc;
+    run_commutative_cancellation(qc);
+    ASSERT_EQ(qc.size(), 1u);
+    EXPECT_EQ(qc.gate(0).kind, OpKind::kRZ);
+    EXPECT_NEAR(qc.gate(0).params[0], M_PI / 4 + M_PI / 2 + 0.25, 1e-12);
+    EXPECT_TRUE(circuits_equivalent(before, qc));
+}
+
+TEST(Cancellation, MergesZRotationsAcrossControl)
+{
+    // rz . cx . rz(-) on the control wire merges to nothing.
+    QuantumCircuit qc(2);
+    qc.rz(0.8, 0);
+    qc.cx(0, 1);
+    qc.rz(-0.8, 0);
+    QuantumCircuit before = qc;
+    run_commutative_cancellation(qc);
+    EXPECT_EQ(qc.size(), 1u);
+    EXPECT_TRUE(circuits_equivalent(before, qc));
+}
+
+TEST(Cancellation, HadamardPairThroughNothing)
+{
+    QuantumCircuit qc(1);
+    qc.h(0);
+    qc.h(0);
+    run_commutative_cancellation(qc);
+    EXPECT_EQ(qc.size(), 0u);
+}
+
+TEST(Cancellation, PreservesSemanticsRandom)
+{
+    std::mt19937 rng(5);
+    std::uniform_int_distribution<int> qd(0, 3), kd(0, 6);
+    std::uniform_real_distribution<double> ang(-M_PI, M_PI);
+    for (int trial = 0; trial < 10; ++trial) {
+        QuantumCircuit qc(4);
+        for (int i = 0; i < 40; ++i) {
+            switch (kd(rng)) {
+              case 0: qc.h(qd(rng)); break;
+              case 1: qc.t(qd(rng)); break;
+              case 2: qc.z(qd(rng)); break;
+              case 3: qc.rz(ang(rng), qd(rng)); break;
+              default: {
+                int a = qd(rng), b = qd(rng);
+                if (a == b)
+                    b = (b + 1) % 4;
+                qc.cx(a, b);
+              }
+            }
+        }
+        QuantumCircuit before = qc;
+        run_commutative_cancellation_to_fixpoint(qc);
+        EXPECT_TRUE(circuits_equivalent(before, qc)) << trial;
+        EXPECT_LE(qc.size(), before.size());
+    }
+}
+
+// ---- swap decomposition -----------------------------------------------------
+
+TEST(DecomposeSwaps, FixedTemplate)
+{
+    QuantumCircuit qc(2);
+    qc.swap(0, 1);
+    decompose_swaps(qc, false);
+    ASSERT_EQ(qc.size(), 3u);
+    EXPECT_EQ(qc.gate(0).qubits, std::vector<int>({0, 1}));
+    EXPECT_EQ(qc.gate(1).qubits, std::vector<int>({1, 0}));
+    EXPECT_EQ(qc.gate(2).qubits, std::vector<int>({0, 1}));
+    QuantumCircuit sw(2);
+    sw.swap(0, 1);
+    EXPECT_TRUE(circuits_equivalent(sw, qc));
+}
+
+TEST(DecomposeSwaps, OrientationAware)
+{
+    QuantumCircuit qc(2);
+    Gate sw = Gate::two_q(OpKind::kSwap, 0, 1);
+    sw.swap_orient = SwapOrient::kSecond;
+    qc.append(sw);
+    decompose_swaps(qc, true);
+    // First CNOT control must be operand 1.
+    EXPECT_EQ(qc.gate(0).qubits, std::vector<int>({1, 0}));
+    QuantumCircuit ref(2);
+    ref.swap(0, 1);
+    EXPECT_TRUE(circuits_equivalent(ref, qc));
+}
+
+TEST(DecomposeSwaps, FlagIgnoredWhenNotAware)
+{
+    QuantumCircuit qc(2);
+    Gate sw = Gate::two_q(OpKind::kSwap, 0, 1);
+    sw.swap_orient = SwapOrient::kSecond;
+    qc.append(sw);
+    decompose_swaps(qc, false);
+    EXPECT_EQ(qc.gate(0).qubits, std::vector<int>({0, 1}));
+}
+
+TEST(DecomposeSwaps, EnablesPaperCancellation)
+{
+    // cx(1,0) . swap(0,1) with the right orientation cancels down to
+    // 2 CNOTs after commutative cancellation (paper Fig. 7).
+    QuantumCircuit qc(2);
+    qc.cx(1, 0);
+    Gate sw = Gate::two_q(OpKind::kSwap, 0, 1);
+    sw.swap_orient = SwapOrient::kSecond; // first CNOT control = wire 1
+    qc.append(sw);
+    QuantumCircuit before = qc;
+    decompose_swaps(qc, true);
+    run_commutative_cancellation_to_fixpoint(qc);
+    EXPECT_EQ(qc.cx_count(), 2);
+
+    // The fixed orientation misses it.
+    QuantumCircuit qc2(2);
+    qc2.cx(1, 0);
+    qc2.swap(0, 1);
+    decompose_swaps(qc2, false);
+    run_commutative_cancellation_to_fixpoint(qc2);
+    EXPECT_EQ(qc2.cx_count(), 4);
+}
+
+TEST(Optimize1qPass, CollapsesInterleavedRuns)
+{
+    QuantumCircuit qc(2);
+    qc.h(0);
+    qc.t(0);
+    qc.h(0);
+    qc.cx(0, 1);
+    qc.s(1);
+    qc.sdg(1);
+    QuantumCircuit before = qc;
+    run_optimize_1q(qc, Basis1q::kZsx);
+    EXPECT_TRUE(circuits_equivalent(before, qc));
+    EXPECT_EQ(qc.cx_count(), 1);
+    // s(1) sdg(1) must vanish entirely.
+    for (const Gate &g : qc.gates())
+        EXPECT_NE(g.qubits[0] == 1 && g.num_qubits() == 1, true);
+}
+
+} // namespace
+} // namespace nassc

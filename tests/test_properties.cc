@@ -1,0 +1,256 @@
+// Cross-cutting property tests: pipeline invariants that must hold for
+// every benchmark, topology, router, and seed combination; pass
+// idempotence; determinism; serialization round trips.
+
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "nassc/circuits/library.h"
+#include "nassc/ir/qasm.h"
+#include "nassc/passes/basis_translation.h"
+#include "nassc/passes/cancellation.h"
+#include "nassc/passes/collect_blocks.h"
+#include "nassc/passes/optimize_1q.h"
+#include "nassc/sim/unitary.h"
+#include "nassc/sim/verify.h"
+#include "nassc/transpile/transpile.h"
+
+namespace nassc {
+namespace {
+
+bool
+respects_coupling(const QuantumCircuit &qc, const CouplingMap &cm)
+{
+    for (const Gate &g : qc.gates())
+        if (g.num_qubits() == 2 && is_unitary_op(g.kind) &&
+            !cm.connected(g.qubits[0], g.qubits[1]))
+            return false;
+    return true;
+}
+
+Backend
+backend_by_id(int id)
+{
+    switch (id) {
+      case 0: return linear_backend(25);
+      case 1: return grid_backend(5, 5);
+      default: return montreal_backend();
+    }
+}
+
+// ---- full-pipeline invariants over the benchmark suite ----------------------
+
+class PipelineInvariants
+    : public ::testing::TestWithParam<std::tuple<int, int>>
+{
+};
+
+TEST_P(PipelineInvariants, CouplingBasisAndCounts)
+{
+    auto [backend_id, router] = GetParam();
+    Backend dev = backend_by_id(backend_id);
+    for (const BenchmarkCase &bc : table_benchmarks()) {
+        // Keep the sweep fast: skip the two deepest circuits here.
+        if (bc.name == "sym9_193" || bc.name == "co14_215")
+            continue;
+        if (bc.circuit.num_qubits() > dev.coupling.num_qubits())
+            continue;
+        TranspileOptions opts;
+        opts.router = static_cast<RoutingAlgorithm>(router);
+        TranspileResult res = transpile(bc.circuit, dev, opts);
+        EXPECT_TRUE(respects_coupling(res.circuit, dev.coupling))
+            << bc.name;
+        EXPECT_TRUE(is_basis_circuit(res.circuit)) << bc.name;
+        EXPECT_EQ(res.cx_total, res.circuit.cx_count()) << bc.name;
+        // Additional CNOTs can never be negative vs the same optimizer
+        // without routing.
+        TranspileResult base = optimize_only(bc.circuit);
+        EXPECT_GE(res.cx_total + 2, base.cx_total) << bc.name;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, PipelineInvariants,
+                         ::testing::Combine(::testing::Values(0, 1, 2),
+                                            ::testing::Values(0, 1)));
+
+class SmallEquivalence : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(SmallEquivalence, VerifiedOnAllTopologies)
+{
+    int router = GetParam();
+    std::vector<std::pair<std::string, QuantumCircuit>> cases = {
+        {"grover_n4", grover(4)},
+        {"qft_n5", qft(5)},
+        {"adder_bits2", cuccaro_adder(2)},
+        {"mod5d2", mod5d2_64()},
+        {"decod24", decod24_v2_43()},
+        {"ghz6", ghz(6)},
+        {"qaoa6", qaoa_maxcut(6, 1, 2)},
+        {"vqe_lin5", vqe_linear(5, 2, 9)},
+    };
+    for (int backend_id = 0; backend_id < 3; ++backend_id) {
+        Backend dev = backend_by_id(backend_id);
+        for (auto &[name, logical] : cases) {
+            TranspileOptions opts;
+            opts.router = static_cast<RoutingAlgorithm>(router);
+            TranspileResult res = transpile(logical, dev, opts);
+            EXPECT_TRUE(verify_transpilation(logical, res))
+                << name << " on " << dev.name << " router=" << router;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Routers, SmallEquivalence, ::testing::Values(0, 1));
+
+// ---- determinism -------------------------------------------------------------
+
+TEST(Determinism, SameSeedSameResult)
+{
+    Backend dev = montreal_backend();
+    QuantumCircuit logical = qft(10);
+    TranspileOptions opts;
+    opts.router = RoutingAlgorithm::kNassc;
+    opts.seed = 17;
+    TranspileResult a = transpile(logical, dev, opts);
+    TranspileResult b = transpile(logical, dev, opts);
+    EXPECT_EQ(a.cx_total, b.cx_total);
+    EXPECT_EQ(a.depth, b.depth);
+    EXPECT_EQ(a.initial_l2p, b.initial_l2p);
+    ASSERT_EQ(a.circuit.size(), b.circuit.size());
+    for (size_t i = 0; i < a.circuit.size(); ++i)
+        EXPECT_TRUE(a.circuit.gate(i) == b.circuit.gate(i));
+}
+
+TEST(Determinism, DifferentSeedsUsuallyDiffer)
+{
+    Backend dev = montreal_backend();
+    QuantumCircuit logical = qft(10);
+    std::set<std::vector<int>> layouts;
+    for (unsigned s = 0; s < 4; ++s) {
+        TranspileOptions opts;
+        opts.seed = s;
+        layouts.insert(transpile(logical, dev, opts).initial_l2p);
+    }
+    EXPECT_GT(layouts.size(), 1u);
+}
+
+// ---- pass idempotence --------------------------------------------------------
+
+TEST(Idempotence, Optimize1q)
+{
+    QuantumCircuit qc = random_su4_circuit(4, 2, 3);
+    run_optimize_1q(qc, Basis1q::kZsx);
+    QuantumCircuit once = qc;
+    run_optimize_1q(qc, Basis1q::kZsx);
+    EXPECT_EQ(once.size(), qc.size());
+}
+
+TEST(Idempotence, CancellationFixpointStable)
+{
+    QuantumCircuit qc = decompose_to_2q(grover(5));
+    qc = translate_to_basis(qc);
+    run_commutative_cancellation_to_fixpoint(qc);
+    size_t size = qc.size();
+    EXPECT_EQ(run_commutative_cancellation(qc), 0);
+    EXPECT_EQ(qc.size(), size);
+}
+
+TEST(Idempotence, ConsolidateConvergesQuickly)
+{
+    // A consolidation round can expose follow-up merges (replacement
+    // circuits anchor at the block end), so the pass is run in a loop by
+    // the pipeline; it must converge within a few rounds and never grow
+    // the CX count.
+    QuantumCircuit qc = random_su4_circuit(5, 3, 7);
+    QuantumCircuit before = qc;
+    int last_cx = qc.cx_count();
+    bool stable = false;
+    for (int round = 0; round < 4; ++round) {
+        ConsolidateStats stats = consolidate_2q_blocks(qc);
+        EXPECT_LE(qc.cx_count(), last_cx);
+        last_cx = qc.cx_count();
+        if (stats.blocks_replaced == 0) {
+            stable = true;
+            break;
+        }
+    }
+    EXPECT_TRUE(stable);
+    EXPECT_TRUE(circuits_equivalent(before, qc));
+}
+
+// ---- serialization across the whole library ---------------------------------
+
+TEST(QasmRoundTrip, AllSmallBenchmarks)
+{
+    std::vector<std::pair<std::string, QuantumCircuit>> cases = {
+        {"grover_n4", grover(4)},
+        {"bv_n5", bernstein_vazirani(5, 0b1011)},
+        {"qft_n4", qft(4)},
+        {"qpe_n4", qpe(4)},
+        {"adder", cuccaro_adder(1)},
+        {"mod5mils", mod5mils_65()},
+        {"decod24", decod24_v2_43()},
+        {"ghz", ghz(4)},
+        {"qaoa", qaoa_maxcut(4, 1, 1)},
+    };
+    for (auto &[name, qc] : cases) {
+        QuantumCircuit back = from_qasm(to_qasm(decompose_to_2q(qc)));
+        EXPECT_TRUE(circuits_equivalent(decompose_to_2q(qc), back))
+            << name;
+    }
+}
+
+TEST(QasmRoundTrip, TranspiledOutput)
+{
+    Backend dev = linear_backend(6);
+    TranspileOptions opts;
+    TranspileResult res = transpile(qft(5), dev, opts);
+    QuantumCircuit back = from_qasm(to_qasm(res.circuit));
+    EXPECT_TRUE(circuits_equivalent(res.circuit.without_non_unitary(),
+                                    back.without_non_unitary()));
+}
+
+// ---- optimizer quality properties --------------------------------------------
+
+TEST(Quality, OptimizeOnlyNeverWorseThanTranslateAlone)
+{
+    for (auto &bc : fig11_benchmarks()) {
+        QuantumCircuit plain = translate_to_basis(
+            decompose_to_2q(bc.circuit));
+        TranspileResult opt = optimize_only(bc.circuit);
+        EXPECT_LE(opt.cx_total, plain.cx_count()) << bc.name;
+    }
+}
+
+TEST(Quality, RouterOverheadScalesWithDiameter)
+{
+    // The same circuit on a line vs a full graph: the line must need
+    // swaps, the full graph none.
+    QuantumCircuit logical = qft(8);
+    TranspileOptions opts;
+    Backend line = linear_backend(8);
+    Backend full = fully_connected_backend(8);
+    TranspileResult on_line = transpile(logical, line, opts);
+    TranspileResult on_full = transpile(logical, full, opts);
+    EXPECT_GT(on_line.routing_stats.num_swaps, 0);
+    EXPECT_EQ(on_full.routing_stats.num_swaps, 0);
+    EXPECT_GT(on_line.cx_total, on_full.cx_total);
+}
+
+TEST(Quality, NasscStatsOnlyWithNassc)
+{
+    Backend dev = linear_backend(10);
+    QuantumCircuit logical = qft(9);
+    TranspileOptions sabre;
+    sabre.router = RoutingAlgorithm::kSabre;
+    TranspileResult rs = transpile(logical, dev, sabre);
+    EXPECT_EQ(rs.routing_stats.flagged_swaps, 0);
+    EXPECT_EQ(rs.routing_stats.c2q_hits, 0);
+    EXPECT_EQ(rs.routing_stats.moved_1q, 0);
+}
+
+} // namespace
+} // namespace nassc

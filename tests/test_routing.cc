@@ -1,0 +1,396 @@
+// Tests for layout, the SABRE router, and the NASSC optimization-aware
+// routing extensions.
+
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "nassc/circuits/library.h"
+#include "nassc/ir/dag.h"
+#include "nassc/passes/basis_translation.h"
+#include "nassc/passes/decompose_swaps.h"
+#include "nassc/route/nassc_router.h"
+#include "nassc/route/sabre.h"
+#include "nassc/sim/unitary.h"
+#include "nassc/topo/backends.h"
+
+namespace nassc {
+namespace {
+
+bool
+respects_coupling(const QuantumCircuit &qc, const CouplingMap &cm)
+{
+    for (const Gate &g : qc.gates())
+        if (g.num_qubits() == 2 && is_unitary_op(g.kind) &&
+            !cm.connected(g.qubits[0], g.qubits[1]))
+            return false;
+    return true;
+}
+
+// ---- Layout -----------------------------------------------------------------
+
+TEST(Layout, TrivialMapsIdentity)
+{
+    Layout l(3, 5);
+    EXPECT_EQ(l.phys_of(2), 2);
+    EXPECT_EQ(l.log_of(2), 2);
+    EXPECT_EQ(l.log_of(4), -1);
+}
+
+TEST(Layout, SwapMovesLogicals)
+{
+    Layout l(2, 3);
+    l.swap_physical(0, 2); // logical 0 moves to physical 2
+    EXPECT_EQ(l.phys_of(0), 2);
+    EXPECT_EQ(l.log_of(2), 0);
+    EXPECT_EQ(l.log_of(0), -1);
+    l.swap_physical(2, 1); // logical 0 -> physical 1; logical 1 -> 2
+    EXPECT_EQ(l.phys_of(0), 1);
+    EXPECT_EQ(l.phys_of(1), 2);
+}
+
+TEST(Layout, RandomIsInjective)
+{
+    std::mt19937 rng(9);
+    for (int t = 0; t < 20; ++t) {
+        Layout l = Layout::random(5, 9, rng);
+        std::vector<bool> used(9, false);
+        for (int i = 0; i < 5; ++i) {
+            int p = l.phys_of(i);
+            EXPECT_FALSE(used[p]);
+            used[p] = true;
+            EXPECT_EQ(l.log_of(p), i);
+        }
+    }
+}
+
+TEST(Layout, FromL2pRejectsDuplicates)
+{
+    EXPECT_THROW(Layout::from_l2p({0, 0}, 3), std::invalid_argument);
+    EXPECT_THROW(Layout::from_l2p({0, 7}, 3), std::out_of_range);
+}
+
+// ---- SABRE routing ----------------------------------------------------------
+
+class RouteBackend : public ::testing::TestWithParam<int>
+{
+  protected:
+    Backend
+    backend() const
+    {
+        switch (GetParam()) {
+          case 0: return linear_backend(6);
+          case 1: return grid_backend(2, 3);
+          default: return montreal_backend();
+        }
+    }
+};
+
+TEST_P(RouteBackend, AllGatesRoutedAndCoupled)
+{
+    Backend dev = backend();
+    QuantumCircuit logical = decompose_to_2q(qft(5));
+    RoutingOptions opts;
+    Layout init(logical.num_qubits(), dev.coupling.num_qubits());
+    RoutingResult res = route_circuit(logical, dev.coupling,
+                                      hop_distance(dev.coupling), init, opts);
+    EXPECT_TRUE(respects_coupling(res.circuit, dev.coupling));
+    // Every input gate must appear (swaps extra).
+    EXPECT_EQ(res.circuit.size() - res.circuit.count(OpKind::kSwap),
+              logical.size());
+    EXPECT_EQ(res.stats.num_swaps, res.circuit.count(OpKind::kSwap));
+}
+
+INSTANTIATE_TEST_SUITE_P(Topologies, RouteBackend,
+                         ::testing::Values(0, 1, 2));
+
+TEST(Route, NoSwapsWhenAlreadyCompatible)
+{
+    Backend dev = linear_backend(4);
+    QuantumCircuit logical(4);
+    logical.cx(0, 1);
+    logical.cx(1, 2);
+    logical.cx(2, 3);
+    RoutingOptions opts;
+    Layout init(4, 4);
+    RoutingResult res = route_circuit(logical, dev.coupling,
+                                      hop_distance(dev.coupling), init, opts);
+    EXPECT_EQ(res.stats.num_swaps, 0);
+    EXPECT_EQ(res.circuit.size(), 3u);
+}
+
+TEST(Route, FullyConnectedNeverSwaps)
+{
+    Backend dev = fully_connected_backend(8);
+    QuantumCircuit logical = decompose_to_2q(grover(6));
+    RoutingOptions opts;
+    Layout init(6, 8);
+    RoutingResult res = route_circuit(logical, dev.coupling,
+                                      hop_distance(dev.coupling), init, opts);
+    EXPECT_EQ(res.stats.num_swaps, 0);
+}
+
+TEST(Route, EquivalenceUnderLayout)
+{
+    Backend dev = linear_backend(5);
+    QuantumCircuit logical = decompose_to_2q(cuccaro_adder(1)); // 4 qubits
+    for (unsigned seed = 0; seed < 4; ++seed) {
+        RoutingOptions opts;
+        opts.seed = seed;
+        Layout init = sabre_initial_layout(logical, dev.coupling,
+                                           hop_distance(dev.coupling), opts);
+        RoutingResult res =
+            route_circuit(logical, dev.coupling, hop_distance(dev.coupling),
+                          init, opts);
+        QuantumCircuit phys = res.circuit;
+        decompose_swaps(phys, false);
+        EXPECT_TRUE(equivalent_with_layout(logical, phys, res.initial_l2p,
+                                           res.final_l2p))
+            << seed;
+    }
+}
+
+TEST(Route, HandlesMeasureAndBarrier)
+{
+    Backend dev = linear_backend(4);
+    QuantumCircuit logical(3);
+    logical.h(0);
+    logical.cx(0, 2);
+    logical.barrier();
+    logical.cx(2, 0);
+    logical.measure_all();
+    RoutingOptions opts;
+    Layout init(3, 4);
+    RoutingResult res = route_circuit(logical, dev.coupling,
+                                      hop_distance(dev.coupling), init, opts);
+    EXPECT_EQ(res.circuit.count(OpKind::kMeasure), 3);
+    EXPECT_EQ(res.circuit.count(OpKind::kBarrier), 1);
+    EXPECT_TRUE(respects_coupling(res.circuit, dev.coupling));
+}
+
+TEST(Route, RejectsWideGates)
+{
+    Backend dev = linear_backend(4);
+    QuantumCircuit logical(3);
+    logical.ccx(0, 1, 2);
+    RoutingOptions opts;
+    Layout init(3, 4);
+    EXPECT_THROW(route_circuit(logical, dev.coupling,
+                               hop_distance(dev.coupling), init, opts),
+                 std::invalid_argument);
+}
+
+TEST(Route, LookaheadReducesSwapsOnAverage)
+{
+    // With lookahead disabled (|E| = 0 weight), SABRE typically needs at
+    // least as many swaps across seeds.
+    Backend dev = linear_backend(8);
+    QuantumCircuit logical = decompose_to_2q(qft(8));
+    long with = 0, without = 0;
+    for (unsigned seed = 0; seed < 5; ++seed) {
+        RoutingOptions a;
+        a.seed = seed;
+        RoutingOptions b;
+        b.seed = seed;
+        b.extended_weight = 0.0;
+        Layout ia = sabre_initial_layout(logical, dev.coupling,
+                                         hop_distance(dev.coupling), a);
+        with += route_circuit(logical, dev.coupling,
+                              hop_distance(dev.coupling), ia, a)
+                    .stats.num_swaps;
+        without += route_circuit(logical, dev.coupling,
+                                 hop_distance(dev.coupling), ia, b)
+                       .stats.num_swaps;
+    }
+    EXPECT_LE(with, without + 3);
+}
+
+TEST(Route, SabreLayoutBeatsWorstRandom)
+{
+    // Reverse-traversal refinement should not be drastically worse than a
+    // raw random layout.
+    Backend dev = grid_backend(3, 3);
+    QuantumCircuit logical = decompose_to_2q(grover(6));
+    RoutingOptions opts;
+    opts.seed = 42;
+    std::mt19937 rng(99);
+    Layout refined = sabre_initial_layout(logical, dev.coupling,
+                                          hop_distance(dev.coupling), opts);
+    Layout raw = Layout::random(6, 9, rng);
+    int s_ref = route_circuit(logical, dev.coupling,
+                              hop_distance(dev.coupling), refined, opts)
+                    .stats.num_swaps;
+    int s_raw = route_circuit(logical, dev.coupling,
+                              hop_distance(dev.coupling), raw, opts)
+                    .stats.num_swaps;
+    EXPECT_LE(s_ref, s_raw + 5);
+}
+
+// ---- NASSC-specific ---------------------------------------------------------
+
+TEST(Nassc, FlagsAndStatsPopulated)
+{
+    Backend dev = linear_backend(10);
+    QuantumCircuit logical = decompose_to_2q(qft(10));
+    RoutingOptions opts;
+    opts.algorithm = RoutingAlgorithm::kNassc;
+    Layout init = sabre_initial_layout(logical, dev.coupling,
+                                       hop_distance(dev.coupling), opts);
+    RoutingResult res = route_circuit(logical, dev.coupling,
+                                      hop_distance(dev.coupling), init, opts);
+    EXPECT_GT(res.stats.num_swaps, 0);
+    // QFT has heavy CP structure: at least one optimization must fire.
+    EXPECT_GT(res.stats.c2q_hits + res.stats.commute1_hits +
+                  res.stats.commute2_hits,
+              0);
+}
+
+TEST(Nassc, DisabledOptimizationsMatchSabreSwapCount)
+{
+    // With all b_k = 0, NASSC's cost function degenerates to SABRE's.
+    Backend dev = grid_backend(3, 3);
+    QuantumCircuit logical = decompose_to_2q(qft(7));
+    RoutingOptions sabre;
+    RoutingOptions nassc_off;
+    nassc_off.algorithm = RoutingAlgorithm::kNassc;
+    nassc_off.enable_c2q = false;
+    nassc_off.enable_commute1 = false;
+    nassc_off.enable_commute2 = false;
+    Layout init = sabre_initial_layout(logical, dev.coupling,
+                                       hop_distance(dev.coupling), sabre);
+    RoutingResult rs = route_circuit(logical, dev.coupling,
+                                     hop_distance(dev.coupling), init, sabre);
+    RoutingResult rn = route_circuit(
+        logical, dev.coupling, hop_distance(dev.coupling), init, nassc_off);
+    EXPECT_EQ(rs.stats.num_swaps, rn.stats.num_swaps);
+    EXPECT_EQ(rn.stats.flagged_swaps, 0);
+}
+
+TEST(Nassc, TrackerC2qDetectsRichBlock)
+{
+    RoutingOptions opts;
+    opts.algorithm = RoutingAlgorithm::kNassc;
+    OptAwareTracker tracker(4, opts);
+    // Build a 3-CNOT-rich block on wires (0,1): a SWAP there is free.
+    tracker.on_gate(Gate::two_q(OpKind::kCX, 0, 1), 0);
+    tracker.on_gate(Gate::one_q(OpKind::kRY, 0, 0.3), 1);
+    tracker.on_gate(Gate::two_q(OpKind::kCX, 1, 0), 2);
+    tracker.on_gate(Gate::one_q(OpKind::kRZ, 1, 0.9), 3);
+    tracker.on_gate(Gate::two_q(OpKind::kCX, 0, 1), 4);
+    SwapReduction red = tracker.evaluate_swap(0, 1);
+    EXPECT_EQ(red.c2q, 3);
+    // No block on (2,3): no reduction there.
+    SwapReduction none = tracker.evaluate_swap(2, 3);
+    EXPECT_EQ(none.c2q, 0);
+    EXPECT_FALSE(none.commute1);
+}
+
+TEST(Nassc, TrackerC2qSingleCx)
+{
+    RoutingOptions opts;
+    opts.algorithm = RoutingAlgorithm::kNassc;
+    opts.enable_commute1 = false; // isolate C2q
+    OptAwareTracker tracker(2, opts);
+    tracker.on_gate(Gate::two_q(OpKind::kCX, 0, 1), 0);
+    SwapReduction red = tracker.evaluate_swap(0, 1);
+    // SWAP * CX needs 2 CNOTs: C2q = 3 + 1 - 2 = 2.
+    EXPECT_EQ(red.c2q, 2);
+}
+
+TEST(Nassc, TrackerCommute1FindsCancellableCnot)
+{
+    RoutingOptions opts;
+    opts.algorithm = RoutingAlgorithm::kNassc;
+    opts.enable_c2q = false;
+    OptAwareTracker tracker(3, opts);
+    tracker.on_gate(Gate::two_q(OpKind::kCX, 1, 0), 0);
+    // A commuting CX in between (shared target with the first).
+    tracker.on_gate(Gate::two_q(OpKind::kCX, 2, 0), 1);
+    SwapReduction red = tracker.evaluate_swap(0, 1);
+    EXPECT_TRUE(red.commute1);
+    // Orientation: the found cx has control 1 = second operand of (0,1).
+    EXPECT_EQ(red.orient, SwapOrient::kSecond);
+}
+
+TEST(Nassc, TrackerCommute1BlockedByH)
+{
+    RoutingOptions opts;
+    opts.algorithm = RoutingAlgorithm::kNassc;
+    OptAwareTracker tracker(3, opts);
+    tracker.on_gate(Gate::two_q(OpKind::kCX, 1, 0), 0);
+    tracker.on_gate(Gate::one_q(OpKind::kH, 0), 1);
+    // The H becomes interior once another 2q gate lands on wire 0.
+    tracker.on_gate(Gate::two_q(OpKind::kCX, 2, 0), 2);
+    SwapReduction red = tracker.evaluate_swap(0, 1);
+    EXPECT_FALSE(red.commute1);
+}
+
+TEST(Nassc, TrackerCommute2Sandwich)
+{
+    RoutingOptions opts;
+    opts.algorithm = RoutingAlgorithm::kNassc;
+    opts.enable_c2q = false;
+    opts.enable_commute1 = false;
+    OptAwareTracker tracker(3, opts);
+    Gate sw = Gate::two_q(OpKind::kSwap, 0, 1);
+    tracker.on_gate(sw, 0);
+    // Commuting middle: cx sharing structure that commutes with cx(0,1).
+    tracker.on_gate(Gate::two_q(OpKind::kCX, 0, 2), 1);
+    SwapReduction red = tracker.evaluate_swap(0, 1);
+    EXPECT_TRUE(red.commute2);
+    EXPECT_EQ(red.partner_swap_out_idx, 0);
+}
+
+TEST(Nassc, EndToEndFlaggedSwapsDecomposeCorrectly)
+{
+    Backend dev = linear_backend(5);
+    QuantumCircuit logical = decompose_to_2q(qft(5));
+    RoutingOptions opts;
+    opts.algorithm = RoutingAlgorithm::kNassc;
+    Layout init = sabre_initial_layout(logical, dev.coupling,
+                                       hop_distance(dev.coupling), opts);
+    RoutingResult res = route_circuit(logical, dev.coupling,
+                                      hop_distance(dev.coupling), init, opts);
+    QuantumCircuit phys = res.circuit;
+    decompose_swaps(phys, true);
+    EXPECT_TRUE(equivalent_with_layout(logical, phys, res.initial_l2p,
+                                       res.final_l2p));
+}
+
+TEST(Nassc, MovedOneQubitGatesPreserveSemantics)
+{
+    // Dense 1q + 2q mix maximizes move-through opportunities.
+    std::mt19937 rng(31);
+    std::uniform_int_distribution<int> qd(0, 4), kd(0, 5);
+    std::uniform_real_distribution<double> ang(-M_PI, M_PI);
+    Backend dev = linear_backend(5);
+    for (int trial = 0; trial < 5; ++trial) {
+        QuantumCircuit logical(5);
+        for (int i = 0; i < 60; ++i) {
+            if (kd(rng) < 3) {
+                logical.rz(ang(rng), qd(rng));
+            } else {
+                int a = qd(rng), b = qd(rng);
+                if (a == b)
+                    b = (b + 1) % 5;
+                logical.cx(a, b);
+            }
+        }
+        RoutingOptions opts;
+        opts.algorithm = RoutingAlgorithm::kNassc;
+        opts.seed = trial;
+        Layout init = sabre_initial_layout(
+            logical, dev.coupling, hop_distance(dev.coupling), opts);
+        RoutingResult res =
+            route_circuit(logical, dev.coupling, hop_distance(dev.coupling),
+                          init, opts);
+        QuantumCircuit phys = res.circuit;
+        decompose_swaps(phys, true);
+        EXPECT_TRUE(equivalent_with_layout(logical, phys, res.initial_l2p,
+                                           res.final_l2p))
+            << trial;
+    }
+}
+
+} // namespace
+} // namespace nassc

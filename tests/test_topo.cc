@@ -1,0 +1,147 @@
+// Tests for coupling maps, backend topologies, and distance matrices.
+
+#include <gtest/gtest.h>
+
+#include "nassc/topo/backends.h"
+#include "nassc/topo/coupling_map.h"
+
+namespace nassc {
+namespace {
+
+TEST(CouplingMap, LineDistances)
+{
+    Backend b = linear_backend(5);
+    const CouplingMap &cm = b.coupling;
+    EXPECT_EQ(cm.num_qubits(), 5);
+    EXPECT_EQ(cm.edges().size(), 4u);
+    EXPECT_TRUE(cm.connected(0, 1));
+    EXPECT_FALSE(cm.connected(0, 2));
+    EXPECT_EQ(cm.distance(0, 4), 4);
+    EXPECT_EQ(cm.diameter(), 4);
+    EXPECT_TRUE(cm.is_connected_graph());
+}
+
+TEST(CouplingMap, GridStructure)
+{
+    Backend b = grid_backend(5, 5);
+    const CouplingMap &cm = b.coupling;
+    EXPECT_EQ(cm.num_qubits(), 25);
+    EXPECT_EQ(cm.edges().size(), 40u); // 2*5*4
+    EXPECT_EQ(cm.distance(0, 24), 8);  // manhattan corner-to-corner
+    EXPECT_EQ(cm.diameter(), 8);
+    EXPECT_EQ(cm.neighbors(12).size(), 4u); // center has 4 neighbors
+    EXPECT_EQ(cm.neighbors(0).size(), 2u);  // corner has 2
+}
+
+TEST(CouplingMap, MontrealHeavyHex)
+{
+    Backend b = montreal_backend();
+    const CouplingMap &cm = b.coupling;
+    EXPECT_EQ(cm.num_qubits(), 27);
+    EXPECT_EQ(cm.edges().size(), 28u);
+    EXPECT_TRUE(cm.is_connected_graph());
+    // Heavy-hex degree bounds: 1..3.
+    for (int q = 0; q < 27; ++q) {
+        EXPECT_GE(cm.neighbors(q).size(), 1u);
+        EXPECT_LE(cm.neighbors(q).size(), 3u);
+    }
+    // Spot-check known couplings of the Falcon lattice.
+    EXPECT_TRUE(cm.connected(0, 1));
+    EXPECT_TRUE(cm.connected(12, 15));
+    EXPECT_TRUE(cm.connected(25, 26));
+    EXPECT_FALSE(cm.connected(0, 26));
+}
+
+TEST(CouplingMap, FullyConnected)
+{
+    Backend b = fully_connected_backend(6);
+    EXPECT_EQ(b.coupling.edges().size(), 15u);
+    EXPECT_EQ(b.coupling.diameter(), 1);
+}
+
+TEST(CouplingMap, RejectsBadEdges)
+{
+    EXPECT_THROW(CouplingMap(3, {{0, 3}}), std::out_of_range);
+    EXPECT_THROW(CouplingMap(3, {{1, 1}}), std::invalid_argument);
+}
+
+TEST(CouplingMap, DeduplicatesEdges)
+{
+    CouplingMap cm(3, {{0, 1}, {1, 0}, {0, 1}});
+    EXPECT_EQ(cm.edges().size(), 1u);
+}
+
+TEST(Calibration, DeterministicAndInRange)
+{
+    Backend a = montreal_backend();
+    Backend b = montreal_backend();
+    for (auto e : a.coupling.edges()) {
+        double err = a.calibration.cx_error(e.first, e.second);
+        EXPECT_DOUBLE_EQ(err, b.calibration.cx_error(e.first, e.second));
+        EXPECT_GE(err, 0.005);
+        EXPECT_LE(err, 0.03);
+        // Symmetric lookup.
+        EXPECT_DOUBLE_EQ(err, a.calibration.cx_error(e.second, e.first));
+    }
+    for (int q = 0; q < 27; ++q) {
+        EXPECT_GT(a.calibration.readout_error[q], 0.0);
+        EXPECT_LT(a.calibration.readout_error[q], 0.05);
+    }
+}
+
+TEST(Distance, HopMatrixMatchesCoupling)
+{
+    Backend b = grid_backend(3, 3);
+    auto d = hop_distance(b.coupling);
+    for (int i = 0; i < 9; ++i)
+        for (int j = 0; j < 9; ++j)
+            EXPECT_DOUBLE_EQ(d[i][j], b.coupling.distance(i, j));
+}
+
+TEST(Distance, NoiseAwareReducesToHopsWhenAlphaDistance)
+{
+    Backend b = linear_backend(6);
+    auto d = noise_aware_distance(b, 0.0, 0.0, 1.0);
+    for (int i = 0; i < 6; ++i)
+        for (int j = 0; j < 6; ++j)
+            EXPECT_NEAR(d[i][j], b.coupling.distance(i, j), 1e-9);
+}
+
+TEST(Distance, NoiseAwarePrefersGoodEdges)
+{
+    // Force one terrible edge in a 3-cycle; the noise-aware distance must
+    // route around it.
+    Backend b;
+    b.name = "tri";
+    b.coupling = CouplingMap(3, {{0, 1}, {1, 2}, {0, 2}});
+    b.calibration.error_1q = {1e-4, 1e-4, 1e-4};
+    b.calibration.readout_error = {0.01, 0.01, 0.01};
+    b.calibration.error_cx[{0, 1}] = 0.5; // terrible
+    b.calibration.error_cx[{1, 2}] = 0.001;
+    b.calibration.error_cx[{0, 2}] = 0.001;
+    b.calibration.duration_cx[{0, 1}] = 400;
+    b.calibration.duration_cx[{1, 2}] = 400;
+    b.calibration.duration_cx[{0, 2}] = 400;
+    // With the error term dominating, the two-hop detour through the good
+    // edges beats the direct terrible edge.
+    auto d = noise_aware_distance(b, 1.0, 0.0, 0.0);
+    EXPECT_LT(d[0][1], 0.99); // detour used, not the weight-1.0 edge
+    EXPECT_NEAR(d[0][1], d[0][2] + d[2][1], 1e-9);
+    // With pure hop weighting the direct edge wins again.
+    auto dh = noise_aware_distance(b, 0.0, 0.0, 1.0);
+    EXPECT_NEAR(dh[0][1], 1.0, 1e-9);
+}
+
+TEST(Distance, NoiseAwareSymmetric)
+{
+    Backend b = montreal_backend();
+    auto d = noise_aware_distance(b);
+    for (int i = 0; i < 27; ++i) {
+        EXPECT_DOUBLE_EQ(d[i][i], 0.0);
+        for (int j = 0; j < 27; ++j)
+            EXPECT_DOUBLE_EQ(d[i][j], d[j][i]);
+    }
+}
+
+} // namespace
+} // namespace nassc

@@ -1,0 +1,291 @@
+// Property and unit tests for the Weyl/KAK decomposition engine.
+
+#include <cmath>
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "nassc/math/complex_mat.h"
+#include "nassc/math/weyl.h"
+
+namespace nassc {
+namespace {
+
+const double kPi4 = M_PI / 4.0;
+
+std::mt19937 &
+rng()
+{
+    static std::mt19937 r(12345);
+    return r;
+}
+
+Mat2
+random_su2()
+{
+    std::uniform_real_distribution<double> ang(-M_PI, M_PI);
+    return mul(rz_gate(ang(rng())),
+               mul(ry_gate(ang(rng())), rz_gate(ang(rng()))));
+}
+
+/** Random two-qubit unitary built from exactly `n_cx` CNOTs. */
+Mat4
+random_u4_with_cx(int n_cx, bool random_phase = true)
+{
+    Mat4 u = tensor2(random_su2(), random_su2());
+    std::uniform_int_distribution<int> dir(0, 1);
+    for (int k = 0; k < n_cx; ++k) {
+        u = mul(dir(rng()) ? cx_mat() : cx_rev_mat(), u);
+        u = mul(tensor2(random_su2(), random_su2()), u);
+    }
+    if (random_phase) {
+        std::uniform_real_distribution<double> ang(-M_PI, M_PI);
+        u = scale(u, std::exp(Cx(0.0, ang(rng()))));
+    }
+    return u;
+}
+
+TEST(MagicBasis, IsUnitary)
+{
+    EXPECT_TRUE(is_unitary(magic_basis()));
+}
+
+TEST(MagicBasis, DiagonalizesPauliProducts)
+{
+    const Mat4 &b = magic_basis();
+    Mat4 bd = adjoint(b);
+    for (const Mat4 &p : {tensor2(pauli_x(), pauli_x()),
+                          tensor2(pauli_y(), pauli_y()),
+                          tensor2(pauli_z(), pauli_z())}) {
+        Mat4 d = mul(bd, mul(p, b));
+        for (int i = 0; i < 4; ++i) {
+            for (int j = 0; j < 4; ++j) {
+                if (i != j) {
+                    EXPECT_LT(std::abs(d(i, j)), 1e-12);
+                }
+            }
+        }
+    }
+}
+
+TEST(MagicBasis, MapsLocalsToRealMatrices)
+{
+    const Mat4 &b = magic_basis();
+    Mat4 bd = adjoint(b);
+    for (int trial = 0; trial < 25; ++trial) {
+        Mat4 local = tensor2(random_su2(), random_su2());
+        Mat4 o = mul(bd, mul(local, b));
+        for (int i = 0; i < 16; ++i)
+            EXPECT_LT(std::abs(o.v[i].imag()), 1e-9);
+    }
+}
+
+TEST(CanonicalGate, OriginIsIdentity)
+{
+    EXPECT_TRUE(approx_equal(canonical_gate(0, 0, 0), Mat4::identity()));
+}
+
+TEST(CanonicalGate, IsUnitaryOnGrid)
+{
+    for (double a : {-0.8, 0.0, 0.3, 1.2})
+        for (double b : {-0.5, 0.0, 0.7})
+            for (double c : {0.0, 0.4, 2.0})
+                EXPECT_TRUE(is_unitary(canonical_gate(a, b, c)));
+}
+
+TEST(CanonicalGate, FactorsCommute)
+{
+    Mat4 x = canonical_gate(0.3, 0.0, 0.0);
+    Mat4 y = canonical_gate(0.0, 0.5, 0.0);
+    Mat4 z = canonical_gate(0.0, 0.0, 0.7);
+    Mat4 xyz = canonical_gate(0.3, 0.5, 0.7);
+    EXPECT_TRUE(approx_equal(mul(x, mul(y, z)), xyz, 1e-9));
+    EXPECT_TRUE(approx_equal(mul(z, mul(x, y)), xyz, 1e-9));
+}
+
+TEST(CanonicalGate, QuarterPiXxIsLocallyCx)
+{
+    // N(pi/4, 0, 0) must require exactly one CNOT.
+    EXPECT_EQ(cnot_cost(canonical_gate(kPi4, 0, 0)), 1);
+}
+
+TEST(CanonicalGate, SwapCoordinates)
+{
+    // SWAP is locally N(pi/4, pi/4, pi/4).
+    auto coords = weyl_coords(swap_mat());
+    EXPECT_NEAR(coords[0], kPi4, 1e-9);
+    EXPECT_NEAR(coords[1], kPi4, 1e-9);
+    EXPECT_NEAR(std::abs(coords[2]), kPi4, 1e-9);
+}
+
+TEST(CanonicalGate, IswapCoordinates)
+{
+    auto coords = weyl_coords(iswap_mat());
+    EXPECT_NEAR(coords[0], kPi4, 1e-9);
+    EXPECT_NEAR(coords[1], kPi4, 1e-9);
+    EXPECT_NEAR(coords[2], 0.0, 1e-9);
+}
+
+TEST(SplitTensor2, RoundTrip)
+{
+    for (int trial = 0; trial < 50; ++trial) {
+        Mat2 a = random_su2();
+        Mat2 b = random_su2();
+        std::uniform_real_distribution<double> ang(-M_PI, M_PI);
+        Cx ph = std::exp(Cx(0.0, ang(rng())));
+        Mat4 k = scale(tensor2(a, b), ph);
+        Mat2 ra, rb;
+        Cx rph;
+        ASSERT_TRUE(split_tensor2(k, ra, rb, rph));
+        EXPECT_LT(frobenius_distance(k, scale(tensor2(ra, rb), rph)), 1e-8);
+    }
+}
+
+TEST(SplitTensor2, RejectsEntangling)
+{
+    Mat2 a, b;
+    Cx ph;
+    EXPECT_FALSE(split_tensor2(cx_mat(), a, b, ph));
+    EXPECT_FALSE(split_tensor2(swap_mat(), a, b, ph));
+}
+
+TEST(Kak, RoundTripLocals)
+{
+    for (int trial = 0; trial < 30; ++trial) {
+        Mat4 u = random_u4_with_cx(0);
+        Kak k = kak_decompose(u);
+        EXPECT_LT(frobenius_distance(u, kak_reconstruct(k)), 1e-7);
+    }
+}
+
+class KakRoundTrip : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(KakRoundTrip, ReconstructsAndClassifies)
+{
+    int n_cx = GetParam();
+    int exact = 0;
+    const int trials = 60;
+    for (int trial = 0; trial < trials; ++trial) {
+        Mat4 u = random_u4_with_cx(n_cx);
+        Kak k = kak_decompose(u);
+        ASSERT_LT(frobenius_distance(u, kak_reconstruct(k)), 1e-7);
+
+        canonicalize(k);
+        // Reconstruction unchanged by canonicalization.
+        ASSERT_LT(frobenius_distance(u, kak_reconstruct(k)), 1e-6);
+        // Chamber conditions.
+        EXPECT_GE(k.a, -1e-9);
+        EXPECT_LE(k.a, kPi4 + 1e-9);
+        EXPECT_GE(k.b, -1e-9);
+        EXPECT_GE(k.a, k.b - 1e-9);
+        EXPECT_GE(k.b, std::abs(k.c) - 1e-9);
+
+        int cost = cnot_cost_coords(k.a, k.b, k.c);
+        EXPECT_LE(cost, n_cx);
+        if (cost == n_cx)
+            ++exact;
+    }
+    // Random angles give full-cost operators almost surely.
+    EXPECT_EQ(exact, trials);
+}
+
+INSTANTIATE_TEST_SUITE_P(CxCounts, KakRoundTrip, ::testing::Values(0, 1, 2, 3));
+
+TEST(Kak, KnownCosts)
+{
+    EXPECT_EQ(cnot_cost(Mat4::identity()), 0);
+    EXPECT_EQ(cnot_cost(tensor2(hadamard(), s_gate())), 0);
+    EXPECT_EQ(cnot_cost(cx_mat()), 1);
+    EXPECT_EQ(cnot_cost(cx_rev_mat()), 1);
+    EXPECT_EQ(cnot_cost(cz_mat()), 1);
+    EXPECT_EQ(cnot_cost(iswap_mat()), 2);
+    EXPECT_EQ(cnot_cost(swap_mat()), 3);
+}
+
+TEST(Kak, CxTimesSwapCostsTwo)
+{
+    // SWAP * CX is locally equivalent to iSWAP: two CNOTs.  This is the
+    // "not all SWAPs cost three CNOTs" observation from the paper.
+    EXPECT_EQ(cnot_cost(mul(swap_mat(), cx_mat())), 2);
+    EXPECT_EQ(cnot_cost(mul(cx_mat(), swap_mat())), 2);
+    EXPECT_EQ(cnot_cost(mul(swap_mat(), cx_rev_mat())), 2);
+}
+
+TEST(Kak, SwapAbsorbedByThreeCxBlock)
+{
+    // A generic 3-CNOT block followed by a SWAP still needs only 3 CNOTs:
+    // the SWAP is free (paper Sec. III).
+    for (int trial = 0; trial < 10; ++trial) {
+        Mat4 u = random_u4_with_cx(3);
+        EXPECT_LE(cnot_cost(mul(swap_mat(), u)), 3);
+    }
+}
+
+TEST(Kak, CanonicalGateRawCoordsRecovered)
+{
+    // For coordinates already inside the chamber the decomposition must
+    // return them (up to permutation symmetry it is the same point).
+    std::uniform_real_distribution<double> d(0.02, kPi4 - 0.02);
+    for (int trial = 0; trial < 40; ++trial) {
+        double a = d(rng()), b = d(rng()), c = d(rng());
+        // Sort descending to land inside the chamber.
+        if (a < b)
+            std::swap(a, b);
+        if (b < c)
+            std::swap(b, c);
+        if (a < b)
+            std::swap(a, b);
+        auto coords = weyl_coords(canonical_gate(a, b, c));
+        EXPECT_NEAR(coords[0], a, 1e-8);
+        EXPECT_NEAR(coords[1], b, 1e-8);
+        EXPECT_NEAR(std::abs(coords[2]), c, 1e-8);
+    }
+}
+
+TEST(Kak, LocalsDoNotChangeCoords)
+{
+    for (int trial = 0; trial < 20; ++trial) {
+        Mat4 u = random_u4_with_cx(2);
+        auto c1 = weyl_coords(u);
+        Mat4 v = mul(tensor2(random_su2(), random_su2()),
+                     mul(u, tensor2(random_su2(), random_su2())));
+        auto c2 = weyl_coords(v);
+        EXPECT_NEAR(c1[0], c2[0], 1e-7);
+        EXPECT_NEAR(c1[1], c2[1], 1e-7);
+        EXPECT_NEAR(std::abs(c1[2]), std::abs(c2[2]), 1e-7);
+    }
+}
+
+TEST(Kak, RejectsNonUnitary)
+{
+    Mat4 m = Mat4::identity();
+    m(0, 0) = 2.0;
+    EXPECT_THROW(kak_decompose(m), std::runtime_error);
+}
+
+TEST(Kak, CliffordCornerCases)
+{
+    // Structured (Clifford) inputs exercise the degenerate eigenvalue
+    // paths of the simultaneous diagonalization.
+    std::vector<Mat4> cases = {
+        cx_mat(),
+        cz_mat(),
+        swap_mat(),
+        iswap_mat(),
+        mul(cx_mat(), cx_rev_mat()),
+        mul(cz_mat(), swap_mat()),
+        tensor2(hadamard(), hadamard()),
+        mul(cx_mat(), mul(tensor2(hadamard(), hadamard()), cx_mat())),
+    };
+    for (const Mat4 &u : cases) {
+        Kak k = kak_decompose(u);
+        EXPECT_LT(frobenius_distance(u, kak_reconstruct(k)), 1e-7);
+        canonicalize(k);
+        EXPECT_LT(frobenius_distance(u, kak_reconstruct(k)), 1e-6);
+    }
+}
+
+} // namespace
+} // namespace nassc
