@@ -6,19 +6,26 @@
  * Shared harness code for the table/figure reproduction binaries.
  *
  * Every bench binary accepts:
- *   --seeds N   number of layout seeds averaged per cell (default 3;
- *               the paper averages 10 — pass --seeds 10 to match)
- *   --csv PATH  also write the table as CSV
+ *   --seeds N    number of layout seeds averaged per cell (default 3;
+ *                the paper averages 10 — pass --seeds 10 to match)
+ *   --csv PATH   also write the table as CSV
+ *   --threads N  batch worker threads (default: hardware concurrency).
+ *                Per-cell t(s) columns are measured per job, so under
+ *                parallel contention they run higher than a sequential
+ *                sweep; pass --threads 1 for paper-comparable timings.
  */
 
 #include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <memory>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "nassc/circuits/library.h"
+#include "nassc/service/batch_transpiler.h"
 #include "nassc/transpile/transpile.h"
 
 namespace nassc::bench {
@@ -26,7 +33,16 @@ namespace nassc::bench {
 struct Args
 {
     int seeds = 3;
+    int threads = 0; ///< batch workers; 0 = hardware concurrency
     std::string csv;
+
+    /** BatchTranspiler options honouring --threads. */
+    BatchOptions batch() const
+    {
+        BatchOptions opts;
+        opts.num_threads = threads;
+        return opts;
+    }
 };
 
 inline Args
@@ -37,6 +53,8 @@ parse_args(int argc, char **argv, int default_seeds = 3)
     for (int i = 1; i < argc; ++i) {
         if (!std::strcmp(argv[i], "--seeds") && i + 1 < argc)
             a.seeds = std::atoi(argv[++i]);
+        else if (!std::strcmp(argv[i], "--threads") && i + 1 < argc)
+            a.threads = std::atoi(argv[++i]);
         else if (!std::strcmp(argv[i], "--csv") && i + 1 < argc)
             a.csv = argv[++i];
     }
@@ -54,6 +72,29 @@ struct Cell
     double depth_add = 0.0;
     double seconds = 0.0;
     RoutingStats stats; // accumulated over seeds
+
+    void
+    accumulate(const TranspileResult &r)
+    {
+        cx_total += r.cx_total;
+        depth_total += r.depth;
+        seconds += r.seconds;
+        stats.num_swaps += r.routing_stats.num_swaps;
+        stats.flagged_swaps += r.routing_stats.flagged_swaps;
+        stats.c2q_hits += r.routing_stats.c2q_hits;
+        stats.commute1_hits += r.routing_stats.commute1_hits;
+        stats.commute2_hits += r.routing_stats.commute2_hits;
+    }
+
+    void
+    finish(int seeds, int base_cx, int base_depth)
+    {
+        cx_total /= seeds;
+        depth_total /= seeds;
+        seconds /= seeds;
+        cx_add = cx_total - base_cx;
+        depth_add = depth_total - base_depth;
+    }
 };
 
 inline Cell
@@ -67,21 +108,52 @@ run_cell(const QuantumCircuit &circuit, const Backend &backend,
         opts.router = router;
         opts.seed = static_cast<unsigned>(s);
         opts.noise_aware = noise_aware;
-        TranspileResult r = transpile(circuit, backend, opts);
-        cell.cx_total += r.cx_total;
-        cell.depth_total += r.depth;
-        cell.seconds += r.seconds;
-        cell.stats.num_swaps += r.routing_stats.num_swaps;
-        cell.stats.flagged_swaps += r.routing_stats.flagged_swaps;
-        cell.stats.c2q_hits += r.routing_stats.c2q_hits;
-        cell.stats.commute1_hits += r.routing_stats.commute1_hits;
-        cell.stats.commute2_hits += r.routing_stats.commute2_hits;
+        cell.accumulate(transpile(circuit, backend, opts));
     }
-    cell.cx_total /= seeds;
-    cell.depth_total /= seeds;
-    cell.seconds /= seeds;
-    cell.cx_add = cell.cx_total - base_cx;
-    cell.depth_add = cell.depth_total - base_depth;
+    cell.finish(seeds, base_cx, base_depth);
+    return cell;
+}
+
+/**
+ * Queue `seeds` jobs for one (benchmark, router) cell onto a batch.
+ * Pair with cell_from_results() after BatchTranspiler::run(); jobs are
+ * consumed in submission order, so queue and fold in the same sequence.
+ */
+inline void
+queue_cell_jobs(std::vector<TranspileJob> &jobs, const std::string &tag,
+                const QuantumCircuit &circuit,
+                const std::shared_ptr<const Backend> &backend,
+                RoutingAlgorithm router, int seeds,
+                bool noise_aware = false,
+                const TranspileOptions &base_opts = {})
+{
+    for (int s = 0; s < seeds; ++s) {
+        TranspileJob job;
+        job.tag = tag + "/s" + std::to_string(s);
+        job.circuit = circuit;
+        job.backend = backend;
+        job.options = base_opts;
+        job.options.router = router;
+        job.options.noise_aware = noise_aware;
+        job.options.seed = static_cast<unsigned>(s);
+        jobs.push_back(std::move(job));
+    }
+}
+
+/** Fold the next `seeds` batch results (submission order) into a Cell. */
+inline Cell
+cell_from_results(const std::vector<JobResult> &results, std::size_t &idx,
+                  int seeds, int base_cx, int base_depth)
+{
+    Cell cell;
+    for (int s = 0; s < seeds; ++s) {
+        const JobResult &jr = results.at(idx++);
+        if (!jr.ok)
+            throw std::runtime_error("batch job '" + jr.tag +
+                                     "' failed: " + jr.error);
+        cell.accumulate(jr.result);
+    }
+    cell.finish(seeds, base_cx, base_depth);
     return cell;
 }
 

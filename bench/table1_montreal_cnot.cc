@@ -1,6 +1,10 @@
 // Reproduces Table I: additional CNOT gates of Qiskit+NASSC vs
 // Qiskit+SABRE on the ibmq_montreal coupling map, plus transpile-time
 // ratios (paper Sec. VI-A / VI-B).
+//
+// The whole sweep — every (benchmark, router, seed) triple — is queued
+// as one batch on the parallel BatchTranspiler, so all cells share a
+// single cached distance matrix and saturate the machine.
 
 #include "bench_common.h"
 
@@ -11,11 +15,11 @@ int
 main(int argc, char **argv)
 {
     Args args = parse_args(argc, argv);
-    Backend dev = montreal_backend();
+    auto dev = std::make_shared<Backend>(montreal_backend());
 
     std::printf("Table I: additional CNOTs, SABRE vs NASSC on %s "
                 "(%d seeds/cell)\n\n",
-                dev.name.c_str(), args.seeds);
+                dev->name.c_str(), args.seeds);
     std::printf("%-15s %4s %9s | %9s %9s %8s | %9s %9s %8s | %8s %8s %7s\n",
                 "name", "#q", "CXorig", "CXsabre", "CXadd", "t(s)",
                 "CXnassc", "CXadd", "t(s)", "dTotal", "dAdd", "t_ratio");
@@ -25,16 +29,30 @@ main(int argc, char **argv)
                   "cx_nassc,cx_add_nassc,t_nassc,delta_total,delta_add,"
                   "time_ratio");
 
+    const std::vector<BenchmarkCase> benchmarks = table_benchmarks();
+
+    // Queue everything, then run one batch.
+    std::vector<TranspileJob> jobs;
+    for (const BenchmarkCase &bc : benchmarks) {
+        queue_cell_jobs(jobs, bc.name + "/sabre", bc.circuit, dev,
+                        RoutingAlgorithm::kSabre, args.seeds);
+        queue_cell_jobs(jobs, bc.name + "/nassc", bc.circuit, dev,
+                        RoutingAlgorithm::kNassc, args.seeds);
+    }
+    BatchTranspiler engine(args.batch());
+    BatchReport report = engine.run(jobs);
+
     GeoMean gm_total, gm_add;
     double time_ratio_log = 0.0;
     int time_n = 0;
 
-    for (const BenchmarkCase &bc : table_benchmarks()) {
+    std::size_t idx = 0;
+    for (const BenchmarkCase &bc : benchmarks) {
         TranspileResult base = optimize_only(bc.circuit);
-        Cell sabre = run_cell(bc.circuit, dev, RoutingAlgorithm::kSabre,
-                              args.seeds, base.cx_total, base.depth);
-        Cell nassc = run_cell(bc.circuit, dev, RoutingAlgorithm::kNassc,
-                              args.seeds, base.cx_total, base.depth);
+        Cell sabre = cell_from_results(report.results, idx, args.seeds,
+                                       base.cx_total, base.depth);
+        Cell nassc = cell_from_results(report.results, idx, args.seeds,
+                                       base.cx_total, base.depth);
 
         double d_total = 100.0 * (1.0 - nassc.cx_total / sabre.cx_total);
         double d_add =
@@ -72,6 +90,10 @@ main(int argc, char **argv)
                 gm_add.reduction_percent());
     std::printf("Geometric mean time ratio:  %.2fx    (paper: 1.32x)\n",
                 std::exp(time_ratio_log / time_n));
+    std::printf("batch: %zu jobs in %.2fs wall, %zu distance matrix "
+                "computation(s)\n",
+                report.results.size(), report.seconds,
+                report.distance_computations);
 
     write_csv(args.csv, csv);
     return 0;

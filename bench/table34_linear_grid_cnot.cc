@@ -13,18 +13,18 @@ main(int argc, char **argv)
 {
     Args args = parse_args(argc, argv);
 #ifdef TABLE3_LINEAR
-    Backend dev = linear_backend(25);
+    auto dev = std::make_shared<Backend>(linear_backend(25));
     const char *table = "Table III";
     const char *paper_total = "21.92%", *paper_add = "34.65%";
 #else
-    Backend dev = grid_backend(5, 5);
+    auto dev = std::make_shared<Backend>(grid_backend(5, 5));
     const char *table = "Table IV";
     const char *paper_total = "15.13%", *paper_add = "28.10%";
 #endif
 
     std::printf("%s: additional CNOTs, SABRE vs NASSC on %s "
                 "(%d seeds/cell)\n\n",
-                table, dev.name.c_str(), args.seeds);
+                table, dev->name.c_str(), args.seeds);
     std::printf("%-15s %4s %9s | %9s %9s | %9s %9s | %8s %8s %7s\n", "name",
                 "#q", "CXorig", "CXsabre", "CXadd", "CXnassc", "CXadd",
                 "dTotal", "dAdd", "t_ratio");
@@ -35,14 +35,31 @@ main(int argc, char **argv)
 
     GeoMean gm_total, gm_add;
 
-    for (const BenchmarkCase &bc : table_benchmarks()) {
-        if (bc.circuit.num_qubits() > dev.coupling.num_qubits())
+    // Queue the full sweep as one parallel batch sharing a cached
+    // distance matrix, then fold cells back in submission order.
+    const std::vector<BenchmarkCase> benchmarks = table_benchmarks();
+    std::vector<TranspileJob> jobs;
+    std::vector<const BenchmarkCase *> cases;
+    for (const BenchmarkCase &bc : benchmarks) {
+        if (bc.circuit.num_qubits() > dev->coupling.num_qubits())
             continue;
+        cases.push_back(&bc);
+        queue_cell_jobs(jobs, bc.name + "/sabre", bc.circuit, dev,
+                        RoutingAlgorithm::kSabre, args.seeds);
+        queue_cell_jobs(jobs, bc.name + "/nassc", bc.circuit, dev,
+                        RoutingAlgorithm::kNassc, args.seeds);
+    }
+    BatchTranspiler engine(args.batch());
+    BatchReport report = engine.run(jobs);
+
+    std::size_t idx = 0;
+    for (const BenchmarkCase *bcp : cases) {
+        const BenchmarkCase &bc = *bcp;
         TranspileResult base = optimize_only(bc.circuit);
-        Cell sabre = run_cell(bc.circuit, dev, RoutingAlgorithm::kSabre,
-                              args.seeds, base.cx_total, base.depth);
-        Cell nassc = run_cell(bc.circuit, dev, RoutingAlgorithm::kNassc,
-                              args.seeds, base.cx_total, base.depth);
+        Cell sabre = cell_from_results(report.results, idx, args.seeds,
+                                       base.cx_total, base.depth);
+        Cell nassc = cell_from_results(report.results, idx, args.seeds,
+                                       base.cx_total, base.depth);
 
         double d_total = 100.0 * (1.0 - nassc.cx_total / sabre.cx_total);
         double d_add =

@@ -1,0 +1,116 @@
+#include "nassc/service/batch_transpiler.h"
+
+#include <atomic>
+#include <chrono>
+#include <exception>
+#include <stdexcept>
+#include <thread>
+
+namespace nassc {
+
+unsigned
+derive_job_seed(unsigned base_seed, const std::string &tag, unsigned job_seed)
+{
+    // FNV-1a over (base_seed, tag, job_seed), folded to 32 bits.  Cheap,
+    // stable across platforms, and independent of submission order.
+    std::uint64_t h = 14695981039346656037ull;
+    auto mix_byte = [&h](unsigned char b) {
+        h ^= b;
+        h *= 1099511628211ull;
+    };
+    for (int i = 0; i < 4; ++i)
+        mix_byte(static_cast<unsigned char>(base_seed >> (8 * i)));
+    for (char c : tag)
+        mix_byte(static_cast<unsigned char>(c));
+    for (int i = 0; i < 4; ++i)
+        mix_byte(static_cast<unsigned char>(job_seed >> (8 * i)));
+    return static_cast<unsigned>(h ^ (h >> 32));
+}
+
+BatchTranspiler::BatchTranspiler(BatchOptions options)
+    : options_(std::move(options)), cache_(options_.cache)
+{
+    if (!cache_)
+        cache_ = std::make_shared<DistanceCache>();
+}
+
+int
+BatchTranspiler::num_threads_for(std::size_t jobs) const
+{
+    int n = options_.num_threads;
+    if (n <= 0) {
+        unsigned hw = std::thread::hardware_concurrency();
+        n = hw ? static_cast<int>(hw) : 1;
+    }
+    if (static_cast<std::size_t>(n) > jobs)
+        n = static_cast<int>(jobs);
+    return n < 1 ? 1 : n;
+}
+
+BatchReport
+BatchTranspiler::run(const std::vector<TranspileJob> &jobs) const
+{
+    auto t0 = std::chrono::steady_clock::now();
+
+    BatchReport report;
+    report.results.resize(jobs.size());
+
+    const std::size_t cache_computations_before = cache_->computation_count();
+
+    // Workers pull the next submission index from a shared counter and
+    // write into their own result slot: no per-job locking, and results
+    // land in submission order no matter which worker finishes first.
+    std::atomic<std::size_t> next{0};
+    auto worker = [&]() {
+        for (;;) {
+            const std::size_t i = next.fetch_add(1);
+            if (i >= jobs.size())
+                return;
+            const TranspileJob &job = jobs[i];
+            JobResult &out = report.results[i];
+            out.index = i;
+            out.tag = job.tag;
+            try {
+                if (!job.backend)
+                    throw std::invalid_argument("job has no backend");
+                TranspileOptions opts = job.options;
+                if (options_.derive_seeds)
+                    opts.seed = derive_job_seed(options_.base_seed, job.tag,
+                                                job.options.seed);
+                out.seed_used = opts.seed;
+                out.result = transpile(job.circuit, *job.backend, opts,
+                                       *cache_);
+                out.ok = true;
+            } catch (const std::exception &e) {
+                out.ok = false;
+                out.error = e.what();
+            } catch (...) {
+                out.ok = false;
+                out.error = "unknown exception";
+            }
+        }
+    };
+
+    const int threads = num_threads_for(jobs.size());
+    if (threads <= 1) {
+        worker();
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(threads);
+        for (int t = 0; t < threads; ++t)
+            pool.emplace_back(worker);
+        for (std::thread &t : pool)
+            t.join();
+    }
+
+    for (const JobResult &r : report.results)
+        (r.ok ? report.num_ok : report.num_failed)++;
+    report.distance_computations =
+        cache_->computation_count() - cache_computations_before;
+
+    auto t1 = std::chrono::steady_clock::now();
+    report.seconds = std::chrono::duration<double>(t1 - t0).count();
+    return report;
+}
+
+} // namespace nassc

@@ -1,0 +1,111 @@
+#ifndef NASSC_SERVICE_BATCH_TRANSPILER_H
+#define NASSC_SERVICE_BATCH_TRANSPILER_H
+
+/**
+ * @file
+ * Parallel batch transpilation engine.
+ *
+ * BatchTranspiler runs many (circuit, backend, TranspileOptions) jobs
+ * across a fixed-size thread pool.  Three properties the bench/ sweeps
+ * and any future serving layer rely on:
+ *
+ *  - Determinism: a job's result depends only on the job itself (the
+ *    routers take explicit seeds and share no mutable state), and
+ *    results are returned in submission order.  Metrics are therefore
+ *    bit-identical regardless of thread count or completion order.
+ *  - Shared distance matrices: all jobs resolve their backend's
+ *    distance matrix through one DistanceCache, so a batch of N jobs on
+ *    one backend computes the matrix once, not N times.
+ *  - Error isolation: a throwing job becomes a failed JobResult with
+ *    the exception message; it never tears down the pool or poisons
+ *    sibling jobs.
+ */
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nassc/service/distance_cache.h"
+#include "nassc/transpile/transpile.h"
+
+namespace nassc {
+
+/** One unit of batch work. */
+struct TranspileJob
+{
+    std::string tag; ///< caller-chosen label, reported back in the result
+    QuantumCircuit circuit;
+    /** Target device; shared_ptr so a sweep over one device is cheap. */
+    std::shared_ptr<const Backend> backend;
+    TranspileOptions options;
+};
+
+/** Outcome of one job. */
+struct JobResult
+{
+    std::size_t index = 0; ///< submission index within the batch
+    std::string tag;
+    bool ok = false;
+    std::string error;       ///< exception message when !ok
+    unsigned seed_used = 0;  ///< effective seed after batch derivation
+    TranspileResult result;  ///< valid only when ok
+};
+
+/** Engine configuration. */
+struct BatchOptions
+{
+    /** Worker threads; 0 picks std::thread::hardware_concurrency(). */
+    int num_threads = 0;
+    /**
+     * When true, each job's seed becomes a deterministic mix of
+     * base_seed, the job tag, and the job's own seed — so sweeps get
+     * decorrelated layouts without hand-numbering seeds, and a job's
+     * seed is independent of its position in the batch.
+     */
+    bool derive_seeds = false;
+    unsigned base_seed = 0;
+    /** Cache shared by all jobs; defaults to a fresh private cache. */
+    std::shared_ptr<DistanceCache> cache;
+};
+
+/** Aggregate outcome of BatchTranspiler::run(). */
+struct BatchReport
+{
+    std::vector<JobResult> results; ///< submission order
+    std::size_t num_ok = 0;
+    std::size_t num_failed = 0;
+    double seconds = 0.0; ///< wall-clock for the whole batch
+    /** Distance matrices computed (vs served from cache) by this run. */
+    std::size_t distance_computations = 0;
+};
+
+/**
+ * Deterministic per-job seed: a stable mix of the batch seed, the job
+ * tag, and the job's own option seed.  Pure function of its arguments —
+ * never of submission order.
+ */
+unsigned derive_job_seed(unsigned base_seed, const std::string &tag,
+                         unsigned job_seed);
+
+/** Fixed-thread-pool batch engine over transpile(). */
+class BatchTranspiler
+{
+  public:
+    explicit BatchTranspiler(BatchOptions options = {});
+
+    /** Run all jobs; blocks until every job has a result. */
+    BatchReport run(const std::vector<TranspileJob> &jobs) const;
+
+    /** Worker threads run() will use for a batch of `jobs` jobs. */
+    int num_threads_for(std::size_t jobs) const;
+
+    DistanceCache &distance_cache() const { return *cache_; }
+
+  private:
+    BatchOptions options_;
+    std::shared_ptr<DistanceCache> cache_;
+};
+
+} // namespace nassc
+
+#endif // NASSC_SERVICE_BATCH_TRANSPILER_H

@@ -1,0 +1,97 @@
+#include "nassc/service/distance_cache.h"
+
+#include <cstdio>
+
+namespace nassc {
+
+std::string
+DistanceRequest::key() const
+{
+    if (!noise_aware)
+        return "hops";
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "noise:%.9g:%.9g:%.9g", alpha1, alpha2,
+                  alpha3);
+    return buf;
+}
+
+SharedDistanceMatrix
+DistanceCache::get(const Backend &backend, const DistanceRequest &request)
+{
+    const std::string key = backend.cache_key() + "|" + request.key();
+
+    std::promise<SharedDistanceMatrix> promise;
+    std::shared_future<SharedDistanceMatrix> future;
+    bool owner = false;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = entries_.find(key);
+        if (it != entries_.end()) {
+            ++hits_;
+            future = it->second;
+        } else {
+            ++computations_;
+            owner = true;
+            future = promise.get_future().share();
+            entries_.emplace(key, future);
+        }
+    }
+
+    if (owner) {
+        // Compute outside the lock: other keys stay available, same-key
+        // requesters block on the shared_future instead of the mutex.
+        try {
+            auto matrix = std::make_shared<DistanceMatrix>(
+                request.noise_aware
+                    ? noise_aware_distance(backend, request.alpha1,
+                                           request.alpha2, request.alpha3)
+                    : hop_distance(backend.coupling));
+            promise.set_value(std::move(matrix));
+        } catch (...) {
+            promise.set_exception(std::current_exception());
+            // Evict so a later request can retry; waiters already holding
+            // the future still see the exception.
+            std::lock_guard<std::mutex> lock(mu_);
+            entries_.erase(key);
+        }
+    }
+
+    return future.get();
+}
+
+std::size_t
+DistanceCache::computation_count() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return computations_;
+}
+
+std::size_t
+DistanceCache::hit_count() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return hits_;
+}
+
+std::size_t
+DistanceCache::size() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return entries_.size();
+}
+
+void
+DistanceCache::clear()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    entries_.clear();
+}
+
+DistanceCache &
+DistanceCache::global()
+{
+    static DistanceCache cache;
+    return cache;
+}
+
+} // namespace nassc

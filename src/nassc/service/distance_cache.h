@@ -1,0 +1,107 @@
+#ifndef NASSC_SERVICE_DISTANCE_CACHE_H
+#define NASSC_SERVICE_DISTANCE_CACHE_H
+
+/**
+ * @file
+ * Shared read-only cache of per-backend distance matrices.
+ *
+ * transpile() needs an all-pairs distance matrix per (backend, metric)
+ * pair: plain hop counts for SABRE, or the HA noise-aware weights of
+ * paper eq. 3.  Recomputing it per call is wasted work the moment two
+ * jobs target the same device — which is every batch sweep in bench/.
+ * DistanceCache computes each matrix exactly once, even when many
+ * threads request it concurrently: the first requester installs a
+ * shared_future and computes, everyone else blocks on that future and
+ * shares the finished read-only matrix.
+ *
+ * Matrices are handed out as shared_ptr<const ...> so they stay valid
+ * for the duration of a routing run regardless of cache lifetime.
+ */
+
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "nassc/topo/backends.h"
+
+namespace nassc {
+
+/** All-pairs distance matrix, indexed [physical][physical]. */
+using DistanceMatrix = std::vector<std::vector<double>>;
+using SharedDistanceMatrix = std::shared_ptr<const DistanceMatrix>;
+
+/** Which distance metric to fetch for a backend. */
+struct DistanceRequest
+{
+    bool noise_aware = false;
+    /** HA edge-weight coefficients (paper eq. 3); unused for hops. */
+    double alpha1 = 0.5;
+    double alpha2 = 0.0;
+    double alpha3 = 0.5;
+
+    static DistanceRequest hops() { return {}; }
+
+    static DistanceRequest noise(double a1 = 0.5, double a2 = 0.0,
+                                 double a3 = 0.5)
+    {
+        DistanceRequest r;
+        r.noise_aware = true;
+        r.alpha1 = a1;
+        r.alpha2 = a2;
+        r.alpha3 = a3;
+        return r;
+    }
+
+    /** Cache-key fragment identifying this metric. */
+    std::string key() const;
+};
+
+/** Thread-safe compute-once distance-matrix cache. */
+class DistanceCache
+{
+  public:
+    DistanceCache() = default;
+    DistanceCache(const DistanceCache &) = delete;
+    DistanceCache &operator=(const DistanceCache &) = delete;
+
+    /**
+     * Matrix for (backend, request), computed on first use.  Concurrent
+     * requests for the same key block until the single computation
+     * finishes; a computation that throws is evicted so a later call can
+     * retry, and the exception propagates to every waiter.
+     */
+    SharedDistanceMatrix get(const Backend &backend,
+                             const DistanceRequest &request = {});
+
+    /** Matrices actually computed (not served from cache). */
+    std::size_t computation_count() const;
+
+    /** Requests served from an existing or in-flight entry. */
+    std::size_t hit_count() const;
+
+    /** Distinct keys currently cached. */
+    std::size_t size() const;
+
+    void clear();
+
+    /**
+     * Process-wide cache used by the transpile() overload that does not
+     * take an explicit cache.  Entries are keyed by Backend::cache_key(),
+     * which fingerprints topology and calibration, so two backends only
+     * share an entry when their matrices would be identical.
+     */
+    static DistanceCache &global();
+
+  private:
+    mutable std::mutex mu_;
+    std::map<std::string, std::shared_future<SharedDistanceMatrix>> entries_;
+    std::size_t computations_ = 0;
+    std::size_t hits_ = 0;
+};
+
+} // namespace nassc
+
+#endif // NASSC_SERVICE_DISTANCE_CACHE_H

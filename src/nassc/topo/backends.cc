@@ -1,5 +1,8 @@
 #include "nassc/topo/backends.h"
 
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
 #include <random>
 #include <stdexcept>
 
@@ -31,7 +34,42 @@ make_calibration(const CouplingMap &cm, unsigned seed)
     return cal;
 }
 
+/** FNV-1a over the calibration's raw double values. */
+std::uint64_t
+calibration_fingerprint(const Calibration &cal)
+{
+    std::uint64_t h = 14695981039346656037ull;
+    auto mix_double = [&h](double x) {
+        std::uint64_t v;
+        std::memcpy(&v, &x, sizeof(v));
+        for (int byte = 0; byte < 8; ++byte) {
+            h ^= (v >> (8 * byte)) & 0xffu;
+            h *= 1099511628211ull;
+        }
+    };
+    for (double e : cal.error_1q)
+        mix_double(e);
+    for (double e : cal.readout_error)
+        mix_double(e);
+    for (const auto &[edge, err] : cal.error_cx)
+        mix_double(err);
+    for (const auto &[edge, dur] : cal.duration_cx)
+        mix_double(dur);
+    return h;
+}
+
 } // namespace
+
+std::string
+Backend::cache_key() const
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "|%016llx|%016llx",
+                  static_cast<unsigned long long>(coupling.fingerprint()),
+                  static_cast<unsigned long long>(
+                      calibration_fingerprint(calibration)));
+    return name + buf;
+}
 
 double
 Calibration::cx_error(int a, int b) const
@@ -161,12 +199,7 @@ noise_aware_distance(const Backend &backend, double alpha1, double alpha2,
 std::vector<std::vector<double>>
 hop_distance(const CouplingMap &cm)
 {
-    int n = cm.num_qubits();
-    std::vector<std::vector<double>> d(n, std::vector<double>(n));
-    for (int i = 0; i < n; ++i)
-        for (int j = 0; j < n; ++j)
-            d[i][j] = cm.distance(i, j);
-    return d;
+    return cm.distance_matrix_double();
 }
 
 } // namespace nassc

@@ -41,6 +41,13 @@ struct Backend
     std::string name;
     CouplingMap coupling;
     Calibration calibration;
+
+    /**
+     * Stable identity for caching derived per-backend data (distance
+     * matrices, layouts): name plus fingerprints of the topology and
+     * calibration, so editing either produces a distinct key.
+     */
+    std::string cache_key() const;
 };
 
 /** 27-qubit heavy-hex lattice of ibmq_montreal. */

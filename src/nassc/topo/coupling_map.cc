@@ -50,6 +50,35 @@ CouplingMap::CouplingMap(int num_qubits,
     }
 }
 
+std::vector<std::vector<double>>
+CouplingMap::distance_matrix_double() const
+{
+    std::vector<std::vector<double>> d(num_qubits_,
+                                       std::vector<double>(num_qubits_));
+    for (int i = 0; i < num_qubits_; ++i)
+        for (int j = 0; j < num_qubits_; ++j)
+            d[i][j] = dist_[i][j];
+    return d;
+}
+
+std::uint64_t
+CouplingMap::fingerprint() const
+{
+    std::uint64_t h = 14695981039346656037ull; // FNV-1a offset basis
+    auto mix = [&h](std::uint64_t v) {
+        for (int byte = 0; byte < 8; ++byte) {
+            h ^= (v >> (8 * byte)) & 0xffu;
+            h *= 1099511628211ull;
+        }
+    };
+    mix(static_cast<std::uint64_t>(num_qubits_));
+    for (auto [a, b] : edges_) {
+        mix(static_cast<std::uint64_t>(a));
+        mix(static_cast<std::uint64_t>(b));
+    }
+    return h;
+}
+
 int
 CouplingMap::diameter() const
 {

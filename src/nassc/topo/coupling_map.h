@@ -6,6 +6,7 @@
  * Undirected device-connectivity graph with all-pairs hop distances.
  */
 
+#include <cstdint>
 #include <utility>
 #include <vector>
 
@@ -38,11 +39,21 @@ class CouplingMap
         return dist_;
     }
 
+    /** All-pairs hop distances widened to double (the router's format). */
+    std::vector<std::vector<double>> distance_matrix_double() const;
+
     /** Longest shortest path in the graph. */
     int diameter() const;
 
     /** True when every qubit can reach every other. */
     bool is_connected_graph() const;
+
+    /**
+     * Stable FNV-1a hash of (num_qubits, edge list).  Two maps with the
+     * same fingerprint have identical hop-distance matrices; used by
+     * DistanceCache keys so caches can outlive any one Backend value.
+     */
+    std::uint64_t fingerprint() const;
 
   private:
     int num_qubits_ = 0;

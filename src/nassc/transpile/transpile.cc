@@ -35,7 +35,7 @@ optimization_loop(QuantumCircuit &qc, int rounds)
 
 TranspileResult
 transpile(const QuantumCircuit &qc, const Backend &backend,
-          const TranspileOptions &opts)
+          const TranspileOptions &opts, DistanceCache &cache)
 {
     auto t0 = std::chrono::steady_clock::now();
 
@@ -47,10 +47,13 @@ transpile(const QuantumCircuit &qc, const Backend &backend,
     run_optimize_1q(c, Basis1q::kUGate);
     consolidate_2q_blocks(c, Basis1q::kUGate);
 
-    // 3. Distance matrix: plain hops, or the HA noise-aware variant.
-    std::vector<std::vector<double>> dist =
-        opts.noise_aware ? noise_aware_distance(backend)
-                         : hop_distance(backend.coupling);
+    // 3. Distance matrix: plain hops, or the HA noise-aware variant,
+    //    shared through the cache so repeat calls against one backend
+    //    (and concurrent batch jobs) reuse a single computation.
+    SharedDistanceMatrix dist_shared = cache.get(
+        backend, opts.noise_aware ? DistanceRequest::noise()
+                                  : DistanceRequest::hops());
+    const std::vector<std::vector<double>> &dist = *dist_shared;
 
     // 4. Initial layout (shared between SABRE and NASSC, paper Sec. IV-A).
     RoutingOptions ropts;
@@ -98,6 +101,13 @@ transpile(const QuantumCircuit &qc, const Backend &backend,
     res.depth = res.circuit.depth();
     res.seconds = std::chrono::duration<double>(t1 - t0).count();
     return res;
+}
+
+TranspileResult
+transpile(const QuantumCircuit &qc, const Backend &backend,
+          const TranspileOptions &opts)
+{
+    return transpile(qc, backend, opts, DistanceCache::global());
 }
 
 TranspileResult

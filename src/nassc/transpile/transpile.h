@@ -21,6 +21,7 @@
 
 #include "nassc/ir/circuit.h"
 #include "nassc/route/sabre.h"
+#include "nassc/service/distance_cache.h"
 #include "nassc/topo/backends.h"
 
 namespace nassc {
@@ -59,7 +60,15 @@ struct TranspileResult
     double seconds = 0.0;
 };
 
-/** Full pipeline against a backend. */
+/**
+ * Full pipeline against a backend, resolving the distance matrix through
+ * `cache`.  Concurrent callers sharing a cache (e.g. BatchTranspiler
+ * workers) compute each backend's matrix exactly once.
+ */
+TranspileResult transpile(const QuantumCircuit &qc, const Backend &backend,
+                          const TranspileOptions &opts, DistanceCache &cache);
+
+/** Full pipeline using the process-wide DistanceCache::global(). */
 TranspileResult transpile(const QuantumCircuit &qc, const Backend &backend,
                           const TranspileOptions &opts = {});
 
