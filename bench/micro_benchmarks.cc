@@ -1,15 +1,18 @@
 // google-benchmark microbenchmarks for the compiler's hot kernels:
 // KAK decomposition, two-qubit synthesis, CNOT-cost classification,
-// commutation checks, and full routing passes.
+// commutation checks, the router's per-decision kernels, and full
+// routing passes.
 
 #include <random>
 
 #include <benchmark/benchmark.h>
 
 #include "nassc/circuits/library.h"
+#include "nassc/ir/dag.h"
 #include "nassc/math/weyl.h"
 #include "nassc/passes/basis_translation.h"
 #include "nassc/passes/commutation.h"
+#include "nassc/route/router.h"
 #include "nassc/route/sabre.h"
 #include "nassc/synth/kak2q.h"
 #include "nassc/transpile/transpile.h"
@@ -88,6 +91,96 @@ BM_GatesCommute(benchmark::State &state)
     }
 }
 BENCHMARK(BM_GatesCommute);
+
+// ---- router hot kernels -----------------------------------------------------
+//
+// These drive the Router's per-decision kernels in isolation on a
+// blocked front (qft(16) on montreal under the trivial layout), so the
+// flat-memory / incremental-scoring speedups are measurable without the
+// surrounding pass pipeline.
+
+struct RouterFixture
+{
+    Backend dev = montreal_backend();
+    QuantumCircuit logical = decompose_to_2q(qft(16));
+    DagCircuit dag{logical};
+    DistanceMatrix dist = hop_distance(dev.coupling);
+    RoutingOptions opts;
+    Layout init{16, 27};
+    Router router{dag, dev.coupling, dist, opts};
+
+    RouterFixture()
+    {
+        router.reset(init);
+        router.execute_ready();
+    }
+};
+
+void
+BM_SwapCandidates(benchmark::State &state)
+{
+    RouterFixture f;
+    for (auto _ : state) {
+        const auto &cands = f.router.swap_candidates();
+        benchmark::DoNotOptimize(cands.size());
+    }
+}
+BENCHMARK(BM_SwapCandidates);
+
+void
+BM_ExtendedSet(benchmark::State &state)
+{
+    RouterFixture f;
+    for (auto _ : state) {
+        f.router.invalidate_extended_set(); // measure a cold rebuild
+        const auto &ext = f.router.extended_set();
+        benchmark::DoNotOptimize(ext.size());
+    }
+}
+BENCHMARK(BM_ExtendedSet);
+
+void
+BM_ApplyBestSwapDecision(benchmark::State &state)
+{
+    // One full decision: candidate generation, (cached) extended set,
+    // incremental scoring of every candidate, SWAP application.  The
+    // router is rewound periodically so the front stays representative.
+    RouterFixture f;
+    int decisions = 0;
+    for (auto _ : state) {
+        f.router.apply_best_swap();
+        if (++decisions == 256) {
+            state.PauseTiming();
+            f.router.reset(f.init);
+            f.router.execute_ready();
+            decisions = 0;
+            state.ResumeTiming();
+        }
+    }
+}
+BENCHMARK(BM_ApplyBestSwapDecision);
+
+void
+BM_RouteTableICircuit(benchmark::State &state)
+{
+    // End-to-end route_circuit on a Table I workload (rd84_253: 12
+    // qubits, ~1.9k gates) with a fixed SABRE-refined layout.
+    Backend dev = montreal_backend();
+    QuantumCircuit logical = decompose_to_2q(benchmark_by_name("rd84_253"));
+    auto dist = hop_distance(dev.coupling);
+    RoutingOptions opts;
+    opts.algorithm = static_cast<RoutingAlgorithm>(state.range(0));
+    Layout init = sabre_initial_layout(logical, dev.coupling, dist, opts);
+    for (auto _ : state) {
+        RoutingResult r =
+            route_circuit(logical, dev.coupling, dist, init, opts);
+        benchmark::DoNotOptimize(r);
+    }
+}
+BENCHMARK(BM_RouteTableICircuit)
+    ->Arg(0)
+    ->Arg(1) // 0 = SABRE, 1 = NASSC
+    ->Unit(benchmark::kMillisecond);
 
 void
 BM_RouteQft15(benchmark::State &state)

@@ -1,0 +1,99 @@
+// Fast routing-only sweep over the Table I suite, emitting a JSON
+// record per (circuit, router) cell:
+//
+//   [{"circuit": "qft_n15", "router": "sabre", "wall_ms": 1.84,
+//     "swaps": 155}, ...]
+//
+// The `bench_json` CMake/CTest target runs this and CI uploads the
+// resulting BENCH_routing.json, so the repository accumulates a
+// routing-performance trajectory across commits.  Unlike the table
+// reproduction binaries this times route_circuit() alone — no layout
+// search inside the timed region, no post-routing optimization — which
+// is exactly the hot path the flat-memory router core targets.
+//
+// Usage: routing_sweep_json [--out PATH] [--reps N]
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "nassc/circuits/library.h"
+#include "nassc/passes/basis_translation.h"
+#include "nassc/route/sabre.h"
+#include "nassc/topo/backends.h"
+
+using namespace nassc;
+
+int
+main(int argc, char **argv)
+{
+    std::string out_path = "BENCH_routing.json";
+    int reps = 3; // best-of-N wall time per cell
+    for (int i = 1; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--out") && i + 1 < argc)
+            out_path = argv[++i];
+        else if (!std::strcmp(argv[i], "--reps") && i + 1 < argc)
+            reps = std::atoi(argv[++i]);
+    }
+    if (reps < 1)
+        reps = 1;
+
+    Backend dev = montreal_backend();
+    const auto dist = hop_distance(dev.coupling);
+
+    std::string json = "[\n";
+    bool first = true;
+    for (const BenchmarkCase &bc : table_benchmarks()) {
+        QuantumCircuit logical = decompose_to_2q(bc.circuit);
+        // One shared SABRE-refined layout per circuit (as in transpile()).
+        RoutingOptions lopts;
+        Layout init = sabre_initial_layout(logical, dev.coupling, dist,
+                                           lopts);
+        for (RoutingAlgorithm alg :
+             {RoutingAlgorithm::kSabre, RoutingAlgorithm::kNassc}) {
+            RoutingOptions opts;
+            opts.algorithm = alg;
+            double best_ms = 0.0;
+            int swaps = 0;
+            for (int r = 0; r < reps; ++r) {
+                auto t0 = std::chrono::steady_clock::now();
+                RoutingResult res =
+                    route_circuit(logical, dev.coupling, dist, init, opts);
+                auto t1 = std::chrono::steady_clock::now();
+                double ms =
+                    std::chrono::duration<double, std::milli>(t1 - t0)
+                        .count();
+                if (r == 0 || ms < best_ms)
+                    best_ms = ms;
+                swaps = res.stats.num_swaps;
+            }
+            char row[256];
+            std::snprintf(row, sizeof(row),
+                          "  {\"circuit\": \"%s\", \"router\": \"%s\", "
+                          "\"wall_ms\": %.3f, \"swaps\": %d}",
+                          bc.name.c_str(),
+                          alg == RoutingAlgorithm::kSabre ? "sabre"
+                                                          : "nassc",
+                          best_ms, swaps);
+            if (!first)
+                json += ",\n";
+            json += row;
+            first = false;
+            std::printf("%-16s %-6s %8.3f ms  %6d swaps\n", bc.name.c_str(),
+                        alg == RoutingAlgorithm::kSabre ? "sabre" : "nassc",
+                        best_ms, swaps);
+        }
+    }
+    json += "\n]\n";
+
+    std::ofstream f(out_path);
+    if (!f) {
+        std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+        return 1;
+    }
+    f << json;
+    std::printf("json written to %s\n", out_path.c_str());
+    return 0;
+}

@@ -25,7 +25,11 @@ OptAwareTracker::OptAwareTracker(int num_physical, const RoutingOptions &opts)
     : opts_(opts), num_physical_(num_physical), partner_(num_physical, -1),
       block_u_(num_physical, Mat4::identity()),
       pending_mat_(num_physical, Mat2::identity()), window_(num_physical),
-      trailing_(num_physical)
+      trailing_(num_physical),
+      // Versions start at 1 so default-constructed (version 0) cache
+      // entries can never be mistaken for valid ones.
+      wire_version_(num_physical, 1),
+      eval_cache_(static_cast<std::size_t>(num_physical) * num_physical)
 {
 }
 
@@ -70,6 +74,13 @@ OptAwareTracker::fold_trailing_into_window(int p)
 void
 OptAwareTracker::on_gate(const Gate &g, int out_idx)
 {
+    // Every state change below is confined to the gate's own wires (a
+    // broken block resets the old partner's partner_ link, but that can
+    // only flip an evaluation on an edge that includes this wire too,
+    // which the bump already covers).
+    for (int q : g.qubits)
+        touch_wire(q);
+
     if (g.kind == OpKind::kBarrier || g.kind == OpKind::kMeasure) {
         for (int q : g.qubits) {
             break_block(q);
@@ -137,34 +148,51 @@ OptAwareTracker::consume_record(int out_idx)
 {
     if (out_idx < 0)
         return;
-    for (auto &win : window_) {
+    for (int w = 0; w < num_physical_; ++w) {
+        auto &win = window_[w];
         for (auto it = win.begin(); it != win.end();) {
-            if (it->out_idx == out_idx)
+            if (it->out_idx == out_idx) {
                 it = win.erase(it);
-            else
+                touch_wire(w);
+            } else {
                 ++it;
+            }
         }
     }
 }
 
-std::vector<int>
-OptAwareTracker::take_trailing_1q(int p)
+void
+OptAwareTracker::take_trailing_1q(int p, std::vector<int> &out)
 {
-    std::vector<int> idxs;
-    idxs.reserve(trailing_[p].size());
+    touch_wire(p);
     for (const Rec &r : trailing_[p])
-        idxs.push_back(r.out_idx);
+        out.push_back(r.out_idx);
     trailing_[p].clear();
     // The moved gates leave this wire: their contribution to the open
     // block / pending matrix must be undone.  The router re-emits them
     // after the SWAP, so the simplest sound model is to reset the block
     // state of this wire (the SWAP itself restarts the block anyway).
     break_block(p);
-    return idxs;
 }
 
 SwapReduction
 OptAwareTracker::evaluate_swap(int p, int q) const
+{
+    // Keyed by ordered (p, q): the orientation flags in the result
+    // depend on the argument order.
+    CachedEval &slot =
+        eval_cache_[static_cast<std::size_t>(p) * num_physical_ + q];
+    if (slot.version_a == wire_version_[p] &&
+        slot.version_b == wire_version_[q])
+        return slot.red;
+    slot.red = evaluate_swap_uncached(p, q);
+    slot.version_a = wire_version_[p];
+    slot.version_b = wire_version_[q];
+    return slot.red;
+}
+
+SwapReduction
+OptAwareTracker::evaluate_swap_uncached(int p, int q) const
 {
     SwapReduction red;
 

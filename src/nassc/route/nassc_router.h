@@ -21,6 +21,7 @@
  *    through a flagged SWAP so they cannot block the cancellation.
  */
 
+#include <cstdint>
 #include <vector>
 
 #include "nassc/ir/gate.h"
@@ -52,7 +53,17 @@ class OptAwareTracker
     /** Record an emitted physical gate occupying out-circuit slot idx. */
     void on_gate(const Gate &g, int out_idx);
 
-    /** Score a candidate SWAP on physical edge (p, q). */
+    /**
+     * Score a candidate SWAP on physical edge (p, q).
+     *
+     * Results are memoized per edge: an evaluation only reads the block,
+     * window, and trailing state of wires p and q, so a cached result
+     * stays exact until one of those wires is touched (a gate lands on
+     * it, its trailing gates are taken, or a consume_record() erases one
+     * of its window records).  Consecutive SWAP decisions share most of
+     * their candidate edges, which makes the hit rate high while the
+     * front layer is blocked.
+     */
     SwapReduction evaluate_swap(int p, int q) const;
 
     /**
@@ -63,11 +74,13 @@ class OptAwareTracker
     void consume_record(int out_idx);
 
     /**
-     * Out-circuit indices of the trailing 1q gates of wire p (the gates a
-     * flagged SWAP moves through), oldest first; clears the internal
-     * list.  The router marks them dead and re-emits them retargeted.
+     * Appends the out-circuit indices of the trailing 1q gates of wire p
+     * (the gates a flagged SWAP moves through) to `out`, oldest first,
+     * and clears the internal list.  The router marks them dead and
+     * re-emits them retargeted; it passes a reused scratch buffer so the
+     * hot path stays allocation-free.
      */
-    std::vector<int> take_trailing_1q(int p);
+    void take_trailing_1q(int p, std::vector<int> &out);
 
   private:
     struct Rec
@@ -78,6 +91,15 @@ class OptAwareTracker
 
     void break_block(int p);
     void fold_trailing_into_window(int p);
+
+    /** Invalidate cached evaluations involving wire p. */
+    void
+    touch_wire(int p)
+    {
+        ++wire_version_[p];
+    }
+
+    SwapReduction evaluate_swap_uncached(int p, int q) const;
 
     const RoutingOptions &opts_;
     int num_physical_;
@@ -92,6 +114,16 @@ class OptAwareTracker
 
     // --- trailing 1q gates per wire (movement through SWAPs) ---
     std::vector<std::vector<Rec>> trailing_;
+
+    // --- per-edge evaluation cache (see evaluate_swap) ---
+    struct CachedEval
+    {
+        std::uint64_t version_a = 0; ///< wire_version_[p] at compute time
+        std::uint64_t version_b = 0; ///< wire_version_[q] at compute time
+        SwapReduction red;
+    };
+    std::vector<std::uint64_t> wire_version_;
+    mutable std::vector<CachedEval> eval_cache_; ///< indexed p*n + q
 };
 
 } // namespace nassc

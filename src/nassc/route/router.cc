@@ -1,0 +1,451 @@
+#include "nassc/route/router.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include "nassc/route/nassc_router.h"
+
+namespace nassc {
+
+Router::Router(const DagCircuit &dag, const CouplingMap &coupling,
+               const DistanceMatrix &dist, const RoutingOptions &opts)
+    : dag_(dag), coupling_(coupling), dist_(dist), opts_(opts),
+      num_phys_(coupling.num_qubits())
+{
+    for (int id = 0; id < dag.num_nodes(); ++id) {
+        const Gate &g = dag.gate(id);
+        if (g.num_qubits() > 2 && g.kind != OpKind::kBarrier)
+            throw std::invalid_argument(
+                "route_circuit: decompose to <= 2q gates first");
+    }
+    force_limit_ = 3 * std::max(coupling.diameter(), 2) + 8;
+    edge_stamp_.assign(
+        static_cast<std::size_t>(num_phys_) * num_phys_, 0);
+    node_stamp_.assign(dag.num_nodes(), 0);
+    by_phys_.resize(num_phys_);
+    remaining_.resize(dag.num_nodes());
+    out_.reserve(dag.num_nodes() + 64);
+    dead_.reserve(dag.num_nodes() + 64);
+}
+
+Router::~Router() = default;
+
+void
+Router::reset(const Layout &initial)
+{
+    layout_ = initial;
+    for (int i = 0; i < dag_.num_nodes(); ++i)
+        remaining_[i] = dag_.num_distinct_preds(i);
+    front_.assign(dag_.initial_front().begin(), dag_.initial_front().end());
+    out_.clear();
+    dead_.clear();
+    decay_.assign(num_phys_, 1.0);
+    stats_ = RoutingStats{};
+    last_swap_ = {-1, -1};
+    swaps_since_progress_ = 0;
+    swaps_since_decay_reset_ = 0;
+    ext_valid_ = false;
+    tracker_ = opts_.algorithm == RoutingAlgorithm::kNassc
+                   ? std::make_unique<OptAwareTracker>(num_phys_, opts_)
+                   : nullptr;
+}
+
+void
+Router::run_loop()
+{
+    while (true) {
+        execute_ready();
+        if (front_.empty())
+            break;
+        if (swaps_since_progress_ >= force_limit_)
+            apply_forced_swap();
+        else
+            apply_best_swap();
+    }
+}
+
+RoutingResult
+Router::run(const Layout &initial)
+{
+    reset(initial);
+    RoutingResult res;
+    res.initial_l2p = layout_.l2p();
+    run_loop();
+
+    QuantumCircuit qc(num_phys_);
+    for (std::size_t i = 0; i < out_.size(); ++i)
+        if (!dead_[i])
+            qc.append(std::move(out_[i]));
+    res.circuit = std::move(qc);
+    res.final_l2p = layout_.l2p();
+    res.stats = stats_;
+    return res;
+}
+
+Layout
+Router::route_to_layout(const Layout &initial)
+{
+    reset(initial);
+    run_loop();
+    return layout_;
+}
+
+// ---- emission --------------------------------------------------------------
+
+int
+Router::emit(Gate g)
+{
+    int idx = static_cast<int>(out_.size());
+    if (tracker_)
+        tracker_->on_gate(g, idx);
+    out_.push_back(std::move(g));
+    dead_.push_back(false);
+    return idx;
+}
+
+void
+Router::execute_node(int id)
+{
+    Gate g = dag_.gate(id);
+    for (int &q : g.qubits)
+        q = layout_.phys_of(q);
+    emit(std::move(g));
+    // Decrement each distinct successor once (CSR view: already
+    // deduplicated and sorted, no per-gate copy + sort).
+    for (int s : dag_.distinct_succs(id))
+        if (--remaining_[s] == 0)
+            front_.push_back(s);
+    // The front layer changed: the cached extended set is stale.
+    ext_valid_ = false;
+}
+
+void
+Router::execute_ready()
+{
+    bool progressed = true;
+    while (progressed) {
+        progressed = false;
+        // execute_node() appends newly unblocked nodes to front_, so
+        // iterate over a snapshot and rebuild front_ from scratch.
+        front_snapshot_.swap(front_);
+        front_.clear();
+        for (int id : front_snapshot_) {
+            const Gate &g = dag_.gate(id);
+            bool two_q = g.num_qubits() == 2 && is_unitary_op(g.kind);
+            bool ok = !two_q ||
+                      coupling_.connected(layout_.phys_of(g.qubits[0]),
+                                          layout_.phys_of(g.qubits[1]));
+            if (ok) {
+                execute_node(id);
+                progressed = true;
+                if (two_q) {
+                    // A routed 2q gate is real progress; undoing the
+                    // last swap afterwards is legitimate again.
+                    swaps_since_progress_ = 0;
+                    last_swap_ = {-1, -1};
+                    reset_decay();
+                }
+            } else {
+                front_.push_back(id);
+            }
+        }
+        front_snapshot_.clear();
+    }
+}
+
+// ---- scoring ---------------------------------------------------------------
+
+const std::vector<std::pair<int, int>> &
+Router::swap_candidates()
+{
+    ++stamp_;
+    cand_.clear();
+    for (int id : front_) {
+        const Gate &g = dag_.gate(id);
+        for (int lq : g.qubits) {
+            int p = layout_.phys_of(lq);
+            for (int nbr : coupling_.neighbors(p)) {
+                int a = std::min(p, nbr);
+                int b = std::max(p, nbr);
+                std::uint64_t &st =
+                    edge_stamp_[static_cast<std::size_t>(a) * num_phys_ + b];
+                if (st != stamp_) {
+                    st = stamp_;
+                    cand_.emplace_back(a, b);
+                }
+            }
+        }
+    }
+    // Ascending edge order (what the std::set-based scan produced);
+    // in-place sort of a small reused vector, no allocation.
+    std::sort(cand_.begin(), cand_.end());
+    return cand_;
+}
+
+const std::vector<int> &
+Router::extended_set()
+{
+    if (ext_valid_)
+        return ext_;
+    // BFS over DAG successors of the front, collecting 2q gates.  The
+    // seen set is an epoch-stamped array and the queue a reused vector
+    // with a moving head.
+    ++stamp_;
+    ext_.clear();
+    bfs_.clear();
+    for (int id : front_) {
+        bfs_.push_back(id);
+        node_stamp_[id] = stamp_;
+    }
+    std::size_t head = 0;
+    while (head < bfs_.size() &&
+           static_cast<int>(ext_.size()) < opts_.extended_size) {
+        int id = bfs_[head++];
+        for (int s : dag_.succs(id)) {
+            if (s < 0 || node_stamp_[s] == stamp_)
+                continue;
+            node_stamp_[s] = stamp_;
+            const Gate &g = dag_.gate(s);
+            if (g.num_qubits() == 2 && is_unitary_op(g.kind)) {
+                ext_.push_back(s);
+                if (static_cast<int>(ext_.size()) >= opts_.extended_size)
+                    break;
+            }
+            bfs_.push_back(s);
+        }
+    }
+    ext_valid_ = true;
+    return ext_;
+}
+
+void
+Router::build_score_base()
+{
+    for (int p : touched_phys_)
+        by_phys_[p].clear();
+    touched_phys_.clear();
+    score_pa_.clear();
+    score_pb_.clear();
+    score_term_.clear();
+
+    auto add_entry = [this](int pa, int pb, double term) {
+        int k = static_cast<int>(score_term_.size());
+        score_pa_.push_back(pa);
+        score_pb_.push_back(pb);
+        score_term_.push_back(term);
+        if (by_phys_[pa].empty())
+            touched_phys_.push_back(pa);
+        by_phys_[pa].push_back(k);
+        if (pb != pa) {
+            if (by_phys_[pb].empty())
+                touched_phys_.push_back(pb);
+            by_phys_[pb].push_back(k);
+        }
+    };
+
+    front_base_ = 0.0;
+    for (int id : front_) {
+        const Gate &g = dag_.gate(id);
+        int pa = layout_.phys_of(g.qubits[0]);
+        int pb = layout_.phys_of(g.qubits[1]);
+        double t = 3.0 * dist_(pa, pb);
+        front_base_ += t;
+        add_entry(pa, pb, t);
+    }
+    score_front_count_ = static_cast<int>(score_term_.size());
+
+    ext_base_ = 0.0;
+    for (int id : ext_) {
+        const Gate &g = dag_.gate(id);
+        int pa = layout_.phys_of(g.qubits[0]);
+        int pb = layout_.phys_of(g.qubits[1]);
+        double t = dist_(pa, pb);
+        ext_base_ += t;
+        add_entry(pa, pb, t);
+    }
+}
+
+void
+Router::candidate_delta(int p, int q, double &dfront, double &dext) const
+{
+    dfront = 0.0;
+    dext = 0.0;
+    for (int k : by_phys_[p]) {
+        double nd = swapped_dist(score_pa_[k], score_pb_[k], p, q);
+        if (k < score_front_count_)
+            dfront += 3.0 * nd - score_term_[k];
+        else
+            dext += nd - score_term_[k];
+    }
+    for (int k : by_phys_[q]) {
+        // Gates also touching p were already adjusted above.
+        if (score_pa_[k] == p || score_pb_[k] == p)
+            continue;
+        double nd = swapped_dist(score_pa_[k], score_pb_[k], p, q);
+        if (k < score_front_count_)
+            dfront += 3.0 * nd - score_term_[k];
+        else
+            dext += nd - score_term_[k];
+    }
+}
+
+void
+Router::apply_best_swap()
+{
+    const auto &cands = swap_candidates();
+    if (cands.empty())
+        throw std::logic_error(
+            "apply_best_swap: blocked front layer has no swap candidates "
+            "(all blocked qubits are isolated in the coupling map)");
+    const auto &ext = extended_set();
+    build_score_base();
+
+    const double nf = static_cast<double>(front_.size());
+    const double ne = static_cast<double>(ext.size());
+
+    double best_score = std::numeric_limits<double>::infinity();
+    std::pair<int, int> best_edge{-1, -1};
+    SwapReduction best_red;
+
+    for (auto [p, q] : cands) {
+        // Never immediately undo the previous swap: with reduction
+        // terms active it can look locally free and livelock.
+        if (cands.size() > 1 && p == last_swap_.first &&
+            q == last_swap_.second)
+            continue;
+        // Incremental scoring: only the gates with an endpoint on p or
+        // q move; everything else keeps its base contribution.
+        double dfront, dext;
+        candidate_delta(p, q, dfront, dext);
+        SwapReduction red;
+        if (tracker_) {
+            // Branch-and-bound prune: red.total is capped at the SWAP's
+            // own 3 CNOTs, so a lower bound on h assumes the maximum
+            // reduction.  If even that cannot beat the current best,
+            // the (expensive) tracker evaluation cannot change the
+            // decision and is skipped.  Exact: the bound uses the same
+            // expression shape as h, and multiplying both sides by the
+            // positive decay factor preserves the order.
+            double h_bound = (front_base_ + dfront - 3.0) / nf;
+            if (!ext.empty())
+                h_bound +=
+                    opts_.extended_weight * (ext_base_ + dext) / ne;
+            if (opts_.use_decay)
+                h_bound *= std::max(decay_[p], decay_[q]);
+            if (h_bound >= best_score - 1e-12)
+                continue;
+            red = tracker_->evaluate_swap(p, q);
+        }
+        double h = (front_base_ + dfront - red.total) / nf;
+        if (!ext.empty())
+            h += opts_.extended_weight * (ext_base_ + dext) / ne;
+        if (opts_.use_decay)
+            h *= std::max(decay_[p], decay_[q]);
+
+        if (h < best_score - 1e-12) {
+            best_score = h;
+            best_edge = {p, q};
+            best_red = red;
+        }
+    }
+
+    apply_swap(best_edge.first, best_edge.second, best_red);
+}
+
+void
+Router::apply_forced_swap()
+{
+    // Deadlock breaker: move the first blocked gate one hop along a
+    // cheapest path (always makes progress eventually).
+    const Gate &g = dag_.gate(front_.front());
+    if (g.num_qubits() != 2)
+        throw std::logic_error(
+            "apply_forced_swap: blocked front gate is not two-qubit");
+    int pa = layout_.phys_of(g.qubits[0]);
+    int pb = layout_.phys_of(g.qubits[1]);
+    int best_nbr = -1;
+    double best = std::numeric_limits<double>::infinity();
+    for (int nbr : coupling_.neighbors(pa)) {
+        if (dist_(nbr, pb) < best) {
+            best = dist_(nbr, pb);
+            best_nbr = nbr;
+        }
+    }
+    if (best_nbr < 0)
+        throw std::logic_error(
+            "apply_forced_swap: physical qubit " + std::to_string(pa) +
+            " has no neighbors (isolated qubit in the coupling map)");
+    ++stats_.forced_moves;
+    apply_swap(pa, best_nbr, SwapReduction{});
+}
+
+void
+Router::apply_swap(int p, int q, const SwapReduction &red)
+{
+    bool flagged = red.commute1 || red.commute2;
+
+    if (tracker_ && flagged) {
+        // Move the trailing 1q gates of both wires through the SWAP:
+        // U(p) SWAP(p,q) == SWAP(p,q) U(q).
+        moved_scratch_.clear(); // (out-index, new wire)
+        for (int w : {p, q}) {
+            moved_idx_scratch_.clear();
+            tracker_->take_trailing_1q(w, moved_idx_scratch_);
+            for (int idx : moved_idx_scratch_) {
+                moved_scratch_.emplace_back(idx, w == p ? q : p);
+                dead_[idx] = true;
+            }
+        }
+        Gate sw = Gate::two_q(OpKind::kSwap, p, q);
+        sw.swap_orient = red.orient;
+        emit(std::move(sw));
+        for (auto [idx, wire] : moved_scratch_) {
+            Gate ng = out_[idx];
+            ng.qubits[0] = wire;
+            emit(std::move(ng));
+            ++stats_.moved_1q;
+        }
+        if (red.partner_swap_out_idx >= 0) {
+            out_[red.partner_swap_out_idx].swap_orient = red.orient;
+            tracker_->consume_record(red.partner_swap_out_idx);
+        }
+        tracker_->consume_record(red.used_record_idx);
+        ++stats_.flagged_swaps;
+    } else {
+        // Pure-C2q (or unflagged) swaps keep the default
+        // decomposition: the consolidation pass absorbs them into the
+        // adjacent block regardless of orientation.
+        emit(Gate::two_q(OpKind::kSwap, p, q));
+    }
+
+    if (red.c2q > 0)
+        ++stats_.c2q_hits;
+    if (red.commute1)
+        ++stats_.commute1_hits;
+    if (red.commute2)
+        ++stats_.commute2_hits;
+
+    layout_.swap_physical(p, q);
+    last_swap_ = {std::min(p, q), std::max(p, q)};
+    ++stats_.num_swaps;
+    ++swaps_since_progress_;
+
+    if (opts_.use_decay) {
+        if (++swaps_since_decay_reset_ >= opts_.decay_reset_interval) {
+            reset_decay();
+        } else {
+            decay_[p] += opts_.decay_delta;
+            decay_[q] += opts_.decay_delta;
+        }
+    }
+}
+
+void
+Router::reset_decay()
+{
+    std::fill(decay_.begin(), decay_.end(), 1.0);
+    swaps_since_decay_reset_ = 0;
+}
+
+} // namespace nassc

@@ -1,382 +1,31 @@
 #include "nassc/route/sabre.h"
 
-#include <algorithm>
-#include <limits>
-#include <memory>
-#include <queue>
-#include <set>
 #include <stdexcept>
 
 #include "nassc/ir/dag.h"
-#include "nassc/route/nassc_router.h"
+#include "nassc/route/router.h"
 
 namespace nassc {
 
-namespace {
-
-/** Mutable routing state over one pass. */
-class Router
-{
-  public:
-    Router(const QuantumCircuit &logical, const CouplingMap &coupling,
-           const std::vector<std::vector<double>> &dist,
-           const Layout &initial, const RoutingOptions &opts)
-        : dag_(logical), coupling_(coupling), dist_(dist), layout_(initial),
-          opts_(opts),
-          tracker_(opts.algorithm == RoutingAlgorithm::kNassc
-                       ? std::make_unique<OptAwareTracker>(
-                             coupling.num_qubits(), opts)
-                       : nullptr)
-    {
-        for (const Gate &g : logical.gates()) {
-            if (g.num_qubits() > 2 && g.kind != OpKind::kBarrier)
-                throw std::invalid_argument(
-                    "route_circuit: decompose to <= 2q gates first");
-        }
-        remaining_.resize(dag_.num_nodes());
-        for (int i = 0; i < dag_.num_nodes(); ++i)
-            remaining_[i] = dag_.num_distinct_preds(i);
-        front_ = dag_.initial_front();
-        decay_.assign(coupling.num_qubits(), 1.0);
-        force_limit_ = 3 * std::max(coupling.diameter(), 2) + 8;
-    }
-
-    RoutingResult
-    run()
-    {
-        RoutingResult res;
-        res.initial_l2p = layout_.l2p();
-
-        while (true) {
-            execute_ready();
-            if (front_.empty())
-                break;
-            if (swaps_since_progress_ >= force_limit_)
-                apply_forced_swap();
-            else
-                apply_best_swap();
-        }
-
-        QuantumCircuit qc(coupling_.num_qubits());
-        for (size_t i = 0; i < out_.size(); ++i)
-            if (!dead_[i])
-                qc.append(std::move(out_[i]));
-        res.circuit = std::move(qc);
-        res.final_l2p = layout_.l2p();
-        res.stats = stats_;
-        return res;
-    }
-
-  private:
-    // ---- emission ----------------------------------------------------------
-
-    int
-    emit(Gate g)
-    {
-        int idx = static_cast<int>(out_.size());
-        if (tracker_)
-            tracker_->on_gate(g, idx);
-        out_.push_back(std::move(g));
-        dead_.push_back(false);
-        return idx;
-    }
-
-    void
-    execute_node(int id)
-    {
-        Gate g = dag_.gate(id);
-        for (int &q : g.qubits)
-            q = layout_.phys_of(q);
-        emit(std::move(g));
-        // Decrement each distinct successor once.
-        std::vector<int> ss = dag_.succs(id);
-        std::sort(ss.begin(), ss.end());
-        ss.erase(std::unique(ss.begin(), ss.end()), ss.end());
-        for (int s : ss) {
-            if (s < 0)
-                continue;
-            if (--remaining_[s] == 0)
-                front_.push_back(s);
-        }
-    }
-
-    /** Execute every front gate that is executable; loops to a fixpoint. */
-    void
-    execute_ready()
-    {
-        bool progressed = true;
-        while (progressed) {
-            progressed = false;
-            // execute_node() appends newly unblocked nodes to front_, so
-            // iterate over a snapshot and rebuild front_ from scratch.
-            std::vector<int> current = std::move(front_);
-            front_.clear();
-            for (int id : current) {
-                const Gate &g = dag_.gate(id);
-                bool two_q = g.num_qubits() == 2 && is_unitary_op(g.kind);
-                bool ok = !two_q ||
-                          coupling_.connected(layout_.phys_of(g.qubits[0]),
-                                              layout_.phys_of(g.qubits[1]));
-                if (ok) {
-                    execute_node(id);
-                    progressed = true;
-                    if (two_q) {
-                        // A routed 2q gate is real progress; undoing the
-                        // last swap afterwards is legitimate again.
-                        swaps_since_progress_ = 0;
-                        last_swap_ = {-1, -1};
-                        reset_decay();
-                    }
-                } else {
-                    front_.push_back(id);
-                }
-            }
-        }
-    }
-
-    // ---- scoring -----------------------------------------------------------
-
-    std::vector<std::pair<int, int>>
-    swap_candidates() const
-    {
-        std::set<std::pair<int, int>> cand;
-        for (int id : front_) {
-            const Gate &g = dag_.gate(id);
-            for (int lq : g.qubits) {
-                int p = layout_.phys_of(lq);
-                for (int nbr : coupling_.neighbors(p)) {
-                    cand.insert({std::min(p, nbr), std::max(p, nbr)});
-                }
-            }
-        }
-        return {cand.begin(), cand.end()};
-    }
-
-    std::vector<int>
-    extended_set() const
-    {
-        // BFS over DAG successors of the front, collecting 2q gates.
-        std::vector<int> ext;
-        std::queue<int> bfs;
-        std::set<int> seen;
-        for (int id : front_) {
-            bfs.push(id);
-            seen.insert(id);
-        }
-        while (!bfs.empty() &&
-               static_cast<int>(ext.size()) < opts_.extended_size) {
-            int id = bfs.front();
-            bfs.pop();
-            for (int s : dag_.succs(id)) {
-                if (s < 0 || seen.count(s))
-                    continue;
-                seen.insert(s);
-                const Gate &g = dag_.gate(s);
-                if (g.num_qubits() == 2 && is_unitary_op(g.kind)) {
-                    ext.push_back(s);
-                    if (static_cast<int>(ext.size()) >=
-                        opts_.extended_size)
-                        break;
-                }
-                bfs.push(s);
-            }
-        }
-        return ext;
-    }
-
-    double
-    dist_after_swap(int lq_a, int lq_b, int p, int q) const
-    {
-        int pa = layout_.phys_of(lq_a);
-        int pb = layout_.phys_of(lq_b);
-        if (pa == p)
-            pa = q;
-        else if (pa == q)
-            pa = p;
-        if (pb == p)
-            pb = q;
-        else if (pb == q)
-            pb = p;
-        return dist_[pa][pb];
-    }
-
-    void
-    apply_best_swap()
-    {
-        auto cands = swap_candidates();
-        std::vector<int> ext = extended_set();
-
-        double best_score = std::numeric_limits<double>::infinity();
-        std::pair<int, int> best_edge{-1, -1};
-        SwapReduction best_red;
-
-        for (auto [p, q] : cands) {
-            // Never immediately undo the previous swap: with reduction
-            // terms active it can look locally free and livelock.
-            if (cands.size() > 1 && p == last_swap_.first &&
-                q == last_swap_.second)
-                continue;
-            // Front-layer term with the optimization-aware reduction.
-            double front_sum = 0.0;
-            for (int id : front_) {
-                const Gate &g = dag_.gate(id);
-                front_sum +=
-                    3.0 * dist_after_swap(g.qubits[0], g.qubits[1], p, q);
-            }
-            SwapReduction red;
-            if (tracker_)
-                red = tracker_->evaluate_swap(p, q);
-            double h = (front_sum - red.total) /
-                       static_cast<double>(front_.size());
-
-            if (!ext.empty()) {
-                double ext_sum = 0.0;
-                for (int id : ext) {
-                    const Gate &g = dag_.gate(id);
-                    ext_sum +=
-                        dist_after_swap(g.qubits[0], g.qubits[1], p, q);
-                }
-                h += opts_.extended_weight * ext_sum /
-                     static_cast<double>(ext.size());
-            }
-            if (opts_.use_decay)
-                h *= std::max(decay_[p], decay_[q]);
-
-            if (h < best_score - 1e-12) {
-                best_score = h;
-                best_edge = {p, q};
-                best_red = red;
-            }
-        }
-
-        apply_swap(best_edge.first, best_edge.second, best_red);
-    }
-
-    void
-    apply_forced_swap()
-    {
-        // Deadlock breaker: move the first blocked gate one hop along a
-        // cheapest path (always makes progress eventually).
-        const Gate &g = dag_.gate(front_.front());
-        int pa = layout_.phys_of(g.qubits[0]);
-        int pb = layout_.phys_of(g.qubits[1]);
-        int best_nbr = -1;
-        double best = std::numeric_limits<double>::infinity();
-        for (int nbr : coupling_.neighbors(pa)) {
-            if (dist_[nbr][pb] < best) {
-                best = dist_[nbr][pb];
-                best_nbr = nbr;
-            }
-        }
-        ++stats_.forced_moves;
-        apply_swap(pa, best_nbr, SwapReduction{});
-    }
-
-    void
-    apply_swap(int p, int q, const SwapReduction &red)
-    {
-        bool flagged = red.commute1 || red.commute2;
-
-        if (tracker_ && flagged) {
-            // Move the trailing 1q gates of both wires through the SWAP:
-            // U(p) SWAP(p,q) == SWAP(p,q) U(q).
-            std::vector<std::pair<Gate, int>> moved; // gate, new wire
-            for (int w : {p, q}) {
-                for (int idx : tracker_->take_trailing_1q(w)) {
-                    moved.push_back({out_[idx], w == p ? q : p});
-                    dead_[idx] = true;
-                }
-            }
-            Gate sw = Gate::two_q(OpKind::kSwap, p, q);
-            sw.swap_orient = red.orient;
-            emit(std::move(sw));
-            for (auto &[g, wire] : moved) {
-                Gate ng = g;
-                ng.qubits[0] = wire;
-                emit(std::move(ng));
-                ++stats_.moved_1q;
-            }
-            if (red.partner_swap_out_idx >= 0) {
-                out_[red.partner_swap_out_idx].swap_orient = red.orient;
-                tracker_->consume_record(red.partner_swap_out_idx);
-            }
-            tracker_->consume_record(red.used_record_idx);
-            ++stats_.flagged_swaps;
-        } else {
-            // Pure-C2q (or unflagged) swaps keep the default
-            // decomposition: the consolidation pass absorbs them into the
-            // adjacent block regardless of orientation.
-            emit(Gate::two_q(OpKind::kSwap, p, q));
-        }
-
-        if (red.c2q > 0)
-            ++stats_.c2q_hits;
-        if (red.commute1)
-            ++stats_.commute1_hits;
-        if (red.commute2)
-            ++stats_.commute2_hits;
-
-        layout_.swap_physical(p, q);
-        last_swap_ = {std::min(p, q), std::max(p, q)};
-        ++stats_.num_swaps;
-        ++swaps_since_progress_;
-
-        if (opts_.use_decay) {
-            if (++swaps_since_decay_reset_ >= opts_.decay_reset_interval) {
-                reset_decay();
-            } else {
-                decay_[p] += opts_.decay_delta;
-                decay_[q] += opts_.decay_delta;
-            }
-        }
-    }
-
-    void
-    reset_decay()
-    {
-        std::fill(decay_.begin(), decay_.end(), 1.0);
-        swaps_since_decay_reset_ = 0;
-    }
-
-    DagCircuit dag_;
-    const CouplingMap &coupling_;
-    const std::vector<std::vector<double>> &dist_;
-    Layout layout_;
-    const RoutingOptions &opts_;
-    std::unique_ptr<OptAwareTracker> tracker_;
-
-    std::vector<int> remaining_;
-    std::vector<int> front_;
-    std::vector<Gate> out_;
-    std::vector<bool> dead_;
-    std::vector<double> decay_;
-    RoutingStats stats_;
-    std::pair<int, int> last_swap_{-1, -1};
-    int swaps_since_progress_ = 0;
-    int swaps_since_decay_reset_ = 0;
-    int force_limit_ = 50;
-};
-
-} // namespace
-
 RoutingResult
 route_circuit(const QuantumCircuit &logical, const CouplingMap &coupling,
-              const std::vector<std::vector<double>> &dist,
-              const Layout &initial, const RoutingOptions &opts)
+              const DistanceMatrix &dist, const Layout &initial,
+              const RoutingOptions &opts)
 {
     if (logical.num_qubits() > coupling.num_qubits())
         throw std::invalid_argument("circuit larger than device");
-    Router r(logical, coupling, dist, initial, opts);
-    return r.run();
+    DagCircuit dag(logical);
+    Router r(dag, coupling, dist, opts);
+    return r.run(initial);
 }
 
 Layout
 sabre_initial_layout(const QuantumCircuit &logical,
-                     const CouplingMap &coupling,
-                     const std::vector<std::vector<double>> &dist,
+                     const CouplingMap &coupling, const DistanceMatrix &dist,
                      const RoutingOptions &opts, int iterations)
 {
     std::mt19937 rng(opts.seed);
+    // Layout::random rejects circuits wider than the device.
     Layout layout =
         Layout::random(logical.num_qubits(), coupling.num_qubits(), rng);
 
@@ -390,11 +39,17 @@ sabre_initial_layout(const QuantumCircuit &logical,
     RoutingOptions lopts = opts;
     lopts.algorithm = RoutingAlgorithm::kSabre; // mapping is shared (paper)
 
+    // Both DAGs and Routers are built once and reset per pass: the
+    // 2 x iterations passes reuse the CSR adjacency and all routing
+    // scratch buffers instead of reconstructing them.
+    DagCircuit fwd_dag(fwd);
+    DagCircuit rev_dag(rev);
+    Router fwd_router(fwd_dag, coupling, dist, lopts);
+    Router rev_router(rev_dag, coupling, dist, lopts);
+
     for (int iter = 0; iter < iterations; ++iter) {
-        RoutingResult f = route_circuit(fwd, coupling, dist, layout, lopts);
-        layout = Layout::from_l2p(f.final_l2p, coupling.num_qubits());
-        RoutingResult b = route_circuit(rev, coupling, dist, layout, lopts);
-        layout = Layout::from_l2p(b.final_l2p, coupling.num_qubits());
+        layout = fwd_router.route_to_layout(layout);
+        layout = rev_router.route_to_layout(layout);
     }
     return layout;
 }

@@ -25,6 +25,7 @@
 #include "nassc/ir/circuit.h"
 #include "nassc/route/layout.h"
 #include "nassc/topo/coupling_map.h"
+#include "nassc/topo/distance_matrix.h"
 
 namespace nassc {
 
@@ -80,8 +81,7 @@ struct RoutingResult
  */
 RoutingResult route_circuit(const QuantumCircuit &logical,
                             const CouplingMap &coupling,
-                            const std::vector<std::vector<double>> &dist,
-                            const Layout &initial,
+                            const DistanceMatrix &dist, const Layout &initial,
                             const RoutingOptions &opts);
 
 /**
@@ -90,7 +90,7 @@ RoutingResult route_circuit(const QuantumCircuit &logical,
  */
 Layout sabre_initial_layout(const QuantumCircuit &logical,
                             const CouplingMap &coupling,
-                            const std::vector<std::vector<double>> &dist,
+                            const DistanceMatrix &dist,
                             const RoutingOptions &opts, int iterations = 3);
 
 } // namespace nassc

@@ -26,11 +26,11 @@
 #include <vector>
 
 #include "nassc/topo/backends.h"
+#include "nassc/topo/distance_matrix.h"
 
 namespace nassc {
 
-/** All-pairs distance matrix, indexed [physical][physical]. */
-using DistanceMatrix = std::vector<std::vector<double>>;
+/** Read-only handle to a cached flat distance matrix. */
 using SharedDistanceMatrix = std::shared_ptr<const DistanceMatrix>;
 
 /** Which distance metric to fetch for a backend. */

@@ -159,7 +159,7 @@ fully_connected_backend(int n)
     return b;
 }
 
-std::vector<std::vector<double>>
+DistanceMatrix
 noise_aware_distance(const Backend &backend, double alpha1, double alpha2,
                      double alpha3)
 {
@@ -177,26 +177,31 @@ noise_aware_distance(const Backend &backend, double alpha1, double alpha2,
         max_dur = 1.0;
 
     const double inf = 1e18;
-    std::vector<std::vector<double>> d(n, std::vector<double>(n, inf));
+    DistanceMatrix d(n, inf);
     for (int i = 0; i < n; ++i)
-        d[i][i] = 0.0;
+        d(i, i) = 0.0;
     for (auto e : cm.edges()) {
         double w = alpha1 * backend.calibration.error_cx.at(e) / max_err +
                    alpha2 * backend.calibration.duration_cx.at(e) / max_dur +
                    alpha3;
-        d[e.first][e.second] = std::min(d[e.first][e.second], w);
-        d[e.second][e.first] = d[e.first][e.second];
+        d(e.first, e.second) = std::min(d(e.first, e.second), w);
+        d(e.second, e.first) = d(e.first, e.second);
     }
-    // Floyd-Warshall (device sizes are small).
-    for (int k = 0; k < n; ++k)
-        for (int i = 0; i < n; ++i)
+    // Floyd-Warshall over the flat rows (device sizes are small).
+    for (int k = 0; k < n; ++k) {
+        const double *row_k = d[k];
+        for (int i = 0; i < n; ++i) {
+            double *row_i = d[i];
+            const double d_ik = row_i[k];
             for (int j = 0; j < n; ++j)
-                if (d[i][k] + d[k][j] < d[i][j])
-                    d[i][j] = d[i][k] + d[k][j];
+                if (d_ik + row_k[j] < row_i[j])
+                    row_i[j] = d_ik + row_k[j];
+        }
+    }
     return d;
 }
 
-std::vector<std::vector<double>>
+DistanceMatrix
 hop_distance(const CouplingMap &cm)
 {
     return cm.distance_matrix_double();

@@ -68,12 +68,12 @@ Backend fully_connected_backend(int n);
  * normalized by their maxima, expanded to all pairs by shortest path.
  * With (alpha1, alpha2, alpha3) = (0, 0, 1) this reduces to hop distance.
  */
-std::vector<std::vector<double>>
-noise_aware_distance(const Backend &backend, double alpha1 = 0.5,
-                     double alpha2 = 0.0, double alpha3 = 0.5);
+DistanceMatrix noise_aware_distance(const Backend &backend,
+                                    double alpha1 = 0.5, double alpha2 = 0.0,
+                                    double alpha3 = 0.5);
 
 /** Plain hop-distance matrix as doubles (the SABRE default). */
-std::vector<std::vector<double>> hop_distance(const CouplingMap &cm);
+DistanceMatrix hop_distance(const CouplingMap &cm);
 
 } // namespace nassc
 

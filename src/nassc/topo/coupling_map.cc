@@ -50,14 +50,13 @@ CouplingMap::CouplingMap(int num_qubits,
     }
 }
 
-std::vector<std::vector<double>>
+DistanceMatrix
 CouplingMap::distance_matrix_double() const
 {
-    std::vector<std::vector<double>> d(num_qubits_,
-                                       std::vector<double>(num_qubits_));
+    DistanceMatrix d(num_qubits_);
     for (int i = 0; i < num_qubits_; ++i)
         for (int j = 0; j < num_qubits_; ++j)
-            d[i][j] = dist_[i][j];
+            d(i, j) = dist_[i][j];
     return d;
 }
 

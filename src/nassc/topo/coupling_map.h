@@ -10,6 +10,8 @@
 #include <utility>
 #include <vector>
 
+#include "nassc/topo/distance_matrix.h"
+
 namespace nassc {
 
 /** Qubit connectivity of a backend. */
@@ -40,7 +42,7 @@ class CouplingMap
     }
 
     /** All-pairs hop distances widened to double (the router's format). */
-    std::vector<std::vector<double>> distance_matrix_double() const;
+    DistanceMatrix distance_matrix_double() const;
 
     /** Longest shortest path in the graph. */
     int diameter() const;

@@ -53,7 +53,7 @@ transpile(const QuantumCircuit &qc, const Backend &backend,
     SharedDistanceMatrix dist_shared = cache.get(
         backend, opts.noise_aware ? DistanceRequest::noise()
                                   : DistanceRequest::hops());
-    const std::vector<std::vector<double>> &dist = *dist_shared;
+    const DistanceMatrix &dist = *dist_shared;
 
     // 4. Initial layout (shared between SABRE and NASSC, paper Sec. IV-A).
     RoutingOptions ropts;

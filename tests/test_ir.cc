@@ -159,8 +159,35 @@ TEST(Dag, TwoQubitGateJoinsWires)
     DagCircuit dag(qc);
     EXPECT_EQ(dag.initial_front(), std::vector<int>({0, 1}));
     EXPECT_EQ(dag.num_distinct_preds(2), 2);
-    EXPECT_EQ(dag.preds(2), std::vector<int>({0, 1}));
-    EXPECT_EQ(dag.succs(2), std::vector<int>({3, -1}));
+    EXPECT_EQ(std::vector<int>(dag.preds(2).begin(), dag.preds(2).end()),
+              std::vector<int>({0, 1}));
+    EXPECT_EQ(std::vector<int>(dag.succs(2).begin(), dag.succs(2).end()),
+              std::vector<int>({3, -1}));
+    EXPECT_EQ(std::vector<int>(dag.distinct_preds(2).begin(),
+                               dag.distinct_preds(2).end()),
+              std::vector<int>({0, 1}));
+    EXPECT_EQ(std::vector<int>(dag.distinct_succs(2).begin(),
+                               dag.distinct_succs(2).end()),
+              std::vector<int>({3}));
+}
+
+TEST(Dag, DistinctViewsDeduplicateAndSort)
+{
+    // cx(1,0) then cx(0,1): both wires connect the same node pair, so the
+    // per-position view repeats the neighbor while the distinct view
+    // collapses it.
+    QuantumCircuit qc(2);
+    qc.cx(1, 0);
+    qc.cx(0, 1);
+    DagCircuit dag(qc);
+    EXPECT_EQ(dag.succs(0).size(), 2);
+    EXPECT_EQ(dag.succs(0)[0], 1);
+    EXPECT_EQ(dag.succs(0)[1], 1);
+    EXPECT_EQ(dag.distinct_succs(0).size(), 1);
+    EXPECT_EQ(dag.distinct_succs(0)[0], 1);
+    EXPECT_EQ(dag.distinct_preds(1).size(), 1);
+    EXPECT_EQ(dag.num_distinct_preds(1), 1);
+    EXPECT_TRUE(dag.distinct_succs(1).empty());
 }
 
 TEST(Dag, DistinctPredCountsSharedPredecessor)

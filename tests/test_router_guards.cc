@@ -72,6 +72,34 @@ TEST(RouterGuards, RoutingTerminatesOnAdversarialCircuit)
               logical.size());
 }
 
+TEST(RouterGuards, ForcedSwapFailsLoudlyOnIsolatedQubit)
+{
+    // Qubit 3 has no coupling edges, so cx(3, 0) can never be routed.
+    // Once the forced-swap watchdog fires, the blocked qubit has no
+    // neighbor to move toward: the router must throw instead of calling
+    // apply_swap(pa, -1, ...) and corrupting the layout.
+    CouplingMap cm(4, {{0, 1}, {1, 2}});
+    QuantumCircuit logical(4);
+    logical.cx(3, 0);
+    RoutingOptions opts;
+    Layout init(4, 4);
+    EXPECT_THROW(route_circuit(logical, cm, hop_distance(cm), init, opts),
+                 std::logic_error);
+}
+
+TEST(RouterGuards, BestSwapFailsLoudlyWhenBothQubitsIsolated)
+{
+    // Both endpoints isolated: the candidate list itself is empty, which
+    // must be a clean error rather than apply_swap(-1, -1).
+    CouplingMap cm(4, {{0, 1}});
+    QuantumCircuit logical(4);
+    logical.cx(2, 3);
+    RoutingOptions opts;
+    Layout init(4, 4);
+    EXPECT_THROW(route_circuit(logical, cm, hop_distance(cm), init, opts),
+                 std::logic_error);
+}
+
 TEST(RouterGuards, ZeroExtendedSizeWorks)
 {
     Backend dev = linear_backend(6);
