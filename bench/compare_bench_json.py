@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Advisory perf-regression gate over BENCH_routing.json.
+
+Compares the wall times of a fresh routing sweep against the committed
+baseline (bench/BENCH_baseline.json by default) and exits non-zero when
+any (circuit, router) cell regressed by more than --threshold (default
+15%).  Wired into Release CI as a continue-on-error step: wall times
+are machine-dependent, so the gate flags suspects for a human rather
+than blocking merges.  Refresh the baseline by re-running
+`cmake --build build --target bench_json` on the reference machine and
+committing build/BENCH_routing.json over bench/BENCH_baseline.json.
+
+Usage: compare_bench_json.py [--threshold F] [baseline.json] current.json
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_rows(path):
+    """Index a sweep file by (circuit, router)."""
+    with open(path) as f:
+        rows = json.load(f)
+    return {(r["circuit"], r["router"]): r for r in rows}
+
+
+def compare(baseline, current, field, threshold):
+    """Yield (key, base, cur, ratio) for every regressed cell."""
+    for key, base_row in sorted(baseline.items()):
+        cur_row = current.get(key)
+        if cur_row is None or field not in base_row or field not in cur_row:
+            continue  # suite/schema drift is not a regression
+        base = base_row[field]
+        cur = cur_row[field]
+        if base <= 0.0:
+            continue
+        ratio = cur / base
+        if ratio > 1.0 + threshold:
+            yield key, base, cur, ratio
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("baseline", nargs="?", default="bench/BENCH_baseline.json")
+    ap.add_argument("current")
+    ap.add_argument("--threshold", type=float, default=0.15,
+                    help="relative wall-time slack before flagging "
+                         "(default 0.15 = 15%%)")
+    args = ap.parse_args()
+
+    baseline = load_rows(args.baseline)
+    current = load_rows(args.current)
+
+    missing = sorted(set(baseline) - set(current))
+    if missing:
+        print(f"note: {len(missing)} baseline cell(s) absent from current "
+              f"sweep (suite drift): {missing[:5]}{'...' if len(missing) > 5 else ''}")
+
+    def rows(field, slack):
+        return [f"  {circuit:16s} {router:6s} {field:10s} "
+                f"{base:9.3f} -> {cur:9.3f} ms  ({(ratio - 1) * 100:+.1f}%)"
+                for (circuit, router), base, cur, ratio in compare(
+                    baseline, current, field, slack)]
+
+    # layout_ms is informational: its cells run down to ~0.1 ms where
+    # timer/scheduler jitter dwarfs the threshold, so drift is printed
+    # (at double slack) but only wall_ms — the routing hot path the
+    # gate exists for — fails the check.
+    layout_drift = rows("layout_ms", 2 * args.threshold)
+    if layout_drift:
+        print(f"note: layout_ms drift > {2 * args.threshold * 100:.0f}% "
+              f"(informational):")
+        print("\n".join(layout_drift))
+
+    regressions = rows("wall_ms", args.threshold)
+    if regressions:
+        print(f"PERF REGRESSION (> {args.threshold * 100:.0f}% over "
+              f"{args.baseline}):")
+        print("\n".join(regressions))
+        return 1
+    print(f"perf OK: no wall_ms cell regressed > "
+          f"{args.threshold * 100:.0f}% vs {args.baseline} "
+          f"({len(current)} cells checked)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -200,6 +200,31 @@ BM_RouteQft15(benchmark::State &state)
 BENCHMARK(BM_RouteQft15)->Arg(0)->Arg(1); // 0 = SABRE, 1 = NASSC
 
 void
+BM_SabreLayoutTrials(benchmark::State &state)
+{
+    // The LayoutSearch engine on a Table I workload: 1 trial vs N
+    // trials, serial vs pooled.  Args are (layout_trials,
+    // layout_threads); the layout output is bit-identical across the
+    // thread counts, so these rows measure pure engine scaling.
+    Backend dev = montreal_backend();
+    QuantumCircuit logical = decompose_to_2q(benchmark_by_name("rd84_253"));
+    auto dist = hop_distance(dev.coupling);
+    RoutingOptions opts;
+    opts.layout_trials = static_cast<int>(state.range(0));
+    opts.layout_threads = static_cast<int>(state.range(1));
+    for (auto _ : state) {
+        Layout l = sabre_initial_layout(logical, dev.coupling, dist, opts);
+        benchmark::DoNotOptimize(l);
+    }
+}
+BENCHMARK(BM_SabreLayoutTrials)
+    ->Args({1, 1})
+    ->Args({4, 1})
+    ->Args({4, 4})
+    ->Args({8, 8})
+    ->Unit(benchmark::kMillisecond);
+
+void
 BM_TranspileGrover8(benchmark::State &state)
 {
     Backend dev = montreal_backend();

@@ -2,16 +2,24 @@
 // record per (circuit, router) cell:
 //
 //   [{"circuit": "qft_n15", "router": "sabre", "wall_ms": 1.84,
-//     "swaps": 155}, ...]
+//     "swaps": 155, "layout_ms": 11.2, "layout_trials": 1}, ...]
 //
 // The `bench_json` CMake/CTest target runs this and CI uploads the
 // resulting BENCH_routing.json, so the repository accumulates a
-// routing-performance trajectory across commits.  Unlike the table
-// reproduction binaries this times route_circuit() alone — no layout
-// search inside the timed region, no post-routing optimization — which
-// is exactly the hot path the flat-memory router core targets.
+// routing-performance trajectory across commits;
+// bench/compare_bench_json.py diffs it against the committed
+// bench/BENCH_baseline.json as an advisory regression gate.
 //
-// Usage: routing_sweep_json [--out PATH] [--reps N]
+// Two timed regions per circuit, both deliberately separated:
+//
+//  - layout_ms: one sabre_initial_layout() run (the LayoutSearch
+//    engine, honouring --trials/--threads), timed once per circuit;
+//  - wall_ms: route_circuit() alone, best of --reps runs from the one
+//    fixed layout derived above — layout search never sits inside the
+//    routing-timed region, so the router trend stays clean.
+//
+// Usage: routing_sweep_json [--out PATH] [--reps N] [--trials N]
+//                           [--threads N]
 
 #include <chrono>
 #include <cstdio>
@@ -30,15 +38,23 @@ int
 main(int argc, char **argv)
 {
     std::string out_path = "BENCH_routing.json";
-    int reps = 3; // best-of-N wall time per cell
+    int reps = 3;   // best-of-N wall time per cell
+    int trials = 1; // layout-search trials (LayoutSearch engine)
+    int threads = 0;
     for (int i = 1; i < argc; ++i) {
         if (!std::strcmp(argv[i], "--out") && i + 1 < argc)
             out_path = argv[++i];
         else if (!std::strcmp(argv[i], "--reps") && i + 1 < argc)
             reps = std::atoi(argv[++i]);
+        else if (!std::strcmp(argv[i], "--trials") && i + 1 < argc)
+            trials = std::atoi(argv[++i]);
+        else if (!std::strcmp(argv[i], "--threads") && i + 1 < argc)
+            threads = std::atoi(argv[++i]);
     }
     if (reps < 1)
         reps = 1;
+    if (trials < 1)
+        trials = 1;
 
     Backend dev = montreal_backend();
     const auto dist = hop_distance(dev.coupling);
@@ -47,10 +63,25 @@ main(int argc, char **argv)
     bool first = true;
     for (const BenchmarkCase &bc : table_benchmarks()) {
         QuantumCircuit logical = decompose_to_2q(bc.circuit);
-        // One shared SABRE-refined layout per circuit (as in transpile()).
+        // One shared SABRE-refined layout per circuit (as in transpile()),
+        // derived once and hoisted out of the routing-timed loop below.
         RoutingOptions lopts;
-        Layout init = sabre_initial_layout(logical, dev.coupling, dist,
-                                           lopts);
+        lopts.layout_trials = trials;
+        lopts.layout_threads = threads;
+        // Best-of-reps like wall_ms below: the search is deterministic,
+        // so repeats only shave scheduler noise off the regression gate.
+        double layout_ms = 0.0;
+        Layout init;
+        for (int r = 0; r < reps; ++r) {
+            auto l0 = std::chrono::steady_clock::now();
+            init = sabre_initial_layout(logical, dev.coupling, dist,
+                                        lopts);
+            auto l1 = std::chrono::steady_clock::now();
+            double ms =
+                std::chrono::duration<double, std::milli>(l1 - l0).count();
+            if (r == 0 || ms < layout_ms)
+                layout_ms = ms;
+        }
         for (RoutingAlgorithm alg :
              {RoutingAlgorithm::kSabre, RoutingAlgorithm::kNassc}) {
             RoutingOptions opts;
@@ -69,21 +100,24 @@ main(int argc, char **argv)
                     best_ms = ms;
                 swaps = res.stats.num_swaps;
             }
-            char row[256];
+            char row[320];
             std::snprintf(row, sizeof(row),
                           "  {\"circuit\": \"%s\", \"router\": \"%s\", "
-                          "\"wall_ms\": %.3f, \"swaps\": %d}",
+                          "\"wall_ms\": %.3f, \"swaps\": %d, "
+                          "\"layout_ms\": %.3f, \"layout_trials\": %d}",
                           bc.name.c_str(),
                           alg == RoutingAlgorithm::kSabre ? "sabre"
                                                           : "nassc",
-                          best_ms, swaps);
+                          best_ms, swaps, layout_ms, trials);
             if (!first)
                 json += ",\n";
             json += row;
             first = false;
-            std::printf("%-16s %-6s %8.3f ms  %6d swaps\n", bc.name.c_str(),
+            std::printf("%-16s %-6s %8.3f ms  %6d swaps  (layout %8.3f ms, "
+                        "%d trials)\n",
+                        bc.name.c_str(),
                         alg == RoutingAlgorithm::kSabre ? "sabre" : "nassc",
-                        best_ms, swaps);
+                        best_ms, swaps, layout_ms, trials);
         }
     }
     json += "\n]\n";

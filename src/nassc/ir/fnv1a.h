@@ -1,0 +1,75 @@
+#ifndef NASSC_IR_FNV1A_H
+#define NASSC_IR_FNV1A_H
+
+/**
+ * @file
+ * The one FNV-1a implementation.
+ *
+ * Four subsystems hash with FNV-1a — backend/calibration fingerprints
+ * (cache keys), batch job-seed derivation, and layout trial-seed
+ * derivation — and each used to carry its own copy of the offset
+ * basis, prime, and byte-mix loop.  The seed derivations in particular
+ * must stay stable (they are part of the deterministic-output
+ * contract), so they all fold through this single accumulator now.
+ */
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+namespace nassc {
+
+/** Incremental FNV-1a accumulator over heterogeneous inputs. */
+struct Fnv1a
+{
+    std::uint64_t h = 14695981039346656037ull; ///< offset basis
+
+    void
+    byte(unsigned char b)
+    {
+        h ^= b;
+        h *= 1099511628211ull; ///< FNV prime
+    }
+
+    void
+    u32(std::uint32_t v)
+    {
+        for (int i = 0; i < 4; ++i)
+            byte(static_cast<unsigned char>(v >> (8 * i)));
+    }
+
+    void
+    u64(std::uint64_t v)
+    {
+        for (int i = 0; i < 8; ++i)
+            byte(static_cast<unsigned char>(v >> (8 * i)));
+    }
+
+    void
+    f64(double x)
+    {
+        std::uint64_t v;
+        std::memcpy(&v, &x, sizeof(v));
+        u64(v);
+    }
+
+    void
+    str(const std::string &s)
+    {
+        for (char c : s)
+            byte(static_cast<unsigned char>(c));
+    }
+
+    std::uint64_t value() const { return h; }
+
+    /** 64 -> 32 bit fold (xor-shift), for unsigned seed outputs. */
+    std::uint32_t
+    fold32() const
+    {
+        return static_cast<std::uint32_t>(h ^ (h >> 32));
+    }
+};
+
+} // namespace nassc
+
+#endif // NASSC_IR_FNV1A_H

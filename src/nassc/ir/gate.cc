@@ -6,7 +6,7 @@
 
 namespace nassc {
 
-Gate::Gate(OpKind k, std::vector<int> qs, std::vector<double> ps)
+Gate::Gate(OpKind k, QubitVec qs, ParamVec ps)
     : kind(k), qubits(std::move(qs)), params(std::move(ps))
 {
     int ar = op_arity(k);

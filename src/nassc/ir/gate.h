@@ -10,8 +10,18 @@
 #include <vector>
 
 #include "nassc/ir/op_kind.h"
+#include "nassc/ir/small_vec.h"
 
 namespace nassc {
+
+/**
+ * Gate operand storage: inline capacity 2 covers every 1q/2q gate, so
+ * routing (which only ever emits and copies <= 2q gates) never touches
+ * the heap.  MCX controls and barriers spill, outside any hot loop.
+ */
+using QubitVec = SmallVec<int, 2>;
+/** Parameter storage: inline capacity 3 covers kU, the widest kind. */
+using ParamVec = SmallVec<double, 3>;
 
 /** How a SWAP should be decomposed into three CNOTs. */
 enum class SwapOrient : int8_t {
@@ -24,8 +34,8 @@ enum class SwapOrient : int8_t {
 struct Gate
 {
     OpKind kind = OpKind::kId;
-    std::vector<int> qubits;
-    std::vector<double> params;
+    QubitVec qubits;
+    ParamVec params;
 
     /**
      * Decomposition orientation flag for SWAP gates, set by the NASSC
@@ -35,7 +45,7 @@ struct Gate
     SwapOrient swap_orient = SwapOrient::kDefault;
 
     Gate() = default;
-    Gate(OpKind k, std::vector<int> qs, std::vector<double> ps = {});
+    Gate(OpKind k, QubitVec qs, ParamVec ps = {});
 
     /** @name Convenience factories. @{ */
     static Gate one_q(OpKind k, int q);

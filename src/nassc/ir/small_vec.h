@@ -1,0 +1,292 @@
+#ifndef NASSC_IR_SMALL_VEC_H
+#define NASSC_IR_SMALL_VEC_H
+
+/**
+ * @file
+ * Small-buffer vector for gate operand/parameter storage.
+ *
+ * The router's hot path emits a Gate per SWAP decision and copies gates
+ * when executing DAG nodes and moving 1q gates through flagged SWAPs.
+ * With std::vector operands every one of those is one or two heap
+ * allocations; SmallVec stores up to N elements inline (N = 2 covers
+ * every routed gate's qubits, N = 3 every parameter list) and only
+ * spills to the heap for wide gates (MCX operand lists, barriers),
+ * which never appear inside the routing loop.  That makes Gate
+ * construction, copy, and destruction allocation-free end-to-end for
+ * the routing workload.
+ *
+ * The API is the std::vector subset the IR and passes use: iteration,
+ * indexing, push_back, comparisons (including against std::vector, so
+ * existing tests and map keys keep working), and lexicographic
+ * ordering.  Restricted to trivially copyable T, which permits
+ * memcpy-based growth and a trivial destructor for the inline case.
+ *
+ * Every heap spill bumps a process-wide counter (heap_spills()); the
+ * allocation-freedom tests assert the counter stays flat across a
+ * routing pass.
+ */
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <initializer_list>
+#include <new>
+#include <ostream>
+#include <vector>
+
+namespace nassc {
+
+template <typename T, std::size_t N>
+class SmallVec
+{
+    static_assert(std::is_trivially_copyable<T>::value,
+                  "SmallVec requires trivially copyable elements");
+    static_assert(N >= 1, "inline capacity must be at least 1");
+
+  public:
+    using value_type = T;
+    using iterator = T *;
+    using const_iterator = const T *;
+
+    SmallVec() = default;
+
+    SmallVec(std::initializer_list<T> init) { append_range(init.begin(), init.end()); }
+
+    template <typename It>
+    SmallVec(It first, It last)
+    {
+        append_range(first, last);
+    }
+
+    /** Implicit std::vector conversion keeps existing call sites working. */
+    SmallVec(const std::vector<T> &v) { append_range(v.begin(), v.end()); }
+
+    SmallVec(const SmallVec &o) { append_range(o.begin(), o.end()); }
+
+    SmallVec(SmallVec &&o) noexcept
+    {
+        if (o.on_heap()) {
+            storage_.heap = o.storage_.heap;
+            cap_ = o.cap_;
+            size_ = o.size_;
+            o.cap_ = static_cast<std::uint32_t>(N);
+            o.size_ = 0;
+        } else {
+            std::memcpy(storage_.inl, o.storage_.inl, o.size_ * sizeof(T));
+            size_ = o.size_;
+            o.size_ = 0;
+        }
+    }
+
+    SmallVec &
+    operator=(const SmallVec &o)
+    {
+        if (this != &o) {
+            clear();
+            append_range(o.begin(), o.end());
+        }
+        return *this;
+    }
+
+    SmallVec &
+    operator=(SmallVec &&o) noexcept
+    {
+        if (this != &o) {
+            release();
+            if (o.on_heap()) {
+                storage_.heap = o.storage_.heap;
+                cap_ = o.cap_;
+                size_ = o.size_;
+                o.cap_ = static_cast<std::uint32_t>(N);
+                o.size_ = 0;
+            } else {
+                cap_ = static_cast<std::uint32_t>(N);
+                std::memcpy(storage_.inl, o.storage_.inl,
+                            o.size_ * sizeof(T));
+                size_ = o.size_;
+                o.size_ = 0;
+            }
+        }
+        return *this;
+    }
+
+    SmallVec &
+    operator=(std::initializer_list<T> init)
+    {
+        clear();
+        append_range(init.begin(), init.end());
+        return *this;
+    }
+
+    ~SmallVec() { release(); }
+
+    std::size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+    std::size_t capacity() const { return cap_; }
+    /** True while the elements live in the inline buffer. */
+    bool is_inline() const { return !on_heap(); }
+
+    T *data() { return on_heap() ? storage_.heap : storage_.inl; }
+    const T *
+    data() const
+    {
+        return on_heap() ? storage_.heap : storage_.inl;
+    }
+
+    iterator begin() { return data(); }
+    iterator end() { return data() + size_; }
+    const_iterator begin() const { return data(); }
+    const_iterator end() const { return data() + size_; }
+
+    T &operator[](std::size_t i) { return data()[i]; }
+    const T &operator[](std::size_t i) const { return data()[i]; }
+
+    T &front() { return data()[0]; }
+    const T &front() const { return data()[0]; }
+    T &back() { return data()[size_ - 1]; }
+    const T &back() const { return data()[size_ - 1]; }
+
+    void
+    push_back(const T &v)
+    {
+        if (size_ == cap_) {
+            // v may alias an element of this vector; grow() frees the
+            // old buffer, so copy the value out first (std::vector
+            // guarantees this pattern, so must we).
+            T tmp = v;
+            grow(size_ + 1);
+            data()[size_++] = tmp;
+            return;
+        }
+        data()[size_++] = v;
+    }
+
+    void pop_back() { --size_; }
+
+    /** Keeps the current buffer (inline or heap), like std::vector. */
+    void clear() { size_ = 0; }
+
+    void
+    reserve(std::size_t n)
+    {
+        if (n > cap_)
+            grow(n);
+    }
+
+    std::vector<T> to_vector() const { return std::vector<T>(begin(), end()); }
+
+    /**
+     * Process-wide count of SmallVec heap spills.  Monotonic; tests
+     * snapshot it around a routing pass to prove the hot path never
+     * leaves the inline buffers.
+     */
+    static std::uint64_t
+    heap_spills()
+    {
+        return spill_counter().load(std::memory_order_relaxed);
+    }
+
+    friend bool
+    operator==(const SmallVec &a, const SmallVec &b)
+    {
+        if (a.size_ != b.size_)
+            return false;
+        for (std::size_t i = 0; i < a.size_; ++i)
+            if (!(a[i] == b[i]))
+                return false;
+        return true;
+    }
+
+    friend bool operator!=(const SmallVec &a, const SmallVec &b) { return !(a == b); }
+
+    /** Lexicographic; lets (kind, qubits) keep working as a map key. */
+    friend bool
+    operator<(const SmallVec &a, const SmallVec &b)
+    {
+        const std::size_t n = a.size_ < b.size_ ? a.size_ : b.size_;
+        for (std::size_t i = 0; i < n; ++i) {
+            if (a[i] < b[i])
+                return true;
+            if (b[i] < a[i])
+                return false;
+        }
+        return a.size_ < b.size_;
+    }
+
+    friend bool
+    operator==(const SmallVec &a, const std::vector<T> &b)
+    {
+        if (a.size_ != b.size())
+            return false;
+        for (std::size_t i = 0; i < a.size_; ++i)
+            if (!(a[i] == b[i]))
+                return false;
+        return true;
+    }
+
+    friend bool operator==(const std::vector<T> &a, const SmallVec &b) { return b == a; }
+    friend bool operator!=(const SmallVec &a, const std::vector<T> &b) { return !(a == b); }
+    friend bool operator!=(const std::vector<T> &a, const SmallVec &b) { return !(b == a); }
+
+    friend std::ostream &
+    operator<<(std::ostream &os, const SmallVec &v)
+    {
+        os << "[";
+        for (std::size_t i = 0; i < v.size_; ++i)
+            os << v[i] << (i + 1 < v.size_ ? ", " : "");
+        return os << "]";
+    }
+
+  private:
+    bool on_heap() const { return cap_ > N; }
+
+    static std::atomic<std::uint64_t> &
+    spill_counter()
+    {
+        static std::atomic<std::uint64_t> counter{0};
+        return counter;
+    }
+
+    void
+    grow(std::size_t need)
+    {
+        std::size_t new_cap = cap_ * 2;
+        if (new_cap < need)
+            new_cap = need;
+        T *heap = static_cast<T *>(::operator new(new_cap * sizeof(T)));
+        std::memcpy(heap, data(), size_ * sizeof(T));
+        release();
+        storage_.heap = heap;
+        cap_ = static_cast<std::uint32_t>(new_cap);
+        spill_counter().fetch_add(1, std::memory_order_relaxed);
+    }
+
+    void
+    release()
+    {
+        if (on_heap()) {
+            ::operator delete(storage_.heap);
+            cap_ = static_cast<std::uint32_t>(N);
+        }
+    }
+
+    template <typename It>
+    void
+    append_range(It first, It last)
+    {
+        for (; first != last; ++first)
+            push_back(*first);
+    }
+
+    union Storage {
+        T inl[N];
+        T *heap;
+        Storage() {}
+    } storage_;
+    std::uint32_t size_ = 0;
+    std::uint32_t cap_ = static_cast<std::uint32_t>(N);
+};
+
+} // namespace nassc
+
+#endif // NASSC_IR_SMALL_VEC_H

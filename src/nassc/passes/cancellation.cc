@@ -82,8 +82,7 @@ run_commutative_cancellation(QuantumCircuit &qc)
     for (int w = 0; w < qc.num_qubits(); ++w) {
         for (const std::vector<int> &set : info.wire_sets[w]) {
             // Collect self-inverse gates keyed by (kind, qubits).
-            std::map<std::pair<int, std::vector<int>>, std::vector<int>>
-                groups;
+            std::map<std::pair<int, QubitVec>, std::vector<int>> groups;
             for (int idx : set) {
                 const Gate &g = qc.gate(idx);
                 if (removed[idx] || !is_self_inverse(g.kind))

@@ -1,0 +1,179 @@
+#include "nassc/route/layout_search.h"
+
+#include <algorithm>
+#include <random>
+
+#include "nassc/ir/fnv1a.h"
+#include "nassc/route/router.h"
+#include "nassc/service/thread_pool.h"
+
+namespace nassc {
+
+unsigned
+derive_trial_seed(unsigned base_seed, int trial)
+{
+    // Trial 0 keeps the caller's seed so a single-trial search is
+    // bit-identical to the historical sabre_initial_layout().
+    if (trial == 0)
+        return base_seed;
+    // FNV-1a over (base_seed, trial), folded to 32 bits — the same
+    // construction as derive_job_seed(), and like it a pure function of
+    // its arguments, never of scheduling order.
+    Fnv1a mix;
+    mix.u32(base_seed);
+    mix.u32(static_cast<std::uint32_t>(trial));
+    return mix.fold32();
+}
+
+namespace {
+
+QuantumCircuit
+reversed(const QuantumCircuit &c)
+{
+    QuantumCircuit r(c.num_qubits());
+    for (auto it = c.gates().rbegin(); it != c.gates().rend(); ++it)
+        r.append(*it);
+    return r;
+}
+
+RoutingOptions
+mapping_options(const RoutingOptions &opts)
+{
+    RoutingOptions lopts = opts;
+    // The mapping search is shared between SABRE and NASSC (paper
+    // Sec. IV-A): trials always refine with the plain SABRE cost.
+    lopts.algorithm = RoutingAlgorithm::kSabre;
+    return lopts;
+}
+
+} // namespace
+
+/** One pool worker slot's reusable Routers (forward + reverse). */
+struct LayoutSearch::WorkerCtx
+{
+    Router fwd;
+    Router rev;
+
+    WorkerCtx(const DagCircuit &fwd_dag, const DagCircuit &rev_dag,
+              const CouplingMap &coupling, const DistanceMatrix &dist,
+              const RoutingOptions &opts)
+        : fwd(fwd_dag, coupling, dist, opts),
+          rev(rev_dag, coupling, dist, opts)
+    {
+    }
+};
+
+LayoutSearch::LayoutSearch(const QuantumCircuit &logical,
+                           const CouplingMap &coupling,
+                           const DistanceMatrix &dist,
+                           const RoutingOptions &opts, int iterations)
+    : coupling_(coupling), dist_(dist), opts_(mapping_options(opts)),
+      trials_requested_(opts.layout_trials), iterations_(iterations),
+      num_logical_(logical.num_qubits()),
+      fwd_(logical.without_non_unitary()), rev_(reversed(fwd_)),
+      fwd_dag_(fwd_), rev_dag_(rev_)
+{
+}
+
+LayoutSearch::~LayoutSearch() = default;
+
+LayoutSearch::WorkerCtx &
+LayoutSearch::ctx(int worker)
+{
+    // Worker slots are distinct per parallel_for, so no two threads can
+    // race on one entry; the Routers are built on first use and reused
+    // for every later trial this slot executes.
+    auto &slot = workers_[static_cast<std::size_t>(worker)];
+    if (!slot)
+        slot = std::make_unique<WorkerCtx>(fwd_dag_, rev_dag_, coupling_,
+                                           dist_, opts_);
+    return *slot;
+}
+
+void
+LayoutSearch::run_trial(int trial, int worker)
+{
+    WorkerCtx &c = ctx(worker);
+    LayoutTrial &out = trials_[static_cast<std::size_t>(trial)];
+    out.trial = trial;
+    out.seed = derive_trial_seed(opts_.seed, trial);
+
+    std::mt19937 rng(out.seed);
+    // Layout::random rejects circuits wider than the device.
+    Layout layout =
+        Layout::random(num_logical_, coupling_.num_qubits(), rng);
+
+    // Reverse-traversal refinement (SABRE): alternate forward and
+    // backward routing, carrying the final layout across passes.
+    for (int iter = 0; iter < iterations_; ++iter) {
+        layout = c.fwd.route_to_layout(layout);
+        layout = c.rev.route_to_layout(layout);
+    }
+
+    if (trials_.size() > 1) {
+        // Score the refined layout with one forward routing pass.  The
+        // cost is deterministic data (SWAPs, then routed depth), so the
+        // later arg-min is independent of timing and thread count.
+        RoutingResult scored = c.fwd.run(layout);
+        out.swaps = scored.stats.num_swaps;
+        out.depth = scored.circuit.depth();
+    }
+    out.layout = std::move(layout);
+}
+
+Layout
+LayoutSearch::run(ThreadPool *pool)
+{
+    const int trials = std::max(1, trials_requested_);
+    trials_.assign(static_cast<std::size_t>(trials), LayoutTrial{});
+
+    // The default single-trial search runs inline and never touches
+    // the pool — transpile() with default options must not spawn a
+    // process-wide worker pool as a side effect.
+    if (trials == 1) {
+        if (workers_.empty())
+            workers_.resize(1);
+        run_trial(0, 0);
+        best_trial_ = 0;
+        return trials_[0].layout;
+    }
+
+    ThreadPool &tp = pool ? *pool : ThreadPool::shared();
+    // Resolve the worker cap HERE and pass the same value to both the
+    // slot table and parallel_for: worker ids are < cap by contract,
+    // so the table can never be outgrown even if another thread grows
+    // the shared pool between these lines.  An explicit layout_threads
+    // request first grows the pool (hardware_concurrency under-reports
+    // in cgroup-limited containers); 0 takes the pool as it is.
+    int cap = opts_.layout_threads;
+    if (cap > 0)
+        tp.ensure_workers(std::min(cap, trials));
+    else
+        cap = tp.num_threads() + 1;
+    if (cap > trials)
+        cap = trials;
+    if (workers_.size() < static_cast<std::size_t>(cap))
+        workers_.resize(static_cast<std::size_t>(cap));
+
+    tp.parallel_for(
+        static_cast<std::size_t>(trials),
+        [this](std::size_t t, int w) {
+            run_trial(static_cast<int>(t), w);
+        },
+        cap);
+
+    // Deterministic arg-min over (swaps, depth, trial index).  With one
+    // trial there is nothing to compare (and nothing was scored).
+    best_trial_ = 0;
+    for (int t = 1; t < trials; ++t) {
+        const LayoutTrial &a = trials_[static_cast<std::size_t>(t)];
+        const LayoutTrial &b =
+            trials_[static_cast<std::size_t>(best_trial_)];
+        if (a.swaps < b.swaps ||
+            (a.swaps == b.swaps && a.depth < b.depth))
+            best_trial_ = t;
+    }
+    return trials_[static_cast<std::size_t>(best_trial_)].layout;
+}
+
+} // namespace nassc

@@ -1,0 +1,121 @@
+#ifndef NASSC_ROUTE_LAYOUT_SEARCH_H
+#define NASSC_ROUTE_LAYOUT_SEARCH_H
+
+/**
+ * @file
+ * Parallel multi-trial initial-layout search.
+ *
+ * LayoutSearch generalizes the SABRE reverse-traversal mapping search
+ * (paper Sec. IV-A) from one random seed layout to opts.layout_trials
+ * independent ones, raced across ThreadPool workers and scored so that
+ * the winner — and therefore every downstream routing decision — is
+ * bit-identical for every thread count:
+ *
+ *  - Trial t's seed is a pure function of (opts.seed, t): trial 0 keeps
+ *    opts.seed unchanged (making layout_trials = 1 bit-identical to the
+ *    historical single-seed search), later trials mix the pair through
+ *    the same FNV-1a construction as derive_job_seed().
+ *  - Each trial refines its random layout by opts-configured forward /
+ *    reverse routing passes, then (only when racing > 1 trial) routes
+ *    the forward circuit once more to score the refined layout.
+ *  - The best trial is the lexicographic minimum of (routed SWAP count,
+ *    routed depth, trial index) — no wall-clock, no scheduling order.
+ *
+ * Worker-slot reuse: the forward and reverse DAGs are built once and
+ * shared read-only; each ThreadPool worker slot lazily builds one pair
+ * of Routers and reuses them across all trials it executes, so the
+ * per-trial cost is just the routing passes themselves.
+ *
+ * The engine runs on ThreadPool::shared() by default.  When the caller
+ * is itself a pool task (a BatchTranspiler job mid-sweep), the pool's
+ * nested-parallelism guard runs the trials inline — one saturated level
+ * of parallelism, never two.
+ */
+
+#include <memory>
+#include <vector>
+
+#include "nassc/ir/circuit.h"
+#include "nassc/ir/dag.h"
+#include "nassc/route/layout.h"
+#include "nassc/route/sabre.h"
+#include "nassc/topo/coupling_map.h"
+#include "nassc/topo/distance_matrix.h"
+
+namespace nassc {
+
+class Router;
+class ThreadPool;
+
+/**
+ * Deterministic per-trial seed: trial 0 is `base_seed` itself (exact
+ * single-trial compatibility), trial t > 0 an FNV-1a mix of the pair.
+ * Pure function of its arguments — never of scheduling order.
+ */
+unsigned derive_trial_seed(unsigned base_seed, int trial);
+
+/** Outcome of one layout trial (scores are -1 when not scored). */
+struct LayoutTrial
+{
+    Layout layout;     ///< refined layout after the reverse traversal
+    unsigned seed = 0; ///< effective RNG seed of this trial
+    int trial = 0;     ///< trial index
+    int swaps = -1;    ///< scoring pass SWAP count (trials > 1 only)
+    int depth = -1;    ///< scoring pass routed depth (trials > 1 only)
+};
+
+/** Multi-trial reverse-traversal layout engine. */
+class LayoutSearch
+{
+  public:
+    /**
+     * Binds the inputs; `logical`, `coupling`, and `dist` must outlive
+     * the search.  Gate widths are validated by the Routers.
+     */
+    LayoutSearch(const QuantumCircuit &logical, const CouplingMap &coupling,
+                 const DistanceMatrix &dist, const RoutingOptions &opts,
+                 int iterations = 3);
+    ~LayoutSearch();
+
+    LayoutSearch(const LayoutSearch &) = delete;
+    LayoutSearch &operator=(const LayoutSearch &) = delete;
+
+    /**
+     * Run opts.layout_trials trials on `pool` (nullptr = shared pool),
+     * capped at opts.layout_threads workers, and return the best
+     * refined layout.  Bit-identical for every thread count.
+     */
+    Layout run(ThreadPool *pool = nullptr);
+
+    /** All trial outcomes of the last run(), indexed by trial. */
+    const std::vector<LayoutTrial> &trials() const { return trials_; }
+
+    /** Index into trials() of the winning trial of the last run(). */
+    int best_trial() const { return best_trial_; }
+
+  private:
+    struct WorkerCtx; ///< per-worker-slot Router pair
+
+    WorkerCtx &ctx(int worker);
+    void run_trial(int trial, int worker);
+
+    const CouplingMap &coupling_;
+    const DistanceMatrix &dist_;
+    RoutingOptions opts_; ///< routing options with algorithm forced to SABRE
+    const int trials_requested_;
+    const int iterations_;
+    const int num_logical_;
+
+    QuantumCircuit fwd_;
+    QuantumCircuit rev_;
+    DagCircuit fwd_dag_;
+    DagCircuit rev_dag_;
+
+    std::vector<std::unique_ptr<WorkerCtx>> workers_;
+    std::vector<LayoutTrial> trials_;
+    int best_trial_ = -1;
+};
+
+} // namespace nassc
+
+#endif // NASSC_ROUTE_LAYOUT_SEARCH_H

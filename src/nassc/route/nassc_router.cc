@@ -34,6 +34,21 @@ OptAwareTracker::OptAwareTracker(int num_physical, const RoutingOptions &opts)
 }
 
 void
+OptAwareTracker::reset()
+{
+    for (int p = 0; p < num_physical_; ++p) {
+        partner_[p] = -1;
+        block_u_[p] = Mat4::identity();
+        pending_mat_[p] = Mat2::identity();
+        window_[p].clear();
+        trailing_[p].clear();
+        // Bumping every wire version invalidates every cached (p, q)
+        // evaluation without touching the O(n^2) cache array.
+        touch_wire(p);
+    }
+}
+
+void
 OptAwareTracker::break_block(int p)
 {
     int q = partner_[p];

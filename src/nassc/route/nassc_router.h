@@ -50,6 +50,15 @@ class OptAwareTracker
   public:
     OptAwareTracker(int num_physical, const RoutingOptions &opts);
 
+    /**
+     * Rewind to the freshly constructed state while keeping every
+     * buffer's capacity (windows, trailing lists, evaluation cache), so
+     * a reused Router re-enters NASSC routing without reallocating.
+     * Wire versions keep counting up, which atomically invalidates all
+     * cached evaluations.
+     */
+    void reset();
+
     /** Record an emitted physical gate occupying out-circuit slot idx. */
     void on_gate(const Gate &g, int out_idx);
 

@@ -4,9 +4,86 @@
 #include <limits>
 #include <stdexcept>
 
+#if defined(__AVX2__)
+#include <immintrin.h>
+#endif
+
 #include "nassc/route/nassc_router.h"
 
 namespace nassc {
+
+#if defined(__AVX2__)
+namespace {
+
+/**
+ * Gather wrappers using the explicitly masked intrinsic forms: GCC
+ * implements the unmasked ones via a masked call with an uninitialized
+ * pass-through vector, which -Wmaybe-uninitialized (and -Werror CI)
+ * rejects.  All-ones masks make them plain full gathers.
+ */
+inline __m256d
+gather_pd(const double *base, __m128i idx)
+{
+    return _mm256_mask_i32gather_pd(
+        _mm256_setzero_pd(), base, idx,
+        _mm256_castsi256_pd(_mm256_set1_epi64x(-1)), 8);
+}
+
+inline __m128i
+gather_epi32(const int *base, __m128i idx)
+{
+    return _mm_mask_i32gather_epi32(_mm_setzero_si128(), base, idx,
+                                    _mm_set1_epi32(-1), 4);
+}
+
+/**
+ * nd[i] = D[pa'][pb'] for the four entries ks[i..i+3], where pa'/pb'
+ * are score_pa_/score_pb_ relabeled through a SWAP on (p, q).  The
+ * relabel (two compare/blend pairs per operand) and the row-major
+ * distance load are the vector part; callers do the (order-sensitive)
+ * summation over nd in scalar code.
+ */
+inline void
+gather_swapped_dists(const int *ks, int m, const int *pa_arr,
+                     const int *pb_arr, const double *dm, int n, int p,
+                     int q, double *nd)
+{
+    const __m128i vp = _mm_set1_epi32(p);
+    const __m128i vq = _mm_set1_epi32(q);
+    const __m128i vn = _mm_set1_epi32(n);
+    auto relabel = [&](__m128i v) {
+        __m128i eqp = _mm_cmpeq_epi32(v, vp);
+        __m128i eqq = _mm_cmpeq_epi32(v, vq);
+        __m128i r = _mm_blendv_epi8(v, vq, eqp);
+        return _mm_blendv_epi8(r, vp, eqq);
+    };
+    int i = 0;
+    for (; i + 4 <= m; i += 4) {
+        __m128i k =
+            _mm_loadu_si128(reinterpret_cast<const __m128i *>(ks + i));
+        __m128i pa = gather_epi32(pa_arr, k);
+        __m128i pb = gather_epi32(pb_arr, k);
+        __m128i idx =
+            _mm_add_epi32(_mm_mullo_epi32(relabel(pa), vn), relabel(pb));
+        _mm256_storeu_pd(nd + i, gather_pd(dm, idx));
+    }
+    for (; i < m; ++i) {
+        int pa = pa_arr[ks[i]];
+        int pb = pb_arr[ks[i]];
+        if (pa == p)
+            pa = q;
+        else if (pa == q)
+            pa = p;
+        if (pb == p)
+            pb = q;
+        else if (pb == q)
+            pb = p;
+        nd[i] = dm[static_cast<std::size_t>(pa) * n + pb];
+    }
+}
+
+} // namespace
+#endif // __AVX2__
 
 Router::Router(const DagCircuit &dag, const CouplingMap &coupling,
                const DistanceMatrix &dist, const RoutingOptions &opts)
@@ -46,9 +123,14 @@ Router::reset(const Layout &initial)
     swaps_since_progress_ = 0;
     swaps_since_decay_reset_ = 0;
     ext_valid_ = false;
-    tracker_ = opts_.algorithm == RoutingAlgorithm::kNassc
-                   ? std::make_unique<OptAwareTracker>(num_phys_, opts_)
-                   : nullptr;
+    if (opts_.algorithm == RoutingAlgorithm::kNassc) {
+        // Reuse the tracker across passes: reset() keeps its window /
+        // cache capacities, so repeat runs allocate nothing.
+        if (tracker_)
+            tracker_->reset();
+        else
+            tracker_ = std::make_unique<OptAwareTracker>(num_phys_, opts_);
+    }
 }
 
 void
@@ -83,7 +165,7 @@ Router::run(const Layout &initial)
     return res;
 }
 
-Layout
+const Layout &
 Router::route_to_layout(const Layout &initial)
 {
     reset(initial);
@@ -220,6 +302,31 @@ Router::extended_set()
 }
 
 void
+Router::fill_terms(int begin, int end, double coeff)
+{
+#if defined(__AVX2__)
+    const double *dm = dist_.data();
+    const __m128i vn = _mm_set1_epi32(num_phys_);
+    const __m256d vc = _mm256_set1_pd(coeff);
+    int k = begin;
+    for (; k + 4 <= end; k += 4) {
+        __m128i pa = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(score_pa_.data() + k));
+        __m128i pb = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(score_pb_.data() + k));
+        __m128i idx = _mm_add_epi32(_mm_mullo_epi32(pa, vn), pb);
+        _mm256_storeu_pd(score_term_.data() + k,
+                         _mm256_mul_pd(vc, gather_pd(dm, idx)));
+    }
+    for (; k < end; ++k)
+        score_term_[k] = coeff * dist_(score_pa_[k], score_pb_[k]);
+#else
+    for (int k = begin; k < end; ++k)
+        score_term_[k] = coeff * dist_(score_pa_[k], score_pb_[k]);
+#endif
+}
+
+void
 Router::build_score_base()
 {
     for (int p : touched_phys_)
@@ -227,13 +334,11 @@ Router::build_score_base()
     touched_phys_.clear();
     score_pa_.clear();
     score_pb_.clear();
-    score_term_.clear();
 
-    auto add_entry = [this](int pa, int pb, double term) {
-        int k = static_cast<int>(score_term_.size());
+    auto add_entry = [this](int pa, int pb) {
+        int k = static_cast<int>(score_pa_.size());
         score_pa_.push_back(pa);
         score_pb_.push_back(pb);
-        score_term_.push_back(term);
         if (by_phys_[pa].empty())
             touched_phys_.push_back(pa);
         by_phys_[pa].push_back(k);
@@ -244,43 +349,65 @@ Router::build_score_base()
         }
     };
 
-    front_base_ = 0.0;
+    // Pass 1 (scalar): operand -> physical translation plus the
+    // per-qubit touch lists.  Pass 2 (vectorizable): the distance terms
+    // over the now-contiguous (pa, pb) arrays.  The base sums are
+    // accumulated in index order — the exact order of the historical
+    // one-pass loop.
     for (int id : front_) {
         const Gate &g = dag_.gate(id);
-        int pa = layout_.phys_of(g.qubits[0]);
-        int pb = layout_.phys_of(g.qubits[1]);
-        double t = 3.0 * dist_(pa, pb);
-        front_base_ += t;
-        add_entry(pa, pb, t);
+        add_entry(layout_.phys_of(g.qubits[0]),
+                  layout_.phys_of(g.qubits[1]));
     }
-    score_front_count_ = static_cast<int>(score_term_.size());
-
-    ext_base_ = 0.0;
+    score_front_count_ = static_cast<int>(score_pa_.size());
     for (int id : ext_) {
         const Gate &g = dag_.gate(id);
-        int pa = layout_.phys_of(g.qubits[0]);
-        int pb = layout_.phys_of(g.qubits[1]);
-        double t = dist_(pa, pb);
-        ext_base_ += t;
-        add_entry(pa, pb, t);
+        add_entry(layout_.phys_of(g.qubits[0]),
+                  layout_.phys_of(g.qubits[1]));
     }
+
+    const int total = static_cast<int>(score_pa_.size());
+    score_term_.resize(total);
+    fill_terms(0, score_front_count_, 3.0);
+    fill_terms(score_front_count_, total, 1.0);
+
+    front_base_ = 0.0;
+    for (int k = 0; k < score_front_count_; ++k)
+        front_base_ += score_term_[k];
+    ext_base_ = 0.0;
+    for (int k = score_front_count_; k < total; ++k)
+        ext_base_ += score_term_[k];
 }
 
 void
-Router::candidate_delta(int p, int q, double &dfront, double &dext) const
+Router::accumulate_delta(const std::vector<int> &ks, bool skip_p, int p,
+                         int q, double &dfront, double &dext) const
 {
-    dfront = 0.0;
-    dext = 0.0;
-    for (int k : by_phys_[p]) {
-        double nd = swapped_dist(score_pa_[k], score_pb_[k], p, q);
-        if (k < score_front_count_)
-            dfront += 3.0 * nd - score_term_[k];
-        else
-            dext += nd - score_term_[k];
+#if defined(__AVX2__)
+    // Block-wise: vector-gather the relabeled distances into nd_buf,
+    // then accumulate in list order with the same skip logic as the
+    // scalar path — sums stay ordered, results stay bit-identical.
+    constexpr int kBlock = 256;
+    double nd_buf[kBlock];
+    const int m = static_cast<int>(ks.size());
+    for (int off = 0; off < m; off += kBlock) {
+        const int len = std::min(kBlock, m - off);
+        gather_swapped_dists(ks.data() + off, len, score_pa_.data(),
+                             score_pb_.data(), dist_.data(), num_phys_, p,
+                             q, nd_buf);
+        for (int j = 0; j < len; ++j) {
+            const int k = ks[off + j];
+            if (skip_p && (score_pa_[k] == p || score_pb_[k] == p))
+                continue;
+            if (k < score_front_count_)
+                dfront += 3.0 * nd_buf[j] - score_term_[k];
+            else
+                dext += nd_buf[j] - score_term_[k];
+        }
     }
-    for (int k : by_phys_[q]) {
-        // Gates also touching p were already adjusted above.
-        if (score_pa_[k] == p || score_pb_[k] == p)
+#else
+    for (int k : ks) {
+        if (skip_p && (score_pa_[k] == p || score_pb_[k] == p))
             continue;
         double nd = swapped_dist(score_pa_[k], score_pb_[k], p, q);
         if (k < score_front_count_)
@@ -288,6 +415,17 @@ Router::candidate_delta(int p, int q, double &dfront, double &dext) const
         else
             dext += nd - score_term_[k];
     }
+#endif
+}
+
+void
+Router::candidate_delta(int p, int q, double &dfront, double &dext) const
+{
+    dfront = 0.0;
+    dext = 0.0;
+    accumulate_delta(by_phys_[p], /*skip_p=*/false, p, q, dfront, dext);
+    // Gates also touching p were already adjusted above.
+    accumulate_delta(by_phys_[q], /*skip_p=*/true, p, q, dfront, dext);
 }
 
 void

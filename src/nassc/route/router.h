@@ -71,9 +71,11 @@ class Router
     /**
      * Layout-search pass: identical routing decisions to run(), but
      * skips assembling the output circuit (the reverse-traversal search
-     * only consumes the final layout).
+     * only consumes the final layout).  Returns a reference to the
+     * internal layout — valid until the next pass — so the search loop
+     * stays allocation-free; copy it to keep it.
      */
-    Layout route_to_layout(const Layout &initial);
+    const Layout &route_to_layout(const Layout &initial);
 
     // ---- kernel API (micro-benchmarks, white-box tests) --------------------
 
@@ -131,6 +133,26 @@ class Router
 
     /** Build the base sums and per-qubit touch lists for one decision. */
     void build_score_base();
+
+    /**
+     * score_term_[k] = coeff * D[score_pa_[k]][score_pb_[k]] for k in
+     * [begin, end).  AVX2 builds the flat row-major indices and gathers
+     * four distances per step when available; the scalar fallback
+     * computes the identical products, and the base sums are always
+     * accumulated afterwards in index order, so both paths are
+     * bit-identical (scoring never reassociates floating-point sums).
+     */
+    void fill_terms(int begin, int end, double coeff);
+
+    /**
+     * Accumulate the score adjustments of the entries listed in `ks`
+     * for a candidate SWAP on (p, q).  When skip_p is set, entries with
+     * an endpoint on p are skipped (they were accumulated from p's own
+     * list already).  Same AVX2/scalar contract as fill_terms: the
+     * relabel + distance gather is vectorized, the sums stay ordered.
+     */
+    void accumulate_delta(const std::vector<int> &ks, bool skip_p, int p,
+                          int q, double &dfront, double &dext) const;
 
     /** Front/extended sum adjustments for a candidate SWAP on (p, q). */
     void candidate_delta(int p, int q, double &dfront, double &dext) const;

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "nassc/ir/dag.h"
+#include "nassc/route/layout_search.h"
 #include "nassc/route/router.h"
 
 namespace nassc {
@@ -24,34 +25,13 @@ sabre_initial_layout(const QuantumCircuit &logical,
                      const CouplingMap &coupling, const DistanceMatrix &dist,
                      const RoutingOptions &opts, int iterations)
 {
-    std::mt19937 rng(opts.seed);
-    // Layout::random rejects circuits wider than the device.
-    Layout layout =
-        Layout::random(logical.num_qubits(), coupling.num_qubits(), rng);
-
-    // Reverse-traversal refinement (SABRE): alternate forward and
-    // backward routing, carrying the final layout across passes.
-    QuantumCircuit fwd = logical.without_non_unitary();
-    QuantumCircuit rev(fwd.num_qubits());
-    for (auto it = fwd.gates().rbegin(); it != fwd.gates().rend(); ++it)
-        rev.append(*it);
-
-    RoutingOptions lopts = opts;
-    lopts.algorithm = RoutingAlgorithm::kSabre; // mapping is shared (paper)
-
-    // Both DAGs and Routers are built once and reset per pass: the
-    // 2 x iterations passes reuse the CSR adjacency and all routing
-    // scratch buffers instead of reconstructing them.
-    DagCircuit fwd_dag(fwd);
-    DagCircuit rev_dag(rev);
-    Router fwd_router(fwd_dag, coupling, dist, lopts);
-    Router rev_router(rev_dag, coupling, dist, lopts);
-
-    for (int iter = 0; iter < iterations; ++iter) {
-        layout = fwd_router.route_to_layout(layout);
-        layout = rev_router.route_to_layout(layout);
-    }
-    return layout;
+    // The whole search lives in LayoutSearch (route/layout_search.h):
+    // opts.layout_trials independent seed layouts refined in parallel on
+    // the shared pool, best-by-(swaps, depth, trial) wins.  The default
+    // layout_trials = 1 runs the historical single-seed reverse
+    // traversal, bit for bit.
+    LayoutSearch search(logical, coupling, dist, opts, iterations);
+    return search.run();
 }
 
 } // namespace nassc

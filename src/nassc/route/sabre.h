@@ -50,6 +50,19 @@ struct RoutingOptions
     bool enable_commute2 = true;
     int commute_window = 20; ///< max commute-set search size (Sec. IV-E)
     unsigned seed = 0;       ///< randomizes the initial layout only
+    /**
+     * Independent random-seed layouts raced by sabre_initial_layout
+     * (LayoutSearch); the best-scoring refined layout wins.  Trial 0
+     * uses `seed` unchanged, so layout_trials = 1 is bit-identical to
+     * the single-seed search.  Like Qiskit's SabreLayout(swap_trials=N).
+     */
+    int layout_trials = 1;
+    /**
+     * Worker cap for running the trials on ThreadPool::shared(); 0 =
+     * whole pool, 1 = serial.  Any value yields bit-identical results —
+     * trials are seeded and scored independently of scheduling.
+     */
+    int layout_threads = 0;
 };
 
 /** Counters reported by one routing run. */
@@ -85,8 +98,13 @@ RoutingResult route_circuit(const QuantumCircuit &logical,
                             const RoutingOptions &opts);
 
 /**
- * SABRE reverse-traversal initial layout: random seed layout refined by
- * alternating forward/backward routing passes.
+ * SABRE reverse-traversal initial layout: opts.layout_trials random
+ * seed layouts, each refined by alternating forward/backward routing
+ * passes, raced on the shared thread pool; the best refined layout (by
+ * routed SWAPs, then depth, then trial index) wins.  Thin wrapper over
+ * LayoutSearch (route/layout_search.h); output is bit-identical for
+ * every thread count, and layout_trials = 1 reproduces the historical
+ * single-seed search exactly.
  */
 Layout sabre_initial_layout(const QuantumCircuit &logical,
                             const CouplingMap &coupling,

@@ -1,10 +1,11 @@
 #include "nassc/service/batch_transpiler.h"
 
-#include <atomic>
 #include <chrono>
 #include <exception>
 #include <stdexcept>
 #include <thread>
+
+#include "nassc/ir/fnv1a.h"
 
 namespace nassc {
 
@@ -13,25 +14,25 @@ derive_job_seed(unsigned base_seed, const std::string &tag, unsigned job_seed)
 {
     // FNV-1a over (base_seed, tag, job_seed), folded to 32 bits.  Cheap,
     // stable across platforms, and independent of submission order.
-    std::uint64_t h = 14695981039346656037ull;
-    auto mix_byte = [&h](unsigned char b) {
-        h ^= b;
-        h *= 1099511628211ull;
-    };
-    for (int i = 0; i < 4; ++i)
-        mix_byte(static_cast<unsigned char>(base_seed >> (8 * i)));
-    for (char c : tag)
-        mix_byte(static_cast<unsigned char>(c));
-    for (int i = 0; i < 4; ++i)
-        mix_byte(static_cast<unsigned char>(job_seed >> (8 * i)));
-    return static_cast<unsigned>(h ^ (h >> 32));
+    Fnv1a mix;
+    mix.u32(base_seed);
+    mix.str(tag);
+    mix.u32(job_seed);
+    return mix.fold32();
 }
 
 BatchTranspiler::BatchTranspiler(BatchOptions options)
-    : options_(std::move(options)), cache_(options_.cache)
+    : options_(std::move(options)), cache_(options_.cache),
+      pool_(options_.pool)
 {
     if (!cache_)
         cache_ = std::make_shared<DistanceCache>();
+}
+
+ThreadPool &
+BatchTranspiler::pool() const
+{
+    return pool_ ? *pool_ : ThreadPool::shared();
 }
 
 int
@@ -57,51 +58,40 @@ BatchTranspiler::run(const std::vector<TranspileJob> &jobs) const
 
     const std::size_t cache_computations_before = cache_->computation_count();
 
-    // Workers pull the next submission index from a shared counter and
-    // write into their own result slot: no per-job locking, and results
-    // land in submission order no matter which worker finishes first.
-    std::atomic<std::size_t> next{0};
-    auto worker = [&]() {
-        for (;;) {
-            const std::size_t i = next.fetch_add(1);
-            if (i >= jobs.size())
-                return;
-            const TranspileJob &job = jobs[i];
-            JobResult &out = report.results[i];
-            out.index = i;
-            out.tag = job.tag;
-            try {
-                if (!job.backend)
-                    throw std::invalid_argument("job has no backend");
-                TranspileOptions opts = job.options;
-                if (options_.derive_seeds)
-                    opts.seed = derive_job_seed(options_.base_seed, job.tag,
-                                                job.options.seed);
-                out.seed_used = opts.seed;
-                out.result = transpile(job.circuit, *job.backend, opts,
-                                       *cache_);
-                out.ok = true;
-            } catch (const std::exception &e) {
-                out.ok = false;
-                out.error = e.what();
-            } catch (...) {
-                out.ok = false;
-                out.error = "unknown exception";
-            }
+    // Each job writes into its own submission-index slot, so results
+    // land in submission order no matter which pool worker ran them, and
+    // every error is captured into the slot rather than escaping (the
+    // pool would rethrow otherwise).
+    auto run_job = [&](std::size_t i, int /*worker*/) {
+        const TranspileJob &job = jobs[i];
+        JobResult &out = report.results[i];
+        out.index = i;
+        out.tag = job.tag;
+        try {
+            if (!job.backend)
+                throw std::invalid_argument("job has no backend");
+            TranspileOptions opts = job.options;
+            if (options_.derive_seeds)
+                opts.seed = derive_job_seed(options_.base_seed, job.tag,
+                                            job.options.seed);
+            out.seed_used = opts.seed;
+            out.result = transpile(job.circuit, *job.backend, opts, *cache_);
+            out.ok = true;
+        } catch (const std::exception &e) {
+            out.ok = false;
+            out.error = e.what();
+        } catch (...) {
+            out.ok = false;
+            out.error = "unknown exception";
         }
     };
 
-    const int threads = num_threads_for(jobs.size());
-    if (threads <= 1) {
-        worker();
-    } else {
-        std::vector<std::thread> pool;
-        pool.reserve(threads);
-        for (int t = 0; t < threads; ++t)
-            pool.emplace_back(worker);
-        for (std::thread &t : pool)
-            t.join();
-    }
+    // Grow the pool up to the requested cap first: an explicit
+    // --threads N must deliver N-way parallelism even where
+    // hardware_concurrency() under-reports (cgroup-limited containers).
+    const int cap = num_threads_for(jobs.size());
+    pool().ensure_workers(cap);
+    pool().parallel_for(jobs.size(), run_job, cap);
 
     for (const JobResult &r : report.results)
         (r.ok ? report.num_ok : report.num_failed)++;

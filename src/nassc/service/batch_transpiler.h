@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "nassc/service/distance_cache.h"
+#include "nassc/service/thread_pool.h"
 #include "nassc/transpile/transpile.h"
 
 namespace nassc {
@@ -54,7 +55,11 @@ struct JobResult
 /** Engine configuration. */
 struct BatchOptions
 {
-    /** Worker threads; 0 picks std::thread::hardware_concurrency(). */
+    /**
+     * Concurrent jobs cap; 0 picks std::thread::hardware_concurrency().
+     * This caps the workers taken from the (shared) pool per run, it no
+     * longer spawns threads of its own.
+     */
     int num_threads = 0;
     /**
      * When true, each job's seed becomes a deterministic mix of
@@ -66,6 +71,13 @@ struct BatchOptions
     unsigned base_seed = 0;
     /** Cache shared by all jobs; defaults to a fresh private cache. */
     std::shared_ptr<DistanceCache> cache;
+    /**
+     * Worker pool to run on; defaults to ThreadPool::shared(), which
+     * LayoutSearch also uses — so a saturating batch automatically
+     * degrades per-job layout trials to inline execution instead of
+     * oversubscribing (see thread_pool.h).
+     */
+    std::shared_ptr<ThreadPool> pool;
 };
 
 /** Aggregate outcome of BatchTranspiler::run(). */
@@ -96,14 +108,17 @@ class BatchTranspiler
     /** Run all jobs; blocks until every job has a result. */
     BatchReport run(const std::vector<TranspileJob> &jobs) const;
 
-    /** Worker threads run() will use for a batch of `jobs` jobs. */
+    /** Worker slots run() will use for a batch of `jobs` jobs. */
     int num_threads_for(std::size_t jobs) const;
 
     DistanceCache &distance_cache() const { return *cache_; }
 
+    ThreadPool &pool() const;
+
   private:
     BatchOptions options_;
     std::shared_ptr<DistanceCache> cache_;
+    std::shared_ptr<ThreadPool> pool_; ///< null = ThreadPool::shared()
 };
 
 } // namespace nassc

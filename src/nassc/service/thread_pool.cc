@@ -1,0 +1,250 @@
+#include "nassc/service/thread_pool.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <limits>
+#include <mutex>
+#include <utility>
+
+namespace nassc {
+
+namespace {
+
+/** Set while the current thread executes parallel_for tasks. */
+thread_local bool t_in_task = false;
+
+struct TaskScope
+{
+    bool prev;
+    TaskScope() : prev(t_in_task) { t_in_task = true; }
+    ~TaskScope() { t_in_task = prev; }
+};
+
+} // namespace
+
+struct ThreadPool::Impl
+{
+    /** Hard ceiling for ensure_workers() growth. */
+    static constexpr int kMaxThreads = 256;
+
+    /** threads_.size() mirror, readable without the submit mutex. */
+    std::atomic<int> pool_size{0};
+
+    std::mutex mutex;                 ///< protects the job fields below
+    std::condition_variable wake;     ///< workers wait for a new job
+    std::condition_variable done;     ///< caller waits for active == 0
+    std::uint64_t generation = 0;     ///< bumped per submitted job
+    bool stop = false;
+
+    // Current job (valid while active > 0 or generation unchanged).
+    const std::function<void(std::size_t, int)> *fn = nullptr;
+    std::size_t count = 0;
+    int wanted = 0; ///< pool workers participating (ids 1..wanted)
+    std::atomic<std::size_t> next{0};
+    int active = 0; ///< wanted workers not yet finished with the job
+
+    // Per-job exception capture: lowest index wins, deterministically.
+    std::mutex error_mutex;
+    std::size_t error_index = std::numeric_limits<std::size_t>::max();
+    std::exception_ptr error;
+
+    /** Serializes parallel_for submissions from distinct threads. */
+    std::mutex submit_mutex;
+
+    void
+    record_error(std::size_t index, std::exception_ptr e)
+    {
+        std::lock_guard<std::mutex> lk(error_mutex);
+        if (index < error_index) {
+            error_index = index;
+            error = std::move(e);
+        }
+    }
+};
+
+ThreadPool::ThreadPool(int num_threads) : impl_(new Impl)
+{
+    if (num_threads <= 0) {
+        unsigned hw = std::thread::hardware_concurrency();
+        num_threads = hw ? static_cast<int>(hw) : 1;
+    }
+    for (int id = 1; id <= num_threads; ++id)
+        threads_.emplace_back([this, id] { worker_main(id); });
+    impl_->pool_size.store(num_threads);
+}
+
+int
+ThreadPool::num_threads() const
+{
+    return impl_->pool_size.load(std::memory_order_acquire);
+}
+
+int
+ThreadPool::ensure_workers(int max_workers)
+{
+    // Nested callers run their loops inline; growing here would also
+    // deadlock on the submit mutex the outer parallel_for holds.
+    if (max_workers <= 0 || in_task())
+        return num_threads();
+    int want = std::min(max_workers - 1, Impl::kMaxThreads);
+    if (want <= num_threads())
+        return num_threads();
+    // The submit mutex keeps growth out of any in-flight job: a thread
+    // spawned here can only ever observe a quiesced (fn == nullptr)
+    // previous job before its first real wake-up.
+    std::lock_guard<std::mutex> submit(impl_->submit_mutex);
+    while (static_cast<int>(threads_.size()) < want) {
+        int id = static_cast<int>(threads_.size()) + 1;
+        threads_.emplace_back([this, id] { worker_main(id); });
+    }
+    impl_->pool_size.store(static_cast<int>(threads_.size()),
+                           std::memory_order_release);
+    return num_threads();
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lk(impl_->mutex);
+        impl_->stop = true;
+    }
+    impl_->wake.notify_all();
+    for (std::thread &t : threads_)
+        t.join();
+    delete impl_;
+}
+
+void
+ThreadPool::run_indices(const std::function<void(std::size_t, int)> &fn,
+                        int worker)
+{
+    TaskScope scope;
+    for (;;) {
+        const std::size_t i = impl_->next.fetch_add(1);
+        if (i >= impl_->count)
+            return;
+        try {
+            fn(i, worker);
+        } catch (...) {
+            impl_->record_error(i, std::current_exception());
+        }
+    }
+}
+
+void
+ThreadPool::worker_main(int worker_id)
+{
+    Impl &im = *impl_;
+    std::uint64_t seen = 0;
+    for (;;) {
+        const std::function<void(std::size_t, int)> *fn = nullptr;
+        {
+            std::unique_lock<std::mutex> lk(im.mutex);
+            im.wake.wait(lk, [&] {
+                return im.stop || im.generation != seen;
+            });
+            if (im.stop)
+                return;
+            seen = im.generation;
+            // Not a participant: id beyond this job's cap, or (for a
+            // thread spawned after the job finished) a stale, already
+            // quiesced generation.
+            if (worker_id > im.wanted || im.fn == nullptr)
+                continue;
+            fn = im.fn;
+        }
+        run_indices(*fn, worker_id);
+        {
+            std::lock_guard<std::mutex> lk(im.mutex);
+            if (--im.active == 0)
+                im.done.notify_all();
+        }
+    }
+}
+
+void
+ThreadPool::parallel_for(std::size_t count,
+                         const std::function<void(std::size_t, int)> &fn,
+                         int max_workers)
+{
+    if (count == 0)
+        return;
+
+    Impl &im = *impl_;
+    if (max_workers <= 0)
+        max_workers = num_threads() + 1;
+
+    // Inline paths: nested call from inside a task (the guard), a
+    // serial request, a single index, or a pool with no threads.
+    // (num_threads() is the atomic mirror of threads_.size() — the
+    // vector itself may only be read under the submit mutex, since
+    // ensure_workers grows it.)
+    if (in_task() || max_workers == 1 || count <= 1 ||
+        num_threads() == 0) {
+        TaskScope scope;
+        std::size_t error_index = std::numeric_limits<std::size_t>::max();
+        std::exception_ptr error;
+        for (std::size_t i = 0; i < count; ++i) {
+            try {
+                fn(i, 0);
+            } catch (...) {
+                // Mirror the parallel path: remaining indices still run
+                // and the lowest-index exception is rethrown.
+                if (i < error_index) {
+                    error_index = i;
+                    error = std::current_exception();
+                }
+            }
+        }
+        if (error)
+            std::rethrow_exception(error);
+        return;
+    }
+
+    std::lock_guard<std::mutex> submit(im.submit_mutex);
+
+    int wanted = max_workers - 1; // caller occupies slot 0
+    if (wanted > num_threads())
+        wanted = num_threads();
+    if (static_cast<std::size_t>(wanted) >= count)
+        wanted = static_cast<int>(count - 1);
+
+    {
+        std::lock_guard<std::mutex> lk(im.mutex);
+        im.fn = &fn;
+        im.count = count;
+        im.wanted = wanted;
+        im.next.store(0);
+        im.active = wanted;
+        im.error_index = std::numeric_limits<std::size_t>::max();
+        im.error = nullptr;
+        ++im.generation;
+    }
+    im.wake.notify_all();
+
+    run_indices(fn, /*worker=*/0);
+
+    {
+        std::unique_lock<std::mutex> lk(im.mutex);
+        im.done.wait(lk, [&] { return im.active == 0; });
+        im.fn = nullptr;
+    }
+
+    if (im.error)
+        std::rethrow_exception(im.error);
+}
+
+ThreadPool &
+ThreadPool::shared()
+{
+    static ThreadPool pool(0);
+    return pool;
+}
+
+bool
+ThreadPool::in_task()
+{
+    return t_in_task;
+}
+
+} // namespace nassc

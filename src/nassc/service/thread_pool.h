@@ -1,0 +1,111 @@
+#ifndef NASSC_SERVICE_THREAD_POOL_H
+#define NASSC_SERVICE_THREAD_POOL_H
+
+/**
+ * @file
+ * Fixed-size worker pool shared by the parallel subsystems.
+ *
+ * One pool serves both parallelism layers of the codebase:
+ *
+ *  - BatchTranspiler fans whole transpile jobs out across it;
+ *  - LayoutSearch fans the per-seed layout trials of a single
+ *    transpile() call out across it.
+ *
+ * parallel_for(count, fn, max_workers) runs fn(index, worker) for every
+ * index in [0, count).  The calling thread always participates as
+ * worker 0; up to max_workers - 1 pool threads join as workers 1..k,
+ * where k pool threads keep their construction-time ids so a worker id
+ * identifies a stable slot (LayoutSearch reuses one Router per slot).
+ * Indices are handed out through a shared atomic counter, so any
+ * worker may execute any index — callers must make per-index work
+ * independent and write results into per-index slots, which is exactly
+ * how both clients keep their output bit-identical for every thread
+ * count.
+ *
+ * Nested-parallelism guard: a parallel_for issued from inside a task
+ * (i.e. from a worker of any pool, including the caller slot) runs the
+ * loop inline on the issuing thread instead of submitting.  A batch
+ * sweep that already saturates the pool therefore routes its inner
+ * layout trials serially per job instead of deadlocking on or
+ * oversubscribing the pool.
+ *
+ * Exceptions thrown by fn are captured per index; after the loop
+ * completes the exception with the lowest index is rethrown (the same
+ * one regardless of thread count).  The remaining indices still run —
+ * a throwing task never poisons its siblings.
+ */
+
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <thread>
+#include <vector>
+
+namespace nassc {
+
+class ThreadPool
+{
+  public:
+    /** Spawns `num_threads` workers; 0 = std::thread::hardware_concurrency(). */
+    explicit ThreadPool(int num_threads = 0);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Pool threads (excluding the caller slot of parallel_for). */
+    int num_threads() const;
+
+    /**
+     * Grow the pool (never shrink) so parallel_for can hand out up to
+     * max_workers worker slots; returns the resulting pool size.
+     * hardware_concurrency() under-reports in cgroup-limited containers
+     * (nproc can say 1 where 4 threads genuinely run in parallel), so
+     * an explicit --threads N request must be able to out-size the
+     * default.  Growth is bounded (256 threads), serialized against
+     * running jobs, and a no-op from inside a task (nested callers run
+     * inline anyway).
+     */
+    int ensure_workers(int max_workers);
+
+    /**
+     * Run fn(index, worker) for index in [0, count), blocking until all
+     * indices finished.  worker is in [0, max_workers); the caller is
+     * worker 0.  max_workers <= 0 means "whole pool".  Runs inline when
+     * called from inside a task, when max_workers == 1, or when count
+     * <= 1.  Rethrows the lowest-index captured exception, if any.
+     *
+     * The pool runs ONE job at a time: top-level parallel_for calls
+     * from distinct threads serialize on submission (results are
+     * unaffected — they are deterministic per job — but the second
+     * caller waits).  Concurrent top-level clients that must overlap
+     * should bring their own ThreadPool instance; see the ROADMAP
+     * multi-job item.
+     */
+    void parallel_for(std::size_t count,
+                      const std::function<void(std::size_t, int)> &fn,
+                      int max_workers = 0);
+
+    /**
+     * Process-wide pool (hardware-concurrency sized, lazily created).
+     * BatchTranspiler and LayoutSearch both default to it, which is
+     * what makes the nested-parallelism guard effective end to end.
+     */
+    static ThreadPool &shared();
+
+    /** True on a thread currently executing a parallel_for task. */
+    static bool in_task();
+
+  private:
+    struct Impl;
+    void worker_main(int worker_id);
+    void run_indices(const std::function<void(std::size_t, int)> &fn,
+                     int worker);
+
+    Impl *impl_;
+    std::vector<std::thread> threads_;
+};
+
+} // namespace nassc
+
+#endif // NASSC_SERVICE_THREAD_POOL_H

@@ -6,6 +6,8 @@
 #include <random>
 #include <stdexcept>
 
+#include "nassc/ir/fnv1a.h"
+
 namespace nassc {
 
 namespace {
@@ -38,24 +40,16 @@ make_calibration(const CouplingMap &cm, unsigned seed)
 std::uint64_t
 calibration_fingerprint(const Calibration &cal)
 {
-    std::uint64_t h = 14695981039346656037ull;
-    auto mix_double = [&h](double x) {
-        std::uint64_t v;
-        std::memcpy(&v, &x, sizeof(v));
-        for (int byte = 0; byte < 8; ++byte) {
-            h ^= (v >> (8 * byte)) & 0xffu;
-            h *= 1099511628211ull;
-        }
-    };
+    Fnv1a mix;
     for (double e : cal.error_1q)
-        mix_double(e);
+        mix.f64(e);
     for (double e : cal.readout_error)
-        mix_double(e);
+        mix.f64(e);
     for (const auto &[edge, err] : cal.error_cx)
-        mix_double(err);
+        mix.f64(err);
     for (const auto &[edge, dur] : cal.duration_cx)
-        mix_double(dur);
-    return h;
+        mix.f64(dur);
+    return mix.value();
 }
 
 } // namespace

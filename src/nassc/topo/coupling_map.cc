@@ -4,6 +4,8 @@
 #include <queue>
 #include <stdexcept>
 
+#include "nassc/ir/fnv1a.h"
+
 namespace nassc {
 
 CouplingMap::CouplingMap(int num_qubits,
@@ -63,19 +65,13 @@ CouplingMap::distance_matrix_double() const
 std::uint64_t
 CouplingMap::fingerprint() const
 {
-    std::uint64_t h = 14695981039346656037ull; // FNV-1a offset basis
-    auto mix = [&h](std::uint64_t v) {
-        for (int byte = 0; byte < 8; ++byte) {
-            h ^= (v >> (8 * byte)) & 0xffu;
-            h *= 1099511628211ull;
-        }
-    };
-    mix(static_cast<std::uint64_t>(num_qubits_));
+    Fnv1a mix;
+    mix.u64(static_cast<std::uint64_t>(num_qubits_));
     for (auto [a, b] : edges_) {
-        mix(static_cast<std::uint64_t>(a));
-        mix(static_cast<std::uint64_t>(b));
+        mix.u64(static_cast<std::uint64_t>(a));
+        mix.u64(static_cast<std::uint64_t>(b));
     }
-    return h;
+    return mix.value();
 }
 
 int

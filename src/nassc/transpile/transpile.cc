@@ -65,9 +65,13 @@ transpile(const QuantumCircuit &qc, const Backend &backend,
     ropts.enable_commute2 = opts.enable_commute2;
     ropts.use_decay = opts.use_decay;
     ropts.seed = opts.seed;
+    ropts.layout_trials = opts.layout_trials;
+    ropts.layout_threads = opts.layout_threads;
 
+    auto tl0 = std::chrono::steady_clock::now();
     Layout initial = sabre_initial_layout(c, backend.coupling, dist, ropts,
                                           opts.layout_iterations);
+    auto tl1 = std::chrono::steady_clock::now();
 
     // 5. Routing.
     RoutingResult routed =
@@ -100,6 +104,7 @@ transpile(const QuantumCircuit &qc, const Backend &backend,
     res.cx_total = res.circuit.cx_count();
     res.depth = res.circuit.depth();
     res.seconds = std::chrono::duration<double>(t1 - t0).count();
+    res.layout_seconds = std::chrono::duration<double>(tl1 - tl0).count();
     return res;
 }
 

@@ -39,6 +39,13 @@ struct TranspileOptions
     int extended_size = 20;       ///< |E|
     double extended_weight = 0.5; ///< W
     int layout_iterations = 3;    ///< reverse-traversal rounds
+    /** Independent layout-search trials raced on the shared pool; the
+     *  best refined layout wins (see route/layout_search.h).  1 =
+     *  historical single-seed search, bit for bit. */
+    int layout_trials = 1;
+    /** Worker cap for the layout trials; 0 = whole shared pool.  Any
+     *  value produces bit-identical output. */
+    int layout_threads = 0;
     int opt_loop_rounds = 4;      ///< post-routing optimization loop cap
     /** Ablation switch: honour SWAP orientation flags when expanding
      *  SWAPs (NASSC Sec. IV-E).  Disabling isolates the contribution of
@@ -58,6 +65,8 @@ struct TranspileResult
     int cx_total = 0;
     int depth = 0;
     double seconds = 0.0;
+    /** Wall time of the initial-layout search alone (within seconds). */
+    double layout_seconds = 0.0;
 };
 
 /**

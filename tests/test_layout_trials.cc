@@ -1,0 +1,260 @@
+// Tests for the parallel multi-trial layout search (LayoutSearch):
+//
+//  (a) layout_trials = 1 is bit-identical to the historical single-seed
+//      sabre_initial_layout reverse traversal, on the full Table I
+//      suite and both distance metrics;
+//  (b) layout_trials = 4 returns the identical best layout, trial
+//      outcomes, and downstream RoutingStats for 1, 2, and 8 worker
+//      threads;
+//  (c) trial-seed derivation is a pure function of (base seed, trial) —
+//      independent of scheduling order, with trial 0 keeping the base
+//      seed.
+
+#include <gtest/gtest.h>
+
+#include "nassc/circuits/library.h"
+#include "nassc/ir/dag.h"
+#include "nassc/passes/basis_translation.h"
+#include "nassc/route/layout_search.h"
+#include "nassc/route/router.h"
+#include "nassc/route/sabre.h"
+#include "nassc/service/batch_transpiler.h"
+#include "nassc/service/thread_pool.h"
+#include "nassc/topo/backends.h"
+
+namespace nassc {
+namespace {
+
+/**
+ * The pre-LayoutSearch reverse traversal, reproduced verbatim: one
+ * random seed layout refined by alternating forward/backward passes.
+ * Pinning against this keeps the engine's trials=1 path honest even if
+ * the goldens are ever regenerated.
+ */
+Layout
+reference_single_seed_layout(const QuantumCircuit &logical,
+                             const CouplingMap &coupling,
+                             const DistanceMatrix &dist,
+                             const RoutingOptions &opts, int iterations = 3)
+{
+    std::mt19937 rng(opts.seed);
+    Layout layout =
+        Layout::random(logical.num_qubits(), coupling.num_qubits(), rng);
+
+    QuantumCircuit fwd = logical.without_non_unitary();
+    QuantumCircuit rev(fwd.num_qubits());
+    for (auto it = fwd.gates().rbegin(); it != fwd.gates().rend(); ++it)
+        rev.append(*it);
+
+    RoutingOptions lopts = opts;
+    lopts.algorithm = RoutingAlgorithm::kSabre;
+
+    DagCircuit fwd_dag(fwd);
+    DagCircuit rev_dag(rev);
+    Router fwd_router(fwd_dag, coupling, dist, lopts);
+    Router rev_router(rev_dag, coupling, dist, lopts);
+
+    for (int iter = 0; iter < iterations; ++iter) {
+        layout = fwd_router.route_to_layout(layout);
+        layout = rev_router.route_to_layout(layout);
+    }
+    return layout;
+}
+
+TEST(LayoutTrials, SingleTrialMatchesHistoricalSearchOnTableI)
+{
+    Backend dev = montreal_backend();
+    for (bool noise : {false, true}) {
+        const DistanceMatrix dist = noise ? noise_aware_distance(dev)
+                                          : hop_distance(dev.coupling);
+        for (const BenchmarkCase &bc : table_benchmarks()) {
+            QuantumCircuit logical = decompose_to_2q(bc.circuit);
+            RoutingOptions opts;
+            opts.seed = 7;
+            ASSERT_EQ(opts.layout_trials, 1);
+            Layout engine =
+                sabre_initial_layout(logical, dev.coupling, dist, opts);
+            Layout reference = reference_single_seed_layout(
+                logical, dev.coupling, dist, opts);
+            EXPECT_EQ(engine.l2p(), reference.l2p())
+                << bc.name << (noise ? " (noise)" : " (hops)");
+        }
+    }
+}
+
+TEST(LayoutTrials, MultiTrialBitIdenticalAcrossThreadCounts)
+{
+    Backend dev = montreal_backend();
+    const DistanceMatrix dist = hop_distance(dev.coupling);
+
+    for (const char *name : {"qft_n15", "adder_n10", "grover_n8"}) {
+        QuantumCircuit logical = decompose_to_2q(benchmark_by_name(name));
+
+        std::vector<int> best_l2p;
+        std::vector<LayoutTrial> first_trials;
+        int first_best = -1;
+        RoutingStats first_stats{};
+
+        for (int threads : {1, 2, 8}) {
+            RoutingOptions opts;
+            opts.seed = 11;
+            opts.layout_trials = 4;
+            opts.layout_threads = threads;
+            LayoutSearch search(logical, dev.coupling, dist, opts);
+            Layout best = search.run();
+
+            // Downstream routing from the winning layout: stats must be
+            // identical too (the layout is, so this pins the full chain).
+            RoutingOptions ropts;
+            ropts.algorithm = RoutingAlgorithm::kNassc;
+            RoutingResult routed = route_circuit(logical, dev.coupling,
+                                                 dist, best, ropts);
+
+            if (threads == 1) {
+                best_l2p = best.l2p();
+                first_trials = search.trials();
+                first_best = search.best_trial();
+                first_stats = routed.stats;
+                ASSERT_EQ(first_trials.size(), 4u) << name;
+                for (const LayoutTrial &t : first_trials) {
+                    EXPECT_GE(t.swaps, 0) << name;
+                    EXPECT_GE(t.depth, 0) << name;
+                }
+                continue;
+            }
+
+            EXPECT_EQ(best.l2p(), best_l2p) << name << " x" << threads;
+            EXPECT_EQ(search.best_trial(), first_best)
+                << name << " x" << threads;
+            ASSERT_EQ(search.trials().size(), first_trials.size());
+            for (std::size_t t = 0; t < first_trials.size(); ++t) {
+                const LayoutTrial &a = search.trials()[t];
+                const LayoutTrial &b = first_trials[t];
+                EXPECT_EQ(a.seed, b.seed) << name << " trial " << t;
+                EXPECT_EQ(a.swaps, b.swaps) << name << " trial " << t;
+                EXPECT_EQ(a.depth, b.depth) << name << " trial " << t;
+                EXPECT_EQ(a.layout.l2p(), b.layout.l2p())
+                    << name << " trial " << t;
+            }
+            EXPECT_EQ(routed.stats.num_swaps, first_stats.num_swaps);
+            EXPECT_EQ(routed.stats.flagged_swaps, first_stats.flagged_swaps);
+            EXPECT_EQ(routed.stats.c2q_hits, first_stats.c2q_hits);
+            EXPECT_EQ(routed.stats.commute1_hits,
+                      first_stats.commute1_hits);
+            EXPECT_EQ(routed.stats.commute2_hits,
+                      first_stats.commute2_hits);
+            EXPECT_EQ(routed.stats.moved_1q, first_stats.moved_1q);
+        }
+    }
+}
+
+TEST(LayoutTrials, MultiTrialNeverWorseThanItsOwnTrials)
+{
+    // The arg-min must actually pick the (swaps, depth)-minimal trial.
+    Backend dev = montreal_backend();
+    const DistanceMatrix dist = hop_distance(dev.coupling);
+    QuantumCircuit logical = decompose_to_2q(benchmark_by_name("qft_n15"));
+
+    RoutingOptions opts;
+    opts.layout_trials = 6;
+    LayoutSearch search(logical, dev.coupling, dist, opts);
+    search.run();
+
+    const LayoutTrial &best = search.trials()[search.best_trial()];
+    for (const LayoutTrial &t : search.trials()) {
+        EXPECT_TRUE(best.swaps < t.swaps ||
+                    (best.swaps == t.swaps && best.depth < t.depth) ||
+                    (best.swaps == t.swaps && best.depth == t.depth &&
+                     best.trial <= t.trial));
+    }
+}
+
+TEST(LayoutTrials, TrialSeedDerivationIsPureAndStable)
+{
+    // Trial 0 keeps the base seed: single-trial bit-compatibility.
+    EXPECT_EQ(derive_trial_seed(0, 0), 0u);
+    EXPECT_EQ(derive_trial_seed(1234, 0), 1234u);
+
+    // Pure function: same inputs, same output, whatever order asked.
+    std::vector<unsigned> forward, backward;
+    for (int t = 0; t < 16; ++t)
+        forward.push_back(derive_trial_seed(42, t));
+    for (int t = 15; t >= 0; --t)
+        backward.push_back(derive_trial_seed(42, t));
+    for (int t = 0; t < 16; ++t)
+        EXPECT_EQ(forward[t], backward[15 - t]);
+
+    // Distinct trials decorrelate (no accidental collisions up front).
+    for (int a = 0; a < 16; ++a)
+        for (int b = a + 1; b < 16; ++b)
+            EXPECT_NE(forward[a], forward[b]) << a << " vs " << b;
+
+    // Distinct base seeds decorrelate the same trial.
+    EXPECT_NE(derive_trial_seed(1, 3), derive_trial_seed(2, 3));
+}
+
+TEST(LayoutTrials, NestedInBatchRunsInlineAndMatchesSerial)
+{
+    // A batch whose jobs each race 4 layout trials: the inner searches
+    // hit the pool's nested-parallelism guard and run inline, and the
+    // metrics must match a fully serial batch bit for bit.
+    Backend shared_dev = montreal_backend();
+    auto dev = std::make_shared<Backend>(shared_dev);
+
+    std::vector<TranspileJob> jobs;
+    for (const char *name : {"qft_n15", "adder_n10", "bv_n19"}) {
+        TranspileJob job;
+        job.tag = name;
+        job.circuit = benchmark_by_name(name);
+        job.backend = dev;
+        job.options.layout_trials = 4;
+        job.options.layout_threads = 0; // whole pool, when available
+        jobs.push_back(std::move(job));
+    }
+
+    BatchOptions serial;
+    serial.num_threads = 1;
+    BatchOptions parallel;
+    parallel.num_threads = 8;
+
+    BatchReport a = BatchTranspiler(serial).run(jobs);
+    BatchReport b = BatchTranspiler(parallel).run(jobs);
+    ASSERT_EQ(a.results.size(), b.results.size());
+    for (std::size_t i = 0; i < a.results.size(); ++i) {
+        ASSERT_TRUE(a.results[i].ok) << a.results[i].error;
+        ASSERT_TRUE(b.results[i].ok) << b.results[i].error;
+        EXPECT_EQ(a.results[i].result.cx_total, b.results[i].result.cx_total);
+        EXPECT_EQ(a.results[i].result.depth, b.results[i].result.depth);
+        EXPECT_EQ(a.results[i].result.initial_l2p,
+                  b.results[i].result.initial_l2p);
+        EXPECT_EQ(a.results[i].result.routing_stats.num_swaps,
+                  b.results[i].result.routing_stats.num_swaps);
+    }
+}
+
+TEST(LayoutTrials, MoreTrialsNotWorseOnAggregate)
+{
+    // Racing seeds exists to buy quality: over a few Table I circuits
+    // the 4-trial winner must not lose to the single seed in total
+    // routed SWAPs (that is the whole point of the knob).
+    Backend dev = montreal_backend();
+    const DistanceMatrix dist = hop_distance(dev.coupling);
+    long swaps1 = 0, swaps4 = 0;
+    for (const char *name : {"qft_n15", "adder_n10", "grover_n8"}) {
+        QuantumCircuit logical = decompose_to_2q(benchmark_by_name(name));
+        for (int trials : {1, 4}) {
+            RoutingOptions opts;
+            opts.layout_trials = trials;
+            Layout init =
+                sabre_initial_layout(logical, dev.coupling, dist, opts);
+            RoutingOptions ropts;
+            RoutingResult res =
+                route_circuit(logical, dev.coupling, dist, init, ropts);
+            (trials == 1 ? swaps1 : swaps4) += res.stats.num_swaps;
+        }
+    }
+    EXPECT_LE(swaps4, swaps1);
+}
+
+} // namespace
+} // namespace nassc

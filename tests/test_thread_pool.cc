@@ -1,0 +1,169 @@
+// Tests for the shared worker pool (service/thread_pool.h): index
+// coverage, worker-id contract, the nested-parallelism guard,
+// deterministic exception selection, and failed-index isolation.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "nassc/service/thread_pool.h"
+
+namespace nassc {
+namespace {
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce)
+{
+    ThreadPool pool(4);
+    for (std::size_t count : {0u, 1u, 3u, 64u, 1000u}) {
+        std::vector<std::atomic<int>> hits(count);
+        pool.parallel_for(count, [&](std::size_t i, int) {
+            hits[i].fetch_add(1);
+        });
+        for (std::size_t i = 0; i < count; ++i)
+            EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+    }
+}
+
+TEST(ThreadPool, WorkerIdsStayWithinCapAndCallerParticipates)
+{
+    ThreadPool pool(4);
+    const int cap = 3;
+    std::mutex m;
+    std::set<int> workers;
+    std::set<std::thread::id> threads;
+    const std::thread::id caller = std::this_thread::get_id();
+    std::atomic<bool> caller_participated{false};
+
+    pool.parallel_for(
+        256,
+        [&](std::size_t, int worker) {
+            if (std::this_thread::get_id() == caller)
+                caller_participated = true;
+            std::lock_guard<std::mutex> lk(m);
+            workers.insert(worker);
+            threads.insert(std::this_thread::get_id());
+        },
+        cap);
+
+    for (int w : workers) {
+        EXPECT_GE(w, 0);
+        EXPECT_LT(w, 4 + 1); // stable pool-thread ids, caller is 0
+    }
+    EXPECT_LE(static_cast<int>(threads.size()), cap);
+    // The caller always pulls indices too (it is worker slot 0).
+    EXPECT_TRUE(caller_participated.load());
+}
+
+TEST(ThreadPool, MaxWorkersOneRunsInlineOnCaller)
+{
+    ThreadPool pool(4);
+    const std::thread::id caller = std::this_thread::get_id();
+    std::atomic<int> off_thread{0};
+    pool.parallel_for(
+        32,
+        [&](std::size_t, int worker) {
+            if (std::this_thread::get_id() != caller || worker != 0)
+                off_thread.fetch_add(1);
+        },
+        /*max_workers=*/1);
+    EXPECT_EQ(off_thread.load(), 0);
+}
+
+TEST(ThreadPool, NestedParallelForRunsInline)
+{
+    ThreadPool pool(4);
+    std::atomic<int> inner_total{0};
+    std::atomic<int> nested_off_thread{0};
+
+    EXPECT_FALSE(ThreadPool::in_task());
+    pool.parallel_for(8, [&](std::size_t, int) {
+        EXPECT_TRUE(ThreadPool::in_task());
+        const std::thread::id me = std::this_thread::get_id();
+        // The guard: an inner parallel_for from inside a task must run
+        // serially on the issuing thread (worker slot 0), not deadlock
+        // or fan out again.
+        pool.parallel_for(16, [&](std::size_t, int worker) {
+            inner_total.fetch_add(1);
+            if (std::this_thread::get_id() != me || worker != 0)
+                nested_off_thread.fetch_add(1);
+        });
+    });
+    EXPECT_FALSE(ThreadPool::in_task());
+    EXPECT_EQ(inner_total.load(), 8 * 16);
+    EXPECT_EQ(nested_off_thread.load(), 0);
+}
+
+TEST(ThreadPool, LowestIndexExceptionWinsAndSiblingsStillRun)
+{
+    for (int threads : {1, 4}) {
+        ThreadPool pool(threads);
+        std::vector<std::atomic<int>> done(64);
+        try {
+            pool.parallel_for(64, [&](std::size_t i, int) {
+                if (i == 7 || i == 23 || i == 41)
+                    throw std::runtime_error("boom " + std::to_string(i));
+                done[i].fetch_add(1);
+            });
+            FAIL() << "expected an exception (threads=" << threads << ")";
+        } catch (const std::runtime_error &e) {
+            // Deterministic across thread counts: always the lowest index.
+            EXPECT_STREQ(e.what(), "boom 7");
+        }
+        for (std::size_t i = 0; i < 64; ++i) {
+            if (i == 7 || i == 23 || i == 41)
+                continue;
+            EXPECT_EQ(done[i].load(), 1) << "index " << i;
+        }
+    }
+}
+
+TEST(ThreadPool, ReusableAcrossManyLoops)
+{
+    ThreadPool pool(2);
+    std::atomic<long> total{0};
+    for (int round = 0; round < 50; ++round)
+        pool.parallel_for(round, [&](std::size_t i, int) {
+            total.fetch_add(static_cast<long>(i) + 1);
+        });
+    long expect = 0;
+    for (int round = 0; round < 50; ++round)
+        expect += static_cast<long>(round) * (round + 1) / 2;
+    EXPECT_EQ(total.load(), expect);
+}
+
+TEST(ThreadPool, SharedPoolIsAProcessSingleton)
+{
+    ThreadPool &a = ThreadPool::shared();
+    ThreadPool &b = ThreadPool::shared();
+    EXPECT_EQ(&a, &b);
+    EXPECT_GE(a.num_threads(), 1);
+    std::atomic<int> n{0};
+    a.parallel_for(10, [&](std::size_t, int) { n.fetch_add(1); });
+    EXPECT_EQ(n.load(), 10);
+}
+
+TEST(ThreadPool, ConcurrentSubmittersSerializeSafely)
+{
+    // Two non-pool threads submitting to one pool at once: submissions
+    // serialize on the pool, both complete, no lost indices.
+    ThreadPool pool(2);
+    std::atomic<int> total{0};
+    auto submit = [&] {
+        for (int r = 0; r < 20; ++r)
+            pool.parallel_for(32, [&](std::size_t, int) {
+                total.fetch_add(1);
+            });
+    };
+    std::thread t1(submit), t2(submit);
+    t1.join();
+    t2.join();
+    EXPECT_EQ(total.load(), 2 * 20 * 32);
+}
+
+} // namespace
+} // namespace nassc
