@@ -3,12 +3,21 @@
 
 Compares the wall times of a fresh routing sweep against the committed
 baseline (bench/BENCH_baseline.json by default) and exits non-zero when
-any (circuit, router) cell regressed by more than --threshold (default
-15%).  Wired into Release CI as a continue-on-error step: wall times
-are machine-dependent, so the gate flags suspects for a human rather
-than blocking merges.  Refresh the baseline by re-running
-`cmake --build build --target bench_json` on the reference machine and
-committing build/BENCH_routing.json over bench/BENCH_baseline.json.
+any (circuit, router, layout_trials) cell regressed by more than
+--threshold (default 15%).  Wired into Release CI as a
+continue-on-error step: wall times are machine-dependent, so the gate
+flags suspects for a human rather than blocking merges.  Refresh the
+baseline by re-running `cmake --build build --target bench_json` on the
+reference machine and committing build/BENCH_routing.json over
+bench/BENCH_baseline.json.
+
+Besides the timings the rows carry `route_passes`, the number of
+full-circuit routing passes a transpile() of that cell performs (one
+scoring pass per layout trial, plus the separate final route unless the
+winning trial's pass is reused — kSabre cells therefore report exactly
+one pass fewer than kNassc).  Pass-count changes are reported
+informationally: they are integers, so any drift means the pipeline
+shape changed, not the machine.
 
 Usage: compare_bench_json.py [--threshold F] [baseline.json] current.json
 """
@@ -19,10 +28,11 @@ import sys
 
 
 def load_rows(path):
-    """Index a sweep file by (circuit, router)."""
+    """Index a sweep file by (circuit, router, layout_trials)."""
     with open(path) as f:
         rows = json.load(f)
-    return {(r["circuit"], r["router"]): r for r in rows}
+    return {(r["circuit"], r["router"], r.get("layout_trials", 1)): r
+            for r in rows}
 
 
 def compare(baseline, current, field, threshold):
@@ -38,6 +48,18 @@ def compare(baseline, current, field, threshold):
         ratio = cur / base
         if ratio > 1.0 + threshold:
             yield key, base, cur, ratio
+
+
+def route_pass_changes(baseline, current):
+    """Yield (key, base, cur) for every cell whose pass count moved."""
+    for key, base_row in sorted(baseline.items()):
+        cur_row = current.get(key)
+        if cur_row is None:
+            continue
+        if "route_passes" not in base_row or "route_passes" not in cur_row:
+            continue
+        if base_row["route_passes"] != cur_row["route_passes"]:
+            yield key, base_row["route_passes"], cur_row["route_passes"]
 
 
 def main():
@@ -58,10 +80,21 @@ def main():
               f"sweep (suite drift): {missing[:5]}{'...' if len(missing) > 5 else ''}")
 
     def rows(field, slack):
-        return [f"  {circuit:16s} {router:6s} {field:10s} "
+        return [f"  {circuit:16s} {router:6s} x{trials} {field:10s} "
                 f"{base:9.3f} -> {cur:9.3f} ms  ({(ratio - 1) * 100:+.1f}%)"
-                for (circuit, router), base, cur, ratio in compare(
+                for (circuit, router, trials), base, cur, ratio in compare(
                     baseline, current, field, slack)]
+
+    # Routed-pass counts are exact integers: report every change (e.g.
+    # reuse regressing to an extra final route) but leave the verdict to
+    # the wall-time gate below.
+    pass_drift = [f"  {circuit:16s} {router:6s} x{trials} route_passes "
+                  f"{base} -> {cur}"
+                  for (circuit, router, trials), base, cur in
+                  route_pass_changes(baseline, current)]
+    if pass_drift:
+        print("note: route_passes changed (pipeline shape, informational):")
+        print("\n".join(pass_drift))
 
     # layout_ms is informational: its cells run down to ~0.1 ms where
     # timer/scheduler jitter dwarfs the threshold, so drift is printed

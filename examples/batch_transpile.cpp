@@ -187,6 +187,9 @@ main(int argc, char **argv)
     std::printf("distance matrices computed: %zu (cache hits: %zu)\n",
                 report.distance_computations,
                 engine.distance_cache().hit_count());
+    std::printf("full routing passes: %ld (%zu job(s) reused the "
+                "winning layout trial's routed pass)\n",
+                report.full_route_passes, report.num_route_reused);
 
     if (!csv_path.empty()) {
         std::ofstream f(csv_path);

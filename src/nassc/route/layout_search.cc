@@ -1,9 +1,11 @@
 #include "nassc/route/layout_search.h"
 
 #include <algorithm>
+#include <limits>
 #include <random>
 
 #include "nassc/ir/fnv1a.h"
+#include "nassc/route/perfect_layout.h"
 #include "nassc/route/router.h"
 #include "nassc/service/thread_pool.h"
 
@@ -27,6 +29,12 @@ derive_trial_seed(unsigned base_seed, int trial)
 
 namespace {
 
+/** Backtracking budget for the trial-1 embedding seed: enough to find
+ *  genuine chain/tree embeddings outright, bounded so dense interaction
+ *  graphs (which can never embed) cost a few milliseconds, not the
+ *  perfect-layout default budget. */
+constexpr long kEmbedSeedBudget = 20000;
+
 QuantumCircuit
 reversed(const QuantumCircuit &c)
 {
@@ -41,18 +49,24 @@ mapping_options(const RoutingOptions &opts)
 {
     RoutingOptions lopts = opts;
     // The mapping search is shared between SABRE and NASSC (paper
-    // Sec. IV-A): trials always refine with the plain SABRE cost.
+    // Sec. IV-A): trials always refine and score with the plain SABRE
+    // cost.  This is also what makes retention legal exactly when the
+    // downstream pipeline is kSabre: the scoring pass then routes with
+    // the downstream options verbatim.
     lopts.algorithm = RoutingAlgorithm::kSabre;
     return lopts;
 }
 
 } // namespace
 
-/** One pool worker slot's reusable Routers (forward + reverse). */
+/** One pool worker slot's reusable Routers (forward + reverse + score). */
 struct LayoutSearch::WorkerCtx
 {
     Router fwd;
     Router rev;
+    /** Full-circuit scoring router; built lazily, only when the circuit
+     *  has non-unitary ops (otherwise fwd doubles as the scorer). */
+    std::unique_ptr<Router> score;
 
     WorkerCtx(const DagCircuit &fwd_dag, const DagCircuit &rev_dag,
               const CouplingMap &coupling, const DistanceMatrix &dist,
@@ -68,11 +82,18 @@ LayoutSearch::LayoutSearch(const QuantumCircuit &logical,
                            const DistanceMatrix &dist,
                            const RoutingOptions &opts, int iterations)
     : coupling_(coupling), dist_(dist), opts_(mapping_options(opts)),
+      retain_(opts.reuse_routing &&
+              opts.algorithm == RoutingAlgorithm::kSabre),
       trials_requested_(opts.layout_trials), iterations_(iterations),
       num_logical_(logical.num_qubits()),
       fwd_(logical.without_non_unitary()), rev_(reversed(fwd_)),
       fwd_dag_(fwd_), rev_dag_(rev_)
 {
+    // The refinement passes route the stripped circuit (historical,
+    // bit-compatible); the scoring pass must route what route_circuit()
+    // would see, so a second DAG exists exactly when they differ.
+    if (logical.size() != fwd_.size())
+        full_dag_.emplace(logical);
 }
 
 LayoutSearch::~LayoutSearch() = default;
@@ -90,6 +111,127 @@ LayoutSearch::ctx(int worker)
     return *slot;
 }
 
+Router &
+LayoutSearch::score_router(WorkerCtx &c)
+{
+    if (!full_dag_)
+        return c.fwd;
+    if (!c.score)
+        c.score = std::make_unique<Router>(*full_dag_, coupling_, dist_,
+                                           opts_);
+    return *c.score;
+}
+
+Layout
+LayoutSearch::embedding_seed_layout() const
+{
+    // Deepest partial embedding within a fixed budget, completed by a
+    // greedy pass: each unassigned logical takes the free physical
+    // qubit closest (by the search's own metric) to its already-placed
+    // interaction neighbours, ties to the lowest index.  Deterministic,
+    // so the trial stays bit-identical across thread counts.
+    const int np = coupling_.num_qubits();
+    PartialEmbedding pe =
+        find_partial_embedding(fwd_, coupling_, kEmbedSeedBudget);
+    std::vector<int> l2p = std::move(pe.l2p);
+    l2p.resize(static_cast<std::size_t>(num_logical_), -1);
+
+    std::vector<bool> used(static_cast<std::size_t>(np), false);
+    for (int p : l2p)
+        if (p >= 0)
+            used[static_cast<std::size_t>(p)] = true;
+
+    std::vector<std::vector<int>> nbrs(
+        static_cast<std::size_t>(num_logical_));
+    for (auto [a, b] : interaction_edges(fwd_)) {
+        nbrs[static_cast<std::size_t>(a)].push_back(b);
+        nbrs[static_cast<std::size_t>(b)].push_back(a);
+    }
+
+    for (int l = 0; l < num_logical_; ++l) {
+        if (l2p[static_cast<std::size_t>(l)] >= 0)
+            continue;
+        int best_p = -1;
+        double best_cost = std::numeric_limits<double>::infinity();
+        for (int p = 0; p < np; ++p) {
+            if (used[static_cast<std::size_t>(p)])
+                continue;
+            double cost = 0.0;
+            for (int m : nbrs[static_cast<std::size_t>(l)]) {
+                int mp = l2p[static_cast<std::size_t>(m)];
+                if (mp >= 0)
+                    cost += dist_(p, mp);
+            }
+            if (cost < best_cost) {
+                best_cost = cost;
+                best_p = p;
+            }
+        }
+        l2p[static_cast<std::size_t>(l)] = best_p;
+        used[static_cast<std::size_t>(best_p)] = true;
+    }
+    return Layout::from_l2p(l2p, np);
+}
+
+Layout
+LayoutSearch::degree_seed_layout() const
+{
+    // Rank-match interaction degree against coupling degree: the
+    // busiest logical qubits land on the best-connected physical ones.
+    // Pure function of (circuit, coupling); ties break on index.
+    const int np = coupling_.num_qubits();
+    std::vector<int> ldeg(static_cast<std::size_t>(num_logical_), 0);
+    for (auto [a, b] : interaction_edges(fwd_)) {
+        ++ldeg[static_cast<std::size_t>(a)];
+        ++ldeg[static_cast<std::size_t>(b)];
+    }
+    std::vector<int> lorder(static_cast<std::size_t>(num_logical_));
+    std::vector<int> porder(static_cast<std::size_t>(np));
+    for (int l = 0; l < num_logical_; ++l)
+        lorder[static_cast<std::size_t>(l)] = l;
+    for (int p = 0; p < np; ++p)
+        porder[static_cast<std::size_t>(p)] = p;
+    std::sort(lorder.begin(), lorder.end(), [&](int a, int b) {
+        int da = ldeg[static_cast<std::size_t>(a)];
+        int db = ldeg[static_cast<std::size_t>(b)];
+        return da != db ? da > db : a < b;
+    });
+    std::sort(porder.begin(), porder.end(), [&](int a, int b) {
+        auto da = coupling_.neighbors(a).size();
+        auto db = coupling_.neighbors(b).size();
+        return da != db ? da > db : a < b;
+    });
+    std::vector<int> l2p(static_cast<std::size_t>(num_logical_), -1);
+    for (int i = 0; i < num_logical_; ++i)
+        l2p[static_cast<std::size_t>(lorder[static_cast<std::size_t>(i)])] =
+            porder[static_cast<std::size_t>(i)];
+    return Layout::from_l2p(l2p, np);
+}
+
+Layout
+LayoutSearch::seed_layout(int trial, unsigned seed,
+                          TrialSeedKind &kind) const
+{
+    // Heuristic seeds exist to raise the ceiling of what racing can
+    // find; they only occupy trials 1 and 2 when there IS a race, so a
+    // single-trial search remains the historical random-seed traversal.
+    // (Too-wide circuits fall through to Layout::random's clear error.)
+    if (trials_requested_ > 1 && num_logical_ <= coupling_.num_qubits()) {
+        if (trial == 1) {
+            kind = TrialSeedKind::kEmbedding;
+            return embedding_seed_layout();
+        }
+        if (trial == 2) {
+            kind = TrialSeedKind::kDegree;
+            return degree_seed_layout();
+        }
+    }
+    kind = TrialSeedKind::kRandom;
+    std::mt19937 rng(seed);
+    // Layout::random rejects circuits wider than the device.
+    return Layout::random(num_logical_, coupling_.num_qubits(), rng);
+}
+
 void
 LayoutSearch::run_trial(int trial, int worker)
 {
@@ -98,10 +240,7 @@ LayoutSearch::run_trial(int trial, int worker)
     out.trial = trial;
     out.seed = derive_trial_seed(opts_.seed, trial);
 
-    std::mt19937 rng(out.seed);
-    // Layout::random rejects circuits wider than the device.
-    Layout layout =
-        Layout::random(num_logical_, coupling_.num_qubits(), rng);
+    Layout layout = seed_layout(trial, out.seed, out.kind);
 
     // Reverse-traversal refinement (SABRE): alternate forward and
     // backward routing, carrying the final layout across passes.
@@ -110,22 +249,48 @@ LayoutSearch::run_trial(int trial, int worker)
         layout = c.rev.route_to_layout(layout);
     }
 
-    if (trials_.size() > 1) {
-        // Score the refined layout with one forward routing pass.  The
-        // cost is deterministic data (SWAPs, then routed depth), so the
-        // later arg-min is independent of timing and thread count.
-        RoutingResult scored = c.fwd.run(layout);
+    // Score the refined layout with one forward pass over the FULL
+    // circuit whenever something consumes the result: a race needs the
+    // (swaps, depth) key to decide, retention needs the routed circuit
+    // itself (there the pass IS the downstream route, never wasted
+    // work).  The single-trial pure-layout path skips it outright so
+    // sabre_initial_layout callers keep the historical cost.  The
+    // score is deterministic data, so the later arg-min is independent
+    // of timing and thread count.
+    if (trials_.size() > 1 || retain_) {
+        RoutingResult scored = score_router(c).run(layout);
         out.swaps = scored.stats.num_swaps;
         out.depth = scored.circuit.depth();
+        if (retain_) {
+            // Keep-min reduction: replace the retained pass iff this
+            // trial's (swaps, depth, trial) key is smaller.  The key
+            // order is total and arrival-independent, so exactly the
+            // arg-min winner's pass survives — and only one routed
+            // circuit is alive at a time, not one per trial.
+            std::lock_guard<std::mutex> lock(retained_mu_);
+            if (retained_trial_ < 0 ||
+                std::make_tuple(out.swaps, out.depth, trial) <
+                    std::make_tuple(retained_swaps_, retained_depth_,
+                                    retained_trial_)) {
+                retained_ = std::move(scored);
+                retained_trial_ = trial;
+                retained_swaps_ = out.swaps;
+                retained_depth_ = out.depth;
+            }
+        }
     }
     out.layout = std::move(layout);
 }
 
-Layout
+LayoutSearchResult
 LayoutSearch::run(ThreadPool *pool)
 {
     const int trials = std::max(1, trials_requested_);
     trials_.assign(static_cast<std::size_t>(trials), LayoutTrial{});
+    retained_ = RoutingResult{};
+    retained_trial_ = -1;
+    retained_swaps_ = -1;
+    retained_depth_ = -1;
 
     // The default single-trial search runs inline and never touches
     // the pool — transpile() with default options must not spawn a
@@ -135,45 +300,66 @@ LayoutSearch::run(ThreadPool *pool)
             workers_.resize(1);
         run_trial(0, 0);
         best_trial_ = 0;
-        return trials_[0].layout;
+    } else {
+        ThreadPool &tp = pool ? *pool : ThreadPool::shared();
+        // Resolve the worker cap HERE and pass the same value to both
+        // the slot table and parallel_for: worker ids are < cap by
+        // contract, so the table can never be outgrown even if another
+        // thread grows the shared pool between these lines.  An
+        // explicit layout_threads request first grows the pool
+        // (hardware_concurrency under-reports in cgroup-limited
+        // containers); 0 takes the pool as it is.
+        int cap = opts_.layout_threads;
+        if (cap > 0)
+            tp.ensure_workers(std::min(cap, trials));
+        else
+            cap = tp.num_threads() + 1;
+        if (cap > trials)
+            cap = trials;
+        if (workers_.size() < static_cast<std::size_t>(cap))
+            workers_.resize(static_cast<std::size_t>(cap));
+
+        tp.parallel_for(
+            static_cast<std::size_t>(trials),
+            [this](std::size_t t, int w) {
+                run_trial(static_cast<int>(t), w);
+            },
+            cap);
+
+        // Deterministic arg-min over (swaps, depth, trial index).
+        best_trial_ = 0;
+        for (int t = 1; t < trials; ++t) {
+            const LayoutTrial &a = trials_[static_cast<std::size_t>(t)];
+            const LayoutTrial &b =
+                trials_[static_cast<std::size_t>(best_trial_)];
+            if (a.swaps < b.swaps ||
+                (a.swaps == b.swaps && a.depth < b.depth))
+                best_trial_ = t;
+        }
     }
 
-    ThreadPool &tp = pool ? *pool : ThreadPool::shared();
-    // Resolve the worker cap HERE and pass the same value to both the
-    // slot table and parallel_for: worker ids are < cap by contract,
-    // so the table can never be outgrown even if another thread grows
-    // the shared pool between these lines.  An explicit layout_threads
-    // request first grows the pool (hardware_concurrency under-reports
-    // in cgroup-limited containers); 0 takes the pool as it is.
-    int cap = opts_.layout_threads;
-    if (cap > 0)
-        tp.ensure_workers(std::min(cap, trials));
-    else
-        cap = tp.num_threads() + 1;
-    if (cap > trials)
-        cap = trials;
-    if (workers_.size() < static_cast<std::size_t>(cap))
-        workers_.resize(static_cast<std::size_t>(cap));
-
-    tp.parallel_for(
-        static_cast<std::size_t>(trials),
-        [this](std::size_t t, int w) {
-            run_trial(static_cast<int>(t), w);
-        },
-        cap);
-
-    // Deterministic arg-min over (swaps, depth, trial index).  With one
-    // trial there is nothing to compare (and nothing was scored).
-    best_trial_ = 0;
-    for (int t = 1; t < trials; ++t) {
-        const LayoutTrial &a = trials_[static_cast<std::size_t>(t)];
-        const LayoutTrial &b =
-            trials_[static_cast<std::size_t>(best_trial_)];
-        if (a.swaps < b.swaps ||
-            (a.swaps == b.swaps && a.depth < b.depth))
-            best_trial_ = t;
+    LayoutSearchResult res;
+    res.best_trial = best_trial_;
+    res.initial = trials_[static_cast<std::size_t>(best_trial_)].layout;
+    res.scoring_passes = (trials > 1 || retain_) ? trials : 0;
+    if (retain_) {
+        // The keep-min key is the arg-min key, so the kept pass is the
+        // winner's by construction.
+        res.routed = std::move(retained_);
+        retained_ = RoutingResult{};
     }
-    return trials_[static_cast<std::size_t>(best_trial_)].layout;
+    res.trials = std::move(trials_);
+    trials_.clear();
+    return res;
+}
+
+LayoutSearchResult
+search_and_route(const QuantumCircuit &logical, const CouplingMap &coupling,
+                 const DistanceMatrix &dist, const RoutingOptions &opts,
+                 int iterations, ThreadPool *pool)
+{
+    LayoutSearch search(logical, coupling, dist, opts, iterations);
+    return search.run(pool);
 }
 
 } // namespace nassc

@@ -3,7 +3,7 @@
 
 /**
  * @file
- * Parallel multi-trial initial-layout search.
+ * Parallel multi-trial initial-layout search with routed-pass retention.
  *
  * LayoutSearch generalizes the SABRE reverse-traversal mapping search
  * (paper Sec. IV-A) from one random seed layout to opts.layout_trials
@@ -11,18 +11,37 @@
  * the winner — and therefore every downstream routing decision — is
  * bit-identical for every thread count:
  *
- *  - Trial t's seed is a pure function of (opts.seed, t): trial 0 keeps
- *    opts.seed unchanged (making layout_trials = 1 bit-identical to the
- *    historical single-seed search), later trials mix the pair through
- *    the same FNV-1a construction as derive_job_seed().
- *  - Each trial refines its random layout by opts-configured forward /
- *    reverse routing passes, then (only when racing > 1 trial) routes
- *    the forward circuit once more to score the refined layout.
- *  - The best trial is the lexicographic minimum of (routed SWAP count,
- *    routed depth, trial index) — no wall-clock, no scheduling order.
+ *  - Trial 0's seed layout is drawn from opts.seed unchanged (making
+ *    layout_trials = 1 bit-identical to the historical single-seed
+ *    search).  When racing more than one trial, trial 1 is seeded from
+ *    the deepest find_partial_embedding() assignment (completed
+ *    greedily) and trial 2 from a degree-matched heuristic; every other
+ *    trial draws a random layout from an FNV-1a mix of (opts.seed, t) —
+ *    the same construction as derive_job_seed().
+ *  - Each trial refines its seed layout by opts-configured forward /
+ *    reverse routing passes over the circuit WITHOUT its non-unitary
+ *    ops (bit-compatible with the historical search), then scores the
+ *    refined layout with one forward routing pass over the FULL circuit
+ *    — measures and barriers routed by mapping their operands through
+ *    the live layout, exactly as route_circuit() would.  The scoring
+ *    pass runs whenever something consumes it — a race to decide, or
+ *    retention to feed; the single-trial pure-layout path skips it and
+ *    keeps the historical cost (swaps/depth stay -1 there).
+ *  - The best trial is the lexicographic minimum of (scored SWAP count,
+ *    scored depth, trial index) — no wall-clock, no scheduling order.
+ *
+ * Routed-pass retention: when opts.reuse_routing is set and the
+ * downstream pipeline is plain SABRE (opts.algorithm == kSabre), the
+ * scoring pass routes with exactly the options route_circuit() would
+ * use, so the winner's RoutingResult is retained and returned in
+ * LayoutSearchResult::routed — transpile() skips its separate routing
+ * step entirely and multi-trial transpiles become strictly cheaper than
+ * scoring-then-rerouting.  Retention is never legal for kNassc
+ * pipelines: the search scores with the SABRE cost model (Sec. IV-A)
+ * while the final NASSC route uses the optimization-aware tracker.
  *
  * Worker-slot reuse: the forward and reverse DAGs are built once and
- * shared read-only; each ThreadPool worker slot lazily builds one pair
+ * shared read-only; each ThreadPool worker slot lazily builds one set
  * of Routers and reuses them across all trials it executes, so the
  * per-trial cost is just the routing passes themselves.
  *
@@ -33,6 +52,8 @@
  */
 
 #include <memory>
+#include <mutex>
+#include <optional>
 #include <vector>
 
 #include "nassc/ir/circuit.h"
@@ -54,14 +75,43 @@ class ThreadPool;
  */
 unsigned derive_trial_seed(unsigned base_seed, int trial);
 
-/** Outcome of one layout trial (scores are -1 when not scored). */
+/** How a trial's seed layout was constructed. */
+enum class TrialSeedKind {
+    kRandom,    ///< Layout::random from the trial's derived seed
+    kEmbedding, ///< find_partial_embedding, completed greedily
+    kDegree,    ///< interaction degree matched to coupling degree
+};
+
+/** Outcome of one layout trial.  swaps/depth come from the trial's
+ *  full-circuit scoring pass; they stay -1 (unscored) only on the
+ *  single-trial pure-layout path (no race to decide, no retention to
+ *  feed), which therefore keeps the historical single-pass cost. */
 struct LayoutTrial
 {
     Layout layout;     ///< refined layout after the reverse traversal
     unsigned seed = 0; ///< effective RNG seed of this trial
     int trial = 0;     ///< trial index
-    int swaps = -1;    ///< scoring pass SWAP count (trials > 1 only)
-    int depth = -1;    ///< scoring pass routed depth (trials > 1 only)
+    TrialSeedKind kind = TrialSeedKind::kRandom;
+    int swaps = -1;    ///< full-circuit scoring pass SWAP count
+    int depth = -1;    ///< full-circuit scoring pass routed depth
+};
+
+/** Everything LayoutSearch::run() learned. */
+struct LayoutSearchResult
+{
+    Layout initial; ///< the winning refined layout
+    /**
+     * The winning trial's full-circuit scoring pass, retained when
+     * reuse is legal (opts.reuse_routing and opts.algorithm == kSabre).
+     * Bit-identical to route_circuit(full, coupling, dist, initial,
+     * opts) — callers holding it skip that call outright.
+     */
+    std::optional<RoutingResult> routed;
+    std::vector<LayoutTrial> trials; ///< all outcomes, indexed by trial
+    int best_trial = -1;             ///< index of the winner in trials
+    /** Full-circuit scoring passes the search performed (== trials when
+     *  racing or retaining, 0 on the pure-layout single-trial path). */
+    int scoring_passes = 0;
 };
 
 /** Multi-trial reverse-traversal layout engine. */
@@ -69,8 +119,8 @@ class LayoutSearch
 {
   public:
     /**
-     * Binds the inputs; `logical`, `coupling`, and `dist` must outlive
-     * the search.  Gate widths are validated by the Routers.
+     * Binds the inputs; `coupling`, and `dist` must outlive the search
+     * (`logical` is copied).  Gate widths are validated by the Routers.
      */
     LayoutSearch(const QuantumCircuit &logical, const CouplingMap &coupling,
                  const DistanceMatrix &dist, const RoutingOptions &opts,
@@ -82,39 +132,62 @@ class LayoutSearch
 
     /**
      * Run opts.layout_trials trials on `pool` (nullptr = shared pool),
-     * capped at opts.layout_threads workers, and return the best
-     * refined layout.  Bit-identical for every thread count.
+     * capped at opts.layout_threads workers.  Bit-identical for every
+     * thread count; every trial carries a scored (swaps, depth) pair.
      */
-    Layout run(ThreadPool *pool = nullptr);
-
-    /** All trial outcomes of the last run(), indexed by trial. */
-    const std::vector<LayoutTrial> &trials() const { return trials_; }
-
-    /** Index into trials() of the winning trial of the last run(). */
-    int best_trial() const { return best_trial_; }
+    LayoutSearchResult run(ThreadPool *pool = nullptr);
 
   private:
-    struct WorkerCtx; ///< per-worker-slot Router pair
+    struct WorkerCtx; ///< per-worker-slot Router set
 
     WorkerCtx &ctx(int worker);
+    Router &score_router(WorkerCtx &c);
     void run_trial(int trial, int worker);
+    Layout seed_layout(int trial, unsigned seed, TrialSeedKind &kind) const;
+    Layout embedding_seed_layout() const;
+    Layout degree_seed_layout() const;
 
     const CouplingMap &coupling_;
     const DistanceMatrix &dist_;
     RoutingOptions opts_; ///< routing options with algorithm forced to SABRE
+    const bool retain_;   ///< keep the winner's scoring pass for reuse
     const int trials_requested_;
     const int iterations_;
     const int num_logical_;
 
-    QuantumCircuit fwd_;
+    QuantumCircuit fwd_; ///< logical circuit without non-unitary ops
     QuantumCircuit rev_;
     DagCircuit fwd_dag_;
     DagCircuit rev_dag_;
+    /** Full-circuit DAG for scoring; empty when fwd_ already is full. */
+    std::optional<DagCircuit> full_dag_;
 
     std::vector<std::unique_ptr<WorkerCtx>> workers_;
     std::vector<LayoutTrial> trials_;
+    /** Keep-min retention (retain mode only): each finishing trial
+     *  replaces the kept RoutingResult iff its (swaps, depth, trial)
+     *  key is smaller — a total order independent of arrival order, so
+     *  the kept pass is the arg-min winner's for every thread count
+     *  while only one routed circuit stays alive at a time. */
+    std::mutex retained_mu_;
+    RoutingResult retained_;
+    int retained_trial_ = -1;
+    int retained_swaps_ = -1;
+    int retained_depth_ = -1;
     int best_trial_ = -1;
 };
+
+/**
+ * One-shot entry point: run the search and hand back the full result,
+ * including the retained routed pass when reuse is legal.  transpile()
+ * drives this; sabre_initial_layout() remains the layout-only wrapper.
+ */
+LayoutSearchResult search_and_route(const QuantumCircuit &logical,
+                                    const CouplingMap &coupling,
+                                    const DistanceMatrix &dist,
+                                    const RoutingOptions &opts,
+                                    int iterations = 3,
+                                    ThreadPool *pool = nullptr);
 
 } // namespace nassc
 

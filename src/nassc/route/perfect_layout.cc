@@ -32,6 +32,9 @@ struct Searcher
     std::vector<int> l2p;     // current assignment (-1 unassigned)
     std::vector<bool> used;   // physical occupancy
     long budget;
+    // Deepest assignment seen so far (for find_partial_embedding).
+    std::size_t best_depth = 0;
+    std::vector<int> best_l2p;
 
     Searcher(const CouplingMap &coupling) : cm(coupling), budget(0) {}
 
@@ -51,6 +54,10 @@ struct Searcher
     bool
     solve(size_t depth)
     {
+        if (depth > best_depth) {
+            best_depth = depth;
+            best_l2p = l2p;
+        }
         if (depth == order.size())
             return true;
         if (--budget < 0)
@@ -74,6 +81,33 @@ struct Searcher
 
 } // namespace
 
+namespace {
+
+/** Shared setup: adjacency, degrees, most-constrained-first order. */
+std::vector<int>
+prepare_searcher(Searcher &s, const QuantumCircuit &qc)
+{
+    s.ladj.assign(s.nl, std::vector<bool>(s.nl, false));
+    std::vector<int> degree(s.nl, 0);
+    for (auto [a, b] : interaction_edges(qc)) {
+        if (!s.ladj[a][b]) {
+            s.ladj[a][b] = s.ladj[b][a] = true;
+            ++degree[a];
+            ++degree[b];
+        }
+    }
+    s.order.resize(s.nl);
+    std::iota(s.order.begin(), s.order.end(), 0);
+    std::sort(s.order.begin(), s.order.end(),
+              [&](int a, int b) { return degree[a] > degree[b]; });
+    s.l2p.assign(s.nl, -1);
+    s.used.assign(s.np, false);
+    s.best_l2p = s.l2p;
+    return degree;
+}
+
+} // namespace
+
 std::optional<Layout>
 find_perfect_layout(const QuantumCircuit &qc, const CouplingMap &cm,
                     long budget)
@@ -87,15 +121,8 @@ find_perfect_layout(const QuantumCircuit &qc, const CouplingMap &cm,
     s.nl = nl;
     s.np = np;
     s.budget = budget;
-    s.ladj.assign(nl, std::vector<bool>(nl, false));
-    std::vector<int> degree(nl, 0);
-    for (auto [a, b] : interaction_edges(qc)) {
-        if (!s.ladj[a][b]) {
-            s.ladj[a][b] = s.ladj[b][a] = true;
-            ++degree[a];
-            ++degree[b];
-        }
-    }
+    std::vector<int> degree = prepare_searcher(s, qc);
+
     // A logical vertex needing more neighbours than the densest physical
     // vertex can never embed.
     size_t max_pdeg = 0;
@@ -105,16 +132,35 @@ find_perfect_layout(const QuantumCircuit &qc, const CouplingMap &cm,
         if (degree[l] > static_cast<int>(max_pdeg))
             return std::nullopt;
 
-    s.order.resize(nl);
-    std::iota(s.order.begin(), s.order.end(), 0);
-    std::sort(s.order.begin(), s.order.end(),
-              [&](int a, int b) { return degree[a] > degree[b]; });
-    s.l2p.assign(nl, -1);
-    s.used.assign(np, false);
-
     if (!s.solve(0))
         return std::nullopt;
     return Layout::from_l2p(s.l2p, np);
+}
+
+PartialEmbedding
+find_partial_embedding(const QuantumCircuit &qc, const CouplingMap &cm,
+                       long budget)
+{
+    PartialEmbedding out;
+    int nl = qc.num_qubits();
+    int np = cm.num_qubits();
+    out.l2p.assign(static_cast<std::size_t>(std::max(nl, 0)), -1);
+    if (nl > np || nl == 0)
+        return out;
+
+    Searcher s(cm);
+    s.nl = nl;
+    s.np = np;
+    s.budget = budget;
+    prepare_searcher(s, qc);
+    // No degree early-out here: even when a full embedding is provably
+    // impossible, the deepest partial assignment is still a useful seed.
+    out.complete = s.solve(0);
+    out.l2p = out.complete ? s.l2p : s.best_l2p;
+    for (int p : out.l2p)
+        if (p >= 0)
+            ++out.assigned;
+    return out;
 }
 
 } // namespace nassc

@@ -35,6 +35,24 @@ std::optional<Layout>
 find_perfect_layout(const QuantumCircuit &qc, const CouplingMap &cm,
                     long budget = 200000);
 
+/**
+ * Deepest assignment reached by the perfect-layout backtracking within
+ * its budget.  `l2p[l]` is -1 for the logical qubits left unassigned;
+ * `complete` marks a genuine perfect layout.  Deterministic: a pure
+ * function of (circuit, coupling, budget), never of timing — the
+ * multi-trial layout search seeds one trial from it.
+ */
+struct PartialEmbedding
+{
+    std::vector<int> l2p;
+    int assigned = 0;
+    bool complete = false;
+};
+
+PartialEmbedding find_partial_embedding(const QuantumCircuit &qc,
+                                        const CouplingMap &cm,
+                                        long budget = 200000);
+
 } // namespace nassc
 
 #endif // NASSC_ROUTE_PERFECT_LAYOUT_H

@@ -29,9 +29,14 @@ sabre_initial_layout(const QuantumCircuit &logical,
     // opts.layout_trials independent seed layouts refined in parallel on
     // the shared pool, best-by-(swaps, depth, trial) wins.  The default
     // layout_trials = 1 runs the historical single-seed reverse
-    // traversal, bit for bit.
-    LayoutSearch search(logical, coupling, dist, opts, iterations);
-    return search.run();
+    // traversal, bit for bit.  This wrapper only hands back the layout,
+    // so retention is disabled: racing trials still score (the arg-min
+    // needs the key) but nothing is kept alive, and the single-trial
+    // path skips the scoring pass entirely — the historical cost.
+    RoutingOptions lopts = opts;
+    lopts.reuse_routing = false;
+    LayoutSearch search(logical, coupling, dist, lopts, iterations);
+    return search.run().initial;
 }
 
 } // namespace nassc

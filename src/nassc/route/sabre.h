@@ -63,6 +63,18 @@ struct RoutingOptions
      * trials are seeded and scored independently of scheduling.
      */
     int layout_threads = 0;
+    /**
+     * Retain the winning layout trial's full-circuit scoring pass so
+     * the caller can skip its own route_circuit() call (see
+     * LayoutSearchResult::routed).  Only legal — and only honoured —
+     * when `algorithm` is kSabre: the search scores with the SABRE cost
+     * model, so a retained pass is bit-identical to the downstream
+     * route exactly when the downstream route is SABRE too.  Off means
+     * "score but discard": trial outcomes are unchanged, the final
+     * route is recomputed — the two paths are bit-identical by
+     * construction (pinned in tests/test_layout_trials.cc).
+     */
+    bool reuse_routing = true;
 };
 
 /** Counters reported by one routing run. */
@@ -98,12 +110,15 @@ RoutingResult route_circuit(const QuantumCircuit &logical,
                             const RoutingOptions &opts);
 
 /**
- * SABRE reverse-traversal initial layout: opts.layout_trials random
- * seed layouts, each refined by alternating forward/backward routing
- * passes, raced on the shared thread pool; the best refined layout (by
- * routed SWAPs, then depth, then trial index) wins.  Thin wrapper over
- * LayoutSearch (route/layout_search.h); output is bit-identical for
- * every thread count, and layout_trials = 1 reproduces the historical
+ * SABRE reverse-traversal initial layout: opts.layout_trials seed
+ * layouts (random, plus embedding/degree heuristics when racing), each
+ * refined by alternating forward/backward routing passes, raced on the
+ * shared thread pool; the best refined layout (by scored SWAPs, then
+ * depth, then trial index) wins.  Thin wrapper over LayoutSearch
+ * (route/layout_search.h) that discards everything but the layout —
+ * callers that also want the winner's retained routed pass use
+ * search_and_route() instead.  Output is bit-identical for every
+ * thread count, and layout_trials = 1 reproduces the historical
  * single-seed search exactly.
  */
 Layout sabre_initial_layout(const QuantumCircuit &logical,

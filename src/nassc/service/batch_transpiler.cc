@@ -93,8 +93,14 @@ BatchTranspiler::run(const std::vector<TranspileJob> &jobs) const
     pool().ensure_workers(cap);
     pool().parallel_for(jobs.size(), run_job, cap);
 
-    for (const JobResult &r : report.results)
+    for (const JobResult &r : report.results) {
         (r.ok ? report.num_ok : report.num_failed)++;
+        if (r.ok) {
+            if (r.result.reused_search_route)
+                ++report.num_route_reused;
+            report.full_route_passes += r.result.full_route_passes;
+        }
+    }
     report.distance_computations =
         cache_->computation_count() - cache_computations_before;
 

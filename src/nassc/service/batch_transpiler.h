@@ -89,6 +89,12 @@ struct BatchReport
     double seconds = 0.0; ///< wall-clock for the whole batch
     /** Distance matrices computed (vs served from cache) by this run. */
     std::size_t distance_computations = 0;
+    /** Successful jobs whose transpile reused the winning layout
+     *  trial's routed pass (no separate post-search routing step). */
+    std::size_t num_route_reused = 0;
+    /** Sum of TranspileResult::full_route_passes over successful jobs —
+     *  with reuse every kSabre job contributes one pass fewer. */
+    long full_route_passes = 0;
 };
 
 /**

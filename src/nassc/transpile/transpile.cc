@@ -7,6 +7,7 @@
 #include "nassc/passes/collect_blocks.h"
 #include "nassc/passes/decompose_swaps.h"
 #include "nassc/passes/optimize_1q.h"
+#include "nassc/route/layout_search.h"
 
 namespace nassc {
 
@@ -67,15 +68,22 @@ transpile(const QuantumCircuit &qc, const Backend &backend,
     ropts.seed = opts.seed;
     ropts.layout_trials = opts.layout_trials;
     ropts.layout_threads = opts.layout_threads;
+    ropts.reuse_routing = opts.reuse_routing;
 
     auto tl0 = std::chrono::steady_clock::now();
-    Layout initial = sabre_initial_layout(c, backend.coupling, dist, ropts,
-                                          opts.layout_iterations);
+    LayoutSearchResult search = search_and_route(
+        c, backend.coupling, dist, ropts, opts.layout_iterations);
     auto tl1 = std::chrono::steady_clock::now();
 
-    // 5. Routing.
+    // 5. Routing.  The search scored every trial by routing the full
+    //    circuit (measures/barriers included); on kSabre pipelines the
+    //    winner's scoring pass used exactly `ropts`, so it IS the route
+    //    and this step is skipped — bit-identical to recomputing it.
+    const bool reused = search.routed.has_value();
     RoutingResult routed =
-        route_circuit(c, backend.coupling, dist, initial, ropts);
+        reused ? std::move(*search.routed)
+               : route_circuit(c, backend.coupling, dist, search.initial,
+                               ropts);
 
     QuantumCircuit phys = std::move(routed.circuit);
 
@@ -105,6 +113,8 @@ transpile(const QuantumCircuit &qc, const Backend &backend,
     res.depth = res.circuit.depth();
     res.seconds = std::chrono::duration<double>(t1 - t0).count();
     res.layout_seconds = std::chrono::duration<double>(tl1 - tl0).count();
+    res.reused_search_route = reused;
+    res.full_route_passes = search.scoring_passes + (reused ? 0 : 1);
     return res;
 }
 
@@ -116,7 +126,7 @@ transpile(const QuantumCircuit &qc, const Backend &backend,
 }
 
 TranspileResult
-optimize_only(const QuantumCircuit &qc)
+optimize_only(const QuantumCircuit &qc, const TranspileOptions &opts)
 {
     auto t0 = std::chrono::steady_clock::now();
 
@@ -124,7 +134,10 @@ optimize_only(const QuantumCircuit &qc)
     run_optimize_1q(c, Basis1q::kUGate);
     consolidate_2q_blocks(c, Basis1q::kUGate);
     c = translate_to_basis(c);
-    optimization_loop(c, 4);
+    // Same optimization-loop budget as the routed pipeline, so a
+    // CNOT_add ablation under non-default opt_loop_rounds compares the
+    // routed circuit against a baseline built with the same effort.
+    optimization_loop(c, opts.opt_loop_rounds);
 
     auto t1 = std::chrono::steady_clock::now();
 

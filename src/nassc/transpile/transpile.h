@@ -14,6 +14,14 @@
  *   basis translation -> optimization loop (Optimize1qGates,
  *   CommutativeCancellation, Collect2qBlocks) to fixpoint.
  *
+ * The layout step scores every trial by routing the FULL circuit
+ * (measures/barriers included, operands mapped through the live
+ * layout); on kSabre pipelines the winning trial's scoring pass is the
+ * final route and the separate routing step is skipped (retained-trial
+ * reuse, see route/layout_search.h).  Reuse is never legal for kNassc:
+ * the search scores with the SABRE cost model while the final NASSC
+ * route uses the optimization-aware tracker.
+ *
  * optimize_only() is the "original circuit optimized by Qiskit" baseline
  * of Tables I-IV: the same pipeline on a fully connected device (no
  * routing), used to compute CNOT_add = CNOT_total - CNOT_baseline.
@@ -47,6 +55,11 @@ struct TranspileOptions
      *  value produces bit-identical output. */
     int layout_threads = 0;
     int opt_loop_rounds = 4;      ///< post-routing optimization loop cap
+    /** Skip the separate routing step when the layout search already
+     *  routed the winner (kSabre pipelines; see RoutingOptions).  The
+     *  output is bit-identical either way — this switch exists for the
+     *  equivalence tests and for forcing the legacy two-pass flow. */
+    bool reuse_routing = true;
     /** Ablation switch: honour SWAP orientation flags when expanding
      *  SWAPs (NASSC Sec. IV-E).  Disabling isolates the contribution of
      *  the optimization-aware cost function alone. */
@@ -65,8 +78,18 @@ struct TranspileResult
     int cx_total = 0;
     int depth = 0;
     double seconds = 0.0;
-    /** Wall time of the initial-layout search alone (within seconds). */
+    /** Wall time of the initial-layout search (within seconds).  The
+     *  search scores every trial with one full-circuit routing pass, so
+     *  when that pass is reused this window contains the final route. */
     double layout_seconds = 0.0;
+    /** True when the winning layout trial's scoring pass was reused as
+     *  the final route (kSabre + reuse_routing): the pipeline ran no
+     *  separate post-search routing step. */
+    bool reused_search_route = false;
+    /** Full-circuit forward routing passes this call performed: one
+     *  scoring pass per layout trial, plus the post-search route when
+     *  it was not reused.  Reuse shows exactly one fewer pass. */
+    int full_route_passes = 0;
 };
 
 /**
@@ -81,8 +104,15 @@ TranspileResult transpile(const QuantumCircuit &qc, const Backend &backend,
 TranspileResult transpile(const QuantumCircuit &qc, const Backend &backend,
                           const TranspileOptions &opts = {});
 
-/** Optimization-only baseline (full connectivity, no routing). */
-TranspileResult optimize_only(const QuantumCircuit &qc);
+/**
+ * Optimization-only baseline (full connectivity, no routing).  Honours
+ * the optimization knobs of `opts` (currently opt_loop_rounds) so
+ * ablations of the post-routing loop keep a comparable baseline; the
+ * default options reproduce the historical behaviour exactly.  Routing
+ * and seed options are irrelevant here and ignored.
+ */
+TranspileResult optimize_only(const QuantumCircuit &qc,
+                              const TranspileOptions &opts = {});
 
 } // namespace nassc
 

@@ -8,7 +8,22 @@
 //      threads;
 //  (c) trial-seed derivation is a pure function of (base seed, trial) —
 //      independent of scheduling order, with trial 0 keeping the base
-//      seed.
+//      seed;
+//  (d) every trial — including the single-trial fast path — carries a
+//      scored (swaps, depth) outcome from one full-circuit routing
+//      pass, and the scored numbers agree with an independent
+//      route_circuit run;
+//  (e) reuse equivalence: the retained routed pass (reuse_routing) is
+//      bit-for-bit the circuit the non-reuse path computes with its
+//      separate route_circuit call, for trials in {1, 4} x threads in
+//      {1, 8}, on unitary and measure/barrier-bearing circuits alike,
+//      and transpile() skips its routing step exactly when legal;
+//  (f) trial diversity: when racing, trial 1 is seeded from a partial
+//      perfect-layout embedding (zero scored SWAPs on an embeddable
+//      chain) and trial 2 from the degree-matched heuristic.
+
+#include <cstdint>
+#include <cstring>
 
 #include <gtest/gtest.h>
 
@@ -21,9 +36,40 @@
 #include "nassc/service/batch_transpiler.h"
 #include "nassc/service/thread_pool.h"
 #include "nassc/topo/backends.h"
+#include "nassc/transpile/transpile.h"
 
 namespace nassc {
 namespace {
+
+/** FNV-1a over a routed gate stream and the layouts (the same
+ *  construction as the golden-metrics suite). */
+std::uint64_t
+routing_fingerprint(const RoutingResult &res)
+{
+    std::uint64_t h = 14695981039346656037ull;
+    auto mix_u64 = [&h](std::uint64_t v) {
+        for (int byte = 0; byte < 8; ++byte) {
+            h ^= (v >> (8 * byte)) & 0xffu;
+            h *= 1099511628211ull;
+        }
+    };
+    for (const Gate &g : res.circuit.gates()) {
+        mix_u64(static_cast<std::uint64_t>(g.kind));
+        mix_u64(static_cast<std::uint64_t>(g.swap_orient) + 2);
+        for (int q : g.qubits)
+            mix_u64(static_cast<std::uint64_t>(q));
+        for (double p : g.params) {
+            std::uint64_t v;
+            std::memcpy(&v, &p, sizeof(v));
+            mix_u64(v);
+        }
+    }
+    for (int p : res.initial_l2p)
+        mix_u64(static_cast<std::uint64_t>(p));
+    for (int p : res.final_l2p)
+        mix_u64(static_cast<std::uint64_t>(p));
+    return h;
+}
 
 /**
  * The pre-LayoutSearch reverse traversal, reproduced verbatim: one
@@ -61,6 +107,23 @@ reference_single_seed_layout(const QuantumCircuit &logical,
     return layout;
 }
 
+/** Terminal measure_all plus a mid-circuit barrier, to exercise the
+ *  non-unitary routing seam of the scoring pass. */
+QuantumCircuit
+with_measures_and_barrier(const QuantumCircuit &base)
+{
+    QuantumCircuit qc(base.num_qubits());
+    std::size_t half = base.size() / 2;
+    for (std::size_t i = 0; i < base.size(); ++i) {
+        if (i == half)
+            qc.barrier();
+        qc.append(base.gate(i));
+    }
+    qc.barrier();
+    qc.measure_all();
+    return qc;
+}
+
 TEST(LayoutTrials, SingleTrialMatchesHistoricalSearchOnTableI)
 {
     Backend dev = montreal_backend();
@@ -82,6 +145,65 @@ TEST(LayoutTrials, SingleTrialMatchesHistoricalSearchOnTableI)
     }
 }
 
+TEST(LayoutTrials, SingleTrialOutcomesAreScored)
+{
+    // The single-trial fast path must populate LayoutTrial::swaps/depth
+    // exactly like the racing path: one forward full-circuit routing
+    // pass from the refined layout, with the SABRE mapping options.
+    Backend dev = montreal_backend();
+    const DistanceMatrix dist = hop_distance(dev.coupling);
+    QuantumCircuit logical = decompose_to_2q(benchmark_by_name("qft_n15"));
+
+    RoutingOptions opts;
+    opts.seed = 7;
+    opts.layout_trials = 1;
+    LayoutSearchResult res =
+        search_and_route(logical, dev.coupling, dist, opts);
+
+    ASSERT_EQ(res.trials.size(), 1u);
+    ASSERT_EQ(res.best_trial, 0);
+    EXPECT_EQ(res.trials[0].kind, TrialSeedKind::kRandom);
+    EXPECT_GE(res.trials[0].swaps, 0);
+    EXPECT_GE(res.trials[0].depth, 0);
+
+    // The scored numbers are real: an independent SABRE route from the
+    // returned layout reproduces them.
+    RoutingOptions sopts = opts;
+    sopts.algorithm = RoutingAlgorithm::kSabre;
+    RoutingResult check = route_circuit(logical, dev.coupling, dist,
+                                        res.initial, sopts);
+    EXPECT_EQ(res.trials[0].swaps, check.stats.num_swaps);
+    EXPECT_EQ(res.trials[0].depth, check.circuit.depth());
+
+    // Trial 0 refines identically whatever the trial count, so its
+    // scored outcome is the same in a 1-trial and a 4-trial run —
+    // outcomes are uniform across trial counts.
+    RoutingOptions opts4 = opts;
+    opts4.layout_trials = 4;
+    opts4.layout_threads = 1;
+    LayoutSearchResult res4 =
+        search_and_route(logical, dev.coupling, dist, opts4);
+    ASSERT_EQ(res4.trials.size(), 4u);
+    EXPECT_EQ(res4.trials[0].swaps, res.trials[0].swaps);
+    EXPECT_EQ(res4.trials[0].depth, res.trials[0].depth);
+    EXPECT_EQ(res4.trials[0].layout.l2p(), res.trials[0].layout.l2p());
+
+    // The pure-layout single-trial path (no race, no retention) skips
+    // the scoring pass outright and marks the trial unscored — that is
+    // the historical sabre_initial_layout cost, pinned here.
+    RoutingOptions bare = opts;
+    bare.reuse_routing = false;
+    LayoutSearch layout_only(logical, dev.coupling, dist, bare);
+    LayoutSearchResult unscored = layout_only.run();
+    EXPECT_EQ(unscored.scoring_passes, 0);
+    EXPECT_EQ(unscored.trials[0].swaps, -1);
+    EXPECT_EQ(unscored.trials[0].depth, -1);
+    EXPECT_EQ(unscored.initial.l2p(), res.initial.l2p());
+    // Whereas the retained single-trial run reports its one pass.
+    EXPECT_EQ(res.scoring_passes, 1);
+    EXPECT_EQ(res4.scoring_passes, 4);
+}
+
 TEST(LayoutTrials, MultiTrialBitIdenticalAcrossThreadCounts)
 {
     Backend dev = montreal_backend();
@@ -101,7 +223,8 @@ TEST(LayoutTrials, MultiTrialBitIdenticalAcrossThreadCounts)
             opts.layout_trials = 4;
             opts.layout_threads = threads;
             LayoutSearch search(logical, dev.coupling, dist, opts);
-            Layout best = search.run();
+            LayoutSearchResult res = search.run();
+            const Layout &best = res.initial;
 
             // Downstream routing from the winning layout: stats must be
             // identical too (the layout is, so this pins the full chain).
@@ -112,25 +235,31 @@ TEST(LayoutTrials, MultiTrialBitIdenticalAcrossThreadCounts)
 
             if (threads == 1) {
                 best_l2p = best.l2p();
-                first_trials = search.trials();
-                first_best = search.best_trial();
+                first_trials = res.trials;
+                first_best = res.best_trial;
                 first_stats = routed.stats;
                 ASSERT_EQ(first_trials.size(), 4u) << name;
                 for (const LayoutTrial &t : first_trials) {
                     EXPECT_GE(t.swaps, 0) << name;
                     EXPECT_GE(t.depth, 0) << name;
                 }
+                EXPECT_EQ(first_trials[0].kind, TrialSeedKind::kRandom);
+                EXPECT_EQ(first_trials[1].kind,
+                          TrialSeedKind::kEmbedding);
+                EXPECT_EQ(first_trials[2].kind, TrialSeedKind::kDegree);
+                EXPECT_EQ(first_trials[3].kind, TrialSeedKind::kRandom);
                 continue;
             }
 
             EXPECT_EQ(best.l2p(), best_l2p) << name << " x" << threads;
-            EXPECT_EQ(search.best_trial(), first_best)
+            EXPECT_EQ(res.best_trial, first_best)
                 << name << " x" << threads;
-            ASSERT_EQ(search.trials().size(), first_trials.size());
+            ASSERT_EQ(res.trials.size(), first_trials.size());
             for (std::size_t t = 0; t < first_trials.size(); ++t) {
-                const LayoutTrial &a = search.trials()[t];
+                const LayoutTrial &a = res.trials[t];
                 const LayoutTrial &b = first_trials[t];
                 EXPECT_EQ(a.seed, b.seed) << name << " trial " << t;
+                EXPECT_EQ(a.kind, b.kind) << name << " trial " << t;
                 EXPECT_EQ(a.swaps, b.swaps) << name << " trial " << t;
                 EXPECT_EQ(a.depth, b.depth) << name << " trial " << t;
                 EXPECT_EQ(a.layout.l2p(), b.layout.l2p())
@@ -148,6 +277,199 @@ TEST(LayoutTrials, MultiTrialBitIdenticalAcrossThreadCounts)
     }
 }
 
+TEST(LayoutTrials, ReuseEquivalenceGoldens)
+{
+    // The retained routed pass must be bit-for-bit what the non-reuse
+    // path computes with its separate route_circuit call — RoutingStats
+    // and gate-stream/layout FNV fingerprints — for trials in {1, 4} x
+    // threads in {1, 8}, on plain-unitary circuits and on circuits with
+    // measures and barriers (the seam the scoring pass now routes).
+    Backend dev = montreal_backend();
+    const DistanceMatrix dist = hop_distance(dev.coupling);
+
+    for (const char *name : {"qft_n15", "adder_n10"}) {
+        for (bool measured : {false, true}) {
+            QuantumCircuit logical =
+                decompose_to_2q(benchmark_by_name(name));
+            if (measured)
+                logical = with_measures_and_barrier(logical);
+
+            for (int trials : {1, 4}) {
+                std::uint64_t want_fp = 0;
+                bool have_want = false;
+                for (int threads : {1, 8}) {
+                    RoutingOptions opts;
+                    opts.algorithm = RoutingAlgorithm::kSabre;
+                    opts.seed = 5;
+                    opts.layout_trials = trials;
+                    opts.layout_threads = threads;
+
+                    // Reuse path: the search hands the route back.
+                    opts.reuse_routing = true;
+                    LayoutSearchResult reused =
+                        search_and_route(logical, dev.coupling, dist,
+                                         opts);
+                    ASSERT_TRUE(reused.routed.has_value())
+                        << name << " trials=" << trials;
+
+                    // Non-reuse path: layout only, then route afresh.
+                    opts.reuse_routing = false;
+                    LayoutSearchResult plain =
+                        search_and_route(logical, dev.coupling, dist,
+                                         opts);
+                    ASSERT_FALSE(plain.routed.has_value());
+                    RoutingResult rerouted = route_circuit(
+                        logical, dev.coupling, dist, plain.initial, opts);
+
+                    EXPECT_EQ(reused.best_trial, plain.best_trial);
+                    EXPECT_EQ(reused.initial.l2p(), plain.initial.l2p());
+                    const RoutingStats &a = reused.routed->stats;
+                    const RoutingStats &b = rerouted.stats;
+                    EXPECT_EQ(a.num_swaps, b.num_swaps);
+                    EXPECT_EQ(a.forced_moves, b.forced_moves);
+                    std::uint64_t fp_a =
+                        routing_fingerprint(*reused.routed);
+                    std::uint64_t fp_b = routing_fingerprint(rerouted);
+                    EXPECT_EQ(fp_a, fp_b)
+                        << name << (measured ? "+meas" : "")
+                        << " trials=" << trials
+                        << " threads=" << threads;
+                    // And the whole cell is thread-count invariant.
+                    if (!have_want) {
+                        want_fp = fp_a;
+                        have_want = true;
+                    } else {
+                        EXPECT_EQ(fp_a, want_fp)
+                            << name << " trials=" << trials
+                            << " threads=" << threads;
+                    }
+                }
+            }
+        }
+    }
+}
+
+TEST(LayoutTrials, ReuseEquivalenceFullTableI)
+{
+    // Acceptance sweep: with layout_trials > 1 on a kSabre pipeline the
+    // retained route must equal the non-reuse two-pass flow bit for bit
+    // on the whole Table I suite, and stay invariant across 1/2/8
+    // worker threads.  The non-reuse reference runs once (threads = 1);
+    // winner selection is thread-invariant, so every reuse fingerprint
+    // must match it.
+    Backend dev = montreal_backend();
+    const DistanceMatrix dist = hop_distance(dev.coupling);
+
+    for (const BenchmarkCase &bc : table_benchmarks()) {
+        QuantumCircuit logical = decompose_to_2q(bc.circuit);
+
+        RoutingOptions opts;
+        opts.algorithm = RoutingAlgorithm::kSabre;
+        opts.seed = 13;
+        opts.layout_trials = 4;
+        opts.layout_threads = 1;
+        opts.reuse_routing = false;
+        LayoutSearchResult plain =
+            search_and_route(logical, dev.coupling, dist, opts);
+        ASSERT_FALSE(plain.routed.has_value());
+        RoutingResult rerouted = route_circuit(logical, dev.coupling,
+                                               dist, plain.initial, opts);
+        const std::uint64_t want = routing_fingerprint(rerouted);
+
+        opts.reuse_routing = true;
+        for (int threads : {1, 2, 8}) {
+            opts.layout_threads = threads;
+            LayoutSearchResult reused =
+                search_and_route(logical, dev.coupling, dist, opts);
+            ASSERT_TRUE(reused.routed.has_value())
+                << bc.name << " x" << threads;
+            EXPECT_EQ(reused.best_trial, plain.best_trial)
+                << bc.name << " x" << threads;
+            EXPECT_EQ(reused.routed->stats.num_swaps,
+                      rerouted.stats.num_swaps)
+                << bc.name << " x" << threads;
+            EXPECT_EQ(routing_fingerprint(*reused.routed), want)
+                << bc.name << " x" << threads;
+        }
+    }
+}
+
+TEST(LayoutTrials, TranspileSkipsRoutingStepExactlyWhenLegal)
+{
+    // kSabre + reuse_routing: no separate post-search route (pass count
+    // == trials).  Without reuse (or with NASSC) the pipeline pays the
+    // separate final route on top of any racing-mode scoring passes —
+    // one more pass whenever trials > 1.  The output circuit is
+    // bit-identical in all cases where only the reuse switch differs.
+    Backend dev = montreal_backend();
+    QuantumCircuit logical = benchmark_by_name("adder_n10");
+
+    for (int trials : {1, 4}) {
+        TranspileOptions opts;
+        opts.router = RoutingAlgorithm::kSabre;
+        opts.layout_trials = trials;
+        opts.layout_threads = 1;
+        TranspileResult reused = transpile(logical, dev, opts);
+        EXPECT_TRUE(reused.reused_search_route) << trials;
+        EXPECT_EQ(reused.full_route_passes, trials);
+
+        // Without retention the search only scores when racing, and
+        // the pipeline pays one separate final route.
+        opts.reuse_routing = false;
+        TranspileResult plain = transpile(logical, dev, opts);
+        EXPECT_FALSE(plain.reused_search_route);
+        EXPECT_EQ(plain.full_route_passes, (trials > 1 ? trials : 0) + 1);
+
+        EXPECT_EQ(reused.cx_total, plain.cx_total) << trials;
+        EXPECT_EQ(reused.depth, plain.depth) << trials;
+        EXPECT_EQ(reused.initial_l2p, plain.initial_l2p);
+        EXPECT_EQ(reused.final_l2p, plain.final_l2p);
+        EXPECT_EQ(reused.routing_stats.num_swaps,
+                  plain.routing_stats.num_swaps);
+        ASSERT_EQ(reused.circuit.size(), plain.circuit.size()) << trials;
+        for (std::size_t i = 0; i < reused.circuit.size(); ++i)
+            ASSERT_TRUE(reused.circuit.gate(i) == plain.circuit.gate(i))
+                << trials << " gate " << i;
+
+        // NASSC scores with the SABRE cost model, so its final route
+        // can never be reused — whatever the switch says.
+        TranspileOptions nassc = opts;
+        nassc.router = RoutingAlgorithm::kNassc;
+        nassc.reuse_routing = true;
+        TranspileResult nres = transpile(logical, dev, nassc);
+        EXPECT_FALSE(nres.reused_search_route);
+        EXPECT_EQ(nres.full_route_passes, (trials > 1 ? trials : 0) + 1);
+    }
+}
+
+TEST(LayoutTrials, TrialDiversityHeuristicSeeds)
+{
+    // A CX chain embeds perfectly into montreal's heavy-hex graph, so
+    // the embedding-seeded trial must score zero SWAPs and the race
+    // must return a zero-SWAP winner.
+    Backend dev = montreal_backend();
+    const DistanceMatrix dist = hop_distance(dev.coupling);
+    QuantumCircuit chain(10);
+    for (int q = 0; q + 1 < 10; ++q)
+        chain.cx(q, q + 1);
+
+    RoutingOptions opts;
+    opts.seed = 3;
+    opts.layout_trials = 3;
+    opts.layout_threads = 1;
+    LayoutSearchResult res =
+        search_and_route(chain, dev.coupling, dist, opts);
+
+    ASSERT_EQ(res.trials.size(), 3u);
+    EXPECT_EQ(res.trials[0].kind, TrialSeedKind::kRandom);
+    EXPECT_EQ(res.trials[1].kind, TrialSeedKind::kEmbedding);
+    EXPECT_EQ(res.trials[2].kind, TrialSeedKind::kDegree);
+    EXPECT_EQ(res.trials[1].swaps, 0);
+    EXPECT_EQ(res.trials[res.best_trial].swaps, 0);
+    ASSERT_TRUE(res.routed.has_value());
+    EXPECT_EQ(res.routed->stats.num_swaps, 0);
+}
+
 TEST(LayoutTrials, MultiTrialNeverWorseThanItsOwnTrials)
 {
     // The arg-min must actually pick the (swaps, depth)-minimal trial.
@@ -158,10 +480,10 @@ TEST(LayoutTrials, MultiTrialNeverWorseThanItsOwnTrials)
     RoutingOptions opts;
     opts.layout_trials = 6;
     LayoutSearch search(logical, dev.coupling, dist, opts);
-    search.run();
+    LayoutSearchResult res = search.run();
 
-    const LayoutTrial &best = search.trials()[search.best_trial()];
-    for (const LayoutTrial &t : search.trials()) {
+    const LayoutTrial &best = res.trials[res.best_trial];
+    for (const LayoutTrial &t : res.trials) {
         EXPECT_TRUE(best.swaps < t.swaps ||
                     (best.swaps == t.swaps && best.depth < t.depth) ||
                     (best.swaps == t.swaps && best.depth == t.depth &&
@@ -230,6 +552,13 @@ TEST(LayoutTrials, NestedInBatchRunsInlineAndMatchesSerial)
         EXPECT_EQ(a.results[i].result.routing_stats.num_swaps,
                   b.results[i].result.routing_stats.num_swaps);
     }
+    // Per-job reuse stats aggregate deterministically too (default
+    // router is kNassc, so nothing reuses; every job still reports its
+    // per-trial scoring passes plus the final route).
+    EXPECT_EQ(a.num_route_reused, b.num_route_reused);
+    EXPECT_EQ(a.full_route_passes, b.full_route_passes);
+    EXPECT_EQ(a.full_route_passes,
+              static_cast<long>(jobs.size()) * (4 + 1));
 }
 
 TEST(LayoutTrials, MoreTrialsNotWorseOnAggregate)

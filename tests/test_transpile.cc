@@ -160,6 +160,29 @@ TEST(Transpile, OptimizeOnlyBaseline)
                                        base.initial_l2p, base.final_l2p));
 }
 
+TEST(Transpile, OptimizeOnlyHonoursOptLoopRounds)
+{
+    // The baseline must follow TranspileOptions so CNOT_add ablations
+    // under non-default opt_loop_rounds stay apples-to-apples; the
+    // default-options overload reproduces the historical behaviour.
+    QuantumCircuit logical = grover(4);
+    TranspileResult legacy = optimize_only(logical);
+    TranspileResult defaulted = optimize_only(logical, TranspileOptions{});
+    ASSERT_EQ(legacy.circuit.size(), defaulted.circuit.size());
+    for (std::size_t i = 0; i < legacy.circuit.size(); ++i)
+        ASSERT_TRUE(legacy.circuit.gate(i) == defaulted.circuit.gate(i));
+
+    TranspileOptions no_loop;
+    no_loop.opt_loop_rounds = 0;
+    TranspileResult raw = optimize_only(logical, no_loop);
+    EXPECT_TRUE(is_basis_circuit(raw.circuit));
+    // Skipping the optimization loop can only leave more (or equal)
+    // gates behind, and the unitary is still the same.
+    EXPECT_GE(raw.circuit.size(), legacy.circuit.size());
+    EXPECT_TRUE(equivalent_with_layout(logical, raw.circuit,
+                                       raw.initial_l2p, raw.final_l2p));
+}
+
 TEST(Transpile, ReportsStatsAndTiming)
 {
     Backend dev = linear_backend(6);
