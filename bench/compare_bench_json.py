@@ -19,7 +19,17 @@ one pass fewer than kNassc).  Pass-count changes are reported
 informationally: they are integers, so any drift means the pipeline
 shape changed, not the machine.
 
+With --service-current (and optionally --service-baseline), also diffs
+a BENCH_service.json serving-layer sweep: jobs_per_s drift per
+(workload, clients, cache) cell is printed informationally — service
+throughput is scheduler- and machine-noisy, so it NEVER fails the
+gate — while `transpiles` drift is exact (dedup guarantees one
+execution per distinct key) and flags a pipeline-shape change the same
+way route_passes does.
+
 Usage: compare_bench_json.py [--threshold F] [baseline.json] current.json
+                             [--service-baseline S.json]
+                             [--service-current S.json]
 """
 
 import argparse
@@ -62,6 +72,40 @@ def route_pass_changes(baseline, current):
             yield key, base_row["route_passes"], cur_row["route_passes"]
 
 
+def load_service_rows(path):
+    """Index a service sweep file by (workload, clients, cache)."""
+    with open(path) as f:
+        rows = json.load(f)
+    return {(r["workload"], r["clients"], r["cache"]): r for r in rows}
+
+
+def report_service_drift(baseline_path, current_path, threshold):
+    """Print informational serving-layer drift; never fails the gate."""
+    baseline = load_service_rows(baseline_path)
+    current = load_service_rows(current_path)
+    lines = []
+    for key, base_row in sorted(baseline.items()):
+        cur_row = current.get(key)
+        if cur_row is None:
+            continue
+        workload, clients, cache = key
+        label = f"{workload:12s} clients={clients} cache={cache}"
+        base_tp, cur_tp = base_row["jobs_per_s"], cur_row["jobs_per_s"]
+        if base_tp > 0 and abs(cur_tp / base_tp - 1.0) > threshold:
+            lines.append(f"  {label} jobs_per_s {base_tp:9.1f} -> "
+                         f"{cur_tp:9.1f}  ({(cur_tp / base_tp - 1) * 100:+.1f}%)")
+        if base_row.get("transpiles") != cur_row.get("transpiles"):
+            lines.append(f"  {label} transpiles {base_row.get('transpiles')}"
+                         f" -> {cur_row.get('transpiles')} (dedup shape!)")
+    if lines:
+        print(f"note: service throughput drift > {threshold * 100:.0f}% "
+              f"(informational):")
+        print("\n".join(lines))
+    else:
+        print(f"service OK: no cell drifted > {threshold * 100:.0f}% "
+              f"({len(current)} cells checked)")
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("baseline", nargs="?", default="bench/BENCH_baseline.json")
@@ -69,7 +113,23 @@ def main():
     ap.add_argument("--threshold", type=float, default=0.15,
                     help="relative wall-time slack before flagging "
                          "(default 0.15 = 15%%)")
+    ap.add_argument("--service-baseline",
+                    default="bench/BENCH_service_baseline.json",
+                    help="serving-layer sweep baseline (informational)")
+    ap.add_argument("--service-current", default=None,
+                    help="fresh BENCH_service.json to diff informationally")
     args = ap.parse_args()
+
+    if args.service_current:
+        # Doubled slack, like layout_ms: throughput cells are noisy.
+        # Strictly informational: a missing or corrupt sweep file (e.g.
+        # the bench_service run was skipped) must not abort the script
+        # before the routing wall_ms gate below gets its say.
+        try:
+            report_service_drift(args.service_baseline, args.service_current,
+                                 2 * args.threshold)
+        except (OSError, ValueError, KeyError) as e:
+            print(f"note: service sweep not compared ({e})")
 
     baseline = load_rows(args.baseline)
     current = load_rows(args.current)

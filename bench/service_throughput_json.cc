@@ -1,0 +1,178 @@
+// Serving-layer throughput sweep, emitting a JSON record per
+// (workload, clients, cache) cell:
+//
+//   [{"workload": "small_mix", "clients": 4, "cache": 1, "repeat": 3,
+//     "jobs": 60, "distinct": 20, "wall_ms": 412.0, "jobs_per_s": 145.6,
+//     "hits": 28, "coalesced": 12, "deduped": 40, "transpiles": 20}, ...]
+//
+// Each cell spins up a fresh TranspileService on a fresh Scheduler and
+// fires a mixed workload (several circuits x both routers x two seeds)
+// from `clients` concurrent submitter threads, with every request
+// repeated `repeat` times — the serving pattern the subsystem exists
+// for.  With the cache on, `transpiles` is deterministic (exactly the
+// distinct-key count: dedup guarantees one execution per key), and
+// `deduped` = hits + coalesced is jobs - distinct; the hit/coalesce
+// SPLIT depends on arrival timing and is informational only.
+//
+// The `bench_service` CMake/CTest target runs this and CI uploads the
+// resulting BENCH_service.json; bench/compare_bench_json.py --service
+// reports jobs_per_s drift against bench/BENCH_service_baseline.json
+// informationally (service throughput is scheduling-noisy, so it never
+// fails the gate).
+//
+// Usage: service_throughput_json [--out PATH] [--workers N] [--repeat N]
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "nassc/circuits/library.h"
+#include "nassc/service/scheduler.h"
+#include "nassc/service/transpile_service.h"
+#include "nassc/topo/backends.h"
+
+using namespace nassc;
+
+namespace {
+
+struct Request
+{
+    QuantumCircuit circuit;
+    TranspileOptions options;
+};
+
+/** The mixed workload: routing-relevant but CI-fast circuits. */
+std::vector<Request>
+small_mix()
+{
+    std::vector<QuantumCircuit> circuits = {
+        qft(8), ghz(12), bernstein_vazirani(10, 0x155),
+        vqe_linear(8), qaoa_maxcut(10, 2, 5),
+    };
+    std::vector<Request> requests;
+    for (const QuantumCircuit &qc : circuits)
+        for (RoutingAlgorithm router :
+             {RoutingAlgorithm::kSabre, RoutingAlgorithm::kNassc})
+            for (unsigned seed : {0u, 1u}) {
+                Request r;
+                r.circuit = qc;
+                r.options.router = router;
+                r.options.seed = seed;
+                requests.push_back(std::move(r));
+            }
+    return requests;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string out_path = "BENCH_service.json";
+    int workers = 4;
+    int repeat = 3;
+    for (int i = 1; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--out") && i + 1 < argc)
+            out_path = argv[++i];
+        else if (!std::strcmp(argv[i], "--workers") && i + 1 < argc)
+            workers = std::atoi(argv[++i]);
+        else if (!std::strcmp(argv[i], "--repeat") && i + 1 < argc)
+            repeat = std::atoi(argv[++i]);
+    }
+    if (workers < 1)
+        workers = 1;
+    if (repeat < 1)
+        repeat = 1;
+
+    auto backend = std::make_shared<const Backend>(montreal_backend());
+    const std::vector<Request> distinct = small_mix();
+
+    std::string json = "[\n";
+    bool first = true;
+    for (int clients : {1, 4}) {
+        for (std::size_t capacity : {std::size_t{0}, std::size_t{256}}) {
+            ServiceOptions sopts;
+            sopts.cache_capacity = capacity;
+            sopts.scheduler = std::make_shared<Scheduler>(workers);
+            TranspileService service(sopts);
+
+            // Client c submits every request `repeat` times, rotated by
+            // its id so concurrent clients overlap on the same keys —
+            // the coalescing path, not just the cache path.
+            const std::size_t jobs_per_client = distinct.size() * repeat;
+            auto client = [&](int id) {
+                std::vector<TranspileTicket> tickets;
+                tickets.reserve(jobs_per_client);
+                for (int r = 0; r < repeat; ++r)
+                    for (std::size_t k = 0; k < distinct.size(); ++k) {
+                        const Request &req =
+                            distinct[(k + id) % distinct.size()];
+                        tickets.push_back(service.submit(
+                            req.circuit, backend, req.options));
+                    }
+                for (TranspileTicket &t : tickets)
+                    t.get();
+            };
+
+            auto t0 = std::chrono::steady_clock::now();
+            std::vector<std::thread> threads;
+            for (int c = 1; c < clients; ++c)
+                threads.emplace_back(client, c);
+            client(0);
+            for (std::thread &t : threads)
+                t.join();
+            auto t1 = std::chrono::steady_clock::now();
+
+            const double wall_ms =
+                std::chrono::duration<double, std::milli>(t1 - t0).count();
+            const ServiceStats stats = service.stats();
+            const std::size_t jobs =
+                jobs_per_client * static_cast<std::size_t>(clients);
+
+            char row[360];
+            std::snprintf(
+                row, sizeof(row),
+                "  {\"workload\": \"small_mix\", \"clients\": %d, "
+                "\"cache\": %d, \"repeat\": %d, \"jobs\": %zu, "
+                "\"distinct\": %zu, \"wall_ms\": %.1f, "
+                "\"jobs_per_s\": %.1f, \"hits\": %llu, "
+                "\"coalesced\": %llu, \"deduped\": %llu, "
+                "\"transpiles\": %llu}",
+                clients, capacity ? 1 : 0, repeat, jobs, distinct.size(),
+                wall_ms, 1000.0 * static_cast<double>(jobs) / wall_ms,
+                static_cast<unsigned long long>(stats.cache_hits),
+                static_cast<unsigned long long>(stats.coalesced),
+                static_cast<unsigned long long>(stats.cache_hits +
+                                                stats.coalesced),
+                static_cast<unsigned long long>(stats.transpiles_ok +
+                                                stats.transpiles_failed));
+            if (!first)
+                json += ",\n";
+            json += row;
+            first = false;
+            std::printf("clients=%d cache=%zu: %zu jobs in %.1f ms "
+                        "(%.1f jobs/s; %llu deduped, %llu transpiled)\n",
+                        clients, capacity, jobs, wall_ms,
+                        1000.0 * static_cast<double>(jobs) / wall_ms,
+                        static_cast<unsigned long long>(stats.cache_hits +
+                                                        stats.coalesced),
+                        static_cast<unsigned long long>(
+                            stats.transpiles_ok + stats.transpiles_failed));
+        }
+    }
+    json += "\n]\n";
+
+    std::ofstream f(out_path);
+    if (!f) {
+        std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+        return 1;
+    }
+    f << json;
+    std::printf("json written to %s\n", out_path.c_str());
+    return 0;
+}

@@ -5,6 +5,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "nassc/ir/fnv1a.h"
+
 namespace nassc {
 
 QuantumCircuit::QuantumCircuit(int num_qubits) : num_qubits_(num_qubits)
@@ -124,6 +126,29 @@ QuantumCircuit::without_non_unitary() const
         if (is_unitary_op(g.kind))
             out.append(g);
     return out;
+}
+
+std::uint64_t
+QuantumCircuit::fingerprint() const
+{
+    Fnv1a fp;
+    fp.u32(static_cast<std::uint32_t>(num_qubits_));
+    fp.u64(gates_.size());
+    for (const Gate &g : gates_) {
+        fp.u32(static_cast<std::uint32_t>(g.kind));
+        // Operand/parameter counts are mixed explicitly so a gate stream
+        // cannot alias across width boundaries (e.g. cx(1,2) followed by
+        // x(3) vs. a 3-operand gate over the same integers).
+        fp.u32(static_cast<std::uint32_t>(g.qubits.size()));
+        for (int q : g.qubits)
+            fp.u32(static_cast<std::uint32_t>(q));
+        fp.u32(static_cast<std::uint32_t>(g.params.size()));
+        for (double p : g.params)
+            fp.f64(p);
+        fp.byte(static_cast<unsigned char>(
+            static_cast<int>(g.swap_orient) + 2));
+    }
+    return fp.value();
 }
 
 std::string

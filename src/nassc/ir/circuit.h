@@ -6,6 +6,7 @@
  * A flat quantum circuit: an ordered list of gates over n qubits.
  */
 
+#include <cstdint>
 #include <map>
 #include <string>
 #include <vector>
@@ -126,6 +127,18 @@ class QuantumCircuit
 
     /** Remove measures/barriers (for unitary analysis). */
     QuantumCircuit without_non_unitary() const;
+
+    /**
+     * Order-sensitive FNV-1a structural fingerprint: register width plus
+     * every gate's kind, operands, parameters (exact f64 bits), and SWAP
+     * orientation flag, in stream order.  Two circuits share a
+     * fingerprint iff they are gate-for-gate identical (modulo hash
+     * collisions), so the serving layer uses it — together with
+     * Backend::cache_key() and TranspileOptions::fingerprint() — as the
+     * result-cache key.  Stable across platforms and releases; the exact
+     * values are pinned in tests/test_fingerprint.cc.
+     */
+    std::uint64_t fingerprint() const;
 
     /** Multi-line textual dump, one gate per line. */
     std::string to_string() const;

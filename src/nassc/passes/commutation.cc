@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <map>
+#include <mutex>
+#include <shared_mutex>
 #include <sstream>
 
 #include "nassc/ir/matrices.h"
@@ -131,13 +133,24 @@ gates_commute(const Gate &a, const Gate &b)
     if (is_diagonal(a.kind) && is_diagonal(b.kind))
         return true;
 
-    // Exact fallback with memoization.
+    // Exact fallback with memoization.  The memo is process-wide and
+    // read by every concurrent transpile (batch workers, the async
+    // service), so it is guarded by a shared_mutex: reads dominate
+    // after warm-up and take the shared lock; a miss computes OUTSIDE
+    // any lock (matrix_commute is pure) and publishes under the
+    // exclusive lock.  Two racing computations of one key agree, so
+    // last-writer-wins is harmless.
+    static std::shared_mutex cache_mu;
     static std::map<std::string, bool> cache;
     std::string key = commute_key(a, b);
-    auto it = cache.find(key);
-    if (it != cache.end())
-        return it->second;
+    {
+        std::shared_lock<std::shared_mutex> lock(cache_mu);
+        auto it = cache.find(key);
+        if (it != cache.end())
+            return it->second;
+    }
     bool r = matrix_commute(a, b);
+    std::unique_lock<std::shared_mutex> lock(cache_mu);
     if (cache.size() < 200000)
         cache[key] = r;
     return r;

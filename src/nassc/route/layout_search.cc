@@ -7,7 +7,7 @@
 #include "nassc/ir/fnv1a.h"
 #include "nassc/route/perfect_layout.h"
 #include "nassc/route/router.h"
-#include "nassc/service/thread_pool.h"
+#include "nassc/service/scheduler.h"
 
 namespace nassc {
 
@@ -283,7 +283,7 @@ LayoutSearch::run_trial(int trial, int worker)
 }
 
 LayoutSearchResult
-LayoutSearch::run(ThreadPool *pool)
+LayoutSearch::run(Scheduler *scheduler)
 {
     const int trials = std::max(1, trials_requested_);
     trials_.assign(static_cast<std::size_t>(trials), LayoutTrial{});
@@ -293,33 +293,34 @@ LayoutSearch::run(ThreadPool *pool)
     retained_depth_ = -1;
 
     // The default single-trial search runs inline and never touches
-    // the pool — transpile() with default options must not spawn a
-    // process-wide worker pool as a side effect.
+    // the scheduler — transpile() with default options must not spawn
+    // a process-wide worker pool as a side effect.
     if (trials == 1) {
         if (workers_.empty())
             workers_.resize(1);
         run_trial(0, 0);
         best_trial_ = 0;
     } else {
-        ThreadPool &tp = pool ? *pool : ThreadPool::shared();
+        Scheduler &sched = scheduler ? *scheduler : Scheduler::shared();
         // Resolve the worker cap HERE and pass the same value to both
-        // the slot table and parallel_for: worker ids are < cap by
-        // contract, so the table can never be outgrown even if another
-        // thread grows the shared pool between these lines.  An
-        // explicit layout_threads request first grows the pool
-        // (hardware_concurrency under-reports in cgroup-limited
-        // containers); 0 takes the pool as it is.
+        // the slot table and parallel_for: job slot ids are < cap by
+        // contract (per-job, even under stealing), so the table can
+        // never be outgrown even if another thread grows the shared
+        // pool between these lines.  An explicit layout_threads
+        // request first grows the pool (hardware_concurrency
+        // under-reports in cgroup-limited containers); 0 takes the
+        // pool as it is.
         int cap = opts_.layout_threads;
         if (cap > 0)
-            tp.ensure_workers(std::min(cap, trials));
+            sched.ensure_workers(std::min(cap, trials));
         else
-            cap = tp.num_threads() + 1;
+            cap = sched.num_threads() + 1;
         if (cap > trials)
             cap = trials;
         if (workers_.size() < static_cast<std::size_t>(cap))
             workers_.resize(static_cast<std::size_t>(cap));
 
-        tp.parallel_for(
+        sched.parallel_for(
             static_cast<std::size_t>(trials),
             [this](std::size_t t, int w) {
                 run_trial(static_cast<int>(t), w);
@@ -356,10 +357,10 @@ LayoutSearch::run(ThreadPool *pool)
 LayoutSearchResult
 search_and_route(const QuantumCircuit &logical, const CouplingMap &coupling,
                  const DistanceMatrix &dist, const RoutingOptions &opts,
-                 int iterations, ThreadPool *pool)
+                 int iterations, Scheduler *scheduler)
 {
     LayoutSearch search(logical, coupling, dist, opts, iterations);
-    return search.run(pool);
+    return search.run(scheduler);
 }
 
 } // namespace nassc

@@ -7,7 +7,7 @@
  *
  * LayoutSearch generalizes the SABRE reverse-traversal mapping search
  * (paper Sec. IV-A) from one random seed layout to opts.layout_trials
- * independent ones, raced across ThreadPool workers and scored so that
+ * independent ones, raced across Scheduler workers and scored so that
  * the winner — and therefore every downstream routing decision — is
  * bit-identical for every thread count:
  *
@@ -41,12 +41,14 @@
  * while the final NASSC route uses the optimization-aware tracker.
  *
  * Worker-slot reuse: the forward and reverse DAGs are built once and
- * shared read-only; each ThreadPool worker slot lazily builds one set
- * of Routers and reuses them across all trials it executes, so the
- * per-trial cost is just the routing passes themselves.
+ * shared read-only; each Scheduler job slot lazily builds one set of
+ * Routers and reuses them across all trials it executes, so the
+ * per-trial cost is just the routing passes themselves.  Slots are
+ * per-job and stable even as workers steal between jobs (see
+ * service/scheduler.h), so the table can never be contended.
  *
- * The engine runs on ThreadPool::shared() by default.  When the caller
- * is itself a pool task (a BatchTranspiler job mid-sweep), the pool's
+ * The engine runs on Scheduler::shared() by default.  When the caller
+ * is itself a scheduler task (a BatchTranspiler job mid-sweep), the
  * nested-parallelism guard runs the trials inline — one saturated level
  * of parallelism, never two.
  */
@@ -66,7 +68,7 @@
 namespace nassc {
 
 class Router;
-class ThreadPool;
+class Scheduler;
 
 /**
  * Deterministic per-trial seed: trial 0 is `base_seed` itself (exact
@@ -131,11 +133,12 @@ class LayoutSearch
     LayoutSearch &operator=(const LayoutSearch &) = delete;
 
     /**
-     * Run opts.layout_trials trials on `pool` (nullptr = shared pool),
-     * capped at opts.layout_threads workers.  Bit-identical for every
-     * thread count; every trial carries a scored (swaps, depth) pair.
+     * Run opts.layout_trials trials on `scheduler` (nullptr = the
+     * shared scheduler), capped at opts.layout_threads workers.
+     * Bit-identical for every thread count and steal schedule; every
+     * trial carries a scored (swaps, depth) pair.
      */
-    LayoutSearchResult run(ThreadPool *pool = nullptr);
+    LayoutSearchResult run(Scheduler *scheduler = nullptr);
 
   private:
     struct WorkerCtx; ///< per-worker-slot Router set
@@ -187,7 +190,7 @@ LayoutSearchResult search_and_route(const QuantumCircuit &logical,
                                     const DistanceMatrix &dist,
                                     const RoutingOptions &opts,
                                     int iterations = 3,
-                                    ThreadPool *pool = nullptr);
+                                    Scheduler *scheduler = nullptr);
 
 } // namespace nassc
 

@@ -58,7 +58,7 @@ struct RoutingOptions
      */
     int layout_trials = 1;
     /**
-     * Worker cap for running the trials on ThreadPool::shared(); 0 =
+     * Worker cap for running the trials on Scheduler::shared(); 0 =
      * whole pool, 1 = serial.  Any value yields bit-identical results —
      * trials are seeded and scored independently of scheduling.
      */

@@ -23,16 +23,24 @@ derive_job_seed(unsigned base_seed, const std::string &tag, unsigned job_seed)
 
 BatchTranspiler::BatchTranspiler(BatchOptions options)
     : options_(std::move(options)), cache_(options_.cache),
-      pool_(options_.pool)
+      scheduler_(options_.scheduler)
 {
     if (!cache_)
         cache_ = std::make_shared<DistanceCache>();
 }
 
-ThreadPool &
-BatchTranspiler::pool() const
+Scheduler &
+BatchTranspiler::scheduler() const
 {
-    return pool_ ? *pool_ : ThreadPool::shared();
+    if (options_.service)
+        return options_.service->scheduler();
+    return scheduler_ ? *scheduler_ : Scheduler::shared();
+}
+
+DistanceCache &
+BatchTranspiler::distance_cache() const
+{
+    return options_.service ? options_.service->distance_cache() : *cache_;
 }
 
 int
@@ -48,20 +56,41 @@ BatchTranspiler::num_threads_for(std::size_t jobs) const
     return n < 1 ? 1 : n;
 }
 
+TranspileOptions
+BatchTranspiler::effective_options(const TranspileJob &job) const
+{
+    TranspileOptions opts = job.options;
+    if (options_.derive_seeds)
+        opts.seed =
+            derive_job_seed(options_.base_seed, job.tag, job.options.seed);
+    return opts;
+}
+
 BatchReport
 BatchTranspiler::run(const std::vector<TranspileJob> &jobs) const
 {
     auto t0 = std::chrono::steady_clock::now();
+    BatchReport report = options_.service ? run_service(jobs)
+                                          : run_direct(jobs);
+    for (const JobResult &r : report.results)
+        (r.ok ? report.num_ok : report.num_failed)++;
+    auto t1 = std::chrono::steady_clock::now();
+    report.seconds = std::chrono::duration<double>(t1 - t0).count();
+    return report;
+}
 
+BatchReport
+BatchTranspiler::run_direct(const std::vector<TranspileJob> &jobs) const
+{
     BatchReport report;
     report.results.resize(jobs.size());
 
     const std::size_t cache_computations_before = cache_->computation_count();
 
     // Each job writes into its own submission-index slot, so results
-    // land in submission order no matter which pool worker ran them, and
+    // land in submission order no matter which worker stole them, and
     // every error is captured into the slot rather than escaping (the
-    // pool would rethrow otherwise).
+    // scheduler would rethrow otherwise).
     auto run_job = [&](std::size_t i, int /*worker*/) {
         const TranspileJob &job = jobs[i];
         JobResult &out = report.results[i];
@@ -70,10 +99,7 @@ BatchTranspiler::run(const std::vector<TranspileJob> &jobs) const
         try {
             if (!job.backend)
                 throw std::invalid_argument("job has no backend");
-            TranspileOptions opts = job.options;
-            if (options_.derive_seeds)
-                opts.seed = derive_job_seed(options_.base_seed, job.tag,
-                                            job.options.seed);
+            TranspileOptions opts = effective_options(job);
             out.seed_used = opts.seed;
             out.result = transpile(job.circuit, *job.backend, opts, *cache_);
             out.ok = true;
@@ -90,22 +116,87 @@ BatchTranspiler::run(const std::vector<TranspileJob> &jobs) const
     // --threads N must deliver N-way parallelism even where
     // hardware_concurrency() under-reports (cgroup-limited containers).
     const int cap = num_threads_for(jobs.size());
-    pool().ensure_workers(cap);
-    pool().parallel_for(jobs.size(), run_job, cap);
+    scheduler().ensure_workers(cap);
+    scheduler().parallel_for(jobs.size(), run_job, cap);
 
     for (const JobResult &r : report.results) {
-        (r.ok ? report.num_ok : report.num_failed)++;
-        if (r.ok) {
-            if (r.result.reused_search_route)
-                ++report.num_route_reused;
-            report.full_route_passes += r.result.full_route_passes;
-        }
+        if (!r.ok)
+            continue;
+        if (r.result.reused_search_route)
+            ++report.num_route_reused;
+        report.full_route_passes += r.result.full_route_passes;
     }
     report.distance_computations =
         cache_->computation_count() - cache_computations_before;
+    return report;
+}
 
-    auto t1 = std::chrono::steady_clock::now();
-    report.seconds = std::chrono::duration<double>(t1 - t0).count();
+BatchReport
+BatchTranspiler::run_service(const std::vector<TranspileJob> &jobs) const
+{
+    TranspileService &service = *options_.service;
+    BatchReport report;
+    report.used_service = true;
+    report.results.resize(jobs.size());
+
+    const ServiceStats before = service.stats();
+    const std::size_t distance_before =
+        service.distance_cache().computation_count();
+    // +1: ensure_workers counts a parallel_for caller slot, but service
+    // jobs run entirely on pool workers (the submitter only waits), so
+    // --threads N needs N actual pool threads for N-way concurrency.
+    service.scheduler().ensure_workers(num_threads_for(jobs.size()) + 1);
+
+    // Submit everything first (so duplicates overlap and coalesce),
+    // then collect in submission order.  Tickets hold shared results;
+    // each JobResult copies its own so the report stays self-contained.
+    std::vector<TranspileTicket> tickets(jobs.size());
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        const TranspileJob &job = jobs[i];
+        JobResult &out = report.results[i];
+        out.index = i;
+        out.tag = job.tag;
+        if (!job.backend) {
+            out.error = "job has no backend";
+            continue;
+        }
+        TranspileOptions opts = effective_options(job);
+        out.seed_used = opts.seed;
+        tickets[i] = service.submit(job.circuit, job.backend, opts);
+    }
+
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        JobResult &out = report.results[i];
+        if (!tickets[i].valid())
+            continue; // null backend, error already recorded
+        try {
+            out.result = *tickets[i].get();
+            out.ok = true;
+            // Route-pass accounting counts work PERFORMED, so only the
+            // ticket that owned the transpile contributes; coalesced
+            // and cache-hit duplicates carry a copy of the owner's
+            // result but executed nothing.
+            if (tickets[i].source() == TicketSource::kScheduled ||
+                tickets[i].source() == TicketSource::kInline) {
+                if (out.result.reused_search_route)
+                    ++report.num_route_reused;
+                report.full_route_passes += out.result.full_route_passes;
+            }
+        } catch (const std::exception &e) {
+            out.error = e.what();
+        } catch (...) {
+            out.error = "unknown exception";
+        }
+    }
+
+    const ServiceStats after = service.stats();
+    report.cache_hits = after.cache_hits - before.cache_hits;
+    report.coalesced = after.coalesced - before.coalesced;
+    report.transpiles = (after.transpiles_ok + after.transpiles_failed) -
+                        (before.transpiles_ok + before.transpiles_failed);
+    report.cache_evictions = after.evictions - before.evictions;
+    report.distance_computations =
+        service.distance_cache().computation_count() - distance_before;
     return report;
 }
 

@@ -6,19 +6,33 @@
  * Parallel batch transpilation engine.
  *
  * BatchTranspiler runs many (circuit, backend, TranspileOptions) jobs
- * across a fixed-size thread pool.  Three properties the bench/ sweeps
- * and any future serving layer rely on:
+ * across the work-stealing Scheduler.  Three properties the bench/
+ * sweeps and the serving layer rely on:
  *
  *  - Determinism: a job's result depends only on the job itself (the
  *    routers take explicit seeds and share no mutable state), and
  *    results are returned in submission order.  Metrics are therefore
- *    bit-identical regardless of thread count or completion order.
+ *    bit-identical regardless of thread count, steal schedule, or
+ *    completion order.
  *  - Shared distance matrices: all jobs resolve their backend's
  *    distance matrix through one DistanceCache, so a batch of N jobs on
  *    one backend computes the matrix once, not N times.
  *  - Error isolation: a throwing job becomes a failed JobResult with
  *    the exception message; it never tears down the pool or poisons
  *    sibling jobs.
+ *
+ * Since the scheduler is multi-job, concurrent BatchTranspiler::run()
+ * calls from distinct threads interleave on the same workers instead
+ * of serializing (the old ThreadPool submit-mutex behavior).
+ *
+ * Dedup/caching: with BatchOptions::service set, jobs are submitted
+ * through a TranspileService instead of calling transpile() directly —
+ * identical jobs (same circuit, backend, and effective options,
+ * including the derived seed) coalesce to one transpile or hit the
+ * service's LRU result cache, and the BatchReport carries the
+ * hit/coalesce/eviction deltas.  Results stay bit-identical either
+ * way; only TranspileResult's timing fields describe the original
+ * computation on a hit.
  */
 
 #include <memory>
@@ -26,7 +40,8 @@
 #include <vector>
 
 #include "nassc/service/distance_cache.h"
-#include "nassc/service/thread_pool.h"
+#include "nassc/service/scheduler.h"
+#include "nassc/service/transpile_service.h"
 #include "nassc/transpile/transpile.h"
 
 namespace nassc {
@@ -57,8 +72,8 @@ struct BatchOptions
 {
     /**
      * Concurrent jobs cap; 0 picks std::thread::hardware_concurrency().
-     * This caps the workers taken from the (shared) pool per run, it no
-     * longer spawns threads of its own.
+     * This caps the worker slots taken from the scheduler per run (the
+     * direct path); the service path runs at the service's concurrency.
      */
     int num_threads = 0;
     /**
@@ -69,15 +84,23 @@ struct BatchOptions
      */
     bool derive_seeds = false;
     unsigned base_seed = 0;
-    /** Cache shared by all jobs; defaults to a fresh private cache. */
+    /** Cache shared by all jobs; defaults to a fresh private cache.
+     *  Ignored on the service path (the service owns one). */
     std::shared_ptr<DistanceCache> cache;
     /**
-     * Worker pool to run on; defaults to ThreadPool::shared(), which
+     * Scheduler to run on; defaults to Scheduler::shared(), which
      * LayoutSearch also uses — so a saturating batch automatically
      * degrades per-job layout trials to inline execution instead of
-     * oversubscribing (see thread_pool.h).
+     * oversubscribing (see scheduler.h).
      */
-    std::shared_ptr<ThreadPool> pool;
+    std::shared_ptr<Scheduler> scheduler;
+    /**
+     * When set, jobs go through this TranspileService: in-flight
+     * duplicates coalesce, repeats hit its result cache, and the
+     * report carries the service-stat deltas.  The service's scheduler
+     * wins over `scheduler` for job execution.
+     */
+    std::shared_ptr<TranspileService> service;
 };
 
 /** Aggregate outcome of BatchTranspiler::run(). */
@@ -89,12 +112,23 @@ struct BatchReport
     double seconds = 0.0; ///< wall-clock for the whole batch
     /** Distance matrices computed (vs served from cache) by this run. */
     std::size_t distance_computations = 0;
-    /** Successful jobs whose transpile reused the winning layout
-     *  trial's routed pass (no separate post-search routing step). */
+    /** Transpiles THIS RUN executed that reused the winning layout
+     *  trial's routed pass (no separate post-search routing step).
+     *  On the service path, coalesced/cache-hit duplicates carry the
+     *  owner's result but performed no work, so they don't count. */
     std::size_t num_route_reused = 0;
-    /** Sum of TranspileResult::full_route_passes over successful jobs —
-     *  with reuse every kSabre job contributes one pass fewer. */
+    /** Full-circuit routing passes THIS RUN performed (sum of
+     *  TranspileResult::full_route_passes over executed transpiles;
+     *  deduped jobs contribute nothing).  With reuse every kSabre
+     *  transpile contributes one pass fewer. */
     long full_route_passes = 0;
+    /** @name Service-path deltas (all zero on the direct path). @{ */
+    bool used_service = false;
+    std::uint64_t cache_hits = 0;    ///< jobs served from the result cache
+    std::uint64_t coalesced = 0;     ///< jobs joining an in-flight twin
+    std::uint64_t transpiles = 0;    ///< transpiles actually executed
+    std::uint64_t cache_evictions = 0;
+    /** @} */
 };
 
 /**
@@ -105,7 +139,7 @@ struct BatchReport
 unsigned derive_job_seed(unsigned base_seed, const std::string &tag,
                          unsigned job_seed);
 
-/** Fixed-thread-pool batch engine over transpile(). */
+/** Scheduler-backed batch engine over transpile(). */
 class BatchTranspiler
 {
   public:
@@ -117,14 +151,18 @@ class BatchTranspiler
     /** Worker slots run() will use for a batch of `jobs` jobs. */
     int num_threads_for(std::size_t jobs) const;
 
-    DistanceCache &distance_cache() const { return *cache_; }
+    DistanceCache &distance_cache() const;
 
-    ThreadPool &pool() const;
+    Scheduler &scheduler() const;
 
   private:
+    BatchReport run_direct(const std::vector<TranspileJob> &jobs) const;
+    BatchReport run_service(const std::vector<TranspileJob> &jobs) const;
+    TranspileOptions effective_options(const TranspileJob &job) const;
+
     BatchOptions options_;
     std::shared_ptr<DistanceCache> cache_;
-    std::shared_ptr<ThreadPool> pool_; ///< null = ThreadPool::shared()
+    std::shared_ptr<Scheduler> scheduler_; ///< null = Scheduler::shared()
 };
 
 } // namespace nassc

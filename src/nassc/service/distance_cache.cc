@@ -80,6 +80,17 @@ DistanceCache::size() const
     return entries_.size();
 }
 
+DistanceCache::Stats
+DistanceCache::stats() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    Stats s;
+    s.computations = computations_;
+    s.hits = hits_;
+    s.entries = entries_.size();
+    return s;
+}
+
 void
 DistanceCache::clear()
 {

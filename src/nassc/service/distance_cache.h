@@ -85,6 +85,17 @@ class DistanceCache
     /** Distinct keys currently cached. */
     std::size_t size() const;
 
+    /** One-lock snapshot of all counters (the individual getters above
+     *  can tear against concurrent gets when read one by one). */
+    struct Stats
+    {
+        std::size_t computations = 0; ///< matrices actually computed
+        std::size_t hits = 0;         ///< served from (in-flight) entries
+        std::size_t entries = 0;      ///< distinct keys resident
+    };
+
+    Stats stats() const;
+
     void clear();
 
     /**

@@ -1,0 +1,367 @@
+#include "nassc/service/scheduler.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <exception>
+#include <limits>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace nassc {
+
+namespace {
+
+/** Set while the current thread executes scheduler tasks. */
+thread_local bool t_in_task = false;
+
+struct TaskScope
+{
+    bool prev;
+    TaskScope() : prev(t_in_task) { t_in_task = true; }
+    ~TaskScope() { t_in_task = prev; }
+};
+
+} // namespace
+
+/**
+ * One job's queue: an index counter plus a slot free-list, both guarded
+ * by the scheduler-wide mutex (tasks are routing passes and whole
+ * transpiles, so one light mutex around claim bookkeeping is noise —
+ * and it keeps the lock order trivially ThreadSanitizer-clean).
+ * Completion is signalled through the job's OWN mutex/cv so a
+ * JobHandle can outlive the scheduler's interest in the job.
+ */
+struct Scheduler::JobHandle::Job
+{
+    Scheduler::TaskFn fn;
+    std::size_t count = 0;
+
+    // Claim state, guarded by Impl::mu.
+    std::size_t next = 0;
+    std::size_t finished = 0;
+    std::vector<int> free_slots; ///< pool-claimable slot ids, stack order
+    std::size_t error_index = std::numeric_limits<std::size_t>::max();
+    std::exception_ptr error;
+
+    // Completion latch, guarded by done_mu (error is safe to read after
+    // observing done: every error write under Impl::mu happens-before
+    // the finishing thread's done store).
+    std::mutex done_mu;
+    std::condition_variable done_cv;
+    bool done = false;
+
+    Job(Scheduler::TaskFn f, std::size_t n) : fn(std::move(f)), count(n) {}
+
+    bool
+    claimable() const
+    {
+        return next < count && !free_slots.empty();
+    }
+};
+
+struct Scheduler::Impl
+{
+    /** Hard ceiling for ensure_workers() growth. */
+    static constexpr int kMaxThreads = 256;
+
+    using Job = Scheduler::JobHandle::Job;
+
+    std::mutex mu;                 ///< active-job list + every job's claims
+    std::condition_variable work_cv; ///< workers: new work or stop
+    std::condition_variable idle_cv; ///< destructor: active list drained
+    std::vector<std::shared_ptr<Job>> jobs; ///< active jobs, arrival order
+    bool stop = false;
+
+    /** threads.size() mirror, readable without spawn_mu. */
+    std::atomic<int> pool_size{0};
+    std::mutex spawn_mu; ///< serializes ensure_workers growth
+    std::vector<std::thread> threads;
+
+    /** Remove a completed job and trip its latch.  Called under mu. */
+    void
+    finish_job(const std::shared_ptr<Job> &job)
+    {
+        auto it = std::find(jobs.begin(), jobs.end(), job);
+        if (it != jobs.end())
+            jobs.erase(it);
+        {
+            std::lock_guard<std::mutex> g(job->done_mu);
+            job->done = true;
+        }
+        job->done_cv.notify_all();
+        if (jobs.empty())
+            idle_cv.notify_all();
+    }
+
+    /** Record a task failure; lowest index wins.  Called under mu. */
+    static void
+    record_error(Job &job, std::size_t index, std::exception_ptr e)
+    {
+        if (index < job.error_index) {
+            job.error_index = index;
+            job.error = std::move(e);
+        }
+    }
+};
+
+Scheduler::Scheduler(int num_threads) : impl_(new Impl)
+{
+    if (num_threads <= 0) {
+        unsigned hw = std::thread::hardware_concurrency();
+        num_threads = hw ? static_cast<int>(hw) : 1;
+    }
+    // At least one worker always: submit()ted jobs have no caller slot,
+    // so an empty pool would strand them forever.
+    num_threads = std::max(1, std::min(num_threads, Impl::kMaxThreads));
+    for (int i = 0; i < num_threads; ++i)
+        impl_->threads.emplace_back([this] { worker_main(); });
+    impl_->pool_size.store(num_threads);
+}
+
+Scheduler::~Scheduler()
+{
+    Impl &im = *impl_;
+    {
+        // Drain: every enqueued job still completes (tasks are finite),
+        // so a handle dropped without wait() never strands the workers.
+        std::unique_lock<std::mutex> lk(im.mu);
+        im.idle_cv.wait(lk, [&] { return im.jobs.empty(); });
+        im.stop = true;
+    }
+    im.work_cv.notify_all();
+    for (std::thread &t : im.threads)
+        t.join();
+    delete impl_;
+}
+
+int
+Scheduler::num_threads() const
+{
+    return impl_->pool_size.load(std::memory_order_acquire);
+}
+
+int
+Scheduler::ensure_workers(int max_workers)
+{
+    // Nested callers run their loops inline anyway, and growth from a
+    // task could only serve work the guard will never fan out.
+    if (max_workers <= 0 || in_task())
+        return num_threads();
+    int want = std::min(max_workers - 1, Impl::kMaxThreads);
+    if (want <= num_threads())
+        return num_threads();
+    std::lock_guard<std::mutex> g(impl_->spawn_mu);
+    // New threads are safe to join mid-flight: they simply start
+    // scanning the active-job list like any sibling.
+    while (static_cast<int>(impl_->threads.size()) < want)
+        impl_->threads.emplace_back([this] { worker_main(); });
+    impl_->pool_size.store(static_cast<int>(impl_->threads.size()),
+                           std::memory_order_release);
+    return num_threads();
+}
+
+void
+Scheduler::worker_main()
+{
+    using Job = Impl::Job;
+    Impl &im = *impl_;
+    std::size_t rotor = 0; ///< round-robin scan start (local per thread)
+
+    std::unique_lock<std::mutex> lk(im.mu);
+    for (;;) {
+        // Steal ONE task from the first claimable job after the rotor,
+        // then re-scan: between-task rotation is what interleaves a
+        // late-arriving job with an in-flight one on the same workers.
+        std::shared_ptr<Job> job;
+        std::size_t index = 0;
+        int slot = -1;
+        const std::size_t n = im.jobs.size();
+        for (std::size_t k = 0; k < n; ++k) {
+            const std::size_t at = (rotor + k) % n;
+            Job &j = *im.jobs[at];
+            if (j.claimable()) {
+                job = im.jobs[at];
+                index = j.next++;
+                slot = j.free_slots.back();
+                j.free_slots.pop_back();
+                rotor = (at + 1) % n;
+                break;
+            }
+        }
+        if (!job) {
+            if (im.stop)
+                return;
+            im.work_cv.wait(lk);
+            rotor = 0;
+            continue;
+        }
+
+        lk.unlock();
+        std::exception_ptr err;
+        {
+            TaskScope scope;
+            try {
+                job->fn(index, slot);
+            } catch (...) {
+                err = std::current_exception();
+            }
+        }
+        lk.lock();
+
+        job->free_slots.push_back(slot);
+        if (err)
+            Impl::record_error(*job, index, std::move(err));
+        if (++job->finished == job->count)
+            im.finish_job(job);
+        else if (job->next < job->count)
+            im.work_cv.notify_one(); // freed slot: a sibling can claim
+    }
+}
+
+Scheduler::JobHandle
+Scheduler::submit(std::size_t count, TaskFn fn, int max_slots)
+{
+    using Job = Impl::Job;
+    Impl &im = *impl_;
+    auto job = std::make_shared<Job>(std::move(fn), count);
+    if (count == 0) {
+        job->done = true;
+        return JobHandle(job);
+    }
+    int slots = max_slots <= 0 ? num_threads() : max_slots;
+    slots = std::max(1, std::min(slots, num_threads()));
+    if (static_cast<std::size_t>(slots) > count)
+        slots = static_cast<int>(count);
+    // Descending push so the stack hands out low slot ids first — a
+    // lightly loaded job touches the same scratch slots every run.
+    for (int s = slots - 1; s >= 0; --s)
+        job->free_slots.push_back(s);
+    {
+        std::lock_guard<std::mutex> lk(im.mu);
+        im.jobs.push_back(job);
+    }
+    im.work_cv.notify_all();
+    return JobHandle(job);
+}
+
+void
+Scheduler::parallel_for(std::size_t count, const TaskFn &fn, int max_workers)
+{
+    using Job = Impl::Job;
+    if (count == 0)
+        return;
+    Impl &im = *impl_;
+    if (max_workers <= 0)
+        max_workers = num_threads() + 1;
+
+    // Inline paths: nested call from inside a task (the guard), a
+    // serial request, or a single index.  Identical semantics to the
+    // parallel path: every index runs, lowest-index exception rethrows.
+    if (in_task() || max_workers == 1 || count <= 1 || num_threads() == 0) {
+        TaskScope scope;
+        std::size_t error_index = std::numeric_limits<std::size_t>::max();
+        std::exception_ptr error;
+        for (std::size_t i = 0; i < count; ++i) {
+            try {
+                fn(i, 0);
+            } catch (...) {
+                if (i < error_index) {
+                    error_index = i;
+                    error = std::current_exception();
+                }
+            }
+        }
+        if (error)
+            std::rethrow_exception(error);
+        return;
+    }
+
+    auto job = std::make_shared<Job>(fn, count);
+    int slots = max_workers;
+    if (static_cast<std::size_t>(slots) > count)
+        slots = static_cast<int>(count);
+    // Slot 0 is reserved for this caller; pool workers claim 1..slots-1.
+    for (int s = slots - 1; s >= 1; --s)
+        job->free_slots.push_back(s);
+    {
+        std::lock_guard<std::mutex> lk(im.mu);
+        im.jobs.push_back(job);
+    }
+    im.work_cv.notify_all();
+
+    // The caller drains its OWN job only — it must not wander into a
+    // foreign job's long task while its stragglers finish.
+    bool finished_last = false;
+    {
+        TaskScope scope;
+        for (;;) {
+            std::size_t i;
+            {
+                std::lock_guard<std::mutex> lk(im.mu);
+                if (job->next >= job->count)
+                    break;
+                i = job->next++;
+            }
+            std::exception_ptr err;
+            try {
+                fn(i, 0);
+            } catch (...) {
+                err = std::current_exception();
+            }
+            std::lock_guard<std::mutex> lk(im.mu);
+            if (err)
+                Impl::record_error(*job, i, std::move(err));
+            if (++job->finished == job->count) {
+                im.finish_job(job);
+                finished_last = true;
+                break;
+            }
+        }
+    }
+
+    if (!finished_last) {
+        std::unique_lock<std::mutex> dlk(job->done_mu);
+        job->done_cv.wait(dlk, [&] { return job->done; });
+    }
+    if (job->error)
+        std::rethrow_exception(job->error);
+}
+
+bool
+Scheduler::JobHandle::done() const
+{
+    if (!job_)
+        return true;
+    std::lock_guard<std::mutex> g(job_->done_mu);
+    return job_->done;
+}
+
+void
+Scheduler::JobHandle::wait() const
+{
+    if (!job_)
+        return;
+    {
+        std::unique_lock<std::mutex> lk(job_->done_mu);
+        job_->done_cv.wait(lk, [&] { return job_->done; });
+    }
+    if (job_->error)
+        std::rethrow_exception(job_->error);
+}
+
+Scheduler &
+Scheduler::shared()
+{
+    static Scheduler scheduler(0);
+    return scheduler;
+}
+
+bool
+Scheduler::in_task()
+{
+    return t_in_task;
+}
+
+} // namespace nassc

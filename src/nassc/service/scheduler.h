@@ -1,0 +1,162 @@
+#ifndef NASSC_SERVICE_SCHEDULER_H
+#define NASSC_SERVICE_SCHEDULER_H
+
+/**
+ * @file
+ * Work-stealing job scheduler: the multi-job successor of ThreadPool.
+ *
+ * ThreadPool (service/thread_pool.h) runs ONE parallel_for at a time —
+ * top-level submissions from distinct threads serialize on a submit
+ * mutex, so a serving process with concurrent independent batches
+ * degrades to lock-step.  Scheduler generalizes the same worker model
+ * to PER-JOB task queues: every submitted job owns its own index
+ * counter and slot table, the shared workers scan the active-job list
+ * round-robin and steal one task at a time from whichever job has work
+ * and a free slot, and distinct submitters therefore interleave on the
+ * same workers instead of queueing behind each other.
+ *
+ * Everything the single-job pool guaranteed is preserved:
+ *
+ *  - fn(index, slot) runs for every index in [0, count) exactly once;
+ *    any worker may execute any index, so callers write results into
+ *    per-index slots and derive any randomness from the index — which
+ *    is exactly how LayoutSearch (derive_trial_seed) and
+ *    BatchTranspiler (derive_job_seed) keep their output bit-identical
+ *    for every worker count and every steal schedule.
+ *  - `slot` is a stable per-JOB scratch id in [0, max_workers): a job
+ *    capped at K slots never sees a slot >= K, no two tasks of one job
+ *    run concurrently under the same slot, and the parallel_for caller
+ *    always owns slot 0 of its own job.  Slot-indexed scratch (one
+ *    Router set per slot in LayoutSearch) keeps working even though
+ *    which THREAD occupies a slot changes as workers steal.
+ *  - Nested-parallelism guard: a parallel_for issued from inside any
+ *    task runs inline on the issuing thread, so a saturating batch
+ *    degrades its inner layout trials to serial execution instead of
+ *    deadlocking on or oversubscribing the pool.
+ *  - Exceptions are captured per index and the lowest-index one is
+ *    rethrown after the job completes, identically for every schedule;
+ *    sibling indices still run.
+ *
+ * New in the scheduler: submit() enqueues a job WITHOUT blocking and
+ * returns a JobHandle future — the serving layer (TranspileService)
+ * uses it to run whole transpile requests asynchronously while the
+ * submitting thread keeps accepting work.  A submitted job has no
+ * caller slot; its tasks run entirely on pool workers.  Do not call
+ * JobHandle::wait() from inside a task — a worker blocking on another
+ * job's completion can deadlock a saturated pool (the guard cannot
+ * help: the waited-for work belongs to a different job).
+ *
+ * Fairness: workers re-scan the job list between tasks (tasks here are
+ * routing passes and whole transpiles — milliseconds at least — so the
+ * rescan is noise), starting after the job they last served.  A
+ * long-running job therefore cannot starve a later one: the moment any
+ * worker finishes a task, the next job in rotation gets it.
+ */
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+
+namespace nassc {
+
+/** Multi-job worker pool with per-job queues and task stealing. */
+class Scheduler
+{
+  public:
+    /** fn(index, slot): see the file comment for the slot contract. */
+    using TaskFn = std::function<void(std::size_t, int)>;
+
+    /** Spawns `num_threads` workers; <= 0 picks hardware_concurrency(). */
+    explicit Scheduler(int num_threads = 0);
+
+    /**
+     * Blocks until every submitted job has completed, then joins the
+     * workers.  Clients must not submit after destruction begins.
+     */
+    ~Scheduler();
+
+    Scheduler(const Scheduler &) = delete;
+    Scheduler &operator=(const Scheduler &) = delete;
+
+    /** Pool threads (excluding the caller slot of parallel_for). */
+    int num_threads() const;
+
+    /**
+     * Grow the pool (never shrink) so a parallel_for can hand out up to
+     * max_workers slots including the caller's; returns the resulting
+     * pool size.  Exists because hardware_concurrency() under-reports
+     * in cgroup-limited containers, so an explicit --threads N request
+     * must be able to out-size the default.  Bounded (256 threads) and
+     * a no-op from inside a task.
+     */
+    int ensure_workers(int max_workers);
+
+    /** Completion future of a submitted job. */
+    class JobHandle
+    {
+      public:
+        JobHandle() = default;
+
+        /** True when bound to a job (submit() always returns bound). */
+        bool valid() const { return job_ != nullptr; }
+
+        /** Non-blocking completion poll; an unbound handle is done. */
+        bool done() const;
+
+        /**
+         * Block until the job completes, then rethrow its lowest-index
+         * captured exception, if any.  Never call from inside a task.
+         */
+        void wait() const;
+
+      private:
+        friend class Scheduler;
+        struct Job;
+        explicit JobHandle(std::shared_ptr<Job> job) : job_(std::move(job)) {}
+        std::shared_ptr<Job> job_;
+    };
+
+    /**
+     * Enqueue fn(index, slot) for index in [0, count) and return at
+     * once; tasks run on pool workers (up to max_slots concurrently,
+     * <= 0 meaning "whole pool"), interleaved with every other active
+     * job.  Unlike parallel_for there is no caller slot: slots are
+     * 0..max_slots-1 and the submitting thread does not execute tasks.
+     * Safe to call from inside a task (enqueueing never blocks); only
+     * wait() is restricted.
+     */
+    JobHandle submit(std::size_t count, TaskFn fn, int max_slots = 0);
+
+    /**
+     * Run fn(index, slot) for index in [0, count), blocking until all
+     * indices finished; the caller participates as slot 0 of this job
+     * (and only this job) while pool workers steal the rest.
+     * max_workers <= 0 means "whole pool + caller".  Runs inline when
+     * called from inside a task, when max_workers == 1, or when count
+     * <= 1.  Rethrows the lowest-index captured exception.  Concurrent
+     * top-level callers interleave — no whole-job serialization.
+     */
+    void parallel_for(std::size_t count, const TaskFn &fn,
+                      int max_workers = 0);
+
+    /**
+     * Process-wide scheduler (hardware-concurrency sized, lazily
+     * created).  BatchTranspiler, LayoutSearch, and TranspileService
+     * all default to it, which is what makes the nested-parallelism
+     * guard effective end to end.
+     */
+    static Scheduler &shared();
+
+    /** True on a thread currently executing a scheduler task. */
+    static bool in_task();
+
+  private:
+    struct Impl;
+    void worker_main();
+
+    Impl *impl_;
+};
+
+} // namespace nassc
+
+#endif // NASSC_SERVICE_SCHEDULER_H

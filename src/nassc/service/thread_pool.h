@@ -3,13 +3,17 @@
 
 /**
  * @file
- * Fixed-size worker pool shared by the parallel subsystems.
+ * Fixed-size SINGLE-JOB worker pool.
  *
- * One pool serves both parallelism layers of the codebase:
- *
- *  - BatchTranspiler fans whole transpile jobs out across it;
- *  - LayoutSearch fans the per-seed layout trials of a single
- *    transpile() call out across it.
+ * Historical note: this was the pool behind BatchTranspiler and
+ * LayoutSearch until the serving layer landed.  Those subsystems now
+ * run on the multi-job work-stealing Scheduler (service/scheduler.h),
+ * which preserves every contract documented here — fn(index, worker),
+ * caller participation as slot 0, the nested-parallelism guard,
+ * lowest-index exception selection — while letting concurrent
+ * top-level submitters interleave instead of serializing on the
+ * submit mutex below.  ThreadPool remains for clients that want a
+ * private, strictly one-job-at-a-time pool with zero sharing.
  *
  * parallel_for(count, fn, max_workers) runs fn(index, worker) for every
  * index in [0, count).  The calling thread always participates as
@@ -88,8 +92,8 @@ class ThreadPool
 
     /**
      * Process-wide pool (hardware-concurrency sized, lazily created).
-     * BatchTranspiler and LayoutSearch both default to it, which is
-     * what makes the nested-parallelism guard effective end to end.
+     * The library subsystems now default to Scheduler::shared()
+     * instead; this singleton remains for standalone ThreadPool users.
      */
     static ThreadPool &shared();
 

@@ -1,0 +1,208 @@
+#include "nassc/service/transpile_service.h"
+
+#include <cstdio>
+#include <stdexcept>
+#include <utility>
+
+namespace nassc {
+
+namespace {
+
+std::string
+hex64(std::uint64_t v)
+{
+    char buf[20];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(v));
+    return buf;
+}
+
+} // namespace
+
+std::string
+TranspileService::request_key(const QuantumCircuit &circuit,
+                              const Backend &backend,
+                              const TranspileOptions &options)
+{
+    // The circuit and options fingerprints are 64-bit FNV-1a values;
+    // the backend contributes its own cache_key(), which already
+    // fingerprints topology + calibration.  '|' never appears inside
+    // the hex fragments, so the triple cannot alias across fields.
+    return hex64(circuit.fingerprint()) + "|" + backend.cache_key() + "|" +
+           hex64(options.fingerprint());
+}
+
+TranspileService::TranspileService(ServiceOptions options)
+    : options_(std::move(options)), scheduler_(options_.scheduler),
+      distances_(options_.distances)
+{
+    if (!distances_)
+        distances_ = std::make_shared<DistanceCache>();
+    if (options_.num_threads > 0)
+        scheduler().ensure_workers(options_.num_threads + 1);
+}
+
+TranspileService::~TranspileService()
+{
+    // Every promise settles (run_request catches everything), so the
+    // drain always terminates; after it, no task touches `this`.
+    std::unique_lock<std::mutex> lk(mu_);
+    drained_.wait(lk, [&] { return inflight_count_ == 0; });
+}
+
+Scheduler &
+TranspileService::scheduler() const
+{
+    return scheduler_ ? *scheduler_ : Scheduler::shared();
+}
+
+void
+TranspileService::cache_insert(const std::string &key,
+                               SharedTranspileResult result)
+{
+    if (options_.cache_capacity == 0)
+        return;
+    auto it = cache_.find(key);
+    if (it != cache_.end()) {
+        // Possible when clear_cache raced an in-flight recompute of a
+        // key that was then resubmitted; keep the newest, refresh LRU.
+        it->second->result = std::move(result);
+        lru_.splice(lru_.begin(), lru_, it->second);
+        return;
+    }
+    while (lru_.size() >= options_.cache_capacity) {
+        cache_.erase(lru_.back().key);
+        lru_.pop_back();
+        ++stats_.evictions;
+    }
+    lru_.push_front(CacheEntry{key, std::move(result)});
+    cache_.emplace(key, lru_.begin());
+}
+
+void
+TranspileService::run_request(
+    const std::string &key, const QuantumCircuit &circuit,
+    const Backend &backend, const TranspileOptions &options,
+    const std::shared_ptr<std::promise<SharedTranspileResult>> &promise)
+{
+    SharedTranspileResult result;
+    std::exception_ptr error;
+    try {
+        result = std::make_shared<TranspileResult>(
+            transpile(circuit, backend, options, *distances_));
+    } catch (...) {
+        error = std::current_exception();
+    }
+
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        if (result) {
+            ++stats_.transpiles_ok;
+            // Insert BEFORE dropping the in-flight entry: a concurrent
+            // submit always finds the key in one table or the other,
+            // never recomputes a result that is already known.
+            cache_insert(key, result);
+        } else {
+            ++stats_.transpiles_failed;
+        }
+        inflight_.erase(key);
+    }
+
+    // Settle outside the lock: waiters wake straight into their copy.
+    if (result)
+        promise->set_value(std::move(result));
+    else
+        promise->set_exception(error);
+
+    {
+        // Notify UNDER the lock: the destructor may observe the zero
+        // count and destroy the condition variable the instant the
+        // mutex is released, so the notify must already be done by
+        // then (cv-destruction race otherwise, caught by TSan).
+        std::lock_guard<std::mutex> lk(mu_);
+        --inflight_count_;
+        drained_.notify_all();
+    }
+}
+
+TranspileTicket
+TranspileService::submit(const QuantumCircuit &circuit,
+                         std::shared_ptr<const Backend> backend,
+                         const TranspileOptions &options)
+{
+    if (!backend)
+        throw std::invalid_argument("submit: null backend");
+
+    TranspileTicket ticket;
+    ticket.key_ = request_key(circuit, *backend, options);
+
+    auto promise = std::make_shared<std::promise<SharedTranspileResult>>();
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        ++stats_.requests;
+
+        auto hit = cache_.find(ticket.key_);
+        if (hit != cache_.end()) {
+            ++stats_.cache_hits;
+            lru_.splice(lru_.begin(), lru_, hit->second);
+            promise->set_value(hit->second->result);
+            ticket.source_ = TicketSource::kCacheHit;
+            ticket.future_ = promise->get_future().share();
+            return ticket;
+        }
+
+        auto flight = inflight_.find(ticket.key_);
+        if (flight != inflight_.end()) {
+            ++stats_.coalesced;
+            ticket.source_ = TicketSource::kCoalesced;
+            ticket.future_ = flight->second;
+            return ticket;
+        }
+
+        ++stats_.misses;
+        ticket.future_ = promise->get_future().share();
+        inflight_.emplace(ticket.key_, ticket.future_);
+        ++inflight_count_;
+    }
+
+    if (Scheduler::in_task()) {
+        // Nested submitter (e.g. a batch job consulting the service):
+        // run inline so a saturated pool cannot deadlock behind its own
+        // queue.  Dedup above still applied.
+        ticket.source_ = TicketSource::kInline;
+        run_request(ticket.key_, circuit, *backend, options, promise);
+        return ticket;
+    }
+
+    ticket.source_ = TicketSource::kScheduled;
+    // The task owns copies/shares of everything it touches; `this`
+    // stays valid because the destructor drains in-flight requests.
+    scheduler().submit(
+        1,
+        [this, key = ticket.key_, circuit, backend = std::move(backend),
+         options, promise](std::size_t, int) {
+            run_request(key, circuit, *backend, options, promise);
+        },
+        /*max_slots=*/1);
+    return ticket;
+}
+
+ServiceStats
+TranspileService::stats() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    ServiceStats out = stats_;
+    out.cache_size = lru_.size();
+    out.inflight = inflight_.size();
+    return out;
+}
+
+void
+TranspileService::clear_cache()
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    lru_.clear();
+    cache_.clear();
+}
+
+} // namespace nassc

@@ -1,0 +1,223 @@
+#ifndef NASSC_SERVICE_TRANSPILE_SERVICE_H
+#define NASSC_SERVICE_TRANSPILE_SERVICE_H
+
+/**
+ * @file
+ * Async transpilation front-end with request dedup and a result cache.
+ *
+ * The paper's pipeline makes routing deliberately expensive per circuit
+ * (optimization-aware SWAP selection), so a serving deployment must
+ * amortize that cost across concurrent, overlapping, and repeated
+ * requests.  TranspileService is that amortization layer:
+ *
+ *  - submit() hands back a Ticket immediately; the transpile itself
+ *    runs as a Scheduler job, interleaved with every other request on
+ *    the shared workers (see service/scheduler.h).
+ *  - Requests are identified by a FINGERPRINT KEY — the triple
+ *    (QuantumCircuit::fingerprint(), Backend::cache_key(),
+ *    TranspileOptions::fingerprint()) — so identity is structural: two
+ *    clients submitting the same circuit/device/options meet the same
+ *    key no matter how they built the objects.
+ *  - In-flight coalescing: a request whose key is already being
+ *    transpiled joins that computation's future instead of starting a
+ *    second one — N concurrent identical requests cost ONE transpile.
+ *  - A bounded LRU result cache returns completed results immediately.
+ *    transpile() is deterministic per key (seeds live in the options,
+ *    which are part of the key), so a hit is BIT-IDENTICAL to a fresh
+ *    run — only the timing fields (seconds/layout_seconds) still
+ *    describe the original computation.  Failures are never cached: a
+ *    throwing request propagates its exception to every coalesced
+ *    waiter and the next submit retries.
+ *
+ * Nesting: a submit() issued from inside a scheduler task (e.g. a
+ * batch job that consults the service) runs the transpile inline on
+ * the issuing thread — dedup and caching still apply, and a saturated
+ * pool can never deadlock behind its own queue.
+ *
+ * Thread safety: every public member is safe to call concurrently.
+ * The destructor blocks until all in-flight requests complete, so a
+ * Ticket's future never dangles; keep the service alive until every
+ * submitter is done.
+ */
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <future>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "nassc/service/distance_cache.h"
+#include "nassc/service/scheduler.h"
+#include "nassc/transpile/transpile.h"
+
+namespace nassc {
+
+/** Completed transpiles are shared read-only between coalesced
+ *  requesters and the cache. */
+using SharedTranspileResult = std::shared_ptr<const TranspileResult>;
+
+/** How a Ticket's result is (being) produced. */
+enum class TicketSource {
+    kScheduled, ///< owner of a fresh async transpile job
+    kInline,    ///< owner, ran synchronously (nested inside a task)
+    kCoalesced, ///< joined an in-flight computation for the same key
+    kCacheHit,  ///< served complete from the result cache
+};
+
+/** Claim check for one submitted request. */
+class TranspileTicket
+{
+  public:
+    TranspileTicket() = default;
+
+    bool valid() const { return future_.valid(); }
+
+    /** The request's fingerprint cache key. */
+    const std::string &key() const { return key_; }
+
+    TicketSource source() const { return source_; }
+
+    /** Non-blocking completion poll. */
+    bool
+    ready() const
+    {
+        return future_.valid() &&
+               future_.wait_for(std::chrono::seconds(0)) ==
+                   std::future_status::ready;
+    }
+
+    /**
+     * Block for the result; rethrows the transpile's exception on
+     * failure.  Safe to call from any thread and repeatedly.
+     */
+    SharedTranspileResult get() const { return future_.get(); }
+
+  private:
+    friend class TranspileService;
+    std::string key_;
+    TicketSource source_ = TicketSource::kScheduled;
+    std::shared_future<SharedTranspileResult> future_;
+};
+
+/** Service configuration. */
+struct ServiceOptions
+{
+    /**
+     * Result-cache capacity in entries; 0 disables the cache (requests
+     * still coalesce while in flight).
+     */
+    std::size_t cache_capacity = 256;
+    /**
+     * Concurrent transpiles to provision for: grows the scheduler to at
+     * least this many workers (hardware_concurrency under-reports in
+     * cgroup-limited containers).  0 = take the pool as it is.
+     */
+    int num_threads = 0;
+    /** Scheduler to run on; null = Scheduler::shared(). */
+    std::shared_ptr<Scheduler> scheduler;
+    /** Distance-matrix cache shared by all requests; null = a private
+     *  cache owned by the service. */
+    std::shared_ptr<DistanceCache> distances;
+};
+
+/** Monotonic service counters (snapshot). */
+struct ServiceStats
+{
+    std::uint64_t requests = 0;    ///< submit() calls
+    std::uint64_t cache_hits = 0;  ///< served complete from the cache
+    std::uint64_t coalesced = 0;   ///< joined an in-flight computation
+    std::uint64_t misses = 0;      ///< owned a fresh transpile
+    std::uint64_t evictions = 0;   ///< LRU entries dropped at capacity
+    std::uint64_t transpiles_ok = 0;
+    std::uint64_t transpiles_failed = 0;
+    std::size_t cache_size = 0; ///< entries resident now
+    std::size_t inflight = 0;   ///< keys being transpiled now
+};
+
+/** Async transpilation service: scheduler + dedup + LRU result cache. */
+class TranspileService
+{
+  public:
+    explicit TranspileService(ServiceOptions options = {});
+
+    /** Blocks until every in-flight request has completed. */
+    ~TranspileService();
+
+    TranspileService(const TranspileService &) = delete;
+    TranspileService &operator=(const TranspileService &) = delete;
+
+    /**
+     * Enqueue one request and return its claim check immediately.
+     * `backend` is shared because the transpile runs after submit()
+     * returns; it must be non-null.  The circuit is copied into the
+     * job.  Never throws on transpile errors — those surface from
+     * Ticket::get().
+     */
+    TranspileTicket submit(const QuantumCircuit &circuit,
+                           std::shared_ptr<const Backend> backend,
+                           const TranspileOptions &options = {});
+
+    /** Convenience: submit + get. */
+    SharedTranspileResult
+    transpile_sync(const QuantumCircuit &circuit,
+                   std::shared_ptr<const Backend> backend,
+                   const TranspileOptions &options = {})
+    {
+        return submit(circuit, std::move(backend), options).get();
+    }
+
+    /** The fingerprint key submit() files `(circuit, backend, options)`
+     *  under — exposed for tests and external sharding. */
+    static std::string request_key(const QuantumCircuit &circuit,
+                                   const Backend &backend,
+                                   const TranspileOptions &options);
+
+    ServiceStats stats() const;
+
+    /** Drop every cached result (stats keep accumulating). */
+    void clear_cache();
+
+    Scheduler &scheduler() const;
+
+    DistanceCache &distance_cache() const { return *distances_; }
+
+  private:
+    struct CacheEntry
+    {
+        std::string key;
+        SharedTranspileResult result;
+    };
+
+    /** Run one owned request and settle its promise.  Any thread. */
+    void run_request(const std::string &key, const QuantumCircuit &circuit,
+                     const Backend &backend, const TranspileOptions &options,
+                     const std::shared_ptr<std::promise<SharedTranspileResult>>
+                         &promise);
+
+    /** Insert into the LRU cache, evicting at capacity.  Under mu_. */
+    void cache_insert(const std::string &key, SharedTranspileResult result);
+
+    ServiceOptions options_;
+    std::shared_ptr<Scheduler> scheduler_; ///< null = Scheduler::shared()
+    std::shared_ptr<DistanceCache> distances_;
+
+    mutable std::mutex mu_;
+    std::condition_variable drained_;
+    std::size_t inflight_count_ = 0; ///< submitted, promise not yet settled
+    /** In-flight computations by key, joined by coalescing requests. */
+    std::unordered_map<std::string,
+                       std::shared_future<SharedTranspileResult>>
+        inflight_;
+    /** LRU list, most recent first, + index into it. */
+    std::list<CacheEntry> lru_;
+    std::unordered_map<std::string, std::list<CacheEntry>::iterator> cache_;
+    ServiceStats stats_;
+};
+
+} // namespace nassc
+
+#endif // NASSC_SERVICE_TRANSPILE_SERVICE_H

@@ -2,6 +2,7 @@
 
 #include <chrono>
 
+#include "nassc/ir/fnv1a.h"
 #include "nassc/passes/basis_translation.h"
 #include "nassc/passes/cancellation.h"
 #include "nassc/passes/collect_blocks.h"
@@ -33,6 +34,30 @@ optimization_loop(QuantumCircuit &qc, int rounds)
 }
 
 } // namespace
+
+std::uint64_t
+TranspileOptions::fingerprint() const
+{
+    // Every field, declaration order, fixed-width encodings: the value
+    // is part of the persistent cache-key contract (see header).
+    Fnv1a fp;
+    fp.u32(static_cast<std::uint32_t>(router));
+    fp.u32(seed);
+    fp.byte(noise_aware ? 1 : 0);
+    fp.byte(enable_c2q ? 1 : 0);
+    fp.byte(enable_commute1 ? 1 : 0);
+    fp.byte(enable_commute2 ? 1 : 0);
+    fp.u32(static_cast<std::uint32_t>(extended_size));
+    fp.f64(extended_weight);
+    fp.u32(static_cast<std::uint32_t>(layout_iterations));
+    fp.u32(static_cast<std::uint32_t>(layout_trials));
+    fp.u32(static_cast<std::uint32_t>(layout_threads));
+    fp.u32(static_cast<std::uint32_t>(opt_loop_rounds));
+    fp.byte(reuse_routing ? 1 : 0);
+    fp.byte(orientation_aware_decomposition ? 1 : 0);
+    fp.byte(use_decay ? 1 : 0);
+    return fp.value();
+}
 
 TranspileResult
 transpile(const QuantumCircuit &qc, const Backend &backend,

@@ -27,6 +27,8 @@
  * routing), used to compute CNOT_add = CNOT_total - CNOT_baseline.
  */
 
+#include <cstdint>
+
 #include "nassc/ir/circuit.h"
 #include "nassc/route/sabre.h"
 #include "nassc/service/distance_cache.h"
@@ -66,6 +68,20 @@ struct TranspileOptions
     bool orientation_aware_decomposition = true;
     /** Ablation switch: SABRE decay factor in the router. */
     bool use_decay = true;
+
+    /**
+     * FNV-1a fingerprint over EVERY field above, in declaration order.
+     * Part of the TranspileService result-cache key (with
+     * QuantumCircuit::fingerprint() and Backend::cache_key()), so two
+     * option sets share a key iff every field matches.  Deliberately
+     * conservative: layout_threads and reuse_routing are keyed too even
+     * though both are pinned bit-identical on the output — a request
+     * that differs only there misses the cache rather than risking a
+     * stale answer if those contracts ever loosen.  Values are pinned
+     * in tests/test_fingerprint.cc; extending this struct must extend
+     * the hash (the test's field-coverage sweep catches omissions).
+     */
+    std::uint64_t fingerprint() const;
 };
 
 /** Transpilation output and metrics. */

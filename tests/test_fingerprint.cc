@@ -1,0 +1,181 @@
+// Tests for the serving layer's fingerprint keys:
+//
+//  (a) stability — exact pinned values for QuantumCircuit::fingerprint()
+//      and TranspileOptions::fingerprint().  These hashes are persistent
+//      cache-key material (TranspileService), so any change to the
+//      encoding, the FNV constants, or the option field order is a
+//      BREAKING change and must show up here;
+//  (b) structural identity — independently built identical circuits
+//      collide, any structural difference (order, operands, params,
+//      width, orientation flags, gate grouping) separates;
+//  (c) option field coverage — flipping EVERY TranspileOptions field,
+//      one at a time, changes the fingerprint, and all the variants are
+//      pairwise distinct.  Adding a field without extending the hash
+//      fails the count check below.
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "nassc/ir/circuit.h"
+#include "nassc/transpile/transpile.h"
+
+namespace nassc {
+namespace {
+
+QuantumCircuit
+mixed_circuit()
+{
+    QuantumCircuit c(3);
+    c.h(0);
+    c.cx(0, 1);
+    c.rz(0.5, 2);
+    c.swap(1, 2);
+    c.mutable_gates().back().swap_orient = SwapOrient::kSecond;
+    c.measure(0);
+    c.barrier();
+    return c;
+}
+
+TEST(CircuitFingerprint, PinnedStableValues)
+{
+    // Cache-key contract: these exact values must survive refactors.
+    EXPECT_EQ(QuantumCircuit(0).fingerprint(), 0x5467b0da1d106495ull);
+    EXPECT_EQ(mixed_circuit().fingerprint(), 0x262e293add70384bull);
+}
+
+TEST(CircuitFingerprint, IndependentlyBuiltTwinsCollide)
+{
+    EXPECT_EQ(mixed_circuit().fingerprint(), mixed_circuit().fingerprint());
+}
+
+TEST(CircuitFingerprint, StructuralDifferencesSeparate)
+{
+    const std::uint64_t base = mixed_circuit().fingerprint();
+
+    { // gate order
+        QuantumCircuit c(3);
+        c.cx(0, 1);
+        c.h(0);
+        c.rz(0.5, 2);
+        c.swap(1, 2);
+        c.mutable_gates().back().swap_orient = SwapOrient::kSecond;
+        c.measure(0);
+        c.barrier();
+        EXPECT_NE(c.fingerprint(), base);
+    }
+    { // operand order
+        QuantumCircuit c = mixed_circuit();
+        c.mutable_gates()[1] = Gate::two_q(OpKind::kCX, 1, 0);
+        EXPECT_NE(c.fingerprint(), base);
+    }
+    { // parameter value
+        QuantumCircuit c = mixed_circuit();
+        c.mutable_gates()[2] = Gate::one_q(OpKind::kRZ, 2, 0.5000001);
+        EXPECT_NE(c.fingerprint(), base);
+    }
+    { // SWAP orientation flag
+        QuantumCircuit c = mixed_circuit();
+        c.mutable_gates()[3].swap_orient = SwapOrient::kDefault;
+        EXPECT_NE(c.fingerprint(), base);
+    }
+    { // register width (same gate stream)
+        const QuantumCircuit m = mixed_circuit();
+        QuantumCircuit c(4);
+        for (const Gate &g : m.gates())
+            c.append(g);
+        EXPECT_NE(c.fingerprint(), base);
+    }
+    { // trailing gate dropped
+        QuantumCircuit c = mixed_circuit();
+        c.mutable_gates().pop_back();
+        EXPECT_NE(c.fingerprint(), base);
+    }
+}
+
+TEST(CircuitFingerprint, GateGroupingCannotAlias)
+{
+    // Same flat operand stream, different gate boundaries: the per-gate
+    // operand-count mixing must separate them.
+    QuantumCircuit a(3);
+    a.append(Gate::barrier({0, 1}));
+    a.append(Gate::barrier({2}));
+    QuantumCircuit b(3);
+    b.append(Gate::barrier({0}));
+    b.append(Gate::barrier({1, 2}));
+    EXPECT_NE(a.fingerprint(), b.fingerprint());
+}
+
+TEST(OptionsFingerprint, PinnedStableValues)
+{
+    EXPECT_EQ(TranspileOptions{}.fingerprint(), 0x299c4328d5a7bbf7ull);
+    TranspileOptions s;
+    s.router = RoutingAlgorithm::kSabre;
+    s.seed = 7;
+    EXPECT_EQ(s.fingerprint(), 0xfced570ceb3a4c89ull);
+}
+
+TEST(OptionsFingerprint, EveryFieldIsCovered)
+{
+    // One variant per field, each differing from the default in exactly
+    // that field.  If TranspileOptions grows a field, add a variant
+    // here AND a line to fingerprint() — the count assert is the tripwire.
+    std::vector<TranspileOptions> variants;
+    auto vary = [&](auto &&set) {
+        TranspileOptions o;
+        set(o);
+        variants.push_back(o);
+    };
+    vary([](TranspileOptions &o) { o.router = RoutingAlgorithm::kSabre; });
+    vary([](TranspileOptions &o) { o.seed = 12345; });
+    vary([](TranspileOptions &o) { o.noise_aware = true; });
+    vary([](TranspileOptions &o) { o.enable_c2q = false; });
+    vary([](TranspileOptions &o) { o.enable_commute1 = false; });
+    vary([](TranspileOptions &o) { o.enable_commute2 = false; });
+    vary([](TranspileOptions &o) { o.extended_size = 21; });
+    vary([](TranspileOptions &o) { o.extended_weight = 0.25; });
+    vary([](TranspileOptions &o) { o.layout_iterations = 4; });
+    vary([](TranspileOptions &o) { o.layout_trials = 4; });
+    vary([](TranspileOptions &o) { o.layout_threads = 2; });
+    vary([](TranspileOptions &o) { o.opt_loop_rounds = 5; });
+    vary([](TranspileOptions &o) { o.reuse_routing = false; });
+    vary([](TranspileOptions &o) {
+        o.orientation_aware_decomposition = false;
+    });
+    vary([](TranspileOptions &o) { o.use_decay = false; });
+
+    // Tripwire: sizeof changes when fields are added; update the variant
+    // list, the hash, and this constant together.
+    ASSERT_EQ(variants.size(), 15u);
+
+    const std::uint64_t base = TranspileOptions{}.fingerprint();
+    std::set<std::uint64_t> seen{base};
+    for (const TranspileOptions &o : variants) {
+        const std::uint64_t fp = o.fingerprint();
+        EXPECT_NE(fp, base);
+        EXPECT_TRUE(seen.insert(fp).second)
+            << "fingerprint collision between option variants";
+    }
+}
+
+TEST(OptionsFingerprint, BoolFieldsDoNotAliasAcrossPositions)
+{
+    // Two single-bool flips in different fields must not cancel: flip
+    // pairs and require distinctness from each other and the base.
+    TranspileOptions a;
+    a.enable_c2q = false;
+    TranspileOptions b;
+    b.enable_commute1 = false;
+    TranspileOptions both;
+    both.enable_c2q = false;
+    both.enable_commute1 = false;
+    std::set<std::uint64_t> s{TranspileOptions{}.fingerprint(),
+                              a.fingerprint(), b.fingerprint(),
+                              both.fingerprint()};
+    EXPECT_EQ(s.size(), 4u);
+}
+
+} // namespace
+} // namespace nassc

@@ -34,7 +34,7 @@
 #include "nassc/route/router.h"
 #include "nassc/route/sabre.h"
 #include "nassc/service/batch_transpiler.h"
-#include "nassc/service/thread_pool.h"
+#include "nassc/service/scheduler.h"
 #include "nassc/topo/backends.h"
 #include "nassc/transpile/transpile.h"
 

@@ -1,0 +1,384 @@
+// Tests for the work-stealing job scheduler (service/scheduler.h):
+//
+//  (a) index coverage and the per-job slot contract (slots < cap,
+//      unique concurrent occupancy, caller owns slot 0);
+//  (b) the headline multi-job property: concurrent top-level submitters
+//      make interleaved progress — no whole-job serialization — even
+//      while a third job has every pool worker busy (this deadlocks on
+//      the single-job ThreadPool's submit mutex by design);
+//  (c) determinism: per-index results are identical for every worker
+//      count and steal schedule;
+//  (d) deterministic lowest-index exception selection with sibling
+//      isolation, on both the blocking and async paths;
+//  (e) async submit(): JobHandle wait/done, wait-rethrow, submission
+//      from inside a task;
+//  (f) nested-parallelism guard and ensure_workers growth;
+//  (g) DistanceCache under concurrent mixed backends driven through the
+//      scheduler: exactly-once compute per key, coherent stats().
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "nassc/ir/fnv1a.h"
+#include "nassc/service/distance_cache.h"
+#include "nassc/service/scheduler.h"
+#include "nassc/topo/backends.h"
+
+namespace nassc {
+namespace {
+
+/** Spin until `pred` or ~5 s; returns whether pred came true. */
+template <typename Pred>
+bool
+spin_until(Pred pred)
+{
+    auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(5);
+    while (!pred()) {
+        if (std::chrono::steady_clock::now() > deadline)
+            return false;
+        std::this_thread::yield();
+    }
+    return true;
+}
+
+TEST(Scheduler, RunsEveryIndexExactlyOnce)
+{
+    Scheduler sched(4);
+    for (std::size_t count : {0u, 1u, 3u, 64u, 1000u}) {
+        std::vector<std::atomic<int>> hits(count);
+        sched.parallel_for(count, [&](std::size_t i, int) {
+            hits[i].fetch_add(1);
+        });
+        for (std::size_t i = 0; i < count; ++i)
+            EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+    }
+}
+
+TEST(Scheduler, SlotContractHoldsUnderStealing)
+{
+    // Slots are per-JOB scratch ids: always < cap, never concurrently
+    // occupied by two tasks of the same job, and the caller is slot 0.
+    Scheduler sched(4);
+    const int cap = 3;
+    std::vector<std::atomic<int>> occupied(cap);
+    std::atomic<int> violations{0};
+    std::atomic<bool> caller_got_slot0{false};
+    const std::thread::id caller = std::this_thread::get_id();
+
+    sched.parallel_for(
+        256,
+        [&](std::size_t, int slot) {
+            if (slot < 0 || slot >= cap) {
+                violations.fetch_add(1);
+                return;
+            }
+            if (std::this_thread::get_id() == caller) {
+                caller_got_slot0 = true;
+                if (slot != 0)
+                    violations.fetch_add(1);
+            }
+            if (occupied[slot].fetch_add(1) != 0)
+                violations.fetch_add(1); // two concurrent owners
+            std::this_thread::yield();
+            occupied[slot].fetch_sub(1);
+        },
+        cap);
+
+    EXPECT_EQ(violations.load(), 0);
+    EXPECT_TRUE(caller_got_slot0.load());
+}
+
+TEST(Scheduler, ConcurrentSubmittersInterleave)
+{
+    // Two top-level parallel_for calls whose first tasks each wait for
+    // the OTHER job to have started: only interleaved execution can
+    // satisfy both.  A pool that serializes whole jobs (the old
+    // ThreadPool submit mutex) times out here.
+    Scheduler sched(2);
+    std::atomic<int> arrived{0};
+    std::atomic<int> timeouts{0};
+
+    auto submitter = [&] {
+        sched.parallel_for(4, [&](std::size_t i, int) {
+            if (i == 0) {
+                arrived.fetch_add(1);
+                if (!spin_until([&] { return arrived.load() >= 2; }))
+                    timeouts.fetch_add(1);
+            }
+        });
+    };
+    std::thread a(submitter), b(submitter);
+    a.join();
+    b.join();
+    EXPECT_EQ(timeouts.load(), 0);
+    EXPECT_EQ(arrived.load(), 2);
+}
+
+TEST(Scheduler, SubmittersProgressWhileWorkersAreSaturated)
+{
+    // Every pool worker is pinned inside a long-running submitted job;
+    // two parallel_for callers must still interleave via their own
+    // caller slots.  Releases the hostage job at the end.
+    Scheduler sched(2);
+    std::atomic<bool> release{false};
+    std::atomic<int> pinned{0};
+    Scheduler::JobHandle hostage = sched.submit(2, [&](std::size_t, int) {
+        pinned.fetch_add(1);
+        spin_until([&] { return release.load(); });
+    });
+    ASSERT_TRUE(spin_until([&] { return pinned.load() == 2; }));
+
+    std::atomic<int> arrived{0};
+    std::atomic<int> timeouts{0};
+    auto submitter = [&] {
+        sched.parallel_for(3, [&](std::size_t i, int) {
+            if (i == 0) {
+                arrived.fetch_add(1);
+                if (!spin_until([&] { return arrived.load() >= 2; }))
+                    timeouts.fetch_add(1);
+            }
+        });
+    };
+    std::thread a(submitter), b(submitter);
+    a.join();
+    b.join();
+    release = true;
+    hostage.wait();
+    EXPECT_EQ(timeouts.load(), 0);
+}
+
+TEST(Scheduler, PerIndexResultsAreScheduleInvariant)
+{
+    // The determinism contract the routing clients build on: work that
+    // derives everything from its index produces identical output for
+    // every worker count, including under concurrent foreign load.
+    auto run = [](Scheduler &sched, int cap) {
+        std::vector<std::uint64_t> out(512);
+        sched.parallel_for(
+            out.size(),
+            [&](std::size_t i, int) {
+                Fnv1a mix;
+                mix.u32(0xbeefu);
+                mix.u64(i);
+                out[i] = mix.value();
+            },
+            cap);
+        return out;
+    };
+    Scheduler sched(8);
+    const std::vector<std::uint64_t> want = run(sched, 1);
+    for (int cap : {2, 4, 0}) {
+        // Foreign load perturbs the steal schedule, never the results.
+        Scheduler::JobHandle noise =
+            sched.submit(64, [](std::size_t, int) {
+                std::this_thread::yield();
+            });
+        EXPECT_EQ(run(sched, cap), want) << "cap " << cap;
+        noise.wait();
+    }
+}
+
+TEST(Scheduler, LowestIndexExceptionWinsAndSiblingsStillRun)
+{
+    for (int threads : {1, 4}) {
+        Scheduler sched(threads);
+        std::vector<std::atomic<int>> done(64);
+        try {
+            sched.parallel_for(64, [&](std::size_t i, int) {
+                if (i == 7 || i == 23 || i == 41)
+                    throw std::runtime_error("boom " + std::to_string(i));
+                done[i].fetch_add(1);
+            });
+            FAIL() << "expected an exception (threads=" << threads << ")";
+        } catch (const std::runtime_error &e) {
+            EXPECT_STREQ(e.what(), "boom 7");
+        }
+        for (std::size_t i = 0; i < 64; ++i) {
+            if (i == 7 || i == 23 || i == 41)
+                continue;
+            EXPECT_EQ(done[i].load(), 1) << "index " << i;
+        }
+    }
+}
+
+TEST(Scheduler, SubmitReturnsImmediatelyAndWaitRethrows)
+{
+    Scheduler sched(2);
+    std::atomic<bool> release{false};
+    std::atomic<int> ran{0};
+    Scheduler::JobHandle h = sched.submit(8, [&](std::size_t i, int) {
+        spin_until([&] { return release.load(); });
+        ran.fetch_add(1);
+        if (i == 2 || i == 5)
+            throw std::runtime_error("async boom " + std::to_string(i));
+    });
+    ASSERT_TRUE(h.valid());
+    EXPECT_FALSE(h.done()); // nothing can finish before release
+    release = true;
+    try {
+        h.wait();
+        FAIL() << "expected the async exception";
+    } catch (const std::runtime_error &e) {
+        EXPECT_STREQ(e.what(), "async boom 2"); // lowest index, always
+    }
+    EXPECT_TRUE(h.done());
+    EXPECT_EQ(ran.load(), 8); // throwing siblings did not cancel the rest
+    EXPECT_NO_THROW(Scheduler::JobHandle{}.wait()); // unbound = done
+    EXPECT_TRUE(Scheduler::JobHandle{}.done());
+}
+
+TEST(Scheduler, SubmitFromInsideATaskIsAllowed)
+{
+    // Enqueueing never blocks, so tasks may fan follow-up work out
+    // asynchronously; only JobHandle::wait() is restricted in-task.
+    Scheduler sched(2);
+    std::atomic<int> inner{0};
+    std::vector<Scheduler::JobHandle> handles(4);
+    std::mutex mu;
+    sched.parallel_for(4, [&](std::size_t i, int) {
+        auto h = sched.submit(4, [&](std::size_t, int) {
+            inner.fetch_add(1);
+        });
+        std::lock_guard<std::mutex> lk(mu);
+        handles[i] = std::move(h);
+    });
+    for (auto &h : handles)
+        h.wait();
+    EXPECT_EQ(inner.load(), 16);
+}
+
+TEST(Scheduler, NestedParallelForRunsInline)
+{
+    Scheduler sched(4);
+    std::atomic<int> inner_total{0};
+    std::atomic<int> nested_off_thread{0};
+
+    EXPECT_FALSE(Scheduler::in_task());
+    sched.parallel_for(8, [&](std::size_t, int) {
+        EXPECT_TRUE(Scheduler::in_task());
+        const std::thread::id me = std::this_thread::get_id();
+        sched.parallel_for(16, [&](std::size_t, int slot) {
+            inner_total.fetch_add(1);
+            if (std::this_thread::get_id() != me || slot != 0)
+                nested_off_thread.fetch_add(1);
+        });
+    });
+    EXPECT_FALSE(Scheduler::in_task());
+    EXPECT_EQ(inner_total.load(), 8 * 16);
+    EXPECT_EQ(nested_off_thread.load(), 0);
+}
+
+TEST(Scheduler, MaxWorkersOneRunsInlineOnCaller)
+{
+    Scheduler sched(4);
+    const std::thread::id caller = std::this_thread::get_id();
+    std::atomic<int> off_thread{0};
+    sched.parallel_for(
+        32,
+        [&](std::size_t, int slot) {
+            if (std::this_thread::get_id() != caller || slot != 0)
+                off_thread.fetch_add(1);
+        },
+        /*max_workers=*/1);
+    EXPECT_EQ(off_thread.load(), 0);
+}
+
+TEST(Scheduler, EnsureWorkersGrowsButNeverShrinks)
+{
+    Scheduler sched(1);
+    EXPECT_EQ(sched.num_threads(), 1);
+    EXPECT_EQ(sched.ensure_workers(4), 3); // 4 slots incl. the caller
+    EXPECT_EQ(sched.num_threads(), 3);
+    EXPECT_EQ(sched.ensure_workers(2), 3); // no shrink
+    std::atomic<int> n{0};
+    sched.parallel_for(100, [&](std::size_t, int) { n.fetch_add(1); });
+    EXPECT_EQ(n.load(), 100);
+}
+
+TEST(Scheduler, SharedSchedulerIsAProcessSingleton)
+{
+    Scheduler &a = Scheduler::shared();
+    Scheduler &b = Scheduler::shared();
+    EXPECT_EQ(&a, &b);
+    EXPECT_GE(a.num_threads(), 1);
+}
+
+TEST(Scheduler, ManySubmittersStress)
+{
+    Scheduler sched(4);
+    std::atomic<long> total{0};
+    auto submitter = [&](int rounds) {
+        for (int r = 0; r < rounds; ++r)
+            sched.parallel_for(32, [&](std::size_t, int) {
+                total.fetch_add(1);
+            });
+    };
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 4; ++t)
+        threads.emplace_back(submitter, 25);
+    for (auto &t : threads)
+        t.join();
+    EXPECT_EQ(total.load(), 4L * 25 * 32);
+}
+
+TEST(Scheduler, DistanceCacheMixedBackendStress)
+{
+    // Satellite coverage: many concurrent requesters, three backends x
+    // two metrics, driven through scheduler tasks AND async jobs at
+    // once.  Every key computes exactly once; all requesters for one
+    // key share the identical matrix object; stats() is coherent.
+    auto montreal = montreal_backend();
+    auto linear = linear_backend(25);
+    auto grid = grid_backend(5, 5);
+    const Backend *backends[3] = {&montreal, &linear, &grid};
+
+    DistanceCache cache;
+    constexpr std::size_t kTasks = 96;
+    std::vector<SharedDistanceMatrix> got(kTasks);
+
+    auto fetch = [&](std::size_t i) {
+        const Backend &b = *backends[i % 3];
+        const DistanceRequest req = (i / 3) % 2 ? DistanceRequest::noise()
+                                                : DistanceRequest::hops();
+        return cache.get(b, req);
+    };
+
+    Scheduler sched(4);
+    Scheduler::JobHandle async = sched.submit(kTasks / 2, [&](std::size_t i,
+                                                              int) {
+        got[i] = fetch(i);
+    });
+    sched.parallel_for(kTasks / 2, [&](std::size_t i, int) {
+        got[kTasks / 2 + i] = fetch(kTasks / 2 + i);
+    });
+    async.wait();
+
+    const DistanceCache::Stats stats = cache.stats();
+    EXPECT_EQ(stats.computations, 6u); // 3 backends x 2 metrics
+    EXPECT_EQ(stats.entries, 6u);
+    EXPECT_EQ(stats.hits, kTasks - 6u);
+    EXPECT_EQ(stats.computations, cache.computation_count());
+    EXPECT_EQ(stats.hits, cache.hit_count());
+    EXPECT_EQ(stats.entries, cache.size());
+
+    // Pointer identity: one shared matrix per key, ever.
+    std::set<const DistanceMatrix *> distinct;
+    for (std::size_t i = 0; i < kTasks; ++i) {
+        ASSERT_NE(got[i], nullptr) << "task " << i;
+        EXPECT_EQ(got[i].get(), fetch(i).get()) << "task " << i;
+        distinct.insert(got[i].get());
+    }
+    EXPECT_EQ(distinct.size(), 6u);
+}
+
+} // namespace
+} // namespace nassc

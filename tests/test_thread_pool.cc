@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <mutex>
 #include <set>
 #include <stdexcept>
@@ -42,8 +43,21 @@ TEST(ThreadPool, WorkerIdsStayWithinCapAndCallerParticipates)
     pool.parallel_for(
         256,
         [&](std::size_t, int worker) {
-            if (std::this_thread::get_id() == caller)
+            if (std::this_thread::get_id() == caller) {
                 caller_participated = true;
+            } else {
+                // Hold pool workers until the caller has claimed an
+                // index: under slow runtimes (TSan) the pool could
+                // otherwise drain all 256 indices before the caller's
+                // first claim, making participation a coin toss.  A
+                // deadline keeps a broken contract a failure, not a
+                // hang.
+                auto deadline = std::chrono::steady_clock::now() +
+                                std::chrono::seconds(5);
+                while (!caller_participated.load() &&
+                       std::chrono::steady_clock::now() < deadline)
+                    std::this_thread::yield();
+            }
             std::lock_guard<std::mutex> lk(m);
             workers.insert(worker);
             threads.insert(std::this_thread::get_id());

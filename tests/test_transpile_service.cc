@@ -1,0 +1,400 @@
+// Tests for the async TranspileService (service/transpile_service.h):
+//
+//  (a) results are bit-identical to a direct transpile() call — across
+//      1/2/8 scheduler workers, both routers, cache on and off, and
+//      cold vs. warm cache (RoutingStats + circuit fingerprint + both
+//      layouts);
+//  (b) in-flight duplicates coalesce to ONE transpile, pinned
+//      deterministically by pinning the only worker first;
+//  (c) the LRU result cache is bounded, evicts least-recently-USED, and
+//      its hit/miss/eviction/coalesce stats add up;
+//  (d) failures propagate to every waiter and are never cached;
+//  (e) BatchTranspiler through a service: submission-order results and
+//      failed-job isolation preserved, duplicates dedupe, report deltas
+//      match;
+//  (f) concurrent mixed-workload clients: every key transpiles exactly
+//      once, every client sees the right result.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "nassc/circuits/library.h"
+#include "nassc/service/batch_transpiler.h"
+#include "nassc/service/scheduler.h"
+#include "nassc/service/transpile_service.h"
+#include "nassc/topo/backends.h"
+#include "nassc/transpile/transpile.h"
+
+namespace nassc {
+namespace {
+
+/** Spin until `pred` or ~5 s; returns whether pred came true. */
+template <typename Pred>
+bool
+spin_until(Pred pred)
+{
+    auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(5);
+    while (!pred()) {
+        if (std::chrono::steady_clock::now() > deadline)
+            return false;
+        std::this_thread::yield();
+    }
+    return true;
+}
+
+/** Full bit-identity check between two transpile results. */
+void
+expect_identical(const TranspileResult &a, const TranspileResult &b,
+                 const std::string &what)
+{
+    EXPECT_EQ(a.circuit.fingerprint(), b.circuit.fingerprint()) << what;
+    EXPECT_EQ(a.initial_l2p, b.initial_l2p) << what;
+    EXPECT_EQ(a.final_l2p, b.final_l2p) << what;
+    EXPECT_EQ(a.routing_stats.num_swaps, b.routing_stats.num_swaps) << what;
+    EXPECT_EQ(a.routing_stats.flagged_swaps, b.routing_stats.flagged_swaps)
+        << what;
+    EXPECT_EQ(a.routing_stats.c2q_hits, b.routing_stats.c2q_hits) << what;
+    EXPECT_EQ(a.cx_total, b.cx_total) << what;
+    EXPECT_EQ(a.depth, b.depth) << what;
+}
+
+std::shared_ptr<const Backend>
+shared_montreal()
+{
+    static auto backend =
+        std::make_shared<const Backend>(montreal_backend());
+    return backend;
+}
+
+TEST(TranspileService, MatchesDirectTranspileAcrossWorkersAndCacheModes)
+{
+    auto backend = shared_montreal();
+    struct Case
+    {
+        std::string name;
+        QuantumCircuit circuit;
+        RoutingAlgorithm router;
+    };
+    std::vector<Case> cases = {
+        {"qft5/nassc", qft(5), RoutingAlgorithm::kNassc},
+        {"ghz6/sabre", ghz(6), RoutingAlgorithm::kSabre},
+        {"bv6/nassc", bernstein_vazirani(6, 0x15), RoutingAlgorithm::kNassc},
+    };
+
+    // Reference: plain synchronous transpile(), private distance cache.
+    std::vector<TranspileResult> want;
+    for (const Case &c : cases) {
+        TranspileOptions opts;
+        opts.router = c.router;
+        opts.seed = 11;
+        DistanceCache dist;
+        want.push_back(transpile(c.circuit, *backend, opts, dist));
+    }
+
+    for (int workers : {1, 2, 8}) {
+        for (std::size_t capacity : {std::size_t{0}, std::size_t{64}}) {
+            ServiceOptions sopts;
+            sopts.cache_capacity = capacity;
+            sopts.scheduler = std::make_shared<Scheduler>(workers);
+            TranspileService service(sopts);
+
+            // Two rounds: round 1 is cold, round 2 warm (or coalesced /
+            // recomputed when the cache is off) — always bit-identical.
+            for (int round = 0; round < 2; ++round) {
+                std::vector<TranspileTicket> tickets;
+                for (const Case &c : cases) {
+                    TranspileOptions opts;
+                    opts.router = c.router;
+                    opts.seed = 11;
+                    tickets.push_back(
+                        service.submit(c.circuit, backend, opts));
+                }
+                for (std::size_t i = 0; i < cases.size(); ++i) {
+                    SharedTranspileResult got = tickets[i].get();
+                    expect_identical(
+                        *got, want[i],
+                        cases[i].name + " workers=" +
+                            std::to_string(workers) + " cap=" +
+                            std::to_string(capacity) + " round=" +
+                            std::to_string(round));
+                }
+            }
+            const ServiceStats stats = service.stats();
+            EXPECT_EQ(stats.requests, 2 * cases.size());
+            if (capacity > 0) {
+                EXPECT_EQ(stats.cache_hits, cases.size());
+                EXPECT_EQ(stats.transpiles_ok, cases.size());
+            }
+            EXPECT_EQ(stats.inflight, 0u);
+        }
+    }
+}
+
+TEST(TranspileService, InflightDuplicatesCoalesceToOneTranspile)
+{
+    // Pin the scheduler's only worker so nothing can start: every
+    // duplicate submitted behind the first MUST coalesce — the count is
+    // deterministic, not a race we happened to win.
+    ServiceOptions sopts;
+    sopts.scheduler = std::make_shared<Scheduler>(1);
+    TranspileService service(sopts);
+
+    std::atomic<bool> release{false};
+    std::atomic<bool> pinned{false};
+    Scheduler::JobHandle plug =
+        sopts.scheduler->submit(1, [&](std::size_t, int) {
+            pinned = true;
+            spin_until([&] { return release.load(); });
+        });
+    ASSERT_TRUE(spin_until([&] { return pinned.load(); }));
+
+    auto backend = shared_montreal();
+    const QuantumCircuit circuit = ghz(5);
+    TranspileOptions opts;
+    opts.router = RoutingAlgorithm::kSabre;
+
+    constexpr int kDuplicates = 6;
+    std::vector<TranspileTicket> tickets;
+    for (int i = 0; i < kDuplicates; ++i)
+        tickets.push_back(service.submit(circuit, backend, opts));
+
+    EXPECT_EQ(tickets[0].source(), TicketSource::kScheduled);
+    for (int i = 1; i < kDuplicates; ++i)
+        EXPECT_EQ(tickets[i].source(), TicketSource::kCoalesced);
+    {
+        const ServiceStats stats = service.stats();
+        EXPECT_EQ(stats.requests, static_cast<std::uint64_t>(kDuplicates));
+        EXPECT_EQ(stats.misses, 1u);
+        EXPECT_EQ(stats.coalesced,
+                  static_cast<std::uint64_t>(kDuplicates - 1));
+        EXPECT_EQ(stats.inflight, 1u);
+        EXPECT_EQ(stats.transpiles_ok, 0u); // still pinned
+    }
+
+    release = true;
+    plug.wait();
+    SharedTranspileResult first = tickets[0].get();
+    for (int i = 1; i < kDuplicates; ++i)
+        EXPECT_EQ(tickets[i].get().get(), first.get())
+            << "coalesced ticket " << i << " must share the one result";
+    const ServiceStats stats = service.stats();
+    EXPECT_EQ(stats.transpiles_ok, 1u);
+    EXPECT_EQ(stats.inflight, 0u);
+    // And the one result is bit-identical to a fresh direct run.
+    DistanceCache dist;
+    expect_identical(*first, transpile(circuit, *shared_montreal(), opts, dist),
+                     "coalesced vs direct");
+}
+
+TEST(TranspileService, LruEvictionIsBoundedAndRecencyOrdered)
+{
+    ServiceOptions sopts;
+    sopts.cache_capacity = 2;
+    sopts.scheduler = std::make_shared<Scheduler>(2);
+    TranspileService service(sopts);
+
+    auto backend = shared_montreal();
+    TranspileOptions opts;
+    opts.router = RoutingAlgorithm::kSabre;
+    const QuantumCircuit a = ghz(4), b = ghz(5), c = ghz(6), d = qft(4);
+
+    auto source_of = [&](const QuantumCircuit &qc) {
+        TranspileTicket t = service.submit(qc, backend, opts);
+        t.get();
+        return t.source();
+    };
+
+    EXPECT_EQ(source_of(a), TicketSource::kScheduled); // cache: [A]
+    EXPECT_EQ(source_of(b), TicketSource::kScheduled); // cache: [B A]
+    EXPECT_EQ(service.stats().evictions, 0u);
+    EXPECT_EQ(source_of(c), TicketSource::kScheduled); // evicts A: [C B]
+    EXPECT_EQ(service.stats().evictions, 1u);
+    EXPECT_EQ(service.stats().cache_size, 2u);         // bounded
+    EXPECT_EQ(source_of(a), TicketSource::kScheduled); // evicts B: [A C]
+    EXPECT_EQ(source_of(c), TicketSource::kCacheHit);  // touch C: [C A]
+    EXPECT_EQ(source_of(d), TicketSource::kScheduled); // evicts A: [D C]
+    EXPECT_EQ(source_of(c), TicketSource::kCacheHit);  // C survived (recency)
+    EXPECT_EQ(source_of(a), TicketSource::kScheduled); // evicts D: [A C]
+
+    const ServiceStats stats = service.stats();
+    EXPECT_EQ(stats.cache_size, 2u);
+    EXPECT_EQ(stats.evictions, 4u);
+    EXPECT_EQ(stats.cache_hits, 2u);
+    EXPECT_EQ(stats.transpiles_ok, 6u);
+
+    service.clear_cache();
+    EXPECT_EQ(service.stats().cache_size, 0u);
+}
+
+TEST(TranspileService, FailuresPropagateAndAreNeverCached)
+{
+    ServiceOptions sopts;
+    sopts.scheduler = std::make_shared<Scheduler>(2);
+    TranspileService service(sopts);
+
+    auto backend = shared_montreal();
+    const QuantumCircuit too_wide = ghz(40); // montreal has 27 qubits
+
+    for (int round = 0; round < 2; ++round) {
+        TranspileTicket t = service.submit(too_wide, backend, {});
+        EXPECT_EQ(t.source(), TicketSource::kScheduled)
+            << "failures must not populate the cache (round " << round
+            << ")";
+        EXPECT_THROW(t.get(), std::exception);
+    }
+    const ServiceStats stats = service.stats();
+    EXPECT_EQ(stats.transpiles_failed, 2u);
+    EXPECT_EQ(stats.misses, 2u);
+    EXPECT_EQ(stats.cache_size, 0u);
+    EXPECT_EQ(stats.inflight, 0u);
+
+    EXPECT_THROW(service.submit(too_wide, nullptr, {}),
+                 std::invalid_argument);
+}
+
+TEST(TranspileService, RequestKeySeparatesEveryComponent)
+{
+    const Backend montreal = montreal_backend();
+    const Backend grid = grid_backend(5, 5);
+    const QuantumCircuit qc = ghz(5);
+    TranspileOptions opts;
+
+    const std::string base = TranspileService::request_key(qc, montreal, opts);
+    EXPECT_EQ(TranspileService::request_key(ghz(5), montreal, opts), base);
+    EXPECT_NE(TranspileService::request_key(ghz(6), montreal, opts), base);
+    EXPECT_NE(TranspileService::request_key(qc, grid, opts), base);
+    TranspileOptions other;
+    other.seed = 3;
+    EXPECT_NE(TranspileService::request_key(qc, montreal, other), base);
+}
+
+TEST(TranspileService, BatchThroughServiceKeepsGoldensAndDedupes)
+{
+    auto backend = shared_montreal();
+
+    // A mixed batch with an embedded failure and two duplicate pairs.
+    std::vector<TranspileJob> jobs;
+    auto add = [&](const std::string &tag, QuantumCircuit qc, unsigned seed,
+                   RoutingAlgorithm router) {
+        TranspileJob j;
+        j.tag = tag;
+        j.circuit = std::move(qc);
+        j.backend = backend;
+        j.options.router = router;
+        j.options.seed = seed;
+        jobs.push_back(std::move(j));
+    };
+    add("qft5", qft(5), 1, RoutingAlgorithm::kNassc);
+    add("ghz6", ghz(6), 2, RoutingAlgorithm::kSabre);
+    add("qft5-dup", qft(5), 1, RoutingAlgorithm::kNassc); // dup of 0
+    add("wide", ghz(40), 1, RoutingAlgorithm::kSabre);    // fails
+    add("ghz6-dup", ghz(6), 2, RoutingAlgorithm::kSabre); // dup of 1
+    {
+        TranspileJob no_backend;
+        no_backend.tag = "nobackend";
+        no_backend.circuit = ghz(3);
+        jobs.push_back(std::move(no_backend));
+    }
+
+    // Reference: the direct (service-less) engine.
+    BatchOptions direct;
+    direct.num_threads = 2;
+    const BatchReport want = BatchTranspiler(direct).run(jobs);
+
+    ServiceOptions sopts;
+    sopts.scheduler = std::make_shared<Scheduler>(2);
+    BatchOptions via;
+    via.num_threads = 2;
+    via.service = std::make_shared<TranspileService>(sopts);
+    const BatchReport got = BatchTranspiler(via).run(jobs);
+
+    ASSERT_EQ(got.results.size(), jobs.size());
+    EXPECT_TRUE(got.used_service);
+    EXPECT_EQ(got.num_ok, want.num_ok);
+    EXPECT_EQ(got.num_failed, want.num_failed);
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        const JobResult &w = want.results[i];
+        const JobResult &g = got.results[i];
+        EXPECT_EQ(g.index, i);        // submission order preserved
+        EXPECT_EQ(g.tag, w.tag);
+        EXPECT_EQ(g.ok, w.ok);
+        if (w.ok)
+            expect_identical(g.result, w.result, "batch job " + w.tag);
+        else
+            EXPECT_FALSE(g.error.empty()) << w.tag;
+    }
+    // Both duplicate pairs dedupe (coalesce or cache-hit, depending on
+    // timing); the two distinct successes and the failure each ran once.
+    EXPECT_EQ(got.cache_hits + got.coalesced, 2u);
+    EXPECT_EQ(got.transpiles, 3u); // qft5, ghz6, wide(failed)
+    // Route-pass counters measure work PERFORMED: the direct engine ran
+    // both members of each duplicate pair, the service ran one owner —
+    // so the direct report shows exactly double.
+    EXPECT_EQ(want.full_route_passes, 2 * got.full_route_passes);
+    EXPECT_EQ(want.num_route_reused, 2 * got.num_route_reused);
+}
+
+TEST(TranspileService, ConcurrentMixedClientsTranspileEachKeyOnce)
+{
+    ServiceOptions sopts;
+    sopts.cache_capacity = 64;
+    sopts.scheduler = std::make_shared<Scheduler>(4);
+    TranspileService service(sopts);
+    auto backend = shared_montreal();
+
+    std::vector<QuantumCircuit> menu = {qft(5), ghz(6), vqe_linear(6),
+                                        bernstein_vazirani(6, 0x2a)};
+    // References computed up front, single-threaded.
+    std::vector<TranspileResult> want;
+    for (const QuantumCircuit &qc : menu) {
+        TranspileOptions opts;
+        opts.router = RoutingAlgorithm::kSabre;
+        DistanceCache dist;
+        want.push_back(transpile(qc, *backend, opts, dist));
+    }
+
+    constexpr int kClients = 4, kRequests = 12;
+    std::atomic<int> mismatches{0};
+    auto client = [&](int id) {
+        for (int r = 0; r < kRequests; ++r) {
+            const std::size_t pick =
+                static_cast<std::size_t>(id + r) % menu.size();
+            TranspileOptions opts;
+            opts.router = RoutingAlgorithm::kSabre;
+            SharedTranspileResult got =
+                service.submit(menu[pick], backend, opts).get();
+            if (got->circuit.fingerprint() !=
+                    want[pick].circuit.fingerprint() ||
+                got->routing_stats.num_swaps !=
+                    want[pick].routing_stats.num_swaps)
+                mismatches.fetch_add(1);
+        }
+    };
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kClients; ++t)
+        threads.emplace_back(client, t);
+    for (auto &t : threads)
+        t.join();
+
+    EXPECT_EQ(mismatches.load(), 0);
+    const ServiceStats stats = service.stats();
+    EXPECT_EQ(stats.requests,
+              static_cast<std::uint64_t>(kClients * kRequests));
+    // Dedup guarantee: with capacity above the key count, each distinct
+    // key is computed exactly once no matter the interleaving.
+    EXPECT_EQ(stats.transpiles_ok, menu.size());
+    EXPECT_EQ(stats.cache_hits + stats.coalesced + stats.misses,
+              stats.requests);
+    EXPECT_EQ(stats.inflight, 0u);
+}
+
+} // namespace
+} // namespace nassc
