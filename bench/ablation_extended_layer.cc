@@ -20,7 +20,7 @@ avg_cx(const QuantumCircuit &circuit, const Backend &dev,
         opts.extended_size = ext_size;
         opts.use_decay = decay;
         opts.seed = static_cast<unsigned>(s);
-        t += transpile(circuit, dev, opts).cx_total;
+        t += TranspileContext::global().transpile(circuit, dev, opts).cx_total;
     }
     return t / seeds;
 }

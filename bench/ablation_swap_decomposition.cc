@@ -19,7 +19,7 @@ avg_cx(const QuantumCircuit &circuit, const Backend &dev,
     for (int s = 0; s < seeds; ++s) {
         TranspileOptions opts = base;
         opts.seed = static_cast<unsigned>(s);
-        t += transpile(circuit, dev, opts).cx_total;
+        t += TranspileContext::global().transpile(circuit, dev, opts).cx_total;
     }
     return t / seeds;
 }

@@ -26,7 +26,7 @@
 
 #include "nassc/circuits/library.h"
 #include "nassc/service/batch_transpiler.h"
-#include "nassc/transpile/transpile.h"
+#include "nassc/transpile/context.h"
 
 namespace nassc::bench {
 
@@ -108,7 +108,8 @@ run_cell(const QuantumCircuit &circuit, const Backend &backend,
         opts.router = router;
         opts.seed = static_cast<unsigned>(s);
         opts.noise_aware = noise_aware;
-        cell.accumulate(transpile(circuit, backend, opts));
+        cell.accumulate(
+            TranspileContext::global().transpile(circuit, backend, opts));
     }
     cell.finish(seeds, base_cx, base_depth);
     return cell;

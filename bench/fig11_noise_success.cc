@@ -48,7 +48,8 @@ main(int argc, char **argv)
     csv.push_back("benchmark,config,cx_add,success_rate");
 
     for (const BenchmarkCase &bc : fig11_benchmarks()) {
-        TranspileResult base = optimize_only(bc.circuit);
+        TranspileResult base =
+            TranspileContext::global().optimize_only(bc.circuit);
         uint64_t ideal = ideal_outcome(bc.circuit);
 
         double add[4] = {0, 0, 0, 0};
@@ -59,7 +60,9 @@ main(int argc, char **argv)
                 opts.router = configs[c].router;
                 opts.noise_aware = configs[c].noise_aware;
                 opts.seed = static_cast<unsigned>(s);
-                TranspileResult r = transpile(bc.circuit, dev, opts);
+                TranspileResult r =
+                    TranspileContext::global().transpile(bc.circuit, dev,
+                                                         opts);
                 add[c] += r.cx_total - base.cx_total;
                 SuccessRate sr = monte_carlo_success(
                     r.circuit, nm, r.final_l2p, ideal,

@@ -15,7 +15,7 @@
 #include "nassc/route/router.h"
 #include "nassc/route/sabre.h"
 #include "nassc/synth/kak2q.h"
-#include "nassc/transpile/transpile.h"
+#include "nassc/transpile/context.h"
 
 namespace {
 
@@ -232,7 +232,8 @@ BM_TranspileGrover8(benchmark::State &state)
     for (auto _ : state) {
         TranspileOptions opts;
         opts.router = static_cast<RoutingAlgorithm>(state.range(0));
-        TranspileResult r = transpile(logical, dev, opts);
+        TranspileResult r =
+            TranspileContext::global().transpile(logical, dev, opts);
         benchmark::DoNotOptimize(r);
     }
 }

@@ -1,0 +1,184 @@
+// nasscd daemon throughput sweep, emitting a JSON record per
+// (transport, clients) cell:
+//
+//   [{"workload": "serve_mix", "transport": "unix", "clients": 4,
+//     "repeat": 2, "requests": 64, "distinct": 8, "wall_ms": 512.0,
+//     "requests_per_s": 125.0, "hits": 40, "coalesced": 16,
+//     "transpiles": 8}, ...]
+//
+// Each cell starts an in-process NasscServer on a fresh socket and
+// fires a duplicated QASM workload from `clients` concurrent
+// connections — the full wire path (framing, parse, submit_qasm, ticket
+// wait, QASM response) rather than the in-process service path that
+// bench/service_throughput_json.cc measures; the difference between the
+// two files is the protocol overhead.  `transpiles` is deterministic
+// (dedup: one execution per distinct key); the hit/coalesce split
+// depends on arrival timing and is informational.
+//
+// The `bench_server` CMake/CTest target runs this and CI uploads the
+// resulting BENCH_server.json (advisory; no gate).
+//
+// Usage: server_throughput_json [--out PATH] [--workers N] [--repeat N]
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+#include "nassc/circuits/library.h"
+#include "nassc/ir/qasm.h"
+#include "nassc/serve/client.h"
+#include "nassc/serve/server.h"
+
+using namespace nassc;
+
+namespace {
+
+struct WireRequest
+{
+    std::string qasm;
+    std::vector<std::pair<std::string, std::string>> options;
+};
+
+/** Mixed wire workload: routing-relevant but CI-fast circuits. */
+std::vector<WireRequest>
+serve_mix()
+{
+    std::vector<QuantumCircuit> circuits = {
+        qft(6),
+        ghz(10),
+        bernstein_vazirani(8, 0x95),
+        vqe_linear(6),
+    };
+    std::vector<WireRequest> requests;
+    for (const QuantumCircuit &qc : circuits)
+        for (const char *router : {"sabre", "nassc"}) {
+            WireRequest r;
+            r.qasm = to_qasm(qc);
+            r.options = {{"router", router}, {"seed", "0"}};
+            requests.push_back(std::move(r));
+        }
+    return requests;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string out_path = "BENCH_server.json";
+    int workers = 4;
+    int repeat = 2;
+    for (int i = 1; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--out") && i + 1 < argc)
+            out_path = argv[++i];
+        else if (!std::strcmp(argv[i], "--workers") && i + 1 < argc)
+            workers = std::atoi(argv[++i]);
+        else if (!std::strcmp(argv[i], "--repeat") && i + 1 < argc)
+            repeat = std::atoi(argv[++i]);
+    }
+    if (workers < 1)
+        workers = 1;
+    if (repeat < 1)
+        repeat = 1;
+
+    const std::vector<WireRequest> distinct = serve_mix();
+
+    std::string json = "[\n";
+    bool first = true;
+    for (const char *transport : {"unix", "tcp"}) {
+        for (int clients : {1, 4}) {
+            ServerOptions options;
+            options.service.num_threads = workers;
+            const std::string sock = "/tmp/nassc_bench_" +
+                                     std::to_string(::getpid()) + ".sock";
+            if (!std::strcmp(transport, "unix"))
+                options.unix_path = sock;
+            else
+                options.tcp_port = 0; // ephemeral
+            NasscServer server(options);
+            server.start();
+
+            auto connect = [&] {
+                if (!std::strcmp(transport, "unix"))
+                    return ServeClient::connect_unix(sock);
+                return ServeClient::connect_tcp("127.0.0.1",
+                                                server.tcp_port());
+            };
+
+            // Client c replays the menu `repeat` times, rotated by its
+            // id so concurrent clients overlap on the same keys.
+            const std::size_t per_client = distinct.size() * repeat;
+            auto run_client = [&](int id) {
+                ServeClient client = connect();
+                for (int r = 0; r < repeat; ++r)
+                    for (std::size_t k = 0; k < distinct.size(); ++k) {
+                        const WireRequest &req =
+                            distinct[(k + id) % distinct.size()];
+                        client.transpile_qasm(req.qasm, "ibmq_montreal",
+                                              req.options);
+                    }
+            };
+
+            auto t0 = std::chrono::steady_clock::now();
+            std::vector<std::thread> threads;
+            for (int c = 1; c < clients; ++c)
+                threads.emplace_back(run_client, c);
+            run_client(0);
+            for (std::thread &t : threads)
+                t.join();
+            auto t1 = std::chrono::steady_clock::now();
+
+            const ServiceStats stats = server.service().stats();
+            server.stop();
+
+            const double wall_ms =
+                std::chrono::duration<double, std::milli>(t1 - t0).count();
+            const std::size_t requests =
+                per_client * static_cast<std::size_t>(clients);
+
+            char row[360];
+            std::snprintf(
+                row, sizeof(row),
+                "  {\"workload\": \"serve_mix\", \"transport\": \"%s\", "
+                "\"clients\": %d, \"repeat\": %d, \"requests\": %zu, "
+                "\"distinct\": %zu, \"wall_ms\": %.1f, "
+                "\"requests_per_s\": %.1f, \"hits\": %llu, "
+                "\"coalesced\": %llu, \"transpiles\": %llu}",
+                transport, clients, repeat, requests, distinct.size(),
+                wall_ms,
+                1000.0 * static_cast<double>(requests) / wall_ms,
+                static_cast<unsigned long long>(stats.cache_hits),
+                static_cast<unsigned long long>(stats.coalesced),
+                static_cast<unsigned long long>(stats.transpiles_ok +
+                                                stats.transpiles_failed));
+            if (!first)
+                json += ",\n";
+            json += row;
+            first = false;
+            std::printf("%s clients=%d: %zu requests in %.1f ms "
+                        "(%.1f req/s; %llu hits, %llu coalesced, "
+                        "%llu transpiled)\n",
+                        transport, clients, requests, wall_ms,
+                        1000.0 * static_cast<double>(requests) / wall_ms,
+                        static_cast<unsigned long long>(stats.cache_hits),
+                        static_cast<unsigned long long>(stats.coalesced),
+                        static_cast<unsigned long long>(
+                            stats.transpiles_ok + stats.transpiles_failed));
+        }
+    }
+    json += "\n]\n";
+
+    std::ofstream f(out_path);
+    if (!f) {
+        std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+        return 1;
+    }
+    f << json;
+    std::printf("json written to %s\n", out_path.c_str());
+    return 0;
+}

@@ -1,0 +1,132 @@
+// nasscd: the NASSC transpilation daemon.
+//
+// Serves the length-prefixed text protocol of serve/protocol.h over a
+// unix-domain socket and/or TCP, routing every request through one
+// hardened TranspileService (dedup, coalescing, byte-bounded result
+// cache, TTL/generation invalidation, per-request priorities).
+//
+//   nasscd --unix /tmp/nassc.sock
+//   nasscd --port 7747 --threads 8 --cache-bytes 134217728 --ttl 300
+//
+// SIGINT/SIGTERM shut down gracefully: in-flight requests drain to
+// their responses, then the process exits 0.
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "nassc/serve/server.h"
+
+namespace {
+
+std::atomic<bool> g_stop{false};
+
+void
+on_signal(int)
+{
+    g_stop.store(true);
+}
+
+void
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s [--unix PATH] [--port N [--host H]] [options]\n"
+        "\n"
+        "listeners (at least one):\n"
+        "  --unix PATH        unix-domain socket path\n"
+        "  --port N           TCP port (0 = ephemeral, printed on start)\n"
+        "  --host H           TCP bind address (default 127.0.0.1)\n"
+        "\n"
+        "service hardening:\n"
+        "  --threads N        provision N scheduler workers\n"
+        "  --cache-entries N  result-cache entry cap (default 256)\n"
+        "  --cache-bytes N    result-cache byte budget (default 64 MiB)\n"
+        "  --ttl SECONDS      default result TTL (0 = never expires)\n",
+        argv0);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    nassc::ServerOptions options;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "nasscd: %s needs a value\n",
+                             arg.c_str());
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--unix") {
+            options.unix_path = value();
+        } else if (arg == "--port") {
+            options.tcp_port = std::atoi(value());
+        } else if (arg == "--host") {
+            options.host = value();
+        } else if (arg == "--threads") {
+            options.service.num_threads = std::atoi(value());
+        } else if (arg == "--cache-entries") {
+            options.service.cache_capacity =
+                static_cast<std::size_t>(std::atoll(value()));
+        } else if (arg == "--cache-bytes") {
+            options.service.cache_max_bytes =
+                static_cast<std::size_t>(std::atoll(value()));
+        } else if (arg == "--ttl") {
+            options.service.default_ttl_seconds = std::atof(value());
+        } else if (arg == "--help" || arg == "-h") {
+            usage(argv[0]);
+            return 0;
+        } else {
+            std::fprintf(stderr, "nasscd: unknown flag %s\n", arg.c_str());
+            usage(argv[0]);
+            return 2;
+        }
+    }
+    if (options.unix_path.empty() && options.tcp_port < 0) {
+        usage(argv[0]);
+        return 2;
+    }
+
+    try {
+        nassc::NasscServer server(std::move(options));
+        server.start();
+        if (!server.unix_path().empty())
+            std::printf("nasscd listening on unix:%s\n",
+                        server.unix_path().c_str());
+        if (server.tcp_port() >= 0)
+            std::printf("nasscd listening on tcp:%d\n", server.tcp_port());
+        std::fflush(stdout); // wrappers wait for this line before connecting
+
+        std::signal(SIGINT, on_signal);
+        std::signal(SIGTERM, on_signal);
+        while (!g_stop.load())
+            std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+        std::printf("nasscd draining...\n");
+        std::fflush(stdout);
+        server.stop();
+        const nassc::ServiceStats stats = server.service().stats();
+        std::printf("nasscd served %llu requests "
+                    "(%llu hits, %llu coalesced, %llu transpiles)\n",
+                    static_cast<unsigned long long>(stats.requests),
+                    static_cast<unsigned long long>(stats.cache_hits),
+                    static_cast<unsigned long long>(stats.coalesced),
+                    static_cast<unsigned long long>(stats.transpiles_ok +
+                                                    stats.transpiles_failed));
+        return 0;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "nasscd: fatal: %s\n", e.what());
+        return 1;
+    }
+}

@@ -9,7 +9,7 @@
 
 #include "nassc/circuits/library.h"
 #include "nassc/sim/noise.h"
-#include "nassc/transpile/transpile.h"
+#include "nassc/transpile/context.h"
 
 using namespace nassc;
 
@@ -43,7 +43,8 @@ main(int argc, char **argv)
         TranspileOptions opts;
         opts.router = cfg.router;
         opts.noise_aware = cfg.ha;
-        TranspileResult res = transpile(logical, device, opts);
+        TranspileResult res =
+            TranspileContext::global().transpile(logical, device, opts);
         SuccessRate sr = monte_carlo_success(res.circuit, noise,
                                              res.final_l2p, ideal, trials);
         std::printf("%s  CNOTs %3d   success %.3f   (%d/%d)\n", cfg.label,

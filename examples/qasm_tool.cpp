@@ -13,7 +13,7 @@
 
 #include "nassc/circuits/library.h"
 #include "nassc/ir/qasm.h"
-#include "nassc/transpile/transpile.h"
+#include "nassc/transpile/context.h"
 
 using namespace nassc;
 
@@ -58,7 +58,8 @@ main(int argc, char **argv)
         return 1;
     }
 
-    TranspileResult res = transpile(circuit, device, opts);
+    TranspileResult res =
+        TranspileContext::global().transpile(circuit, device, opts);
     std::fprintf(stderr,
                  "# backend=%s router=%s swaps=%d cx=%d depth=%d "
                  "time=%.3fs\n",

@@ -5,9 +5,7 @@
 
 #include <cstdio>
 
-#include "nassc/circuits/library.h"
-#include "nassc/ir/qasm.h"
-#include "nassc/transpile/transpile.h"
+#include "nassc/nassc.h"
 
 using namespace nassc;
 
@@ -28,7 +26,8 @@ main()
     //    (optimization-aware routing, the default).
     TranspileOptions options;
     options.router = RoutingAlgorithm::kNassc;
-    TranspileResult result = transpile(bell, device, options);
+    TranspileResult result =
+        TranspileContext::global().transpile(bell, device, options);
 
     std::printf("device:          %s\n", device.name.c_str());
     std::printf("inserted swaps:  %d\n", result.routing_stats.num_swaps);

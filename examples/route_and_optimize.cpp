@@ -9,7 +9,7 @@
 #include <cstdlib>
 
 #include "nassc/circuits/library.h"
-#include "nassc/transpile/transpile.h"
+#include "nassc/transpile/context.h"
 
 using namespace nassc;
 
@@ -21,7 +21,8 @@ main(int argc, char **argv)
     QuantumCircuit logical = qft(n);
 
     // Optimization-only baseline: the circuit cost without any routing.
-    TranspileResult base = optimize_only(logical);
+    TranspileContext &ctx = TranspileContext::global();
+    TranspileResult base = ctx.optimize_only(logical);
     std::printf("qft_n%d, original optimized CNOTs: %d, depth %d\n\n", n,
                 base.cx_total, base.depth);
 
@@ -34,7 +35,7 @@ main(int argc, char **argv)
             TranspileOptions opts;
             opts.router = static_cast<RoutingAlgorithm>(r);
             opts.seed = static_cast<unsigned>(s);
-            TranspileResult res = transpile(logical, device, opts);
+            TranspileResult res = ctx.transpile(logical, device, opts);
             cx += res.cx_total;
             depth += res.depth;
             secs += res.seconds;

@@ -162,7 +162,8 @@ main(int argc, char **argv)
                 static_cast<unsigned long long>(stats.transpiles_ok +
                                                 stats.transpiles_failed),
                 static_cast<unsigned long long>(stats.transpiles_failed),
-                static_cast<unsigned long long>(stats.evictions),
+                static_cast<unsigned long long>(stats.evictions_capacity +
+                                                stats.evictions_invalidated),
                 stats.cache_size);
     std::printf("dedup saved %llu of %llu requests "
                 "(every key transpiled once, served many times)\n",

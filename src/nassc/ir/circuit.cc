@@ -151,6 +151,19 @@ QuantumCircuit::fingerprint() const
     return fp.value();
 }
 
+std::size_t
+QuantumCircuit::memory_bytes() const
+{
+    std::size_t bytes = sizeof(*this) + gates_.capacity() * sizeof(Gate);
+    for (const Gate &g : gates_) {
+        if (!g.qubits.is_inline())
+            bytes += g.qubits.capacity() * sizeof(int);
+        if (!g.params.is_inline())
+            bytes += g.params.capacity() * sizeof(double);
+    }
+    return bytes;
+}
+
 std::string
 QuantumCircuit::to_string() const
 {

@@ -140,6 +140,15 @@ class QuantumCircuit
      */
     std::uint64_t fingerprint() const;
 
+    /**
+     * Resident byte footprint of this circuit: the object itself, the
+     * gate array's reserved storage, and every operand/parameter list
+     * that spilled past its inline capacity.  The serving layer's
+     * result cache uses it as the memory cost of a routed circuit, so
+     * its byte budget bounds actual heap usage, not an entry count.
+     */
+    std::size_t memory_bytes() const;
+
     /** Multi-line textual dump, one gate per line. */
     std::string to_string() const;
 

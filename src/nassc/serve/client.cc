@@ -1,0 +1,141 @@
+#include "nassc/serve/client.h"
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace nassc {
+
+namespace {
+
+[[noreturn]] void
+sys_fail(const std::string &what)
+{
+    throw std::runtime_error("nassc client: " + what + ": " +
+                             std::strerror(errno));
+}
+
+} // namespace
+
+ServeClient
+ServeClient::connect_unix(const std::string &path)
+{
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof(addr.sun_path))
+        throw std::runtime_error("nassc client: unix socket path too long: " +
+                                 path);
+    std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0)
+        sys_fail("socket(AF_UNIX)");
+    if (::connect(fd, reinterpret_cast<const sockaddr *>(&addr),
+                  sizeof(addr)) < 0) {
+        ::close(fd);
+        sys_fail("connect(" + path + ")");
+    }
+    return ServeClient(fd);
+}
+
+ServeClient
+ServeClient::connect_tcp(const std::string &host, int port)
+{
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1)
+        throw std::runtime_error("nassc client: bad host '" + host + "'");
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        sys_fail("socket(AF_INET)");
+    if (::connect(fd, reinterpret_cast<const sockaddr *>(&addr),
+                  sizeof(addr)) < 0) {
+        ::close(fd);
+        sys_fail("connect(" + host + ":" + std::to_string(port) + ")");
+    }
+    return ServeClient(fd);
+}
+
+ServeClient::ServeClient(ServeClient &&other) noexcept : fd_(other.fd_)
+{
+    other.fd_ = -1;
+}
+
+ServeClient &
+ServeClient::operator=(ServeClient &&other) noexcept
+{
+    if (this != &other) {
+        if (fd_ >= 0)
+            ::close(fd_);
+        fd_ = other.fd_;
+        other.fd_ = -1;
+    }
+    return *this;
+}
+
+ServeClient::~ServeClient()
+{
+    if (fd_ >= 0)
+        ::close(fd_);
+}
+
+ServeResponse
+ServeClient::request(const ServeRequest &req)
+{
+    if (fd_ < 0)
+        throw std::runtime_error("nassc client: not connected");
+    write_frame(fd_, encode_request(req));
+    std::string payload;
+    if (!read_frame(fd_, payload))
+        throw std::runtime_error(
+            "nassc client: server closed the connection");
+    return parse_response(payload);
+}
+
+ServeResponse
+ServeClient::transpile_qasm(
+    const std::string &qasm, const std::string &backend,
+    const std::vector<std::pair<std::string, std::string>> &options)
+{
+    ServeRequest req;
+    req.verb = "transpile";
+    req.backend = backend;
+    req.options = options;
+    req.qasm = qasm;
+    ServeResponse resp = request(req);
+    if (resp.status != "ok")
+        throw std::runtime_error("nassc client: server error: " +
+                                 resp.error);
+    return resp;
+}
+
+std::map<std::string, std::uint64_t>
+ServeClient::stats()
+{
+    ServeRequest req;
+    req.verb = "stats";
+    ServeResponse resp = request(req);
+    if (resp.status != "ok")
+        throw std::runtime_error("nassc client: server error: " +
+                                 resp.error);
+    std::map<std::string, std::uint64_t> out;
+    for (const auto &kv : resp.stats)
+        out[kv.first] = std::stoull(kv.second);
+    return out;
+}
+
+bool
+ServeClient::ping()
+{
+    ServeRequest req;
+    req.verb = "ping";
+    return request(req).status == "ok";
+}
+
+} // namespace nassc

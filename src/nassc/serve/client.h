@@ -1,0 +1,70 @@
+#ifndef NASSC_SERVE_CLIENT_H
+#define NASSC_SERVE_CLIENT_H
+
+/**
+ * @file
+ * ServeClient: a blocking nasscd client over one connection.
+ *
+ * Mirrors the protocol exactly (serve/protocol.h): each call sends one
+ * frame and blocks for the one response frame.  A connection serves any
+ * number of sequential requests; share one client per thread, not one
+ * across threads.
+ */
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "nassc/serve/protocol.h"
+
+namespace nassc {
+
+/** One connected nasscd session (movable, closes on destruction). */
+class ServeClient
+{
+  public:
+    /** @throws std::runtime_error when the connect fails. */
+    static ServeClient connect_unix(const std::string &path);
+    static ServeClient connect_tcp(const std::string &host, int port);
+
+    ServeClient(ServeClient &&other) noexcept;
+    ServeClient &operator=(ServeClient &&other) noexcept;
+    ServeClient(const ServeClient &) = delete;
+    ServeClient &operator=(const ServeClient &) = delete;
+    ~ServeClient();
+
+    /** Send one request frame, block for its response frame.
+     *  @throws std::runtime_error on protocol/socket failure (an
+     *  application-level failure comes back as status "error"). */
+    ServeResponse request(const ServeRequest &request);
+
+    /**
+     * Transpile `qasm` on the named backend and return the full
+     * response (routed QASM in .qasm, cache outcome in .source).
+     * @throws std::runtime_error when the daemon answers status
+     * "error" (message included) — transport and application failures
+     * both surface as exceptions here.
+     */
+    ServeResponse
+    transpile_qasm(const std::string &qasm, const std::string &backend,
+                   const std::vector<std::pair<std::string, std::string>>
+                       &options = {});
+
+    /** Fetch the daemon's ServiceStats snapshot as a name->value map. */
+    std::map<std::string, std::uint64_t> stats();
+
+    /** Round-trip a ping frame. */
+    bool ping();
+
+    int fd() const { return fd_; }
+
+  private:
+    explicit ServeClient(int fd) : fd_(fd) {}
+    int fd_ = -1;
+};
+
+} // namespace nassc
+
+#endif // NASSC_SERVE_CLIENT_H

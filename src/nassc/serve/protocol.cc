@@ -1,0 +1,316 @@
+#include "nassc/serve/protocol.h"
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace nassc {
+
+namespace {
+
+[[noreturn]] void
+bad_payload(const std::string &what)
+{
+    throw std::runtime_error("nassc protocol: " + what);
+}
+
+/** Consume one '\n'-terminated line starting at `pos`; returns the line
+ *  without the newline and advances `pos` past it. */
+std::string
+next_line(const std::string &payload, std::size_t &pos)
+{
+    const std::size_t nl = payload.find('\n', pos);
+    if (nl == std::string::npos)
+        bad_payload("unterminated line");
+    std::string line = payload.substr(pos, nl - pos);
+    pos = nl + 1;
+    return line;
+}
+
+/** Split "key=value"; everything before the first '=' is the key. */
+std::pair<std::string, std::string>
+split_kv(const std::string &line, const char *context)
+{
+    const std::size_t eq = line.find('=');
+    if (eq == std::string::npos)
+        bad_payload(std::string(context) + " line without '=': " + line);
+    return {line.substr(0, eq), line.substr(eq + 1)};
+}
+
+bool
+parse_bool(const std::string &key, const std::string &value)
+{
+    if (value == "0" || value == "false")
+        return false;
+    if (value == "1" || value == "true")
+        return true;
+    bad_payload("option " + key + ": expected 0/1/true/false, got '" +
+                value + "'");
+}
+
+int
+parse_int(const std::string &key, const std::string &value)
+{
+    try {
+        std::size_t used = 0;
+        const int v = std::stoi(value, &used);
+        if (used == value.size())
+            return v;
+    } catch (const std::exception &) {
+    }
+    bad_payload("option " + key + ": expected an integer, got '" + value +
+                "'");
+}
+
+double
+parse_double(const std::string &key, const std::string &value)
+{
+    try {
+        std::size_t used = 0;
+        const double v = std::stod(value, &used);
+        if (used == value.size())
+            return v;
+    } catch (const std::exception &) {
+    }
+    bad_payload("option " + key + ": expected a number, got '" + value +
+                "'");
+}
+
+} // namespace
+
+std::string
+encode_request(const ServeRequest &request)
+{
+    std::string out = request.verb + "\n";
+    if (request.verb == "transpile") {
+        out += "backend " + request.backend + "\n";
+        for (const auto &kv : request.options)
+            out += "option " + kv.first + "=" + kv.second + "\n";
+        out += "qasm\n";
+        out += request.qasm;
+    }
+    return out;
+}
+
+ServeRequest
+parse_request(const std::string &payload)
+{
+    ServeRequest request;
+    std::size_t pos = 0;
+    request.verb = next_line(payload, pos);
+    if (request.verb == "stats" || request.verb == "ping")
+        return request;
+    if (request.verb != "transpile")
+        bad_payload("unknown verb '" + request.verb + "'");
+
+    for (;;) {
+        const std::string line = next_line(payload, pos);
+        if (line == "qasm") {
+            request.qasm = payload.substr(pos);
+            return request;
+        }
+        if (line.rfind("backend ", 0) == 0) {
+            request.backend = line.substr(8);
+        } else if (line.rfind("option ", 0) == 0) {
+            request.options.push_back(split_kv(line.substr(7), "option"));
+        } else {
+            bad_payload("unexpected request line '" + line + "'");
+        }
+    }
+}
+
+std::string
+encode_response(const ServeResponse &response)
+{
+    std::string out = "status " + response.status + "\n";
+    if (!response.error.empty())
+        out += "error " + response.error + "\n";
+    if (!response.source.empty())
+        out += "source " + response.source + "\n";
+    for (const auto &kv : response.stats)
+        out += "stat " + kv.first + "=" + kv.second + "\n";
+    if (!response.qasm.empty()) {
+        out += "qasm\n";
+        out += response.qasm;
+    }
+    return out;
+}
+
+ServeResponse
+parse_response(const std::string &payload)
+{
+    ServeResponse response;
+    std::size_t pos = 0;
+    for (;;) {
+        if (pos >= payload.size())
+            return response;
+        const std::string line = next_line(payload, pos);
+        if (line == "qasm") {
+            response.qasm = payload.substr(pos);
+            return response;
+        }
+        if (line.rfind("status ", 0) == 0) {
+            response.status = line.substr(7);
+        } else if (line.rfind("error ", 0) == 0) {
+            response.error = line.substr(6);
+        } else if (line.rfind("source ", 0) == 0) {
+            response.source = line.substr(7);
+        } else if (line.rfind("stat ", 0) == 0) {
+            response.stats.push_back(split_kv(line.substr(5), "stat"));
+        } else {
+            bad_payload("unexpected response line '" + line + "'");
+        }
+    }
+}
+
+TranspileOptions
+parse_transpile_options(
+    const std::vector<std::pair<std::string, std::string>> &options)
+{
+    TranspileOptions opts;
+    for (const auto &kv : options) {
+        const std::string &key = kv.first;
+        const std::string &value = kv.second;
+        if (key == "router") {
+            if (value == "nassc")
+                opts.router = RoutingAlgorithm::kNassc;
+            else if (value == "sabre")
+                opts.router = RoutingAlgorithm::kSabre;
+            else
+                bad_payload("option router: expected nassc|sabre, got '" +
+                            value + "'");
+        } else if (key == "seed") {
+            opts.seed = static_cast<unsigned>(parse_int(key, value));
+        } else if (key == "noise_aware") {
+            opts.noise_aware = parse_bool(key, value);
+        } else if (key == "enable_c2q") {
+            opts.enable_c2q = parse_bool(key, value);
+        } else if (key == "enable_commute1") {
+            opts.enable_commute1 = parse_bool(key, value);
+        } else if (key == "enable_commute2") {
+            opts.enable_commute2 = parse_bool(key, value);
+        } else if (key == "extended_size") {
+            opts.extended_size = parse_int(key, value);
+        } else if (key == "extended_weight") {
+            opts.extended_weight = parse_double(key, value);
+        } else if (key == "layout_iterations") {
+            opts.layout_iterations = parse_int(key, value);
+        } else if (key == "layout_trials") {
+            opts.layout_trials = parse_int(key, value);
+        } else if (key == "layout_threads") {
+            opts.layout_threads = parse_int(key, value);
+        } else if (key == "opt_loop_rounds") {
+            opts.opt_loop_rounds = parse_int(key, value);
+        } else if (key == "reuse_routing") {
+            opts.reuse_routing = parse_bool(key, value);
+        } else if (key == "orientation_aware_decomposition") {
+            opts.orientation_aware_decomposition = parse_bool(key, value);
+        } else if (key == "use_decay") {
+            opts.use_decay = parse_bool(key, value);
+        } else if (key == "priority") {
+            opts.priority = parse_int(key, value);
+        } else if (key == "cache_ttl_seconds") {
+            opts.cache_ttl_seconds = parse_double(key, value);
+        } else {
+            bad_payload("unknown option '" + key + "'");
+        }
+    }
+    return opts;
+}
+
+bool
+read_frame(int fd, std::string &payload)
+{
+    // Header: "NASSC/1 <len>\n", read byte-by-byte (it is tiny and this
+    // keeps the reader stateless — no lookahead into the payload).
+    std::string header;
+    for (;;) {
+        char c;
+        const ssize_t n = ::recv(fd, &c, 1, 0);
+        if (n == 0) {
+            if (header.empty())
+                return false; // clean EOF between frames
+            throw std::runtime_error("nassc protocol: EOF inside header");
+        }
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            throw std::runtime_error(std::string("nassc protocol: recv: ") +
+                                     std::strerror(errno));
+        }
+        if (c == '\n')
+            break;
+        header.push_back(c);
+        if (header.size() > 64)
+            throw std::runtime_error("nassc protocol: runaway frame header");
+    }
+
+    const std::string magic = std::string(kFrameMagic) + " ";
+    if (header.rfind(magic, 0) != 0)
+        throw std::runtime_error("nassc protocol: bad frame magic '" +
+                                 header + "'");
+    std::size_t len = 0;
+    try {
+        std::size_t used = 0;
+        const unsigned long long v = std::stoull(header.substr(magic.size()),
+                                                 &used);
+        if (used != header.size() - magic.size())
+            throw std::invalid_argument("trailing junk");
+        len = static_cast<std::size_t>(v);
+    } catch (const std::exception &) {
+        throw std::runtime_error("nassc protocol: bad frame length in '" +
+                                 header + "'");
+    }
+    if (len > kMaxFrameBytes)
+        throw std::runtime_error("nassc protocol: frame of " +
+                                 std::to_string(len) +
+                                 " bytes exceeds the " +
+                                 std::to_string(kMaxFrameBytes) +
+                                 "-byte cap");
+
+    payload.clear();
+    payload.resize(len);
+    std::size_t got = 0;
+    while (got < len) {
+        const ssize_t n = ::recv(fd, &payload[got], len - got, 0);
+        if (n == 0)
+            throw std::runtime_error("nassc protocol: EOF inside payload");
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            throw std::runtime_error(std::string("nassc protocol: recv: ") +
+                                     std::strerror(errno));
+        }
+        got += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+void
+write_frame(int fd, const std::string &payload)
+{
+    if (payload.size() > kMaxFrameBytes)
+        throw std::runtime_error("nassc protocol: refusing to send a " +
+                                 std::to_string(payload.size()) +
+                                 "-byte frame");
+    std::string frame = std::string(kFrameMagic) + " " +
+                        std::to_string(payload.size()) + "\n" + payload;
+    std::size_t sent = 0;
+    while (sent < frame.size()) {
+        // MSG_NOSIGNAL: a peer that hung up yields EPIPE, not SIGPIPE.
+        const ssize_t n = ::send(fd, frame.data() + sent,
+                                 frame.size() - sent, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            throw std::runtime_error(std::string("nassc protocol: send: ") +
+                                     std::strerror(errno));
+        }
+        sent += static_cast<std::size_t>(n);
+    }
+}
+
+} // namespace nassc

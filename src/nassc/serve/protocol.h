@@ -1,0 +1,113 @@
+#ifndef NASSC_SERVE_PROTOCOL_H
+#define NASSC_SERVE_PROTOCOL_H
+
+/**
+ * @file
+ * The nasscd wire protocol: length-prefixed text frames.
+ *
+ * Framing (both directions):
+ *
+ *     NASSC/1 <payload-bytes>\n
+ *     <payload>
+ *
+ * — a fixed magic+version token, one decimal byte count, one newline,
+ * then exactly that many payload bytes.  Text framing keeps the daemon
+ * debuggable with a terminal; the length prefix keeps parsing O(1) and
+ * payloads binary-safe.  Frames above kMaxFrameBytes are rejected
+ * without buffering (a malformed or hostile peer cannot balloon the
+ * daemon's memory).
+ *
+ * Request payload — verb line, then verb-specific lines:
+ *
+ *     transpile            |  stats  |  ping
+ *     backend <name>
+ *     option <key>=<value>     (zero or more; TranspileOptions fields)
+ *     qasm
+ *     <OpenQASM 2.0 body, verbatim to end of payload>
+ *
+ * Response payload:
+ *
+ *     status ok | error
+ *     error <message>          (status error only)
+ *     source transpiled|cache_hit|coalesced|inline   (transpile only)
+ *     stat <key>=<value>       (ServiceStats snapshot; stats+transpile)
+ *     qasm                     (transpile only)
+ *     <routed OpenQASM 2.0 body, verbatim to end of payload>
+ *
+ * `source` is the per-request delta (what this request cost the
+ * service); the `stat` lines are a point-in-time snapshot of the whole
+ * service, so concurrent clients see interleaved counter motion.
+ *
+ * The routed QASM body is produced by ir/qasm.h's to_qasm() on the
+ * exact TranspileResult the in-process API would hand back, so a
+ * daemon round trip is BIT-IDENTICAL to calling transpile() locally
+ * with the same backend and options (the protocol adds framing, never
+ * meaning).
+ */
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "nassc/transpile/transpile.h"
+
+namespace nassc {
+
+/** Frame size cap, both directions (1 MiB of QASM is ~40k gates). */
+inline constexpr std::size_t kMaxFrameBytes = 32u << 20;
+
+/** Protocol token expected at the start of every frame header. */
+inline constexpr const char *kFrameMagic = "NASSC/1";
+
+/** One parsed request payload. */
+struct ServeRequest
+{
+    std::string verb;    ///< "transpile", "stats", or "ping"
+    std::string backend; ///< backend name (transpile)
+    /** Raw key=value option lines, in wire order. */
+    std::vector<std::pair<std::string, std::string>> options;
+    std::string qasm; ///< OpenQASM 2.0 body (transpile)
+};
+
+/** One parsed response payload. */
+struct ServeResponse
+{
+    std::string status; ///< "ok" or "error"
+    std::string error;  ///< human-readable failure (status "error")
+    std::string source; ///< cache outcome of a transpile request
+    /** ServiceStats snapshot as key=value pairs, in wire order. */
+    std::vector<std::pair<std::string, std::string>> stats;
+    std::string qasm; ///< routed OpenQASM 2.0 body
+};
+
+/** @name Payload codec (pure string <-> struct, no I/O). @{ */
+std::string encode_request(const ServeRequest &request);
+/** @throws std::runtime_error on malformed payloads. */
+ServeRequest parse_request(const std::string &payload);
+std::string encode_response(const ServeResponse &response);
+/** @throws std::runtime_error on malformed payloads. */
+ServeResponse parse_response(const std::string &payload);
+/** @} */
+
+/**
+ * Interpret wire `option` pairs as a TranspileOptions.  Every public
+ * field is addressable by its struct name (router=nassc|sabre, seed=N,
+ * noise_aware=0|1, …, priority=N, cache_ttl_seconds=X).
+ * @throws std::runtime_error on unknown keys or unparsable values, so
+ * a typo'd request fails loudly instead of transpiling with defaults.
+ */
+TranspileOptions parse_transpile_options(
+    const std::vector<std::pair<std::string, std::string>> &options);
+
+/** @name Frame I/O over a connected socket fd.
+ * Blocking, EINTR-safe, partial-read/write-safe.  read_frame returns
+ * false on clean EOF before any header byte; throws std::runtime_error
+ * on malformed headers, oversized frames, or socket errors. @{ */
+bool read_frame(int fd, std::string &payload);
+void write_frame(int fd, const std::string &payload);
+/** @} */
+
+} // namespace nassc
+
+#endif // NASSC_SERVE_PROTOCOL_H

@@ -1,0 +1,444 @@
+#include "nassc/serve/server.h"
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "nassc/serve/protocol.h"
+
+namespace nassc {
+
+namespace {
+
+[[noreturn]] void
+sys_fail(const std::string &what)
+{
+    throw std::runtime_error("nasscd: " + what + ": " +
+                             std::strerror(errno));
+}
+
+/** Thrown inside a connection thread when the peer is gone; unwinds to
+ *  the connection loop, which closes without writing. */
+struct ClientGone
+{
+};
+
+const char *
+source_name(TicketSource source)
+{
+    switch (source) {
+    case TicketSource::kScheduled:
+        return "transpiled";
+    case TicketSource::kInline:
+        return "inline";
+    case TicketSource::kCoalesced:
+        return "coalesced";
+    case TicketSource::kCacheHit:
+        return "cache_hit";
+    }
+    return "unknown";
+}
+
+std::vector<std::pair<std::string, std::string>>
+stats_pairs(const ServiceStats &s)
+{
+    auto u = [](std::uint64_t v) { return std::to_string(v); };
+    return {
+        {"requests", u(s.requests)},
+        {"cache_hits", u(s.cache_hits)},
+        {"coalesced", u(s.coalesced)},
+        {"misses", u(s.misses)},
+        {"evictions_capacity", u(s.evictions_capacity)},
+        {"evictions_invalidated", u(s.evictions_invalidated)},
+        {"cancelled", u(s.cancelled)},
+        {"transpiles_ok", u(s.transpiles_ok)},
+        {"transpiles_failed", u(s.transpiles_failed)},
+        {"cache_size", std::to_string(s.cache_size)},
+        {"cache_bytes", std::to_string(s.cache_bytes)},
+        {"inflight", std::to_string(s.inflight)},
+    };
+}
+
+} // namespace
+
+struct NasscServer::Impl
+{
+    explicit Impl(ServerOptions opts) : options(std::move(opts))
+    {
+        if (options.shared_service)
+            service = options.shared_service;
+        else
+            service = std::make_shared<TranspileService>(options.service);
+        for (auto &&b :
+             {montreal_backend(), linear_backend(), grid_backend()})
+            backends[b.name] = std::make_shared<const Backend>(std::move(b));
+    }
+
+    ServerOptions options;
+    std::shared_ptr<TranspileService> service;
+
+    mutable std::mutex backends_mu;
+    std::unordered_map<std::string, std::shared_ptr<const Backend>> backends;
+
+    int unix_fd = -1;
+    int tcp_fd = -1;
+    int bound_port = -1;
+    int wake_pipe[2] = {-1, -1};
+    std::atomic<bool> stopping{false};
+    bool started = false;
+    bool stopped = false;
+    std::thread accept_thread;
+
+    struct Conn
+    {
+        int fd = -1;
+        std::thread thread;
+        std::atomic<bool> done{false};
+    };
+    std::mutex conns_mu;
+    std::vector<std::unique_ptr<Conn>> conns;
+
+    std::atomic<std::uint64_t> frames{0};
+
+    std::shared_ptr<const Backend>
+    lookup_backend(const std::string &name) const
+    {
+        std::lock_guard<std::mutex> lk(backends_mu);
+        auto it = backends.find(name);
+        if (it == backends.end())
+            throw std::runtime_error("unknown backend '" + name + "'");
+        return it->second;
+    }
+
+    int
+    listen_unix()
+    {
+        sockaddr_un addr{};
+        addr.sun_family = AF_UNIX;
+        if (options.unix_path.size() >= sizeof(addr.sun_path))
+            throw std::runtime_error("nasscd: unix socket path too long: " +
+                                     options.unix_path);
+        std::strncpy(addr.sun_path, options.unix_path.c_str(),
+                     sizeof(addr.sun_path) - 1);
+        const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        if (fd < 0)
+            sys_fail("socket(AF_UNIX)");
+        ::unlink(options.unix_path.c_str()); // stale path from a crash
+        if (::bind(fd, reinterpret_cast<sockaddr *>(&addr), sizeof(addr)) <
+            0) {
+            ::close(fd);
+            sys_fail("bind(" + options.unix_path + ")");
+        }
+        if (::listen(fd, 64) < 0) {
+            ::close(fd);
+            sys_fail("listen(" + options.unix_path + ")");
+        }
+        return fd;
+    }
+
+    int
+    listen_tcp()
+    {
+        const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+        if (fd < 0)
+            sys_fail("socket(AF_INET)");
+        const int one = 1;
+        ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+        sockaddr_in addr{};
+        addr.sin_family = AF_INET;
+        addr.sin_port = htons(static_cast<std::uint16_t>(options.tcp_port));
+        if (::inet_pton(AF_INET, options.host.c_str(), &addr.sin_addr) !=
+            1) {
+            ::close(fd);
+            throw std::runtime_error("nasscd: bad host '" + options.host +
+                                     "'");
+        }
+        if (::bind(fd, reinterpret_cast<sockaddr *>(&addr), sizeof(addr)) <
+            0) {
+            ::close(fd);
+            sys_fail("bind(" + options.host + ":" +
+                     std::to_string(options.tcp_port) + ")");
+        }
+        if (::listen(fd, 64) < 0) {
+            ::close(fd);
+            sys_fail("listen(tcp)");
+        }
+        sockaddr_in bound{};
+        socklen_t len = sizeof(bound);
+        if (::getsockname(fd, reinterpret_cast<sockaddr *>(&bound), &len) <
+            0) {
+            ::close(fd);
+            sys_fail("getsockname");
+        }
+        bound_port = ntohs(bound.sin_port);
+        return fd;
+    }
+
+    /** Wait for `ticket` while watching the client socket; false = the
+     *  peer hung up first (caller cancels).  During shutdown the probe
+     *  is skipped: stop() half-closes every socket to stop new frames,
+     *  which is indistinguishable from a hangup — accepted requests
+     *  must still drain to their response. */
+    bool
+    wait_ticket(const TranspileTicket &ticket, int fd) const
+    {
+        while (!ticket.ready()) {
+            if (!stopping.load(std::memory_order_relaxed)) {
+                char probe;
+                const ssize_t n =
+                    ::recv(fd, &probe, 1, MSG_PEEK | MSG_DONTWAIT);
+                if (n == 0)
+                    return false; // orderly hangup
+                if (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK &&
+                    errno != EINTR)
+                    return false; // connection error
+                // n == 1 is fine: a pipelined next request, not EOF.
+            }
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+        return true;
+    }
+
+    ServeResponse
+    handle_payload(const std::string &payload, int fd)
+    {
+        ServeResponse response;
+        try {
+            const ServeRequest request = parse_request(payload);
+            if (request.verb == "ping") {
+                response.status = "ok";
+                return response;
+            }
+            if (request.verb == "stats") {
+                response.status = "ok";
+                response.stats = stats_pairs(service->stats());
+                return response;
+            }
+            const std::shared_ptr<const Backend> backend =
+                lookup_backend(request.backend);
+            const TranspileOptions opts =
+                parse_transpile_options(request.options);
+            TranspileTicket ticket =
+                service->submit_qasm(request.qasm, backend, opts);
+            if (!wait_ticket(ticket, fd)) {
+                // Nobody will read the answer; a request no worker has
+                // started yet is dropped entirely.
+                service->try_cancel(ticket);
+                throw ClientGone{};
+            }
+            response.qasm = ticket.get_qasm(); // rethrows transpile errors
+            response.source = source_name(ticket.source());
+            response.stats = stats_pairs(service->stats());
+            response.status = "ok";
+        } catch (const ClientGone &) {
+            throw;
+        } catch (const std::exception &e) {
+            response = ServeResponse{};
+            response.status = "error";
+            response.error = e.what();
+        }
+        return response;
+    }
+
+    void
+    connection_main(Conn *conn)
+    {
+        try {
+            std::string payload;
+            while (read_frame(conn->fd, payload)) {
+                frames.fetch_add(1, std::memory_order_relaxed);
+                write_frame(conn->fd, encode_response(
+                                          handle_payload(payload, conn->fd)));
+            }
+        } catch (...) {
+            // ClientGone, protocol violations, or socket errors all end
+            // the connection the same way; the daemon itself stays up.
+        }
+        int fd;
+        {
+            std::lock_guard<std::mutex> lk(conns_mu);
+            fd = conn->fd;
+            conn->fd = -1; // stop() must not shutdown() a closed fd
+        }
+        if (fd >= 0)
+            ::close(fd);
+        conn->done.store(true, std::memory_order_release);
+    }
+
+    void
+    accept_main()
+    {
+        std::vector<pollfd> fds;
+        if (unix_fd >= 0)
+            fds.push_back({unix_fd, POLLIN, 0});
+        if (tcp_fd >= 0)
+            fds.push_back({tcp_fd, POLLIN, 0});
+        fds.push_back({wake_pipe[0], POLLIN, 0});
+
+        while (!stopping.load(std::memory_order_relaxed)) {
+            const int rc = ::poll(fds.data(),
+                                  static_cast<nfds_t>(fds.size()), -1);
+            if (rc < 0) {
+                if (errno == EINTR)
+                    continue;
+                break;
+            }
+            for (const pollfd &p : fds) {
+                if (!(p.revents & POLLIN) || p.fd == wake_pipe[0])
+                    continue;
+                const int client = ::accept(p.fd, nullptr, nullptr);
+                if (client < 0)
+                    continue;
+                auto conn = std::make_unique<Conn>();
+                conn->fd = client;
+                Conn *raw = conn.get();
+                std::lock_guard<std::mutex> lk(conns_mu);
+                conns.push_back(std::move(conn));
+                raw->thread =
+                    std::thread([this, raw] { connection_main(raw); });
+            }
+            reap_finished();
+        }
+    }
+
+    /** Join connection threads that already exited (keeps a long-lived
+     *  daemon from accumulating one dead thread per past client). */
+    void
+    reap_finished()
+    {
+        std::vector<std::thread> finished;
+        {
+            std::lock_guard<std::mutex> lk(conns_mu);
+            for (auto it = conns.begin(); it != conns.end();) {
+                if ((*it)->done.load(std::memory_order_acquire)) {
+                    finished.push_back(std::move((*it)->thread));
+                    it = conns.erase(it);
+                } else {
+                    ++it;
+                }
+            }
+        }
+        for (std::thread &t : finished)
+            if (t.joinable())
+                t.join();
+    }
+};
+
+NasscServer::NasscServer(ServerOptions options)
+    : impl_(std::make_unique<Impl>(std::move(options)))
+{
+}
+
+NasscServer::~NasscServer()
+{
+    stop();
+}
+
+void
+NasscServer::start()
+{
+    Impl &im = *impl_;
+    if (im.started)
+        throw std::logic_error("nasscd: start() called twice");
+    if (im.options.unix_path.empty() && im.options.tcp_port < 0)
+        throw std::runtime_error("nasscd: no listener configured");
+    if (::pipe(im.wake_pipe) < 0)
+        sys_fail("pipe");
+    if (!im.options.unix_path.empty())
+        im.unix_fd = im.listen_unix();
+    if (im.options.tcp_port >= 0)
+        im.tcp_fd = im.listen_tcp();
+    im.started = true;
+    im.accept_thread = std::thread([&im] { im.accept_main(); });
+}
+
+void
+NasscServer::stop()
+{
+    Impl &im = *impl_;
+    if (!im.started || im.stopped)
+        return;
+    im.stopped = true;
+    im.stopping.store(true, std::memory_order_relaxed);
+    // Wake the accept loop, then retire the listeners: connects made
+    // from here on are refused.
+    (void)!::write(im.wake_pipe[1], "x", 1);
+    if (im.accept_thread.joinable())
+        im.accept_thread.join();
+    if (im.unix_fd >= 0)
+        ::close(im.unix_fd);
+    if (im.tcp_fd >= 0)
+        ::close(im.tcp_fd);
+    if (!im.options.unix_path.empty())
+        ::unlink(im.options.unix_path.c_str());
+    ::close(im.wake_pipe[0]);
+    ::close(im.wake_pipe[1]);
+
+    // Half-close every connection: no new frames arrive, but requests
+    // already decoded still drain to a written response.
+    {
+        std::lock_guard<std::mutex> lk(im.conns_mu);
+        for (auto &conn : im.conns)
+            if (conn->fd >= 0)
+                ::shutdown(conn->fd, SHUT_RD);
+    }
+    // Take ownership of the Conn objects BEFORE joining: they must
+    // outlive their threads (connection_main touches them to the end).
+    std::vector<std::unique_ptr<Impl::Conn>> taken;
+    {
+        std::lock_guard<std::mutex> lk(im.conns_mu);
+        taken = std::move(im.conns);
+        im.conns.clear();
+    }
+    for (auto &conn : taken)
+        if (conn->thread.joinable())
+            conn->thread.join();
+}
+
+int
+NasscServer::tcp_port() const
+{
+    return impl_->bound_port;
+}
+
+const std::string &
+NasscServer::unix_path() const
+{
+    return impl_->options.unix_path;
+}
+
+void
+NasscServer::register_backend(std::shared_ptr<const Backend> backend)
+{
+    if (!backend)
+        throw std::invalid_argument("register_backend: null backend");
+    std::lock_guard<std::mutex> lk(impl_->backends_mu);
+    impl_->backends[backend->name] = std::move(backend);
+}
+
+TranspileService &
+NasscServer::service()
+{
+    return *impl_->service;
+}
+
+std::uint64_t
+NasscServer::requests_seen() const
+{
+    return impl_->frames.load(std::memory_order_relaxed);
+}
+
+} // namespace nassc

@@ -1,0 +1,114 @@
+#ifndef NASSC_SERVE_SERVER_H
+#define NASSC_SERVE_SERVER_H
+
+/**
+ * @file
+ * NasscServer: the nasscd daemon's listening core.
+ *
+ * A deliberately thin network shell around TranspileService: the server
+ * owns the sockets and the protocol framing (serve/protocol.h) and
+ * NOTHING else — every transpile goes through the same submit_qasm()
+ * path an in-process caller would use, so a daemon response is
+ * bit-identical to a local transpile() with the same inputs, and all
+ * hardening (dedup, coalescing, bounded cache, generation/TTL
+ * invalidation, priorities) lives in the service where it is unit
+ * testable without sockets.
+ *
+ * Threading model: one accept thread multiplexing the listeners with
+ * poll(); one thread per accepted connection, each handling its frames
+ * sequentially (pipelined requests are answered in order).  The
+ * transpile itself runs as a Scheduler job at the request's priority —
+ * connection threads only block on frame I/O and on the ticket, so a
+ * slow circuit never stalls the accept loop or other connections.
+ *
+ * Disconnect handling: while waiting on a ticket the connection thread
+ * watches its socket; if the client hangs up first, the server calls
+ * TranspileService::try_cancel() so a request nobody will read never
+ * occupies a worker (cancellation is cooperative — a job already
+ * running finishes and populates the cache).
+ *
+ * Shutdown (stop()) is graceful: listeners close first (new connects
+ * are refused), then every open connection is shut down for READING —
+ * requests already received keep draining and their responses are still
+ * written — and the call joins all threads before returning.  The
+ * destructor calls stop().
+ *
+ * Backends are served from a small registry keyed by name (montreal,
+ * linear, grid by default); register_backend() adds or REPLACES an
+ * entry, which is how calibration rotation reaches the daemon — the
+ * service notices the new Backend::cache_key() on the next request and
+ * eagerly drops the stale generation.
+ */
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "nassc/service/transpile_service.h"
+#include "nassc/topo/backends.h"
+
+namespace nassc {
+
+/** Listener + service configuration for one server. */
+struct ServerOptions
+{
+    /** Non-empty: listen on this AF_UNIX socket path (removed and
+     *  re-bound on start, unlinked on stop). */
+    std::string unix_path;
+    /** >= 0: listen on TCP host:tcp_port (0 picks an ephemeral port,
+     *  see NasscServer::tcp_port()).  -1 disables TCP.  At least one
+     *  of unix_path / tcp_port must be enabled. */
+    int tcp_port = -1;
+    std::string host = "127.0.0.1";
+    /** Options for the server-owned TranspileService (cache bounds,
+     *  TTL, worker provisioning). */
+    ServiceOptions service;
+    /** Non-null: serve THIS service instead of owning one (lets tests
+     *  and embedders share a service between transports). */
+    std::shared_ptr<TranspileService> shared_service;
+};
+
+/** The nasscd daemon core: sockets + framing over a TranspileService. */
+class NasscServer
+{
+  public:
+    explicit NasscServer(ServerOptions options);
+
+    /** stop()s if still running. */
+    ~NasscServer();
+
+    NasscServer(const NasscServer &) = delete;
+    NasscServer &operator=(const NasscServer &) = delete;
+
+    /** Bind + listen + launch the accept thread.
+     *  @throws std::runtime_error on any socket failure. */
+    void start();
+
+    /** Graceful shutdown: refuse new connections, drain requests
+     *  already received, join every thread.  Idempotent. */
+    void stop();
+
+    /** The bound TCP port (resolves 0 = ephemeral); -1 if disabled. */
+    int tcp_port() const;
+
+    /** The bound unix socket path; empty if disabled. */
+    const std::string &unix_path() const;
+
+    /** Add or replace (by Backend::name) a served backend. */
+    void register_backend(std::shared_ptr<const Backend> backend);
+
+    /** The service requests are routed through. */
+    TranspileService &service();
+
+    /** Frames decoded so far (any verb) — a liveness/progress counter
+     *  for tests and monitoring. */
+    std::uint64_t requests_seen() const;
+
+  private:
+    struct Impl;
+    std::unique_ptr<Impl> impl_;
+};
+
+} // namespace nassc
+
+#endif // NASSC_SERVE_SERVER_H

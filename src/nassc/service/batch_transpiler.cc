@@ -194,7 +194,9 @@ BatchTranspiler::run_service(const std::vector<TranspileJob> &jobs) const
     report.coalesced = after.coalesced - before.coalesced;
     report.transpiles = (after.transpiles_ok + after.transpiles_failed) -
                         (before.transpiles_ok + before.transpiles_failed);
-    report.cache_evictions = after.evictions - before.evictions;
+    report.cache_evictions =
+        (after.evictions_capacity + after.evictions_invalidated) -
+        (before.evictions_capacity + before.evictions_invalidated);
     report.distance_computations =
         service.distance_cache().computation_count() - distance_before;
     return report;

@@ -16,11 +16,25 @@ namespace {
 /** Set while the current thread executes scheduler tasks. */
 thread_local bool t_in_task = false;
 
+/** Cancel flag of the job whose task this thread is running, if any —
+ *  read by Scheduler::current_job_cancelled() without any lock. */
+thread_local const std::atomic<bool> *t_cancel_flag = nullptr;
+
 struct TaskScope
 {
     bool prev;
-    TaskScope() : prev(t_in_task) { t_in_task = true; }
-    ~TaskScope() { t_in_task = prev; }
+    const std::atomic<bool> *prev_flag;
+    explicit TaskScope(const std::atomic<bool> *cancel_flag = nullptr)
+        : prev(t_in_task), prev_flag(t_cancel_flag)
+    {
+        t_in_task = true;
+        t_cancel_flag = cancel_flag;
+    }
+    ~TaskScope()
+    {
+        t_in_task = prev;
+        t_cancel_flag = prev_flag;
+    }
 };
 
 } // namespace
@@ -37,6 +51,11 @@ struct Scheduler::JobHandle::Job
 {
     Scheduler::TaskFn fn;
     std::size_t count = 0;
+    int priority = 0; ///< higher is claimed first; immutable after submit
+
+    /** Owning scheduler's Impl, for cancel(); valid while the job is
+     *  undone (the scheduler's destructor drains every job). */
+    Scheduler::Impl *impl = nullptr;
 
     // Claim state, guarded by Impl::mu.
     std::size_t next = 0;
@@ -44,6 +63,9 @@ struct Scheduler::JobHandle::Job
     std::vector<int> free_slots; ///< pool-claimable slot ids, stack order
     std::size_t error_index = std::numeric_limits<std::size_t>::max();
     std::exception_ptr error;
+
+    /** Set by cancel(); polled lock-free by running tasks. */
+    std::atomic<bool> cancelled{false};
 
     // Completion latch, guarded by done_mu (error is safe to read after
     // observing done: every error write under Impl::mu happens-before
@@ -171,26 +193,29 @@ Scheduler::worker_main()
 
     std::unique_lock<std::mutex> lk(im.mu);
     for (;;) {
-        // Steal ONE task from the first claimable job after the rotor,
-        // then re-scan: between-task rotation is what interleaves a
-        // late-arriving job with an in-flight one on the same workers.
+        // Steal ONE task from the highest-priority claimable job, then
+        // re-scan: between-task rotation (the tie-break within a
+        // priority) is what interleaves a late-arriving job with an
+        // in-flight one on the same workers.
         std::shared_ptr<Job> job;
         std::size_t index = 0;
         int slot = -1;
         const std::size_t n = im.jobs.size();
+        std::size_t best_at = 0;
         for (std::size_t k = 0; k < n; ++k) {
             const std::size_t at = (rotor + k) % n;
             Job &j = *im.jobs[at];
-            if (j.claimable()) {
+            if (j.claimable() && (!job || j.priority > job->priority)) {
                 job = im.jobs[at];
-                index = j.next++;
-                slot = j.free_slots.back();
-                j.free_slots.pop_back();
-                rotor = (at + 1) % n;
-                break;
+                best_at = at;
             }
         }
-        if (!job) {
+        if (job) {
+            index = job->next++;
+            slot = job->free_slots.back();
+            job->free_slots.pop_back();
+            rotor = (best_at + 1) % n;
+        } else {
             if (im.stop)
                 return;
             im.work_cv.wait(lk);
@@ -201,7 +226,7 @@ Scheduler::worker_main()
         lk.unlock();
         std::exception_ptr err;
         {
-            TaskScope scope;
+            TaskScope scope(&job->cancelled);
             try {
                 job->fn(index, slot);
             } catch (...) {
@@ -221,11 +246,13 @@ Scheduler::worker_main()
 }
 
 Scheduler::JobHandle
-Scheduler::submit(std::size_t count, TaskFn fn, int max_slots)
+Scheduler::submit(std::size_t count, TaskFn fn, int max_slots, int priority)
 {
     using Job = Impl::Job;
     Impl &im = *impl_;
     auto job = std::make_shared<Job>(std::move(fn), count);
+    job->priority = priority;
+    job->impl = impl_;
     if (count == 0) {
         job->done = true;
         return JobHandle(job);
@@ -279,6 +306,7 @@ Scheduler::parallel_for(std::size_t count, const TaskFn &fn, int max_workers)
     }
 
     auto job = std::make_shared<Job>(fn, count);
+    job->impl = impl_;
     int slots = max_workers;
     if (static_cast<std::size_t>(slots) > count)
         slots = static_cast<int>(count);
@@ -338,6 +366,38 @@ Scheduler::JobHandle::done() const
     return job_->done;
 }
 
+std::size_t
+Scheduler::JobHandle::cancel() const
+{
+    if (!job_)
+        return 0;
+    job_->cancelled.store(true, std::memory_order_relaxed);
+    {
+        std::lock_guard<std::mutex> g(job_->done_mu);
+        if (job_->done)
+            return 0;
+    }
+    // Not done: the owning scheduler is still alive (its destructor
+    // drains every job before returning), so Impl is safe to touch.
+    Impl &im = *job_->impl;
+    std::lock_guard<std::mutex> lk(im.mu);
+    const std::size_t dropped =
+        job_->count > job_->next ? job_->count - job_->next : 0;
+    if (dropped == 0)
+        return 0;
+    job_->next = job_->count;
+    job_->finished += dropped;
+    if (job_->finished == job_->count)
+        im.finish_job(job_);
+    return dropped;
+}
+
+bool
+Scheduler::JobHandle::cancelled() const
+{
+    return job_ && job_->cancelled.load(std::memory_order_relaxed);
+}
+
 void
 Scheduler::JobHandle::wait() const
 {
@@ -362,6 +422,13 @@ bool
 Scheduler::in_task()
 {
     return t_in_task;
+}
+
+bool
+Scheduler::current_job_cancelled()
+{
+    return t_cancel_flag &&
+           t_cancel_flag->load(std::memory_order_relaxed);
 }
 
 } // namespace nassc

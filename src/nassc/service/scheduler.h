@@ -46,11 +46,22 @@
  * job's completion can deadlock a saturated pool (the guard cannot
  * help: the waited-for work belongs to a different job).
  *
- * Fairness: workers re-scan the job list between tasks (tasks here are
- * routing passes and whole transpiles — milliseconds at least — so the
- * rescan is noise), starting after the job they last served.  A
- * long-running job therefore cannot starve a later one: the moment any
- * worker finishes a task, the next job in rotation gets it.
+ * Fairness and priorities: workers re-scan the job list between tasks
+ * (tasks here are routing passes and whole transpiles — milliseconds at
+ * least — so the rescan is noise) and claim from the highest-priority
+ * claimable job; among equal priorities the scan starts after the job
+ * the worker last served, so a long-running job cannot starve a later
+ * one of the same priority: the moment any worker finishes a task, the
+ * next equal-priority job in rotation gets it.  Priorities affect only
+ * the ORDER tasks are claimed in, never whether they run — every
+ * submitted job still completes, so all determinism contracts hold.
+ *
+ * Cancellation is cooperative: JobHandle::cancel() drops every task
+ * that no WORKER has claimed yet (they are never invoked), while tasks
+ * already running finish normally — a task that wants to stop early
+ * polls Scheduler::current_job_cancelled().  The serving layer uses
+ * this to abandon transpiles whose client disconnected before a worker
+ * picked them up.
  */
 
 #include <cstddef>
@@ -109,6 +120,22 @@ class Scheduler
          */
         void wait() const;
 
+        /**
+         * Cooperatively cancel the job: every task no worker has claimed
+         * yet is dropped (its fn is never invoked) and the job completes
+         * as soon as the already-running tasks finish.  Returns how many
+         * tasks were dropped — 0 means every task had already been
+         * claimed (for a single-task job: it is running or done).
+         * Dropped indices count as completed without error; running
+         * tasks can poll Scheduler::current_job_cancelled() to stop
+         * early.  Must not be called after the owning Scheduler is
+         * destroyed (its drain guarantees all handles are done by then).
+         */
+        std::size_t cancel() const;
+
+        /** True once cancel() has been called on this job. */
+        bool cancelled() const;
+
       private:
         friend class Scheduler;
         struct Job;
@@ -123,9 +150,12 @@ class Scheduler
      * job.  Unlike parallel_for there is no caller slot: slots are
      * 0..max_slots-1 and the submitting thread does not execute tasks.
      * Safe to call from inside a task (enqueueing never blocks); only
-     * wait() is restricted.
+     * wait() is restricted.  Higher `priority` jobs are claimed before
+     * lower ones whenever both have runnable tasks (parallel_for jobs
+     * run at priority 0); ordering within a priority stays round-robin.
      */
-    JobHandle submit(std::size_t count, TaskFn fn, int max_slots = 0);
+    JobHandle submit(std::size_t count, TaskFn fn, int max_slots = 0,
+                     int priority = 0);
 
     /**
      * Run fn(index, slot) for index in [0, count), blocking until all
@@ -149,6 +179,13 @@ class Scheduler
 
     /** True on a thread currently executing a scheduler task. */
     static bool in_task();
+
+    /**
+     * True when the task the calling thread is executing belongs to a
+     * job that has been cancel()led — the cooperative-cancellation poll
+     * for long tasks.  Always false outside a task.
+     */
+    static bool current_job_cancelled();
 
   private:
     struct Impl;

@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "nassc/ir/qasm.h"
+
 namespace nassc {
 
 namespace {
@@ -18,6 +20,12 @@ hex64(std::uint64_t v)
 }
 
 } // namespace
+
+std::string
+TranspileTicket::get_qasm() const
+{
+    return to_qasm(get()->circuit);
+}
 
 std::string
 TranspileService::request_key(const QuantumCircuit &circuit,
@@ -44,8 +52,9 @@ TranspileService::TranspileService(ServiceOptions options)
 
 TranspileService::~TranspileService()
 {
-    // Every promise settles (run_request catches everything), so the
-    // drain always terminates; after it, no task touches `this`.
+    // Every promise settles (run_request catches everything, try_cancel
+    // settles what it abandons), so the drain always terminates; after
+    // it, no task touches `this`.
     std::unique_lock<std::mutex> lk(mu_);
     drained_.wait(lk, [&] { return inflight_count_ == 0; });
 }
@@ -56,27 +65,102 @@ TranspileService::scheduler() const
     return scheduler_ ? *scheduler_ : Scheduler::shared();
 }
 
+TranspileService::Clock::time_point
+TranspileService::entry_expiry(const TranspileOptions &options) const
+{
+    const double ttl = options.cache_ttl_seconds > 0.0
+                           ? options.cache_ttl_seconds
+                           : options_.default_ttl_seconds;
+    if (ttl <= 0.0)
+        return Clock::time_point::max();
+    return Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                              std::chrono::duration<double>(ttl));
+}
+
+std::list<TranspileService::CacheEntry>::iterator
+TranspileService::cache_erase(std::list<CacheEntry>::iterator it)
+{
+    cache_bytes_ -= it->bytes;
+    cache_.erase(it->key);
+    return lru_.erase(it);
+}
+
+std::size_t
+TranspileService::note_backend_generation(const Backend &backend)
+{
+    const std::string current = backend.cache_key();
+    auto inserted = generation_.try_emplace(backend.name, current);
+    if (inserted.second || inserted.first->second == current)
+        return 0;
+    // First contact with a rotated calibration: drop the stale
+    // generation NOW instead of letting it ride the LRU tail.
+    inserted.first->second = current;
+    std::size_t dropped = 0;
+    for (auto it = lru_.begin(); it != lru_.end();) {
+        if (it->backend_name == backend.name && it->backend_key != current) {
+            it = cache_erase(it);
+            ++stats_.evictions_invalidated;
+            ++dropped;
+        } else {
+            ++it;
+        }
+    }
+    return dropped;
+}
+
 void
 TranspileService::cache_insert(const std::string &key,
-                               SharedTranspileResult result)
+                               SharedTranspileResult result,
+                               const Backend &backend,
+                               const TranspileOptions &options)
 {
     if (options_.cache_capacity == 0)
         return;
+    {
+        // A result computed against a generation that rotated while it
+        // was in flight is stale on arrival: never insert it.
+        auto gen = generation_.find(backend.name);
+        if (gen != generation_.end() && gen->second != backend.cache_key()) {
+            ++stats_.evictions_invalidated;
+            return;
+        }
+    }
+
+    CacheEntry entry;
+    entry.key = key;
+    entry.result = std::move(result);
+    entry.backend_name = backend.name;
+    entry.backend_key = backend.cache_key();
+    entry.expiry = entry_expiry(options);
+    // Cost = what the entry actually keeps resident: the routed
+    // circuit's heap footprint plus the entry/index bookkeeping (the
+    // key is stored twice: list node + index map).
+    entry.bytes = sizeof(CacheEntry) + sizeof(TranspileResult) +
+                  2 * entry.key.size() + entry.backend_name.size() +
+                  entry.backend_key.size() +
+                  entry.result->circuit.memory_bytes() +
+                  (entry.result->initial_l2p.capacity() +
+                   entry.result->final_l2p.capacity()) *
+                      sizeof(int);
+    if (options_.cache_max_bytes != 0 &&
+        entry.bytes > options_.cache_max_bytes)
+        return; // larger than the whole budget: serve, never cache
+
     auto it = cache_.find(key);
     if (it != cache_.end()) {
         // Possible when clear_cache raced an in-flight recompute of a
         // key that was then resubmitted; keep the newest, refresh LRU.
-        it->second->result = std::move(result);
-        lru_.splice(lru_.begin(), lru_, it->second);
-        return;
+        cache_erase(it->second);
     }
-    while (lru_.size() >= options_.cache_capacity) {
-        cache_.erase(lru_.back().key);
-        lru_.pop_back();
-        ++stats_.evictions;
-    }
-    lru_.push_front(CacheEntry{key, std::move(result)});
+    cache_bytes_ += entry.bytes;
+    lru_.push_front(std::move(entry));
     cache_.emplace(key, lru_.begin());
+    while (lru_.size() > options_.cache_capacity ||
+           (options_.cache_max_bytes != 0 &&
+            cache_bytes_ > options_.cache_max_bytes)) {
+        cache_erase(std::prev(lru_.end()));
+        ++stats_.evictions_capacity;
+    }
 }
 
 void
@@ -101,7 +185,7 @@ TranspileService::run_request(
             // Insert BEFORE dropping the in-flight entry: a concurrent
             // submit always finds the key in one table or the other,
             // never recomputes a result that is already known.
-            cache_insert(key, result);
+            cache_insert(key, result, backend, options);
         } else {
             ++stats_.transpiles_failed;
         }
@@ -140,8 +224,15 @@ TranspileService::submit(const QuantumCircuit &circuit,
     {
         std::lock_guard<std::mutex> lk(mu_);
         ++stats_.requests;
+        note_backend_generation(*backend);
 
         auto hit = cache_.find(ticket.key_);
+        if (hit != cache_.end() && Clock::now() >= hit->second->expiry) {
+            // Lazy TTL: an expired entry is invalid, not a hit.
+            cache_erase(hit->second);
+            ++stats_.evictions_invalidated;
+            hit = cache_.end();
+        }
         if (hit != cache_.end()) {
             ++stats_.cache_hits;
             lru_.splice(lru_.begin(), lru_, hit->second);
@@ -154,14 +245,18 @@ TranspileService::submit(const QuantumCircuit &circuit,
         auto flight = inflight_.find(ticket.key_);
         if (flight != inflight_.end()) {
             ++stats_.coalesced;
+            ++flight->second.waiters;
             ticket.source_ = TicketSource::kCoalesced;
-            ticket.future_ = flight->second;
+            ticket.future_ = flight->second.future;
             return ticket;
         }
 
         ++stats_.misses;
         ticket.future_ = promise->get_future().share();
-        inflight_.emplace(ticket.key_, ticket.future_);
+        Inflight entry;
+        entry.future = ticket.future_;
+        entry.promise = promise;
+        inflight_.emplace(ticket.key_, std::move(entry));
         ++inflight_count_;
     }
 
@@ -177,14 +272,107 @@ TranspileService::submit(const QuantumCircuit &circuit,
     ticket.source_ = TicketSource::kScheduled;
     // The task owns copies/shares of everything it touches; `this`
     // stays valid because the destructor drains in-flight requests.
-    scheduler().submit(
+    Scheduler::JobHandle handle = scheduler().submit(
         1,
         [this, key = ticket.key_, circuit, backend = std::move(backend),
          options, promise](std::size_t, int) {
             run_request(key, circuit, *backend, options, promise);
         },
-        /*max_slots=*/1);
+        /*max_slots=*/1, options.priority);
+    {
+        // Park the handle so try_cancel can reach the job.  The request
+        // may already have finished (entry gone) or, pathologically,
+        // finished AND been resubmitted (entry bound to a new promise);
+        // only bind the handle to ITS OWN entry.
+        std::lock_guard<std::mutex> lk(mu_);
+        auto it = inflight_.find(ticket.key_);
+        if (it != inflight_.end() && it->second.promise == promise)
+            it->second.handle = handle;
+    }
     return ticket;
+}
+
+TranspileTicket
+TranspileService::submit_qasm(const std::string &qasm,
+                              std::shared_ptr<const Backend> backend,
+                              const TranspileOptions &options)
+{
+    // Parse once; the parsed circuit carries the fingerprint, so this
+    // request shares keys (and therefore dedup) with object submits.
+    return submit(from_qasm(qasm), std::move(backend), options);
+}
+
+bool
+TranspileService::try_cancel(const TranspileTicket &ticket)
+{
+    if (!ticket.valid() || ticket.source() != TicketSource::kScheduled)
+        return false;
+
+    std::shared_ptr<std::promise<SharedTranspileResult>> promise;
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        auto it = inflight_.find(ticket.key());
+        if (it == inflight_.end())
+            return false; // already finished
+        Inflight &flight = it->second;
+        if (flight.waiters != 1)
+            return false; // coalesced waiters still want the result
+        if (!flight.handle.valid())
+            return false; // inline run, or handle not parked yet
+        // cancel() == 1 means the single task was dropped before any
+        // worker claimed it; 0 means it is running or done — too late.
+        // (Lock order mu_ -> scheduler mutex; nothing takes the
+        // reverse: tasks run with the scheduler mutex released.)
+        if (flight.handle.cancel() != 1)
+            return false;
+        promise = flight.promise;
+        inflight_.erase(it);
+        ++stats_.cancelled;
+    }
+
+    // Settle outside the lock, like run_request.
+    promise->set_exception(std::make_exception_ptr(TranspileCancelled()));
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        --inflight_count_;
+        drained_.notify_all();
+    }
+    return true;
+}
+
+std::size_t
+TranspileService::invalidate_backend(const std::string &backend_name)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    std::size_t dropped = 0;
+    for (auto it = lru_.begin(); it != lru_.end();) {
+        if (it->backend_name == backend_name) {
+            it = cache_erase(it);
+            ++stats_.evictions_invalidated;
+            ++dropped;
+        } else {
+            ++it;
+        }
+    }
+    return dropped;
+}
+
+std::size_t
+TranspileService::purge_expired()
+{
+    const Clock::time_point now = Clock::now();
+    std::lock_guard<std::mutex> lk(mu_);
+    std::size_t dropped = 0;
+    for (auto it = lru_.begin(); it != lru_.end();) {
+        if (now >= it->expiry) {
+            it = cache_erase(it);
+            ++stats_.evictions_invalidated;
+            ++dropped;
+        } else {
+            ++it;
+        }
+    }
+    return dropped;
 }
 
 ServiceStats
@@ -193,6 +381,7 @@ TranspileService::stats() const
     std::lock_guard<std::mutex> lk(mu_);
     ServiceStats out = stats_;
     out.cache_size = lru_.size();
+    out.cache_bytes = cache_bytes_;
     out.inflight = inflight_.size();
     return out;
 }
@@ -203,6 +392,7 @@ TranspileService::clear_cache()
     std::lock_guard<std::mutex> lk(mu_);
     lru_.clear();
     cache_.clear();
+    cache_bytes_ = 0;
 }
 
 } // namespace nassc

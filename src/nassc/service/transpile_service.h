@@ -11,23 +11,45 @@
  * requests.  TranspileService is that amortization layer:
  *
  *  - submit() hands back a Ticket immediately; the transpile itself
- *    runs as a Scheduler job, interleaved with every other request on
- *    the shared workers (see service/scheduler.h).
+ *    runs as a Scheduler job at the request's options.priority,
+ *    interleaved with every other request on the shared workers (see
+ *    service/scheduler.h).  submit_qasm() is the same path with
+ *    OpenQASM 2.0 text as the wire format — the API the nasscd daemon
+ *    serves (serve/server.h), usable in-process too.
  *  - Requests are identified by a FINGERPRINT KEY — the triple
  *    (QuantumCircuit::fingerprint(), Backend::cache_key(),
  *    TranspileOptions::fingerprint()) — so identity is structural: two
  *    clients submitting the same circuit/device/options meet the same
- *    key no matter how they built the objects.
+ *    key no matter how they built the objects (or whether they arrived
+ *    as objects or QASM text).
  *  - In-flight coalescing: a request whose key is already being
  *    transpiled joins that computation's future instead of starting a
  *    second one — N concurrent identical requests cost ONE transpile.
- *  - A bounded LRU result cache returns completed results immediately.
- *    transpile() is deterministic per key (seeds live in the options,
+ *  - The result cache is LRU and DOUBLY bounded: by entry count
+ *    (cache_capacity) and by resident bytes (cache_max_bytes), where an
+ *    entry costs its routed circuit's actual byte footprint
+ *    (QuantumCircuit::memory_bytes) — a burst of wide circuits cannot
+ *    blow the memory budget that a thousand tiny ones fit in.
+ *  - Invalidation is EAGER, not just key rotation.  The key already
+ *    rotates with Backend::cache_key(), but stale entries used to
+ *    linger until LRU eviction; now the service tracks the last seen
+ *    cache_key per backend NAME and drops every entry of a rotated
+ *    generation the moment the new calibration is first seen
+ *    (invalidate_backend() does it explicitly).  Entries also carry a
+ *    TTL (per-request options.cache_ttl_seconds, else
+ *    default_ttl_seconds) and expire lazily on lookup or via
+ *    purge_expired().  Capacity and invalidation evictions are counted
+ *    separately in ServiceStats.
+ *  - transpile() is deterministic per key (seeds live in the options,
  *    which are part of the key), so a hit is BIT-IDENTICAL to a fresh
  *    run — only the timing fields (seconds/layout_seconds) still
  *    describe the original computation.  Failures are never cached: a
  *    throwing request propagates its exception to every coalesced
  *    waiter and the next submit retries.
+ *  - try_cancel() abandons a request nobody else is waiting on, if no
+ *    worker has started it (the daemon calls it when a client
+ *    disconnects mid-queue); the ticket's get() then throws
+ *    TranspileCancelled.
  *
  * Nesting: a submit() issued from inside a scheduler task (e.g. a
  * batch job that consults the service) runs the transpile inline on
@@ -47,6 +69,7 @@
 #include <list>
 #include <memory>
 #include <mutex>
+#include <stdexcept>
 #include <string>
 #include <unordered_map>
 
@@ -59,6 +82,15 @@ namespace nassc {
 /** Completed transpiles are shared read-only between coalesced
  *  requesters and the cache. */
 using SharedTranspileResult = std::shared_ptr<const TranspileResult>;
+
+/** Thrown from Ticket::get() when try_cancel() abandoned the request. */
+class TranspileCancelled : public std::runtime_error
+{
+  public:
+    TranspileCancelled() : std::runtime_error("transpile request cancelled")
+    {
+    }
+};
 
 /** How a Ticket's result is (being) produced. */
 enum class TicketSource {
@@ -92,9 +124,14 @@ class TranspileTicket
 
     /**
      * Block for the result; rethrows the transpile's exception on
-     * failure.  Safe to call from any thread and repeatedly.
+     * failure (TranspileCancelled after a successful try_cancel).
+     * Safe to call from any thread and repeatedly.
      */
     SharedTranspileResult get() const { return future_.get(); }
+
+    /** Block for the result and serialize the routed circuit as
+     *  OpenQASM 2.0 — the wire-format counterpart of get(). */
+    std::string get_qasm() const;
 
   private:
     friend class TranspileService;
@@ -112,6 +149,19 @@ struct ServiceOptions
      */
     std::size_t cache_capacity = 256;
     /**
+     * Result-cache budget in resident bytes (key + routed-circuit
+     * footprint per entry); LRU entries are evicted until the total
+     * fits.  0 = no byte bound.  An entry larger than the whole budget
+     * is served but never cached.
+     */
+    std::size_t cache_max_bytes = 64u << 20;
+    /**
+     * Age after which a cached entry is invalid, in seconds, for
+     * requests that do not set options.cache_ttl_seconds themselves.
+     * 0 = entries never expire by age.
+     */
+    double default_ttl_seconds = 0.0;
+    /**
      * Concurrent transpiles to provision for: grows the scheduler to at
      * least this many workers (hardware_concurrency under-reports in
      * cgroup-limited containers).  0 = take the pool as it is.
@@ -127,18 +177,26 @@ struct ServiceOptions
 /** Monotonic service counters (snapshot). */
 struct ServiceStats
 {
-    std::uint64_t requests = 0;    ///< submit() calls
-    std::uint64_t cache_hits = 0;  ///< served complete from the cache
-    std::uint64_t coalesced = 0;   ///< joined an in-flight computation
-    std::uint64_t misses = 0;      ///< owned a fresh transpile
-    std::uint64_t evictions = 0;   ///< LRU entries dropped at capacity
+    std::uint64_t requests = 0;   ///< submit() calls
+    std::uint64_t cache_hits = 0; ///< served complete from the cache
+    std::uint64_t coalesced = 0;  ///< joined an in-flight computation
+    std::uint64_t misses = 0;     ///< owned a fresh transpile
+    /** LRU entries dropped to fit the entry or byte capacity. */
+    std::uint64_t evictions_capacity = 0;
+    /** Entries dropped because they became INVALID: backend-generation
+     *  rotation (eager or explicit) or TTL expiry — never because of
+     *  space pressure. */
+    std::uint64_t evictions_invalidated = 0;
+    /** Requests abandoned by try_cancel() before any worker started. */
+    std::uint64_t cancelled = 0;
     std::uint64_t transpiles_ok = 0;
     std::uint64_t transpiles_failed = 0;
-    std::size_t cache_size = 0; ///< entries resident now
-    std::size_t inflight = 0;   ///< keys being transpiled now
+    std::size_t cache_size = 0;  ///< entries resident now
+    std::size_t cache_bytes = 0; ///< resident entry cost now, in bytes
+    std::size_t inflight = 0;    ///< keys being transpiled now
 };
 
-/** Async transpilation service: scheduler + dedup + LRU result cache. */
+/** Async transpilation service: scheduler + dedup + bounded cache. */
 class TranspileService
 {
   public:
@@ -161,6 +219,18 @@ class TranspileService
                            std::shared_ptr<const Backend> backend,
                            const TranspileOptions &options = {});
 
+    /**
+     * Wire-format submit: parse `qasm` (OpenQASM 2.0) ONCE, fingerprint
+     * the parsed circuit, and file the request under exactly the key
+     * submit() would use — QASM and object submissions of the same
+     * circuit dedupe against each other.  Parse errors throw here
+     * (std::runtime_error), before anything is enqueued.  The ticket's
+     * get_qasm() yields the routed circuit as OpenQASM 2.0.
+     */
+    TranspileTicket submit_qasm(const std::string &qasm,
+                                std::shared_ptr<const Backend> backend,
+                                const TranspileOptions &options = {});
+
     /** Convenience: submit + get. */
     SharedTranspileResult
     transpile_sync(const QuantumCircuit &circuit,
@@ -170,6 +240,27 @@ class TranspileService
         return submit(circuit, std::move(backend), options).get();
     }
 
+    /**
+     * Abandon `ticket`'s request if (a) it owns a scheduled transpile,
+     * (b) no other submit coalesced onto it, and (c) no worker has
+     * started it.  On success the job never runs, the ticket's get()
+     * throws TranspileCancelled, and stats.cancelled increments.
+     * Returns false — and the request proceeds normally — otherwise.
+     */
+    bool try_cancel(const TranspileTicket &ticket);
+
+    /**
+     * Drop every cached entry whose backend NAME matches — the explicit
+     * form of the rotation sweep that submit() performs automatically
+     * when it first sees a backend name under a new cache_key().
+     * Returns the number of entries dropped (counted as invalidation
+     * evictions).
+     */
+    std::size_t invalidate_backend(const std::string &backend_name);
+
+    /** Drop every TTL-expired entry now; returns how many. */
+    std::size_t purge_expired();
+
     /** The fingerprint key submit() files `(circuit, backend, options)`
      *  under — exposed for tests and external sharding. */
     static std::string request_key(const QuantumCircuit &circuit,
@@ -178,7 +269,8 @@ class TranspileService
 
     ServiceStats stats() const;
 
-    /** Drop every cached result (stats keep accumulating). */
+    /** Drop every cached result (stats keep accumulating; not counted
+     *  as evictions of either kind). */
     void clear_cache();
 
     Scheduler &scheduler() const;
@@ -186,10 +278,25 @@ class TranspileService
     DistanceCache &distance_cache() const { return *distances_; }
 
   private:
+    using Clock = std::chrono::steady_clock;
+
     struct CacheEntry
     {
         std::string key;
         SharedTranspileResult result;
+        std::size_t bytes = 0;       ///< cost charged against the budget
+        std::string backend_name;    ///< for generation sweeps
+        std::string backend_key;     ///< cache_key() at insert time
+        Clock::time_point expiry;    ///< time_point::max() = no TTL
+    };
+
+    /** In-flight computation, joined by coalescing requests. */
+    struct Inflight
+    {
+        std::shared_future<SharedTranspileResult> future;
+        std::shared_ptr<std::promise<SharedTranspileResult>> promise;
+        Scheduler::JobHandle handle; ///< unbound for inline runs
+        std::size_t waiters = 1;     ///< owner + coalesced tickets
     };
 
     /** Run one owned request and settle its promise.  Any thread. */
@@ -198,8 +305,22 @@ class TranspileService
                      const std::shared_ptr<std::promise<SharedTranspileResult>>
                          &promise);
 
-    /** Insert into the LRU cache, evicting at capacity.  Under mu_. */
-    void cache_insert(const std::string &key, SharedTranspileResult result);
+    /** Insert into the cache, evicting to fit both bounds.  Under mu_. */
+    void cache_insert(const std::string &key, SharedTranspileResult result,
+                      const Backend &backend,
+                      const TranspileOptions &options);
+
+    /** Erase one entry by its LRU iterator.  Under mu_. */
+    std::list<CacheEntry>::iterator
+    cache_erase(std::list<CacheEntry>::iterator it);
+
+    /** Record `backend`'s current generation; if its name was last seen
+     *  under a DIFFERENT cache_key, sweep that stale generation.  Under
+     *  mu_.  Returns entries dropped. */
+    std::size_t note_backend_generation(const Backend &backend);
+
+    /** TTL deadline for an entry inserted now under `options`. */
+    Clock::time_point entry_expiry(const TranspileOptions &options) const;
 
     ServiceOptions options_;
     std::shared_ptr<Scheduler> scheduler_; ///< null = Scheduler::shared()
@@ -208,13 +329,13 @@ class TranspileService
     mutable std::mutex mu_;
     std::condition_variable drained_;
     std::size_t inflight_count_ = 0; ///< submitted, promise not yet settled
-    /** In-flight computations by key, joined by coalescing requests. */
-    std::unordered_map<std::string,
-                       std::shared_future<SharedTranspileResult>>
-        inflight_;
+    std::unordered_map<std::string, Inflight> inflight_;
     /** LRU list, most recent first, + index into it. */
     std::list<CacheEntry> lru_;
     std::unordered_map<std::string, std::list<CacheEntry>::iterator> cache_;
+    std::size_t cache_bytes_ = 0;
+    /** Last cache_key() seen per backend name (generation tracking). */
+    std::unordered_map<std::string, std::string> generation_;
     ServiceStats stats_;
 };
 

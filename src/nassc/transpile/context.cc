@@ -1,0 +1,72 @@
+#include "nassc/transpile/context.h"
+
+namespace nassc {
+
+TranspileContext::TranspileContext(Config config)
+    : distances_(std::move(config.distances)),
+      scheduler_(std::move(config.scheduler)),
+      service_options_(std::move(config.service))
+{
+    if (!distances_) {
+        // Non-owning alias of the process-wide cache: the global cache
+        // outlives every context, so an empty deleter is sound.
+        distances_ = std::shared_ptr<DistanceCache>(
+            std::shared_ptr<void>(), &DistanceCache::global());
+    }
+    service_options_.distances = distances_;
+    service_options_.scheduler = scheduler_;
+}
+
+Scheduler &
+TranspileContext::scheduler() const
+{
+    return scheduler_ ? *scheduler_ : Scheduler::shared();
+}
+
+TranspileResult
+TranspileContext::transpile(const QuantumCircuit &qc, const Backend &backend,
+                            const TranspileOptions &opts) const
+{
+    return nassc::transpile(qc, backend, opts, *distances_);
+}
+
+TranspileResult
+TranspileContext::optimize_only(const QuantumCircuit &qc,
+                                const TranspileOptions &opts) const
+{
+    return nassc::optimize_only(qc, opts);
+}
+
+TranspileService &
+TranspileContext::service()
+{
+    std::lock_guard<std::mutex> lk(service_mu_);
+    if (!service_)
+        service_ = std::make_unique<TranspileService>(service_options_);
+    return *service_;
+}
+
+TranspileTicket
+TranspileContext::submit(const QuantumCircuit &qc,
+                         std::shared_ptr<const Backend> backend,
+                         const TranspileOptions &opts)
+{
+    return service().submit(qc, std::move(backend), opts);
+}
+
+TranspileTicket
+TranspileContext::submit_qasm(const std::string &qasm,
+                              std::shared_ptr<const Backend> backend,
+                              const TranspileOptions &opts)
+{
+    return service().submit_qasm(qasm, std::move(backend), opts);
+}
+
+TranspileContext &
+TranspileContext::global()
+{
+    static TranspileContext *ctx = new TranspileContext(Config{});
+    return *ctx;
+}
+
+} // namespace nassc

@@ -9,6 +9,7 @@
 #include "nassc/passes/decompose_swaps.h"
 #include "nassc/passes/optimize_1q.h"
 #include "nassc/route/layout_search.h"
+#include "nassc/transpile/context.h"
 
 namespace nassc {
 
@@ -56,6 +57,8 @@ TranspileOptions::fingerprint() const
     fp.byte(reuse_routing ? 1 : 0);
     fp.byte(orientation_aware_decomposition ? 1 : 0);
     fp.byte(use_decay ? 1 : 0);
+    fp.u32(static_cast<std::uint32_t>(priority));
+    fp.f64(cache_ttl_seconds);
     return fp.value();
 }
 
@@ -147,7 +150,10 @@ TranspileResult
 transpile(const QuantumCircuit &qc, const Backend &backend,
           const TranspileOptions &opts)
 {
-    return transpile(qc, backend, opts, DistanceCache::global());
+    // Shim over the process-wide context (transpile/context.h), so the
+    // legacy overload and TranspileContext share one code path and one
+    // set of caches.
+    return TranspileContext::global().transpile(qc, backend, opts);
 }
 
 TranspileResult

@@ -68,16 +68,32 @@ struct TranspileOptions
     bool orientation_aware_decomposition = true;
     /** Ablation switch: SABRE decay factor in the router. */
     bool use_decay = true;
+    /**
+     * Serving-layer scheduling priority: requests with a higher value
+     * are claimed by Scheduler workers before lower ones whenever both
+     * are runnable.  Never changes the transpiled output — only when it
+     * is computed.  Ignored by the synchronous transpile() entry points.
+     */
+    int priority = 0;
+    /**
+     * Serving-layer result-cache time-to-live in seconds; after this
+     * long in the TranspileService cache the entry is invalidated (an
+     * eager staleness bound on top of calibration-rotation keying).
+     * 0 defers to ServiceOptions::default_ttl_seconds; ignored by the
+     * synchronous transpile() entry points.
+     */
+    double cache_ttl_seconds = 0.0;
 
     /**
      * FNV-1a fingerprint over EVERY field above, in declaration order.
      * Part of the TranspileService result-cache key (with
      * QuantumCircuit::fingerprint() and Backend::cache_key()), so two
      * option sets share a key iff every field matches.  Deliberately
-     * conservative: layout_threads and reuse_routing are keyed too even
-     * though both are pinned bit-identical on the output — a request
-     * that differs only there misses the cache rather than risking a
-     * stale answer if those contracts ever loosen.  Values are pinned
+     * conservative: layout_threads, reuse_routing, and the serving
+     * fields (priority, cache_ttl_seconds) are keyed too even though
+     * none of them changes the transpiled output — a request that
+     * differs only there misses the cache rather than risking a stale
+     * answer if those contracts ever loosen.  Values are pinned
      * in tests/test_fingerprint.cc; extending this struct must extend
      * the hash (the test's field-coverage sweep catches omissions).
      */
@@ -116,7 +132,9 @@ struct TranspileResult
 TranspileResult transpile(const QuantumCircuit &qc, const Backend &backend,
                           const TranspileOptions &opts, DistanceCache &cache);
 
-/** Full pipeline using the process-wide DistanceCache::global(). */
+/** Full pipeline through TranspileContext::global() (the process-wide
+ *  DistanceCache) — a shim kept for call-site brevity; see
+ *  transpile/context.h for the bundled entry point. */
 TranspileResult transpile(const QuantumCircuit &qc, const Backend &backend,
                           const TranspileOptions &opts = {});
 

@@ -20,6 +20,7 @@
 #include <gtest/gtest.h>
 
 #include "nassc/ir/circuit.h"
+#include "nassc/ir/qasm.h"
 #include "nassc/transpile/transpile.h"
 
 namespace nassc {
@@ -110,11 +111,11 @@ TEST(CircuitFingerprint, GateGroupingCannotAlias)
 
 TEST(OptionsFingerprint, PinnedStableValues)
 {
-    EXPECT_EQ(TranspileOptions{}.fingerprint(), 0x299c4328d5a7bbf7ull);
+    EXPECT_EQ(TranspileOptions{}.fingerprint(), 0x4c5e226680d8fdc7ull);
     TranspileOptions s;
     s.router = RoutingAlgorithm::kSabre;
     s.seed = 7;
-    EXPECT_EQ(s.fingerprint(), 0xfced570ceb3a4c89ull);
+    EXPECT_EQ(s.fingerprint(), 0x60b0bbd5244ae2b9ull);
 }
 
 TEST(OptionsFingerprint, EveryFieldIsCovered)
@@ -145,10 +146,12 @@ TEST(OptionsFingerprint, EveryFieldIsCovered)
         o.orientation_aware_decomposition = false;
     });
     vary([](TranspileOptions &o) { o.use_decay = false; });
+    vary([](TranspileOptions &o) { o.priority = 3; });
+    vary([](TranspileOptions &o) { o.cache_ttl_seconds = 30.0; });
 
     // Tripwire: sizeof changes when fields are added; update the variant
     // list, the hash, and this constant together.
-    ASSERT_EQ(variants.size(), 15u);
+    ASSERT_EQ(variants.size(), 17u);
 
     const std::uint64_t base = TranspileOptions{}.fingerprint();
     std::set<std::uint64_t> seen{base};
@@ -158,6 +161,108 @@ TEST(OptionsFingerprint, EveryFieldIsCovered)
         EXPECT_TRUE(seen.insert(fp).second)
             << "fingerprint collision between option variants";
     }
+}
+
+// ---------------------------------------------------------------------
+// QASM round-trip identity.  The daemon's wire format is OpenQASM 2.0
+// (serve/protocol.h), and submit_qasm() keys requests by the PARSED
+// circuit's fingerprint — so from_qasm(to_qasm(c)) must reproduce c's
+// fingerprint exactly or text and object submissions of the same
+// circuit would stop deduping against each other.
+
+std::uint64_t
+round_trip_fp(const QuantumCircuit &c)
+{
+    return from_qasm(to_qasm(c)).fingerprint();
+}
+
+TEST(QasmRoundTrip, EveryOpKindFingerprintIdentical)
+{
+    // One gate of every serializable kind, with params chosen so the
+    // printed precision-17 doubles must survive stod exactly.
+    QuantumCircuit c(4);
+    c.id(0);
+    c.x(1);
+    c.y(2);
+    c.z(3);
+    c.h(0);
+    c.s(1);
+    c.sdg(2);
+    c.t(3);
+    c.tdg(0);
+    c.sx(1);
+    c.sxdg(2);
+    c.rx(0.1, 0);
+    c.ry(-2.0 / 3.0, 1);
+    c.rz(3.14159265358979312, 2);
+    c.p(1e-17, 3);
+    c.u(0.5, -0.25, 0.125, 0);
+    c.cx(0, 1);
+    c.cy(1, 2);
+    c.cz(2, 3);
+    c.ch(3, 0);
+    c.cp(0.7, 0, 2);
+    c.crx(-0.3, 1, 3);
+    c.cry(0.9, 2, 0);
+    c.crz(-1.1, 3, 1);
+    c.rzz(0.4, 0, 3);
+    c.rxx(-0.6, 1, 2);
+    c.swap(0, 2);
+    c.iswap(1, 3);
+    c.ccx(0, 1, 2);
+    c.ccz(1, 2, 3);
+    c.cswap(0, 2, 3);
+    EXPECT_EQ(round_trip_fp(c), c.fingerprint());
+}
+
+TEST(QasmRoundTrip, MeasureAndBarrierCircuits)
+{
+    QuantumCircuit c(3);
+    c.h(0);
+    c.cx(0, 1);
+    c.barrier();
+    c.append(Gate::barrier({1, 2})); // partial barrier
+    c.measure(1);
+    c.measure_all();
+    EXPECT_EQ(round_trip_fp(c), c.fingerprint());
+}
+
+TEST(QasmRoundTrip, MultiRegisterFlattening)
+{
+    // Two qregs flatten into one contiguous index space in declaration
+    // order: a[0..1] -> 0..1, b[0..2] -> 2..4.
+    const std::string text = "OPENQASM 2.0;\n"
+                             "include \"qelib1.inc\";\n"
+                             "qreg a[2];\n"
+                             "qreg b[3];\n"
+                             "creg m[5];\n"
+                             "h a[0];\n"
+                             "cx a[1],b[0];\n"
+                             "rz(0.25) b[2];\n"
+                             "measure b[1] -> m[3];\n";
+    QuantumCircuit expected(5);
+    expected.h(0);
+    expected.cx(1, 2);
+    expected.rz(0.25, 4);
+    expected.measure(3);
+    const QuantumCircuit parsed = from_qasm(text);
+    EXPECT_EQ(parsed.fingerprint(), expected.fingerprint());
+    // And the flattened form is itself a fixed point.
+    EXPECT_EQ(round_trip_fp(parsed), parsed.fingerprint());
+}
+
+TEST(QasmRoundTrip, McxNormalizesToCcx)
+{
+    // Documented carve-out: a 2-control kMCX prints as "ccx" (OpenQASM
+    // has no mcx), so it round-trips as the EQUIVALENT kCCX gate — same
+    // unitary, different OpKind tag, hence a different fingerprint from
+    // the kMCX original.  Wire users see the normalized form.
+    QuantumCircuit m(3);
+    m.mcx({0, 1}, 2);
+    QuantumCircuit c(3);
+    c.ccx(0, 1, 2);
+    EXPECT_EQ(round_trip_fp(m), c.fingerprint());
+    EXPECT_NE(m.fingerprint(), c.fingerprint());
 }
 
 TEST(OptionsFingerprint, BoolFieldsDoNotAliasAcrossPositions)

@@ -380,5 +380,103 @@ TEST(Scheduler, DistanceCacheMixedBackendStress)
     EXPECT_EQ(distinct.size(), 6u);
 }
 
+TEST(Scheduler, HigherPriorityJobsAreClaimedFirst)
+{
+    // One worker, held hostage while three single-task jobs queue up at
+    // priorities 0, 5, 1: the claim order after release must be by
+    // descending priority, deterministically.
+    Scheduler sched(1);
+    std::atomic<bool> release{false};
+    std::atomic<int> pinned{0};
+    Scheduler::JobHandle hostage = sched.submit(1, [&](std::size_t, int) {
+        pinned.fetch_add(1);
+        spin_until([&] { return release.load(); });
+    });
+    ASSERT_TRUE(spin_until([&] { return pinned.load() == 1; }));
+
+    std::mutex mu;
+    std::vector<int> order;
+    auto tagged = [&](int tag) {
+        return [&, tag](std::size_t, int) {
+            std::lock_guard<std::mutex> lk(mu);
+            order.push_back(tag);
+        };
+    };
+    Scheduler::JobHandle low = sched.submit(1, tagged(0), 0, /*priority=*/0);
+    Scheduler::JobHandle high = sched.submit(1, tagged(5), 0, /*priority=*/5);
+    Scheduler::JobHandle mid = sched.submit(1, tagged(1), 0, /*priority=*/1);
+
+    release = true;
+    hostage.wait();
+    low.wait();
+    high.wait();
+    mid.wait();
+    ASSERT_EQ(order.size(), 3u);
+    EXPECT_EQ(order[0], 5);
+    EXPECT_EQ(order[1], 1);
+    EXPECT_EQ(order[2], 0);
+}
+
+TEST(Scheduler, CancelDropsUnclaimedTasks)
+{
+    // Worker pinned -> none of the 4 tasks can be claimed -> cancel()
+    // drops all of them, the job completes, and the fn never ran.
+    Scheduler sched(1);
+    std::atomic<bool> release{false};
+    std::atomic<int> pinned{0};
+    Scheduler::JobHandle hostage = sched.submit(1, [&](std::size_t, int) {
+        pinned.fetch_add(1);
+        spin_until([&] { return release.load(); });
+    });
+    ASSERT_TRUE(spin_until([&] { return pinned.load() == 1; }));
+
+    std::atomic<int> ran{0};
+    Scheduler::JobHandle job =
+        sched.submit(4, [&](std::size_t, int) { ran.fetch_add(1); });
+    EXPECT_FALSE(job.cancelled());
+    EXPECT_EQ(job.cancel(), 4u);
+    EXPECT_TRUE(job.cancelled());
+    EXPECT_TRUE(job.done()); // dropped tasks count as completed
+    job.wait();              // returns immediately, no exception
+
+    release = true;
+    hostage.wait();
+    EXPECT_EQ(ran.load(), 0);
+    // Idempotent, and a no-op once everything is claimed or dropped.
+    EXPECT_EQ(job.cancel(), 0u);
+}
+
+TEST(Scheduler, CancelAfterCompletionIsANoOp)
+{
+    Scheduler sched(2);
+    std::atomic<int> ran{0};
+    Scheduler::JobHandle job =
+        sched.submit(3, [&](std::size_t, int) { ran.fetch_add(1); });
+    job.wait();
+    EXPECT_EQ(ran.load(), 3);
+    EXPECT_EQ(job.cancel(), 0u);
+    EXPECT_TRUE(job.done());
+}
+
+TEST(Scheduler, RunningTaskObservesCooperativeCancel)
+{
+    // cancel() cannot stop a claimed task, but the task can see the
+    // flag via current_job_cancelled() and stop early.
+    Scheduler sched(1);
+    ASSERT_FALSE(Scheduler::current_job_cancelled()); // outside any task
+
+    std::atomic<bool> started{false};
+    std::atomic<bool> saw_cancel{false};
+    Scheduler::JobHandle job = sched.submit(1, [&](std::size_t, int) {
+        started = true;
+        saw_cancel = spin_until([] { return Scheduler::current_job_cancelled(); });
+    });
+    ASSERT_TRUE(spin_until([&] { return started.load(); }));
+    EXPECT_EQ(job.cancel(), 0u); // already claimed: nothing to drop
+    job.wait();
+    EXPECT_TRUE(saw_cancel.load());
+    EXPECT_TRUE(job.cancelled());
+}
+
 } // namespace
 } // namespace nassc

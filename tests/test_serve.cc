@@ -1,0 +1,553 @@
+// End-to-end tests for the nasscd serving stack:
+//
+//  (a) protocol codec — frame payloads round-trip and malformed input
+//      fails loudly (serve/protocol.h);
+//  (b) the daemon contract — concurrent socket clients receive routed
+//      QASM BIT-IDENTICAL to an in-process transpile() of the same
+//      circuit, and duplicated requests coalesce into one transpile;
+//  (c) single-process hardening on TranspileService — the byte-bounded
+//      result cache never exceeds its budget, TTL expiry and backend
+//      rotation invalidate eagerly (split eviction counters), and
+//      try_cancel() abandons queued requests cooperatively;
+//  (d) graceful shutdown — stop() drains received requests to written
+//      responses before the daemon exits.
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "nassc/circuits/library.h"
+#include "nassc/ir/qasm.h"
+#include "nassc/serve/client.h"
+#include "nassc/serve/protocol.h"
+#include "nassc/serve/server.h"
+#include "nassc/transpile/context.h"
+
+namespace nassc {
+namespace {
+
+/** Spin until `pred` or ~10 s; returns whether pred came true. */
+template <typename Pred>
+bool
+spin_until(Pred pred)
+{
+    auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    while (!pred()) {
+        if (std::chrono::steady_clock::now() > deadline)
+            return false;
+        std::this_thread::yield();
+    }
+    return true;
+}
+
+/** A short unix-socket path unique to this process + suffix (sun_path
+ *  is only ~107 chars, so the build dir is not usable). */
+std::string
+socket_path(const std::string &suffix)
+{
+    return "/tmp/nassc_serve_" + std::to_string(::getpid()) + "_" + suffix +
+           ".sock";
+}
+
+std::shared_ptr<const Backend>
+shared_montreal()
+{
+    return std::make_shared<const Backend>(montreal_backend());
+}
+
+// ------------------------------------------------------------ protocol
+
+TEST(ServeProtocol, RequestRoundTrip)
+{
+    ServeRequest req;
+    req.verb = "transpile";
+    req.backend = "ibmq_montreal";
+    req.options = {{"router", "sabre"}, {"seed", "3"}};
+    req.qasm = "OPENQASM 2.0;\nqreg q[2];\ncx q[0],q[1];\n";
+    const ServeRequest back = parse_request(encode_request(req));
+    EXPECT_EQ(back.verb, req.verb);
+    EXPECT_EQ(back.backend, req.backend);
+    EXPECT_EQ(back.options, req.options);
+    EXPECT_EQ(back.qasm, req.qasm);
+
+    ServeRequest ping;
+    ping.verb = "ping";
+    EXPECT_EQ(parse_request(encode_request(ping)).verb, "ping");
+}
+
+TEST(ServeProtocol, ResponseRoundTrip)
+{
+    ServeResponse resp;
+    resp.status = "ok";
+    resp.source = "cache_hit";
+    resp.stats = {{"requests", "7"}, {"cache_bytes", "123"}};
+    resp.qasm = "OPENQASM 2.0;\nqreg q[1];\nx q[0];\n";
+    const ServeResponse back = parse_response(encode_response(resp));
+    EXPECT_EQ(back.status, resp.status);
+    EXPECT_EQ(back.source, resp.source);
+    EXPECT_EQ(back.stats, resp.stats);
+    EXPECT_EQ(back.qasm, resp.qasm);
+
+    ServeResponse err;
+    err.status = "error";
+    err.error = "unknown backend 'x'";
+    const ServeResponse eback = parse_response(encode_response(err));
+    EXPECT_EQ(eback.status, "error");
+    EXPECT_EQ(eback.error, err.error);
+    EXPECT_TRUE(eback.qasm.empty());
+}
+
+TEST(ServeProtocol, MalformedPayloadsThrow)
+{
+    EXPECT_THROW(parse_request("launch\n"), std::runtime_error);
+    EXPECT_THROW(parse_request("transpile\nbogus line\nqasm\n"),
+                 std::runtime_error);
+    EXPECT_THROW(parse_request("transpile\nbackend x\n"), // no qasm section
+                 std::runtime_error);
+    EXPECT_THROW(parse_response("status ok\nwat\n"), std::runtime_error);
+}
+
+TEST(ServeProtocol, OptionParsingIsStrictAndComplete)
+{
+    const TranspileOptions opts = parse_transpile_options(
+        {{"router", "sabre"},
+         {"seed", "11"},
+         {"noise_aware", "1"},
+         {"layout_trials", "4"},
+         {"extended_weight", "0.25"},
+         {"priority", "7"},
+         {"cache_ttl_seconds", "2.5"}});
+    EXPECT_EQ(opts.router, RoutingAlgorithm::kSabre);
+    EXPECT_EQ(opts.seed, 11u);
+    EXPECT_TRUE(opts.noise_aware);
+    EXPECT_EQ(opts.layout_trials, 4);
+    EXPECT_DOUBLE_EQ(opts.extended_weight, 0.25);
+    EXPECT_EQ(opts.priority, 7);
+    EXPECT_DOUBLE_EQ(opts.cache_ttl_seconds, 2.5);
+
+    EXPECT_THROW(parse_transpile_options({{"routr", "sabre"}}),
+                 std::runtime_error);
+    EXPECT_THROW(parse_transpile_options({{"seed", "banana"}}),
+                 std::runtime_error);
+    EXPECT_THROW(parse_transpile_options({{"router", "magic"}}),
+                 std::runtime_error);
+}
+
+// ------------------------------------------------------- daemon e2e
+
+TEST(NasscServer, ConcurrentClientsGetBitIdenticalQasmAndDedup)
+{
+    ServerOptions options;
+    options.unix_path = socket_path("e2e");
+    NasscServer server(options);
+    server.start();
+
+    // Workload: 2 circuits x 2 routers, each submitted by BOTH client
+    // threads (duplicates must coalesce or hit).
+    struct Item
+    {
+        std::string qasm;
+        std::vector<std::pair<std::string, std::string>> options;
+        std::string expected;
+    };
+    std::vector<Item> items;
+    for (const QuantumCircuit &qc : {ghz(8), qft(5)}) {
+        for (const char *router : {"nassc", "sabre"}) {
+            Item item;
+            item.qasm = to_qasm(qc);
+            item.options = {{"router", router}, {"seed", "1"}};
+            const TranspileResult local =
+                TranspileContext::global().transpile(
+                    from_qasm(item.qasm), montreal_backend(),
+                    parse_transpile_options(item.options));
+            item.expected = to_qasm(local.circuit);
+            items.push_back(std::move(item));
+        }
+    }
+
+    const ServiceStats before = server.service().stats();
+    std::vector<std::string> errors;
+    std::mutex mu;
+    std::vector<std::thread> clients;
+    for (int t = 0; t < 2; ++t) {
+        clients.emplace_back([&] {
+            try {
+                ServeClient client =
+                    ServeClient::connect_unix(options.unix_path);
+                for (const Item &item : items) {
+                    const ServeResponse resp = client.transpile_qasm(
+                        item.qasm, "ibmq_montreal", item.options);
+                    if (resp.qasm != item.expected) {
+                        std::lock_guard<std::mutex> lk(mu);
+                        errors.push_back("daemon QASM differs (source=" +
+                                         resp.source + ")");
+                    }
+                }
+            } catch (const std::exception &e) {
+                std::lock_guard<std::mutex> lk(mu);
+                errors.push_back(e.what());
+            }
+        });
+    }
+    for (std::thread &th : clients)
+        th.join();
+    for (const std::string &e : errors)
+        ADD_FAILURE() << e;
+
+    // Dedup invariant: 8 requests, 4 distinct keys -> exactly 4
+    // transpiles; every duplicate was a hit or coalesced.
+    const ServiceStats after = server.service().stats();
+    EXPECT_EQ(after.requests - before.requests, 8u);
+    EXPECT_EQ(after.transpiles_ok - before.transpiles_ok, 4u);
+    EXPECT_EQ((after.cache_hits + after.coalesced) -
+                  (before.cache_hits + before.coalesced),
+              4u);
+    EXPECT_EQ(after.transpiles_failed, before.transpiles_failed);
+
+    server.stop();
+}
+
+TEST(NasscServer, TcpTransportServesPingStatsAndTranspile)
+{
+    ServerOptions options;
+    options.tcp_port = 0; // ephemeral
+    NasscServer server(options);
+    server.start();
+    ASSERT_GT(server.tcp_port(), 0);
+
+    ServeClient client = ServeClient::connect_tcp("127.0.0.1",
+                                                  server.tcp_port());
+    EXPECT_TRUE(client.ping());
+
+    const std::string qasm = to_qasm(ghz(5));
+    const ServeResponse resp =
+        client.transpile_qasm(qasm, "grid_5x5", {{"router", "nassc"}});
+    EXPECT_EQ(resp.status, "ok");
+    EXPECT_EQ(resp.source, "transpiled");
+    const TranspileResult local = TranspileContext::global().transpile(
+        from_qasm(qasm), grid_backend(), TranspileOptions{});
+    EXPECT_EQ(resp.qasm, to_qasm(local.circuit));
+
+    const auto stats = client.stats();
+    EXPECT_GE(stats.at("requests"), 1u);
+    EXPECT_EQ(stats.at("transpiles_ok"), 1u);
+    server.stop();
+}
+
+TEST(NasscServer, BadRequestsGetErrorStatusAndConnectionSurvives)
+{
+    ServerOptions options;
+    options.unix_path = socket_path("err");
+    NasscServer server(options);
+    server.start();
+    ServeClient client = ServeClient::connect_unix(options.unix_path);
+
+    ServeRequest req;
+    req.verb = "transpile";
+    req.backend = "no_such_device";
+    req.qasm = to_qasm(ghz(3));
+    ServeResponse resp = client.request(req);
+    EXPECT_EQ(resp.status, "error");
+    EXPECT_NE(resp.error.find("unknown backend"), std::string::npos);
+
+    req.backend = "ibmq_montreal";
+    req.options = {{"router", "warp_drive"}};
+    resp = client.request(req);
+    EXPECT_EQ(resp.status, "error");
+
+    req.options.clear();
+    req.qasm = "OPENQASM 2.0;\nqreg q[2];\nfrobnicate q[0];\n";
+    resp = client.request(req);
+    EXPECT_EQ(resp.status, "error");
+
+    // The connection survives application errors: a good request after
+    // three bad ones still works.
+    req.qasm = to_qasm(ghz(3));
+    resp = client.request(req);
+    EXPECT_EQ(resp.status, "ok");
+    server.stop();
+}
+
+TEST(NasscServer, StopDrainsReceivedRequestsToResponses)
+{
+    ServerOptions options;
+    options.unix_path = socket_path("drain");
+    NasscServer server(options);
+    server.start();
+
+    // Client sends one request, then the server is stopped while it is
+    // (likely still) transpiling; the response must arrive anyway.
+    std::string got_qasm;
+    std::string got_status;
+    std::thread client_thread([&] {
+        try {
+            ServeClient client =
+                ServeClient::connect_unix(options.unix_path);
+            const ServeResponse resp = client.transpile_qasm(
+                to_qasm(qft(6)), "ibmq_montreal", {{"router", "nassc"}});
+            got_status = resp.status;
+            got_qasm = resp.qasm;
+        } catch (const std::exception &e) {
+            got_status = std::string("exception: ") + e.what();
+        }
+    });
+
+    // Wait until the daemon has DECODED the frame, then stop: the
+    // request is in flight and must drain.
+    ASSERT_TRUE(spin_until([&] { return server.requests_seen() >= 1; }));
+    server.stop();
+    client_thread.join();
+
+    EXPECT_EQ(got_status, "ok");
+    const TranspileResult local = TranspileContext::global().transpile(
+        qft(6), montreal_backend(), TranspileOptions{});
+    EXPECT_EQ(got_qasm, to_qasm(local.circuit));
+
+    // And the listener is really gone.
+    EXPECT_THROW(ServeClient::connect_unix(options.unix_path),
+                 std::runtime_error);
+}
+
+TEST(NasscServer, RegisteredBackendRotationInvalidatesEagerly)
+{
+    ServerOptions options;
+    options.unix_path = socket_path("rot");
+    NasscServer server(options);
+    server.start();
+    ServeClient client = ServeClient::connect_unix(options.unix_path);
+
+    const std::string qasm = to_qasm(ghz(6));
+    ServeResponse first =
+        client.transpile_qasm(qasm, "ibmq_montreal", {});
+    EXPECT_EQ(first.source, "transpiled");
+    ServeResponse again =
+        client.transpile_qasm(qasm, "ibmq_montreal", {});
+    EXPECT_EQ(again.source, "cache_hit");
+
+    // Rotate the calibration under the same name (new cache_key).
+    Backend rotated = montreal_backend();
+    rotated.calibration.error_cx.begin()->second *= 2.0;
+    server.register_backend(std::make_shared<const Backend>(rotated));
+
+    ServeResponse after =
+        client.transpile_qasm(qasm, "ibmq_montreal", {});
+    EXPECT_EQ(after.source, "transpiled"); // stale generation swept
+    const ServiceStats stats = server.service().stats();
+    EXPECT_GE(stats.evictions_invalidated, 1u);
+    server.stop();
+}
+
+// --------------------------------------- service hardening (no sockets)
+
+TEST(TranspileService, CacheByteBudgetIsNeverExceeded)
+{
+    // Measure one entry's cost with an unbounded service first.
+    std::size_t one_entry = 0;
+    {
+        ServiceOptions unbounded;
+        unbounded.cache_max_bytes = 0;
+        TranspileService probe(unbounded);
+        probe.submit(ghz(6), shared_montreal()).get();
+        one_entry = probe.stats().cache_bytes;
+        ASSERT_GT(one_entry, 0u);
+    }
+
+    // Budget for ~1.5 similar entries: the second insert must evict the
+    // first (capacity eviction), never exceed the budget.
+    ServiceOptions opts;
+    opts.cache_max_bytes = one_entry + one_entry / 2;
+    TranspileService service(opts);
+    service.submit(ghz(6), shared_montreal()).get();
+    EXPECT_LE(service.stats().cache_bytes, opts.cache_max_bytes);
+    service.submit(ghz(7), shared_montreal()).get();
+    const ServiceStats stats = service.stats();
+    EXPECT_LE(stats.cache_bytes, opts.cache_max_bytes);
+    EXPECT_EQ(stats.cache_size, 1u);
+    EXPECT_GE(stats.evictions_capacity, 1u);
+    EXPECT_EQ(stats.evictions_invalidated, 0u);
+
+    // An entry larger than the WHOLE budget is served but never cached.
+    ServiceOptions tiny;
+    tiny.cache_max_bytes = 64; // smaller than any real entry
+    TranspileService crumbs(tiny);
+    TranspileTicket t = crumbs.submit(ghz(6), shared_montreal());
+    EXPECT_FALSE(t.get()->circuit.empty());
+    EXPECT_EQ(crumbs.stats().cache_size, 0u);
+    EXPECT_EQ(crumbs.stats().cache_bytes, 0u);
+    // ...and the next identical request is a miss, not a hit.
+    TranspileTicket r = crumbs.submit(ghz(6), shared_montreal());
+    r.get();
+    EXPECT_EQ(crumbs.stats().cache_hits, 0u);
+}
+
+TEST(TranspileService, TtlExpiryInvalidatesLazilyAndViaPurge)
+{
+    TranspileService service;
+    TranspileOptions opts;
+    opts.cache_ttl_seconds = 0.05;
+
+    service.submit(ghz(5), shared_montreal(), opts).get();
+    EXPECT_EQ(service.stats().cache_size, 1u);
+    std::this_thread::sleep_for(std::chrono::milliseconds(80));
+
+    // Lazy path: the lookup notices the expiry, counts an invalidation
+    // eviction, and recomputes.
+    TranspileTicket t = service.submit(ghz(5), shared_montreal(), opts);
+    t.get();
+    EXPECT_EQ(t.source(), TicketSource::kScheduled);
+    ServiceStats stats = service.stats();
+    EXPECT_EQ(stats.cache_hits, 0u);
+    EXPECT_EQ(stats.evictions_invalidated, 1u);
+
+    // Sweep path: purge_expired() drops it without a lookup.
+    std::this_thread::sleep_for(std::chrono::milliseconds(80));
+    EXPECT_EQ(service.purge_expired(), 1u);
+    stats = service.stats();
+    EXPECT_EQ(stats.cache_size, 0u);
+    EXPECT_EQ(stats.evictions_invalidated, 2u);
+    EXPECT_EQ(stats.evictions_capacity, 0u);
+
+    // Within the TTL the entry is a normal hit.
+    service.submit(ghz(5), shared_montreal(), opts).get();
+    TranspileTicket hit = service.submit(ghz(5), shared_montreal(), opts);
+    hit.get();
+    EXPECT_EQ(hit.source(), TicketSource::kCacheHit);
+
+    // default_ttl_seconds applies when the request sets none.
+    ServiceOptions sopts;
+    sopts.default_ttl_seconds = 0.05;
+    TranspileService dservice(sopts);
+    dservice.submit(ghz(5), shared_montreal()).get();
+    std::this_thread::sleep_for(std::chrono::milliseconds(80));
+    EXPECT_EQ(dservice.purge_expired(), 1u);
+}
+
+TEST(TranspileService, InvalidateBackendDropsByName)
+{
+    TranspileService service;
+    service.submit(ghz(5), shared_montreal()).get();
+    service.submit(qft(4), shared_montreal()).get();
+    auto grid = std::make_shared<const Backend>(grid_backend());
+    service.submit(ghz(5), grid).get();
+    EXPECT_EQ(service.stats().cache_size, 3u);
+
+    EXPECT_EQ(service.invalidate_backend("ibmq_montreal"), 2u);
+    const ServiceStats stats = service.stats();
+    EXPECT_EQ(stats.cache_size, 1u);
+    EXPECT_EQ(stats.evictions_invalidated, 2u);
+    EXPECT_EQ(service.invalidate_backend("ibmq_montreal"), 0u);
+
+    // The grid entry survived and still hits.
+    TranspileTicket t = service.submit(ghz(5), grid);
+    t.get();
+    EXPECT_EQ(t.source(), TicketSource::kCacheHit);
+}
+
+TEST(TranspileService, SubmitQasmSharesKeysWithObjectSubmits)
+{
+    TranspileService service;
+    const QuantumCircuit qc = qft(4);
+    const auto backend = shared_montreal();
+
+    EXPECT_EQ(TranspileService::request_key(from_qasm(to_qasm(qc)),
+                                            *backend, TranspileOptions{}),
+              TranspileService::request_key(qc, *backend,
+                                            TranspileOptions{}));
+
+    TranspileTicket object = service.submit(qc, backend);
+    object.get();
+    TranspileTicket text = service.submit_qasm(to_qasm(qc), backend);
+    text.get();
+    EXPECT_EQ(text.source(), TicketSource::kCacheHit);
+    EXPECT_EQ(object.key(), text.key());
+    EXPECT_EQ(text.get_qasm(), to_qasm(object.get()->circuit));
+
+    // Parse errors surface at submit time, before anything enqueues.
+    const ServiceStats before = service.stats();
+    EXPECT_THROW(service.submit_qasm("OPENQASM 2.0;\nnope;\n", backend),
+                 std::runtime_error);
+    EXPECT_EQ(service.stats().requests, before.requests);
+}
+
+TEST(TranspileService, TryCancelAbandonsQueuedRequests)
+{
+    // A 1-worker scheduler whose worker is pinned: the submitted
+    // request stays unclaimed, so try_cancel must succeed and the
+    // ticket must throw TranspileCancelled.
+    auto sched = std::make_shared<Scheduler>(1);
+    std::atomic<bool> release{false};
+    std::atomic<int> pinned{0};
+    Scheduler::JobHandle hostage = sched->submit(1, [&](std::size_t, int) {
+        pinned.fetch_add(1);
+        while (!release.load())
+            std::this_thread::yield();
+    });
+    ASSERT_TRUE(spin_until([&] { return pinned.load() == 1; }));
+
+    ServiceOptions opts;
+    opts.scheduler = sched;
+    TranspileService service(opts);
+
+    TranspileTicket queued = service.submit(ghz(5), shared_montreal());
+    EXPECT_EQ(queued.source(), TicketSource::kScheduled);
+    EXPECT_TRUE(service.try_cancel(queued));
+    EXPECT_THROW(queued.get(), TranspileCancelled);
+    EXPECT_EQ(service.stats().cancelled, 1u);
+    EXPECT_EQ(service.stats().transpiles_ok, 0u);
+
+    // Second cancel of the same ticket: the request is gone.
+    EXPECT_FALSE(service.try_cancel(queued));
+
+    // A request someone coalesced onto is NOT cancellable.
+    TranspileTicket owner = service.submit(qft(4), shared_montreal());
+    TranspileTicket twin = service.submit(qft(4), shared_montreal());
+    EXPECT_EQ(twin.source(), TicketSource::kCoalesced);
+    EXPECT_FALSE(service.try_cancel(owner));
+    EXPECT_FALSE(service.try_cancel(twin)); // only owners cancel
+
+    release = true;
+    hostage.wait();
+    EXPECT_FALSE(owner.get()->circuit.empty()); // it ran normally
+    EXPECT_EQ(service.stats().cancelled, 1u);
+
+    // A completed request is not cancellable either.
+    EXPECT_FALSE(service.try_cancel(owner));
+}
+
+TEST(TranspileService, CancelledKeyCanBeResubmitted)
+{
+    auto sched = std::make_shared<Scheduler>(1);
+    std::atomic<bool> release{false};
+    std::atomic<int> pinned{0};
+    Scheduler::JobHandle hostage = sched->submit(1, [&](std::size_t, int) {
+        pinned.fetch_add(1);
+        while (!release.load())
+            std::this_thread::yield();
+    });
+    ASSERT_TRUE(spin_until([&] { return pinned.load() == 1; }));
+
+    ServiceOptions opts;
+    opts.scheduler = sched;
+    TranspileService service(opts);
+    TranspileTicket first = service.submit(ghz(4), shared_montreal());
+    ASSERT_TRUE(service.try_cancel(first));
+    release = true;
+    hostage.wait();
+
+    // The key is free again: a fresh submit computes a result.
+    TranspileTicket second = service.submit(ghz(4), shared_montreal());
+    EXPECT_EQ(second.source(), TicketSource::kScheduled);
+    EXPECT_FALSE(second.get()->circuit.empty());
+}
+
+} // namespace
+} // namespace nassc

@@ -214,9 +214,9 @@ TEST(TranspileService, LruEvictionIsBoundedAndRecencyOrdered)
 
     EXPECT_EQ(source_of(a), TicketSource::kScheduled); // cache: [A]
     EXPECT_EQ(source_of(b), TicketSource::kScheduled); // cache: [B A]
-    EXPECT_EQ(service.stats().evictions, 0u);
+    EXPECT_EQ(service.stats().evictions_capacity, 0u);
     EXPECT_EQ(source_of(c), TicketSource::kScheduled); // evicts A: [C B]
-    EXPECT_EQ(service.stats().evictions, 1u);
+    EXPECT_EQ(service.stats().evictions_capacity, 1u);
     EXPECT_EQ(service.stats().cache_size, 2u);         // bounded
     EXPECT_EQ(source_of(a), TicketSource::kScheduled); // evicts B: [A C]
     EXPECT_EQ(source_of(c), TicketSource::kCacheHit);  // touch C: [C A]
@@ -226,7 +226,8 @@ TEST(TranspileService, LruEvictionIsBoundedAndRecencyOrdered)
 
     const ServiceStats stats = service.stats();
     EXPECT_EQ(stats.cache_size, 2u);
-    EXPECT_EQ(stats.evictions, 4u);
+    EXPECT_EQ(stats.evictions_capacity, 4u);
+    EXPECT_EQ(stats.evictions_invalidated, 0u);
     EXPECT_EQ(stats.cache_hits, 2u);
     EXPECT_EQ(stats.transpiles_ok, 6u);
 

@@ -1,0 +1,63 @@
+#!/usr/bin/env bash
+# End-to-end smoke test for the nasscd daemon, run by CI on Release
+# builds (and usable locally: tools/nasscd_smoke.sh [BUILD_DIR]).
+#
+# Exercises the full production path as separate PROCESSES — the
+# in-process coverage in tests/test_serve.cc cannot catch daemonization
+# bugs (signal handling, socket lifecycle, shutdown drain):
+#
+#   1. start nasscd on a fresh Unix socket and wait for it to listen;
+#   2. nassc_client --smoke 4: four client threads push a duplicated
+#      workload and verify every response is bit-identical to an
+#      in-process transpile() AND that the daemon transpiled each
+#      distinct request exactly once (dedup invariant);
+#   3. one more single-shot request (--builtin) over a fresh connection;
+#   4. SIGTERM: the daemon must drain and exit 0.
+set -euo pipefail
+
+BUILD_DIR=${1:-build}
+SOCK=$(mktemp -u /tmp/nasscd_smoke_XXXXXX.sock)
+
+for bin in nasscd nassc_client; do
+    if [ ! -x "$BUILD_DIR/$bin" ]; then
+        echo "nasscd_smoke: $BUILD_DIR/$bin missing (build examples first)" >&2
+        exit 2
+    fi
+done
+
+"$BUILD_DIR/nasscd" --unix "$SOCK" --threads 4 &
+DAEMON_PID=$!
+trap 'kill -9 "$DAEMON_PID" 2>/dev/null || true; rm -f "$SOCK"' EXIT
+
+# Wait for the listening socket (the daemon prints its banner only
+# after bind+listen, so the socket file appearing means ready).
+for _ in $(seq 1 100); do
+    [ -S "$SOCK" ] && break
+    kill -0 "$DAEMON_PID" 2>/dev/null || {
+        echo "nasscd_smoke: daemon died before listening" >&2
+        exit 1
+    }
+    sleep 0.1
+done
+[ -S "$SOCK" ] || { echo "nasscd_smoke: socket never appeared" >&2; exit 1; }
+
+"$BUILD_DIR/nassc_client" --unix "$SOCK" --smoke 4
+
+# A fresh connection after the smoke burst: the daemon keeps serving.
+"$BUILD_DIR/nassc_client" --unix "$SOCK" --builtin bv_n5 >/dev/null
+
+# Graceful shutdown: SIGTERM must drain and exit 0, and the socket
+# path must be unlinked on the way out.
+kill -TERM "$DAEMON_PID"
+DAEMON_STATUS=0
+wait "$DAEMON_PID" || DAEMON_STATUS=$?
+if [ "$DAEMON_STATUS" -ne 0 ]; then
+    echo "nasscd_smoke: daemon exited $DAEMON_STATUS on SIGTERM" >&2
+    exit 1
+fi
+if [ -e "$SOCK" ]; then
+    echo "nasscd_smoke: daemon left stale socket $SOCK" >&2
+    exit 1
+fi
+trap - EXIT
+echo "nasscd_smoke: ok"
