@@ -7,9 +7,14 @@
 //
 //   nasscd --unix /tmp/nassc.sock
 //   nasscd --port 7747 --threads 8 --cache-bytes 134217728 --ttl 300
+//   nasscd --port 0 --max-conns 64 --max-queue 128 --default-deadline 5000
 //
 // SIGINT/SIGTERM shut down gracefully: in-flight requests drain to
 // their responses, then the process exits 0.
+//
+// Fault injection: set NASSC_FAILPOINTS (e.g.
+// "service.transpile=2*throw(boom);protocol.write.disconnect=1*trigger")
+// to arm failpoints at startup — see service/failpoint.h.
 
 #include <atomic>
 #include <chrono>
@@ -21,6 +26,7 @@
 #include <thread>
 
 #include "nassc/serve/server.h"
+#include "nassc/service/failpoint.h"
 
 namespace {
 
@@ -48,7 +54,20 @@ usage(const char *argv0)
         "  --threads N        provision N scheduler workers\n"
         "  --cache-entries N  result-cache entry cap (default 256)\n"
         "  --cache-bytes N    result-cache byte budget (default 64 MiB)\n"
-        "  --ttl SECONDS      default result TTL (0 = never expires)\n",
+        "  --ttl SECONDS      default result TTL (0 = never expires)\n"
+        "  --purge-interval S sweep expired cache entries every S seconds\n"
+        "                     (default 30; 0 disables the sweep)\n"
+        "\n"
+        "overload and deadlines:\n"
+        "  --max-conns N      shed connections past N with `status\n"
+        "                     overloaded` (0 = unbounded, the default)\n"
+        "  --max-queue N      shed requests once N jobs are queued\n"
+        "                     (0 = unbounded, the default)\n"
+        "  --retry-after MS   backoff hint sent with overloaded responses\n"
+        "                     (default 50)\n"
+        "  --default-deadline MS\n"
+        "                     deadline for requests that do not set\n"
+        "                     deadline_ms themselves (0 = none)\n",
         argv0);
 }
 
@@ -58,6 +77,7 @@ int
 main(int argc, char **argv)
 {
     nassc::ServerOptions options;
+    double purge_interval = 30.0;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         auto value = [&]() -> const char * {
@@ -84,6 +104,18 @@ main(int argc, char **argv)
                 static_cast<std::size_t>(std::atoll(value()));
         } else if (arg == "--ttl") {
             options.service.default_ttl_seconds = std::atof(value());
+        } else if (arg == "--purge-interval") {
+            purge_interval = std::atof(value());
+        } else if (arg == "--max-conns") {
+            options.max_connections =
+                static_cast<std::size_t>(std::atoll(value()));
+        } else if (arg == "--max-queue") {
+            options.service.max_queued =
+                static_cast<std::size_t>(std::atoll(value()));
+        } else if (arg == "--retry-after") {
+            options.retry_after_ms = std::atoi(value());
+        } else if (arg == "--default-deadline") {
+            options.default_deadline_ms = std::atoi(value());
         } else if (arg == "--help" || arg == "-h") {
             usage(argv[0]);
             return 0;
@@ -98,6 +130,11 @@ main(int argc, char **argv)
         return 2;
     }
 
+    const int armed = nassc::failpoint::arm_from_env();
+    if (armed > 0)
+        std::printf("nasscd armed %d failpoint(s) from NASSC_FAILPOINTS\n",
+                    armed);
+
     try {
         nassc::NasscServer server(std::move(options));
         server.start();
@@ -110,8 +147,22 @@ main(int argc, char **argv)
 
         std::signal(SIGINT, on_signal);
         std::signal(SIGTERM, on_signal);
-        while (!g_stop.load())
+        // The main loop doubles as the cache janitor: TTL expiry is
+        // otherwise lazy (entries die when next touched), so a quiet
+        // daemon would pin expired results in memory indefinitely.
+        const auto purge_every =
+            std::chrono::duration<double>(purge_interval);
+        auto last_purge = std::chrono::steady_clock::now();
+        while (!g_stop.load()) {
             std::this_thread::sleep_for(std::chrono::milliseconds(50));
+            if (purge_interval <= 0)
+                continue;
+            const auto now = std::chrono::steady_clock::now();
+            if (now - last_purge >= purge_every) {
+                server.service().purge_expired();
+                last_purge = now;
+            }
+        }
 
         std::printf("nasscd draining...\n");
         std::fflush(stdout);

@@ -7,6 +7,8 @@
 #include "nassc/ir/fnv1a.h"
 #include "nassc/route/perfect_layout.h"
 #include "nassc/route/router.h"
+#include "nassc/service/errors.h"
+#include "nassc/service/failpoint.h"
 #include "nassc/service/scheduler.h"
 
 namespace nassc {
@@ -235,11 +237,19 @@ LayoutSearch::seed_layout(int trial, unsigned seed,
 void
 LayoutSearch::run_trial(int trial, int worker)
 {
-    WorkerCtx &c = ctx(worker);
     LayoutTrial &out = trials_[static_cast<std::size_t>(trial)];
     out.trial = trial;
     out.seed = derive_trial_seed(opts_.seed, trial);
 
+    // Cooperative deadline poll at the trial boundary (the same seam as
+    // the cancel poll): an expired budget skips the whole trial, which
+    // stays unconsumed and invisible to the arg-min.  Deadline-free
+    // runs never take the branch, keeping the race bit-identical.
+    if (Scheduler::current_job_expired())
+        return;
+    failpoint::hit("layout.trial");
+
+    WorkerCtx &c = ctx(worker);
     Layout layout = seed_layout(trial, out.seed, out.kind);
 
     // Reverse-traversal refinement (SABRE): alternate forward and
@@ -280,6 +290,7 @@ LayoutSearch::run_trial(int trial, int worker)
         }
     }
     out.layout = std::move(layout);
+    out.consumed = true;
 }
 
 LayoutSearchResult
@@ -299,6 +310,10 @@ LayoutSearch::run(Scheduler *scheduler)
         if (workers_.empty())
             workers_.resize(1);
         run_trial(0, 0);
+        if (!trials_[0].consumed)
+            throw TranspileDeadlineExceeded(
+                "transpile deadline exceeded before the layout search "
+                "could start");
         best_trial_ = 0;
     } else {
         Scheduler &sched = scheduler ? *scheduler : Scheduler::shared();
@@ -327,22 +342,42 @@ LayoutSearch::run(Scheduler *scheduler)
             },
             cap);
 
-        // Deterministic arg-min over (swaps, depth, trial index).
-        best_trial_ = 0;
-        for (int t = 1; t < trials; ++t) {
+        // Deterministic arg-min over (swaps, depth, trial index),
+        // restricted to consumed trials — deadline-skipped ones hold no
+        // layout.  With no deadline every trial is consumed and this is
+        // the historical full arg-min, bit for bit.
+        best_trial_ = -1;
+        for (int t = 0; t < trials; ++t) {
             const LayoutTrial &a = trials_[static_cast<std::size_t>(t)];
+            if (!a.consumed)
+                continue;
+            if (best_trial_ < 0) {
+                best_trial_ = t;
+                continue;
+            }
             const LayoutTrial &b =
                 trials_[static_cast<std::size_t>(best_trial_)];
             if (a.swaps < b.swaps ||
                 (a.swaps == b.swaps && a.depth < b.depth))
                 best_trial_ = t;
         }
+        if (best_trial_ < 0)
+            throw TranspileDeadlineExceeded(
+                "transpile deadline exceeded before any layout trial "
+                "completed");
     }
+
+    int consumed = 0;
+    for (const LayoutTrial &t : trials_)
+        if (t.consumed)
+            ++consumed;
 
     LayoutSearchResult res;
     res.best_trial = best_trial_;
     res.initial = trials_[static_cast<std::size_t>(best_trial_)].layout;
-    res.scoring_passes = (trials > 1 || retain_) ? trials : 0;
+    res.scoring_passes = (trials > 1 || retain_) ? consumed : 0;
+    res.trials_consumed = consumed;
+    res.deadline_hit = consumed < trials;
     if (retain_) {
         // The keep-min key is the arg-min key, so the kept pass is the
         // winner's by construction.

@@ -96,6 +96,10 @@ struct LayoutTrial
     TrialSeedKind kind = TrialSeedKind::kRandom;
     int swaps = -1;    ///< full-circuit scoring pass SWAP count
     int depth = -1;    ///< full-circuit scoring pass routed depth
+    /** False when the trial was skipped by an expired deadline poll
+     *  (Scheduler::current_job_expired() at the trial boundary) — the
+     *  trial holds no layout and never enters the arg-min. */
+    bool consumed = false;
 };
 
 /** Everything LayoutSearch::run() learned. */
@@ -111,9 +115,17 @@ struct LayoutSearchResult
     std::optional<RoutingResult> routed;
     std::vector<LayoutTrial> trials; ///< all outcomes, indexed by trial
     int best_trial = -1;             ///< index of the winner in trials
-    /** Full-circuit scoring passes the search performed (== trials when
-     *  racing or retaining, 0 on the pure-layout single-trial path). */
+    /** Full-circuit scoring passes the search performed (== consumed
+     *  trials when racing or retaining, 0 on the pure-layout
+     *  single-trial path). */
     int scoring_passes = 0;
+    /** Trials that actually ran to completion; < trials.size() only
+     *  when a deadline expired mid-race. */
+    int trials_consumed = 0;
+    /** True when a deadline cut the race short: the winner is the best
+     *  of the COMPLETED trials.  run() throws TranspileDeadlineExceeded
+     *  instead when no trial at all completed. */
+    bool deadline_hit = false;
 };
 
 /** Multi-trial reverse-traversal layout engine. */

@@ -1,8 +1,12 @@
 #include "nassc/serve/client.h"
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <random>
 #include <stdexcept>
+#include <thread>
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
@@ -136,6 +140,136 @@ ServeClient::ping()
     ServeRequest req;
     req.verb = "ping";
     return request(req).status == "ok";
+}
+
+ServeClient
+ServeEndpoint::connect() const
+{
+    if (!unix_path.empty())
+        return ServeClient::connect_unix(unix_path);
+    if (tcp_port >= 0)
+        return ServeClient::connect_tcp(host, tcp_port);
+    throw std::runtime_error("nassc client: endpoint has no transport");
+}
+
+ServeClient &
+RetryingServeClient::session()
+{
+    if (!client_) {
+        client_.emplace(endpoint_.connect());
+        ++retry_stats_.reconnects;
+    }
+    return *client_;
+}
+
+void
+RetryingServeClient::drop_session()
+{
+    client_.reset();
+}
+
+int
+RetryingServeClient::backoff(int attempt, int hint_ms)
+{
+    // Exponential with full jitter on the upper half: wait in
+    // [exp/2, exp], so concurrent retriers decorrelate without ever
+    // retrying instantly.  The server's hint is a floor — it knows how
+    // loaded it is better than our exponent does.
+    long exp = policy_.base_backoff_ms > 0 ? policy_.base_backoff_ms : 1;
+    for (int k = 0; k < attempt && exp < policy_.max_backoff_ms; ++k)
+        exp *= 2;
+    exp = std::min<long>(exp, policy_.max_backoff_ms);
+    std::minstd_rand rng(policy_.jitter_seed +
+                         static_cast<unsigned>(retry_stats_.attempts));
+    long wait = exp / 2 + static_cast<long>(rng() % (exp / 2 + 1));
+    wait = std::max<long>(wait, hint_ms);
+    std::this_thread::sleep_for(std::chrono::milliseconds(wait));
+    retry_stats_.backoff_ms += static_cast<std::uint64_t>(wait);
+    return static_cast<int>(wait);
+}
+
+ServeResponse
+RetryingServeClient::request(const ServeRequest &req)
+{
+    std::string last_error;
+    const int attempts = std::max(1, policy_.max_attempts);
+    for (int attempt = 0; attempt < attempts; ++attempt) {
+        if (attempt > 0)
+            ++retry_stats_.retries;
+        int hint_ms = 0;
+        try {
+            ++retry_stats_.attempts;
+            ServeResponse resp = session().request(req);
+            if (resp.status == "overloaded") {
+                // Shed, not failed: always retryable (purity), waiting
+                // at least the server's hint.
+                ++retry_stats_.overloaded;
+                last_error = "server overloaded: " + resp.error;
+                hint_ms = resp.retry_after_ms;
+            } else if (resp.status == "error" &&
+                       policy_.retry_application_errors &&
+                       attempt + 1 < attempts) {
+                last_error = "server error: " + resp.error;
+            } else {
+                return resp;
+            }
+        } catch (const std::exception &e) {
+            // Transport failure: the connection is in an unknown state,
+            // so retry on a FRESH one.  (Includes connect() refusals
+            // during daemon warm-up.)
+            last_error = e.what();
+            drop_session();
+        }
+        if (attempt + 1 < attempts)
+            backoff(attempt, hint_ms);
+    }
+    throw std::runtime_error("nassc client: " + std::to_string(attempts) +
+                             " attempts exhausted; last error: " +
+                             last_error);
+}
+
+ServeResponse
+RetryingServeClient::transpile_qasm(
+    const std::string &qasm, const std::string &backend,
+    const std::vector<std::pair<std::string, std::string>> &options)
+{
+    ServeRequest req;
+    req.verb = "transpile";
+    req.backend = backend;
+    req.options = options;
+    req.qasm = qasm;
+    ServeResponse resp = request(req);
+    if (resp.status != "ok")
+        throw std::runtime_error("nassc client: server error: " +
+                                 resp.error);
+    return resp;
+}
+
+std::map<std::string, std::uint64_t>
+RetryingServeClient::stats()
+{
+    ServeRequest req;
+    req.verb = "stats";
+    ServeResponse resp = request(req);
+    if (resp.status != "ok")
+        throw std::runtime_error("nassc client: server error: " +
+                                 resp.error);
+    std::map<std::string, std::uint64_t> out;
+    for (const auto &kv : resp.stats)
+        out[kv.first] = std::stoull(kv.second);
+    return out;
+}
+
+bool
+RetryingServeClient::ping()
+{
+    ServeRequest req;
+    req.verb = "ping";
+    try {
+        return request(req).status == "ok";
+    } catch (const std::exception &) {
+        return false;
+    }
 }
 
 } // namespace nassc

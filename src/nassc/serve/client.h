@@ -3,16 +3,29 @@
 
 /**
  * @file
- * ServeClient: a blocking nasscd client over one connection.
+ * ServeClient: a blocking nasscd client over one connection — plus
+ * RetryingServeClient, the production wrapper that reconnects and backs
+ * off.
  *
- * Mirrors the protocol exactly (serve/protocol.h): each call sends one
- * frame and blocks for the one response frame.  A connection serves any
- * number of sequential requests; share one client per thread, not one
- * across threads.
+ * ServeClient mirrors the protocol exactly (serve/protocol.h): each
+ * call sends one frame and blocks for the one response frame.  A
+ * connection serves any number of sequential requests; share one client
+ * per thread, not one across threads.
+ *
+ * RetryingServeClient exists because transpiles are PURE: a request
+ * that dies in transit (daemon restart, mid-frame disconnect, connect
+ * refused during warm-up) or is shed (`status overloaded`) can always
+ * be resent verbatim — at worst it becomes a cache hit.  The wrapper
+ * retries transport errors with a fresh connection and bounded
+ * exponential backoff + jitter, and honors the server's retry-after-ms
+ * hint on overload.  Application errors (status "error" /
+ * "deadline_exceeded") are NOT retried by default: they are
+ * deterministic, so the same request would fail the same way.
  */
 
 #include <cstdint>
 #include <map>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -63,6 +76,100 @@ class ServeClient
   private:
     explicit ServeClient(int fd) : fd_(fd) {}
     int fd_ = -1;
+};
+
+/** Where a daemon listens; connect() prefers the unix path when both
+ *  transports are configured. */
+struct ServeEndpoint
+{
+    std::string unix_path;           ///< empty = use TCP
+    std::string host = "127.0.0.1";
+    int tcp_port = -1;
+
+    /** @throws std::runtime_error when the connect fails. */
+    ServeClient connect() const;
+};
+
+/** Backoff/retry knobs for RetryingServeClient. */
+struct RetryPolicy
+{
+    /** Total tries per request (first attempt included). */
+    int max_attempts = 6;
+    /** Backoff before retry k is min(cap, base << k), halved-then-
+     *  jittered (full jitter on the upper half). */
+    int base_backoff_ms = 10;
+    int max_backoff_ms = 2000;
+    /** Deterministic jitter stream seed (tests; vary per thread). */
+    unsigned jitter_seed = 1;
+    /**
+     * Also retry `status error` responses.  Off by default — they are
+     * deterministic — but useful against a daemon with fault injection
+     * armed (NASSC_FAILPOINTS), where an injected worker fault surfaces
+     * as status error yet the retry is expected to succeed.
+     */
+    bool retry_application_errors = false;
+};
+
+/** What a RetryingServeClient spent so far (monotonic). */
+struct RetryStats
+{
+    std::uint64_t attempts = 0;   ///< frames actually sent (incl. firsts)
+    std::uint64_t retries = 0;    ///< attempts beyond each first
+    std::uint64_t reconnects = 0; ///< fresh connections dialed
+    std::uint64_t overloaded = 0; ///< overloaded responses absorbed
+    std::uint64_t backoff_ms = 0; ///< total time slept backing off
+};
+
+/**
+ * A ServeClient that survives daemon warm-up, restarts, dropped
+ * connections, and load shedding.  Dials lazily, reconnects on any
+ * transport error, and backs off between attempts (honoring the
+ * server's retry-after-ms hint when one was sent).  Single-threaded
+ * like ServeClient: one instance per thread.
+ */
+class RetryingServeClient
+{
+  public:
+    RetryingServeClient(ServeEndpoint endpoint, RetryPolicy policy = {})
+        : endpoint_(std::move(endpoint)), policy_(policy)
+    {
+    }
+
+    /**
+     * Send one request, retrying per the policy.  Returns the first
+     * response that is not retryable (any status; inspect it).
+     * @throws std::runtime_error when attempts are exhausted (last
+     * transport error included).
+     */
+    ServeResponse request(const ServeRequest &request);
+
+    /** request() + throw unless status is "ok" (like
+     *  ServeClient::transpile_qasm, but retrying). */
+    ServeResponse
+    transpile_qasm(const std::string &qasm, const std::string &backend,
+                   const std::vector<std::pair<std::string, std::string>>
+                       &options = {});
+
+    /** Retrying stats fetch (see ServeClient::stats). */
+    std::map<std::string, std::uint64_t> stats();
+
+    /** Retrying ping; false only after exhausting attempts. */
+    bool ping();
+
+    const RetryStats &retry_stats() const { return retry_stats_; }
+
+  private:
+    /** The live connection, dialing if needed. */
+    ServeClient &session();
+    void drop_session();
+    /** Sleep before retry `attempt` (0-based), honoring `hint_ms`;
+     *  returns the milliseconds slept. */
+    int backoff(int attempt, int hint_ms);
+
+    ServeEndpoint endpoint_;
+    RetryPolicy policy_;
+    std::optional<ServeClient> client_;
+    RetryStats retry_stats_;
 };
 
 } // namespace nassc

@@ -2,10 +2,13 @@
 
 #include <cerrno>
 #include <cstring>
+#include <limits>
 #include <stdexcept>
 
 #include <sys/socket.h>
 #include <unistd.h>
+
+#include "nassc/service/failpoint.h"
 
 namespace nassc {
 
@@ -130,6 +133,11 @@ encode_response(const ServeResponse &response)
         out += "error " + response.error + "\n";
     if (!response.source.empty())
         out += "source " + response.source + "\n";
+    if (response.retry_after_ms > 0)
+        out += "retry-after-ms " + std::to_string(response.retry_after_ms) +
+               "\n";
+    if (response.degraded)
+        out += "degraded " + std::to_string(response.trials_consumed) + "\n";
     for (const auto &kv : response.stats)
         out += "stat " + kv.first + "=" + kv.second + "\n";
     if (!response.qasm.empty()) {
@@ -158,6 +166,12 @@ parse_response(const std::string &payload)
             response.error = line.substr(6);
         } else if (line.rfind("source ", 0) == 0) {
             response.source = line.substr(7);
+        } else if (line.rfind("retry-after-ms ", 0) == 0) {
+            response.retry_after_ms =
+                parse_int("retry-after-ms", line.substr(15));
+        } else if (line.rfind("degraded ", 0) == 0) {
+            response.degraded = true;
+            response.trials_consumed = parse_int("degraded", line.substr(9));
         } else if (line.rfind("stat ", 0) == 0) {
             response.stats.push_back(split_kv(line.substr(5), "stat"));
         } else {
@@ -214,11 +228,40 @@ parse_transpile_options(
             opts.priority = parse_int(key, value);
         } else if (key == "cache_ttl_seconds") {
             opts.cache_ttl_seconds = parse_double(key, value);
+        } else if (key == "deadline_ms") {
+            opts.deadline_ms = parse_int(key, value);
+            if (opts.deadline_ms < 0)
+                bad_payload("option deadline_ms: must be >= 0, got '" +
+                            value + "'");
         } else {
             bad_payload("unknown option '" + key + "'");
         }
     }
     return opts;
+}
+
+std::size_t
+parse_frame_length(const std::string &text)
+{
+    // Hand-rolled on purpose: std::stoull accepts leading whitespace,
+    // '+', and NEGATIVE values (wrapped through unsigned long long),
+    // and saturates detection behind exceptions.  A length field is
+    // attacker-controlled input; accept digits and nothing else, and
+    // reject overflow explicitly instead of wrapping.
+    if (text.empty())
+        throw std::runtime_error("nassc protocol: empty frame length");
+    std::size_t len = 0;
+    for (const char c : text) {
+        if (c < '0' || c > '9')
+            throw std::runtime_error(
+                "nassc protocol: non-numeric frame length '" + text + "'");
+        const std::size_t digit = static_cast<std::size_t>(c - '0');
+        if (len > (std::numeric_limits<std::size_t>::max() - digit) / 10)
+            throw std::runtime_error(
+                "nassc protocol: frame length overflows in '" + text + "'");
+        len = len * 10 + digit;
+    }
+    return len;
 }
 
 bool
@@ -252,18 +295,7 @@ read_frame(int fd, std::string &payload)
     if (header.rfind(magic, 0) != 0)
         throw std::runtime_error("nassc protocol: bad frame magic '" +
                                  header + "'");
-    std::size_t len = 0;
-    try {
-        std::size_t used = 0;
-        const unsigned long long v = std::stoull(header.substr(magic.size()),
-                                                 &used);
-        if (used != header.size() - magic.size())
-            throw std::invalid_argument("trailing junk");
-        len = static_cast<std::size_t>(v);
-    } catch (const std::exception &) {
-        throw std::runtime_error("nassc protocol: bad frame length in '" +
-                                 header + "'");
-    }
+    const std::size_t len = parse_frame_length(header.substr(magic.size()));
     if (len > kMaxFrameBytes)
         throw std::runtime_error("nassc protocol: frame of " +
                                  std::to_string(len) +
@@ -275,7 +307,16 @@ read_frame(int fd, std::string &payload)
     payload.resize(len);
     std::size_t got = 0;
     while (got < len) {
-        const ssize_t n = ::recv(fd, &payload[got], len - got, 0);
+        // Failpoints exercising the partial-I/O loop itself: an EINTR
+        // storm (spurious wakeups must re-enter the loop, not error)
+        // and a short-read clamp (1 byte per recv, so reassembly of a
+        // fragmented payload is on the tested path).
+        if (failpoint::eval("protocol.read.eintr"))
+            continue;
+        std::size_t want = len - got;
+        if (failpoint::eval("protocol.read.short"))
+            want = 1;
+        const ssize_t n = ::recv(fd, &payload[got], want, 0);
         if (n == 0)
             throw std::runtime_error("nassc protocol: EOF inside payload");
         if (n < 0) {
@@ -300,9 +341,20 @@ write_frame(int fd, const std::string &payload)
                         std::to_string(payload.size()) + "\n" + payload;
     std::size_t sent = 0;
     while (sent < frame.size()) {
+        std::size_t chunk = frame.size() - sent;
+        // Short-write clamp: 1 byte per send, forcing the resume loop.
+        if (failpoint::eval("protocol.write.short"))
+            chunk = 1;
+        // Mid-frame disconnect: send about half of what remains, then
+        // kill the connection — the peer sees a truncated payload and
+        // must fail cleanly ("EOF inside payload"), never hang.
+        const bool drop = static_cast<bool>(
+            failpoint::eval("protocol.write.disconnect"));
+        if (drop && chunk > 1)
+            chunk = chunk / 2;
         // MSG_NOSIGNAL: a peer that hung up yields EPIPE, not SIGPIPE.
-        const ssize_t n = ::send(fd, frame.data() + sent,
-                                 frame.size() - sent, MSG_NOSIGNAL);
+        const ssize_t n =
+            ::send(fd, frame.data() + sent, chunk, MSG_NOSIGNAL);
         if (n < 0) {
             if (errno == EINTR)
                 continue;
@@ -310,6 +362,11 @@ write_frame(int fd, const std::string &payload)
                                      std::strerror(errno));
         }
         sent += static_cast<std::size_t>(n);
+        if (drop) {
+            ::shutdown(fd, SHUT_RDWR);
+            throw std::runtime_error(
+                "nassc protocol: injected mid-frame disconnect");
+        }
     }
 }
 

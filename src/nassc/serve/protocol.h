@@ -27,12 +27,21 @@
  *
  * Response payload:
  *
- *     status ok | error
- *     error <message>          (status error only)
+ *     status ok | error | deadline_exceeded | overloaded
+ *     error <message>          (any non-ok status)
  *     source transpiled|cache_hit|coalesced|inline   (transpile only)
+ *     retry-after-ms <N>       (status overloaded: backoff hint)
+ *     degraded <trials>        (ok only: deadline cut the layout race
+ *                               short; <trials> completed)
  *     stat <key>=<value>       (ServiceStats snapshot; stats+transpile)
  *     qasm                     (transpile only)
  *     <routed OpenQASM 2.0 body, verbatim to end of payload>
+ *
+ * `deadline_exceeded` means the request's own deadline_ms expired
+ * before any layout trial completed (retrying the same budget is
+ * futile); `overloaded` means admission control shed the request before
+ * queueing it (always safe to retry after the hint — transpiles are
+ * pure).
  *
  * `source` is the per-request delta (what this request cost the
  * service); the `stat` lines are a point-in-time snapshot of the whole
@@ -73,9 +82,18 @@ struct ServeRequest
 /** One parsed response payload. */
 struct ServeResponse
 {
-    std::string status; ///< "ok" or "error"
-    std::string error;  ///< human-readable failure (status "error")
+    /** "ok", "error", "deadline_exceeded", or "overloaded". */
+    std::string status;
+    std::string error;  ///< human-readable failure (any non-ok status)
     std::string source; ///< cache outcome of a transpile request
+    /** Backoff hint for "overloaded" responses, in ms; 0 = absent. */
+    int retry_after_ms = 0;
+    /** True when the result is best-of-completed-trials (the request's
+     *  deadline cut the layout race short). */
+    bool degraded = false;
+    /** Layout trials that completed; -1 = not reported (non-degraded
+     *  responses omit the line unless the server filled it). */
+    int trials_consumed = -1;
     /** ServiceStats snapshot as key=value pairs, in wire order. */
     std::vector<std::pair<std::string, std::string>> stats;
     std::string qasm; ///< routed OpenQASM 2.0 body
@@ -99,6 +117,14 @@ ServeResponse parse_response(const std::string &payload);
  */
 TranspileOptions parse_transpile_options(
     const std::vector<std::pair<std::string, std::string>> &options);
+
+/**
+ * Parse the decimal `<len>` field of a frame header.  Strict: digits
+ * only (no sign, no leading '+', no whitespace, no trailing junk), and
+ * the value must fit std::size_t without overflow.
+ * @throws std::runtime_error on any violation.
+ */
+std::size_t parse_frame_length(const std::string &text);
 
 /** @name Frame I/O over a connected socket fd.
  * Blocking, EINTR-safe, partial-read/write-safe.  read_frame returns

@@ -17,6 +17,7 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include "nassc/ir/qasm.h"
 #include "nassc/serve/protocol.h"
 
 namespace nassc {
@@ -64,6 +65,8 @@ stats_pairs(const ServiceStats &s)
         {"evictions_capacity", u(s.evictions_capacity)},
         {"evictions_invalidated", u(s.evictions_invalidated)},
         {"cancelled", u(s.cancelled)},
+        {"shed", u(s.shed)},
+        {"deadline_exceeded", u(s.deadline_exceeded)},
         {"transpiles_ok", u(s.transpiles_ok)},
         {"transpiles_failed", u(s.transpiles_failed)},
         {"cache_size", std::to_string(s.cache_size)},
@@ -112,6 +115,7 @@ struct NasscServer::Impl
     std::vector<std::unique_ptr<Conn>> conns;
 
     std::atomic<std::uint64_t> frames{0};
+    std::atomic<std::uint64_t> conns_shed{0};
 
     std::shared_ptr<const Backend>
     lookup_backend(const std::string &name) const
@@ -196,6 +200,11 @@ struct NasscServer::Impl
     wait_ticket(const TranspileTicket &ticket, int fd) const
     {
         while (!ticket.ready()) {
+            // A coalesced ticket past its wait budget will never become
+            // ready for US — stop polling and let get() throw the typed
+            // deadline error.
+            if (ticket.deadline_expired())
+                return true;
             if (!stopping.load(std::memory_order_relaxed)) {
                 char probe;
                 const ssize_t n =
@@ -229,8 +238,9 @@ struct NasscServer::Impl
             }
             const std::shared_ptr<const Backend> backend =
                 lookup_backend(request.backend);
-            const TranspileOptions opts =
-                parse_transpile_options(request.options);
+            TranspileOptions opts = parse_transpile_options(request.options);
+            if (opts.deadline_ms == 0 && options.default_deadline_ms > 0)
+                opts.deadline_ms = options.default_deadline_ms;
             TranspileTicket ticket =
                 service->submit_qasm(request.qasm, backend, opts);
             if (!wait_ticket(ticket, fd)) {
@@ -239,12 +249,26 @@ struct NasscServer::Impl
                 service->try_cancel(ticket);
                 throw ClientGone{};
             }
-            response.qasm = ticket.get_qasm(); // rethrows transpile errors
+            // Rethrows transpile errors (typed ones mapped below).
+            const SharedTranspileResult result = ticket.get();
+            response.qasm = to_qasm(result->circuit);
             response.source = source_name(ticket.source());
+            response.degraded = result->degraded;
+            if (result->degraded)
+                response.trials_consumed = result->layout_trials_consumed;
             response.stats = stats_pairs(service->stats());
             response.status = "ok";
         } catch (const ClientGone &) {
             throw;
+        } catch (const TranspileOverloaded &e) {
+            response = ServeResponse{};
+            response.status = "overloaded";
+            response.error = e.what();
+            response.retry_after_ms = options.retry_after_ms;
+        } catch (const TranspileDeadlineExceeded &e) {
+            response = ServeResponse{};
+            response.status = "deadline_exceeded";
+            response.error = e.what();
         } catch (const std::exception &e) {
             response = ServeResponse{};
             response.status = "error";
@@ -278,6 +302,37 @@ struct NasscServer::Impl
         conn->done.store(true, std::memory_order_release);
     }
 
+    /** Open (not yet finished) client connections.  Reaps first so a
+     *  burst of short-lived clients frees its slots promptly. */
+    std::size_t
+    live_connections()
+    {
+        reap_finished();
+        std::lock_guard<std::mutex> lk(conns_mu);
+        std::size_t live = 0;
+        for (const auto &conn : conns)
+            if (!conn->done.load(std::memory_order_acquire))
+                ++live;
+        return live;
+    }
+
+    /** Answer an over-cap connect with one overloaded frame + close.
+     *  Best effort: the peer may already be gone (EPIPE is fine). */
+    void
+    shed_connection(int fd)
+    {
+        conns_shed.fetch_add(1, std::memory_order_relaxed);
+        ServeResponse response;
+        response.status = "overloaded";
+        response.error = "nasscd: connection limit reached";
+        response.retry_after_ms = options.retry_after_ms;
+        try {
+            write_frame(fd, encode_response(response));
+        } catch (...) {
+        }
+        ::close(fd);
+    }
+
     void
     accept_main()
     {
@@ -302,6 +357,11 @@ struct NasscServer::Impl
                 const int client = ::accept(p.fd, nullptr, nullptr);
                 if (client < 0)
                     continue;
+                if (options.max_connections != 0 &&
+                    live_connections() >= options.max_connections) {
+                    shed_connection(client);
+                    continue;
+                }
                 auto conn = std::make_unique<Conn>();
                 conn->fd = client;
                 Conn *raw = conn.get();
@@ -439,6 +499,12 @@ std::uint64_t
 NasscServer::requests_seen() const
 {
     return impl_->frames.load(std::memory_order_relaxed);
+}
+
+std::uint64_t
+NasscServer::connections_shed() const
+{
+    return impl_->conns_shed.load(std::memory_order_relaxed);
 }
 
 } // namespace nassc

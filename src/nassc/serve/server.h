@@ -61,8 +61,24 @@ struct ServerOptions
     int tcp_port = -1;
     std::string host = "127.0.0.1";
     /** Options for the server-owned TranspileService (cache bounds,
-     *  TTL, worker provisioning). */
+     *  TTL, worker provisioning, max_queued admission cap). */
     ServiceOptions service;
+    /**
+     * Admission control: maximum concurrently open client connections.
+     * A connect past the cap is answered immediately with one
+     * `status overloaded` frame (carrying the retry-after-ms hint) and
+     * closed — never queued, never left hanging.  0 = unbounded.
+     */
+    std::size_t max_connections = 0;
+    /** Backoff hint sent with every `status overloaded` response
+     *  (connection shed or queue shed), in milliseconds. */
+    int retry_after_ms = 50;
+    /**
+     * Deadline applied to requests that do not set deadline_ms
+     * themselves, in milliseconds (nasscd --default-deadline).
+     * 0 = no default; a request's own deadline_ms always wins.
+     */
+    int default_deadline_ms = 0;
     /** Non-null: serve THIS service instead of owning one (lets tests
      *  and embedders share a service between transports). */
     std::shared_ptr<TranspileService> shared_service;
@@ -103,6 +119,9 @@ class NasscServer
     /** Frames decoded so far (any verb) — a liveness/progress counter
      *  for tests and monitoring. */
     std::uint64_t requests_seen() const;
+
+    /** Connections shed by the max_connections cap so far. */
+    std::uint64_t connections_shed() const;
 
   private:
     struct Impl;

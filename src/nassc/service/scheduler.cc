@@ -1,7 +1,10 @@
 #include "nassc/service/scheduler.h"
 
+#include "nassc/service/failpoint.h"
+
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <exception>
 #include <limits>
@@ -13,6 +16,8 @@ namespace nassc {
 
 namespace {
 
+using Clock = std::chrono::steady_clock;
+
 /** Set while the current thread executes scheduler tasks. */
 thread_local bool t_in_task = false;
 
@@ -20,20 +25,44 @@ thread_local bool t_in_task = false;
  *  read by Scheduler::current_job_cancelled() without any lock. */
 thread_local const std::atomic<bool> *t_cancel_flag = nullptr;
 
+/** Effective deadline of the calling thread (DeadlineScopes min'd with
+ *  the running job's deadline); max() = unbounded. */
+thread_local Clock::time_point t_deadline = Clock::time_point::max();
+
 struct TaskScope
 {
     bool prev;
     const std::atomic<bool> *prev_flag;
-    explicit TaskScope(const std::atomic<bool> *cancel_flag = nullptr)
-        : prev(t_in_task), prev_flag(t_cancel_flag)
+    Clock::time_point prev_deadline;
+
+    /**
+     * Inline path (nested parallel_for, caller-drained job): mark the
+     * thread in-task but INHERIT the enclosing cancel flag and deadline
+     * — an inner loop must still observe the outer job's cancellation
+     * and budget.
+     */
+    TaskScope()
+        : prev(t_in_task), prev_flag(t_cancel_flag),
+          prev_deadline(t_deadline)
+    {
+        t_in_task = true;
+    }
+
+    /** Worker path: bind the claimed job's cancel flag and deadline. */
+    TaskScope(const std::atomic<bool> *cancel_flag, Clock::time_point deadline)
+        : prev(t_in_task), prev_flag(t_cancel_flag),
+          prev_deadline(t_deadline)
     {
         t_in_task = true;
         t_cancel_flag = cancel_flag;
+        t_deadline = deadline;
     }
+
     ~TaskScope()
     {
         t_in_task = prev;
         t_cancel_flag = prev_flag;
+        t_deadline = prev_deadline;
     }
 };
 
@@ -66,6 +95,10 @@ struct Scheduler::JobHandle::Job
 
     /** Set by cancel(); polled lock-free by running tasks. */
     std::atomic<bool> cancelled{false};
+
+    /** Absolute budget installed while this job's tasks run; max() =
+     *  none.  Immutable after the job becomes visible to workers. */
+    Clock::time_point deadline = Clock::time_point::max();
 
     // Completion latch, guarded by done_mu (error is safe to read after
     // observing done: every error write under Impl::mu happens-before
@@ -226,8 +259,9 @@ Scheduler::worker_main()
         lk.unlock();
         std::exception_ptr err;
         {
-            TaskScope scope(&job->cancelled);
+            TaskScope scope(&job->cancelled, job->deadline);
             try {
+                failpoint::hit("scheduler.claim");
                 job->fn(index, slot);
             } catch (...) {
                 err = std::current_exception();
@@ -246,13 +280,15 @@ Scheduler::worker_main()
 }
 
 Scheduler::JobHandle
-Scheduler::submit(std::size_t count, TaskFn fn, int max_slots, int priority)
+Scheduler::submit(std::size_t count, TaskFn fn, int max_slots, int priority,
+                  std::chrono::steady_clock::time_point deadline)
 {
     using Job = Impl::Job;
     Impl &im = *impl_;
     auto job = std::make_shared<Job>(std::move(fn), count);
     job->priority = priority;
     job->impl = impl_;
+    job->deadline = deadline;
     if (count == 0) {
         job->done = true;
         return JobHandle(job);
@@ -307,6 +343,9 @@ Scheduler::parallel_for(std::size_t count, const TaskFn &fn, int max_workers)
 
     auto job = std::make_shared<Job>(fn, count);
     job->impl = impl_;
+    // Hand the caller's budget to the stolen tasks: a DeadlineScope
+    // around this parallel_for must bound trials on pool workers too.
+    job->deadline = t_deadline;
     int slots = max_workers;
     if (static_cast<std::size_t>(slots) > count)
         slots = static_cast<int>(count);
@@ -430,5 +469,27 @@ Scheduler::current_job_cancelled()
     return t_cancel_flag &&
            t_cancel_flag->load(std::memory_order_relaxed);
 }
+
+std::chrono::steady_clock::time_point
+Scheduler::current_job_deadline()
+{
+    return t_deadline;
+}
+
+bool
+Scheduler::current_job_expired()
+{
+    return t_deadline != Clock::time_point::max() &&
+           Clock::now() >= t_deadline;
+}
+
+Scheduler::DeadlineScope::DeadlineScope(
+    std::chrono::steady_clock::time_point deadline)
+    : prev_(t_deadline)
+{
+    t_deadline = std::min(prev_, deadline);
+}
+
+Scheduler::DeadlineScope::~DeadlineScope() { t_deadline = prev_; }
 
 } // namespace nassc

@@ -62,8 +62,21 @@
  * polls Scheduler::current_job_cancelled().  The serving layer uses
  * this to abandon transpiles whose client disconnected before a worker
  * picked them up.
+ *
+ * Deadlines ride the same seam: submit() can stamp a job with an
+ * absolute steady-clock deadline, which workers install thread-locally
+ * while running that job's tasks; long tasks poll
+ * Scheduler::current_job_expired() at natural boundaries (layout
+ * trials) exactly like the cancel poll.  DeadlineScope narrows the
+ * calling thread's budget (nested scopes take the min), and
+ * parallel_for propagates the caller's budget onto its pool job, so a
+ * deadline set at the top of a transpile reaches layout trials running
+ * on stolen workers.  A deadline never preempts anything — expiry only
+ * makes the polls return true, and what to do about it (degrade, throw)
+ * is the caller's policy.
  */
 
+#include <chrono>
 #include <cstddef>
 #include <functional>
 #include <memory>
@@ -153,9 +166,13 @@ class Scheduler
      * wait() is restricted.  Higher `priority` jobs are claimed before
      * lower ones whenever both have runnable tasks (parallel_for jobs
      * run at priority 0); ordering within a priority stays round-robin.
+     * `deadline` (absolute steady clock; max() = none) is installed as
+     * the running tasks' thread-local budget — see DeadlineScope.
      */
     JobHandle submit(std::size_t count, TaskFn fn, int max_slots = 0,
-                     int priority = 0);
+                     int priority = 0,
+                     std::chrono::steady_clock::time_point deadline =
+                         std::chrono::steady_clock::time_point::max());
 
     /**
      * Run fn(index, slot) for index in [0, count), blocking until all
@@ -186,6 +203,40 @@ class Scheduler
      * for long tasks.  Always false outside a task.
      */
     static bool current_job_cancelled();
+
+    /**
+     * The calling thread's effective deadline: the min of every
+     * enclosing DeadlineScope and the running job's submit() deadline;
+     * time_point::max() when unbounded.
+     */
+    static std::chrono::steady_clock::time_point current_job_deadline();
+
+    /**
+     * True when the calling thread's effective deadline has passed —
+     * the cooperative-timeout poll for long tasks, mirroring
+     * current_job_cancelled().  Always false when unbounded.
+     */
+    static bool current_job_expired();
+
+    /**
+     * RAII budget for the calling thread: narrows the thread-local
+     * deadline to min(enclosing, `deadline`) for the scope's lifetime.
+     * Deadline-free code pays nothing — the thread-local stays at
+     * max() and current_job_expired() short-circuits.  parallel_for
+     * hands the narrowed budget to its pool job, so scoping a deadline
+     * around a transpile bounds its stolen trials too.
+     */
+    class DeadlineScope
+    {
+      public:
+        explicit DeadlineScope(std::chrono::steady_clock::time_point deadline);
+        ~DeadlineScope();
+        DeadlineScope(const DeadlineScope &) = delete;
+        DeadlineScope &operator=(const DeadlineScope &) = delete;
+
+      private:
+        std::chrono::steady_clock::time_point prev_;
+    };
 
   private:
     struct Impl;

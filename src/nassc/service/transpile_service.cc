@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "nassc/ir/qasm.h"
+#include "nassc/service/failpoint.h"
 
 namespace nassc {
 
@@ -21,6 +22,29 @@ hex64(std::uint64_t v)
 
 } // namespace
 
+SharedTranspileResult
+TranspileTicket::get() const
+{
+    // Only coalesced tickets carry a wait bound: the computation they
+    // joined belongs to another request and may legitimately run past
+    // this one's budget.  Owner tickets wait for settlement — their
+    // deadline lives INSIDE the computation (degrade or throw), which
+    // may finish slightly after it while completing the last trial.
+    if (deadline_ != std::chrono::steady_clock::time_point::max() &&
+        future_.wait_until(deadline_) == std::future_status::timeout)
+        throw TranspileDeadlineExceeded(
+            "transpile deadline exceeded waiting on a coalesced "
+            "computation");
+    return future_.get();
+}
+
+bool
+TranspileTicket::deadline_expired() const
+{
+    return deadline_ != std::chrono::steady_clock::time_point::max() &&
+           std::chrono::steady_clock::now() >= deadline_ && !ready();
+}
+
 std::string
 TranspileTicket::get_qasm() const
 {
@@ -36,8 +60,12 @@ TranspileService::request_key(const QuantumCircuit &circuit,
     // the backend contributes its own cache_key(), which already
     // fingerprints topology + calibration.  '|' never appears inside
     // the hex fragments, so the triple cannot alias across fields.
+    // The deadline is zeroed first: it is QoS, not identity, and keying
+    // it would split coalescing/caching across equal circuits.
+    TranspileOptions keyed = options;
+    keyed.deadline_ms = 0;
     return hex64(circuit.fingerprint()) + "|" + backend.cache_key() + "|" +
-           hex64(options.fingerprint());
+           hex64(keyed.fingerprint());
 }
 
 TranspileService::TranspileService(ServiceOptions options)
@@ -116,6 +144,13 @@ TranspileService::cache_insert(const std::string &key,
 {
     if (options_.cache_capacity == 0)
         return;
+    // Behaviour site: an armed trigger drops the insert, simulating a
+    // result that is computed but never cached (every waiter is still
+    // served; only the NEXT submit recomputes).  kTrigger only — this
+    // runs under mu_, where sleeping or throwing would be unsafe.
+    if (failpoint::eval("service.cache_insert").kind ==
+        failpoint::Hit::Kind::kTrigger)
+        return;
     {
         // A result computed against a generation that rotated while it
         // was in flight is stale on arrival: never insert it.
@@ -167,13 +202,30 @@ void
 TranspileService::run_request(
     const std::string &key, const QuantumCircuit &circuit,
     const Backend &backend, const TranspileOptions &options,
-    const std::shared_ptr<std::promise<SharedTranspileResult>> &promise)
+    const std::shared_ptr<std::promise<SharedTranspileResult>> &promise,
+    Clock::time_point deadline, bool dequeue)
 {
+    if (dequeue) {
+        // Claimed: this request no longer occupies queue depth.
+        std::lock_guard<std::mutex> lk(mu_);
+        --queued_;
+    }
+
     SharedTranspileResult result;
     std::exception_ptr error;
+    bool missed_deadline = false;
     try {
+        // The request's absolute budget, computed at submit time so
+        // queueing delay counts against it.  transpile() adds its own
+        // scope from options.deadline_ms, but relative to its start —
+        // this outer scope is the one that charges the queue wait.
+        Scheduler::DeadlineScope budget(deadline);
+        failpoint::hit("service.transpile");
         result = std::make_shared<TranspileResult>(
             transpile(circuit, backend, options, *distances_));
+    } catch (const TranspileDeadlineExceeded &) {
+        error = std::current_exception();
+        missed_deadline = true;
     } catch (...) {
         error = std::current_exception();
     }
@@ -184,8 +236,14 @@ TranspileService::run_request(
             ++stats_.transpiles_ok;
             // Insert BEFORE dropping the in-flight entry: a concurrent
             // submit always finds the key in one table or the other,
-            // never recomputes a result that is already known.
-            cache_insert(key, result, backend, options);
+            // never recomputes a result that is already known.  Except
+            // degraded results: they are best-effort UNDER THIS
+            // REQUEST'S BUDGET, not the key's canonical answer — a
+            // later deadline-free request must get the full race.
+            if (!result->degraded)
+                cache_insert(key, result, backend, options);
+        } else if (missed_deadline) {
+            ++stats_.deadline_exceeded;
         } else {
             ++stats_.transpiles_failed;
         }
@@ -220,6 +278,13 @@ TranspileService::submit(const QuantumCircuit &circuit,
     TranspileTicket ticket;
     ticket.key_ = request_key(circuit, *backend, options);
 
+    // Absolute budget, stamped NOW so queue delay counts against it.
+    const Clock::time_point deadline =
+        options.deadline_ms > 0
+            ? Clock::now() + std::chrono::milliseconds(options.deadline_ms)
+            : Clock::time_point::max();
+    const bool inline_run = Scheduler::in_task();
+
     auto promise = std::make_shared<std::promise<SharedTranspileResult>>();
     {
         std::lock_guard<std::mutex> lk(mu_);
@@ -248,7 +313,23 @@ TranspileService::submit(const QuantumCircuit &circuit,
             ++flight->second.waiters;
             ticket.source_ = TicketSource::kCoalesced;
             ticket.future_ = flight->second.future;
+            // A coalesced waiter's deadline bounds its WAIT (the joined
+            // computation runs under its own request's budget, if any).
+            ticket.deadline_ = deadline;
             return ticket;
+        }
+
+        // Admission control: a fresh miss past the queue cap is shed
+        // NOW with a typed error, not queued into a deadline it cannot
+        // make.  Hits/coalesced joins above are never shed (they add no
+        // queue depth), nor are inline runs (they occupy the submitting
+        // task's slot, not the queue).
+        if (options_.max_queued != 0 && !inline_run &&
+            queued_ >= options_.max_queued) {
+            ++stats_.shed;
+            throw TranspileOverloaded(
+                "transpile service overloaded: " +
+                std::to_string(queued_) + " requests queued");
         }
 
         ++stats_.misses;
@@ -258,14 +339,17 @@ TranspileService::submit(const QuantumCircuit &circuit,
         entry.promise = promise;
         inflight_.emplace(ticket.key_, std::move(entry));
         ++inflight_count_;
+        if (!inline_run)
+            ++queued_;
     }
 
-    if (Scheduler::in_task()) {
+    if (inline_run) {
         // Nested submitter (e.g. a batch job consulting the service):
         // run inline so a saturated pool cannot deadlock behind its own
         // queue.  Dedup above still applied.
         ticket.source_ = TicketSource::kInline;
-        run_request(ticket.key_, circuit, *backend, options, promise);
+        run_request(ticket.key_, circuit, *backend, options, promise,
+                    deadline, /*dequeue=*/false);
         return ticket;
     }
 
@@ -275,10 +359,11 @@ TranspileService::submit(const QuantumCircuit &circuit,
     Scheduler::JobHandle handle = scheduler().submit(
         1,
         [this, key = ticket.key_, circuit, backend = std::move(backend),
-         options, promise](std::size_t, int) {
-            run_request(key, circuit, *backend, options, promise);
+         options, promise, deadline](std::size_t, int) {
+            run_request(key, circuit, *backend, options, promise, deadline,
+                        /*dequeue=*/true);
         },
-        /*max_slots=*/1, options.priority);
+        /*max_slots=*/1, options.priority, deadline);
     {
         // Park the handle so try_cancel can reach the job.  The request
         // may already have finished (entry gone) or, pathologically,
@@ -328,6 +413,9 @@ TranspileService::try_cancel(const TranspileTicket &ticket)
         promise = flight.promise;
         inflight_.erase(it);
         ++stats_.cancelled;
+        // The dropped task never runs, so its run_request dequeue
+        // never happens — release the queue slot here.
+        --queued_;
     }
 
     // Settle outside the lock, like run_request.

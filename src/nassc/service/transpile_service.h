@@ -74,6 +74,7 @@
 #include <unordered_map>
 
 #include "nassc/service/distance_cache.h"
+#include "nassc/service/errors.h"
 #include "nassc/service/scheduler.h"
 #include "nassc/transpile/transpile.h"
 
@@ -125,9 +126,19 @@ class TranspileTicket
     /**
      * Block for the result; rethrows the transpile's exception on
      * failure (TranspileCancelled after a successful try_cancel).
+     * A COALESCED ticket whose request carried deadline_ms waits at
+     * most until that deadline and then throws
+     * TranspileDeadlineExceeded — the computation it joined belongs to
+     * another request and may legitimately outlive this one's budget.
+     * (Owner tickets wait for settlement: their deadline is enforced
+     * cooperatively inside the computation, which degrades or throws.)
      * Safe to call from any thread and repeatedly.
      */
-    SharedTranspileResult get() const { return future_.get(); }
+    SharedTranspileResult get() const;
+
+    /** True when this is a deadline'd coalesced ticket whose wait
+     *  budget has already passed — get() would throw immediately. */
+    bool deadline_expired() const;
 
     /** Block for the result and serialize the routed circuit as
      *  OpenQASM 2.0 — the wire-format counterpart of get(). */
@@ -138,6 +149,9 @@ class TranspileTicket
     std::string key_;
     TicketSource source_ = TicketSource::kScheduled;
     std::shared_future<SharedTranspileResult> future_;
+    /** Wait bound for coalesced tickets; max() = none. */
+    std::chrono::steady_clock::time_point deadline_ =
+        std::chrono::steady_clock::time_point::max();
 };
 
 /** Service configuration. */
@@ -167,6 +181,14 @@ struct ServiceOptions
      * cgroup-limited containers).  0 = take the pool as it is.
      */
     int num_threads = 0;
+    /**
+     * Admission control: maximum requests queued (submitted but not yet
+     * claimed by a worker or settled).  A miss past the cap throws
+     * TranspileOverloaded from submit() instead of queueing — cache
+     * hits, coalesced joins, and inline (nested) runs are never shed,
+     * since none of them add queue depth.  0 = unbounded.
+     */
+    std::size_t max_queued = 0;
     /** Scheduler to run on; null = Scheduler::shared(). */
     std::shared_ptr<Scheduler> scheduler;
     /** Distance-matrix cache shared by all requests; null = a private
@@ -189,7 +211,13 @@ struct ServiceStats
     std::uint64_t evictions_invalidated = 0;
     /** Requests abandoned by try_cancel() before any worker started. */
     std::uint64_t cancelled = 0;
+    /** Misses shed by admission control (ServiceOptions::max_queued). */
+    std::uint64_t shed = 0;
+    /** Requests settled with TranspileDeadlineExceeded (no trial
+     *  completed in budget).  Degraded successes count as ok. */
+    std::uint64_t deadline_exceeded = 0;
     std::uint64_t transpiles_ok = 0;
+    /** Transpiles that threw anything OTHER than a deadline miss. */
     std::uint64_t transpiles_failed = 0;
     std::size_t cache_size = 0;  ///< entries resident now
     std::size_t cache_bytes = 0; ///< resident entry cost now, in bytes
@@ -262,7 +290,10 @@ class TranspileService
     std::size_t purge_expired();
 
     /** The fingerprint key submit() files `(circuit, backend, options)`
-     *  under — exposed for tests and external sharding. */
+     *  under — exposed for tests and external sharding.  deadline_ms is
+     *  zeroed before fingerprinting: a deadline is per-request QoS, not
+     *  result identity, so deadline'd and deadline-free submissions of
+     *  one circuit coalesce and share cache entries. */
     static std::string request_key(const QuantumCircuit &circuit,
                                    const Backend &backend,
                                    const TranspileOptions &options);
@@ -299,11 +330,14 @@ class TranspileService
         std::size_t waiters = 1;     ///< owner + coalesced tickets
     };
 
-    /** Run one owned request and settle its promise.  Any thread. */
+    /** Run one owned request and settle its promise.  Any thread.
+     *  `deadline` is the request's absolute budget (max() = none);
+     *  `dequeue` says whether this request was counted in queued_. */
     void run_request(const std::string &key, const QuantumCircuit &circuit,
                      const Backend &backend, const TranspileOptions &options,
                      const std::shared_ptr<std::promise<SharedTranspileResult>>
-                         &promise);
+                         &promise,
+                     Clock::time_point deadline, bool dequeue);
 
     /** Insert into the cache, evicting to fit both bounds.  Under mu_. */
     void cache_insert(const std::string &key, SharedTranspileResult result,
@@ -329,6 +363,8 @@ class TranspileService
     mutable std::mutex mu_;
     std::condition_variable drained_;
     std::size_t inflight_count_ = 0; ///< submitted, promise not yet settled
+    /** Scheduled misses not yet claimed-or-settled, for max_queued. */
+    std::size_t queued_ = 0;
     std::unordered_map<std::string, Inflight> inflight_;
     /** LRU list, most recent first, + index into it. */
     std::list<CacheEntry> lru_;

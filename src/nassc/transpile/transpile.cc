@@ -1,6 +1,7 @@
 #include "nassc/transpile/transpile.h"
 
 #include <chrono>
+#include <optional>
 
 #include "nassc/ir/fnv1a.h"
 #include "nassc/passes/basis_translation.h"
@@ -9,6 +10,7 @@
 #include "nassc/passes/decompose_swaps.h"
 #include "nassc/passes/optimize_1q.h"
 #include "nassc/route/layout_search.h"
+#include "nassc/service/scheduler.h"
 #include "nassc/transpile/context.h"
 
 namespace nassc {
@@ -59,6 +61,7 @@ TranspileOptions::fingerprint() const
     fp.byte(use_decay ? 1 : 0);
     fp.u32(static_cast<std::uint32_t>(priority));
     fp.f64(cache_ttl_seconds);
+    fp.u32(static_cast<std::uint32_t>(deadline_ms));
     return fp.value();
 }
 
@@ -67,6 +70,14 @@ transpile(const QuantumCircuit &qc, const Backend &backend,
           const TranspileOptions &opts, DistanceCache &cache)
 {
     auto t0 = std::chrono::steady_clock::now();
+
+    // Install the request budget for this thread (and, through
+    // parallel_for's deadline propagation, for stolen layout trials).
+    // An enclosing scope — e.g. the service worker's — still applies:
+    // DeadlineScope takes the min.
+    std::optional<Scheduler::DeadlineScope> budget;
+    if (opts.deadline_ms > 0)
+        budget.emplace(t0 + std::chrono::milliseconds(opts.deadline_ms));
 
     // 1. Lower to <= 2q gates.
     QuantumCircuit c = decompose_to_2q(qc);
@@ -143,6 +154,8 @@ transpile(const QuantumCircuit &qc, const Backend &backend,
     res.layout_seconds = std::chrono::duration<double>(tl1 - tl0).count();
     res.reused_search_route = reused;
     res.full_route_passes = search.scoring_passes + (reused ? 0 : 1);
+    res.degraded = search.deadline_hit;
+    res.layout_trials_consumed = search.trials_consumed;
     return res;
 }
 

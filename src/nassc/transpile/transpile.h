@@ -83,6 +83,17 @@ struct TranspileOptions
      * synchronous transpile() entry points.
      */
     double cache_ttl_seconds = 0.0;
+    /**
+     * Soft wall-clock budget in milliseconds; 0 = none.  transpile()
+     * installs it as a Scheduler::DeadlineScope, and the layout search
+     * polls it at trial boundaries: on expiry with >= 1 completed trial
+     * the pipeline returns the best-completed result flagged
+     * TranspileResult::degraded, and with nothing completed it throws
+     * TranspileDeadlineExceeded.  Unset (0) is bit-identical to the
+     * pre-deadline pipeline.  Excluded from the service request key
+     * (deadlines are QoS, not identity) but part of fingerprint().
+     */
+    int deadline_ms = 0;
 
     /**
      * FNV-1a fingerprint over EVERY field above, in declaration order.
@@ -122,6 +133,15 @@ struct TranspileResult
      *  scoring pass per layout trial, plus the post-search route when
      *  it was not reused.  Reuse shows exactly one fewer pass. */
     int full_route_passes = 0;
+    /** True when a deadline (TranspileOptions::deadline_ms) expired
+     *  mid-search and this is the best of the trials that DID complete
+     *  rather than of all requested trials.  Degraded results are
+     *  correct circuits — only the racing was cut short — and are
+     *  never admitted to the service result cache. */
+    bool degraded = false;
+    /** Layout trials that actually completed (== layout_trials unless
+     *  degraded). */
+    int layout_trials_consumed = 0;
 };
 
 /**

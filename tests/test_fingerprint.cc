@@ -111,11 +111,11 @@ TEST(CircuitFingerprint, GateGroupingCannotAlias)
 
 TEST(OptionsFingerprint, PinnedStableValues)
 {
-    EXPECT_EQ(TranspileOptions{}.fingerprint(), 0x4c5e226680d8fdc7ull);
+    EXPECT_EQ(TranspileOptions{}.fingerprint(), 0x2fb5f713b978e1b7ull);
     TranspileOptions s;
     s.router = RoutingAlgorithm::kSabre;
     s.seed = 7;
-    EXPECT_EQ(s.fingerprint(), 0x60b0bbd5244ae2b9ull);
+    EXPECT_EQ(s.fingerprint(), 0xcdb1f7d3a33746c9ull);
 }
 
 TEST(OptionsFingerprint, EveryFieldIsCovered)
@@ -148,10 +148,11 @@ TEST(OptionsFingerprint, EveryFieldIsCovered)
     vary([](TranspileOptions &o) { o.use_decay = false; });
     vary([](TranspileOptions &o) { o.priority = 3; });
     vary([](TranspileOptions &o) { o.cache_ttl_seconds = 30.0; });
+    vary([](TranspileOptions &o) { o.deadline_ms = 750; });
 
     // Tripwire: sizeof changes when fields are added; update the variant
     // list, the hash, and this constant together.
-    ASSERT_EQ(variants.size(), 17u);
+    ASSERT_EQ(variants.size(), 18u);
 
     const std::uint64_t base = TranspileOptions{}.fingerprint();
     std::set<std::uint64_t> seen{base};

@@ -29,6 +29,7 @@
 
 #include "nassc/ir/fnv1a.h"
 #include "nassc/service/distance_cache.h"
+#include "nassc/service/failpoint.h"
 #include "nassc/service/scheduler.h"
 #include "nassc/topo/backends.h"
 
@@ -476,6 +477,123 @@ TEST(Scheduler, RunningTaskObservesCooperativeCancel)
     job.wait();
     EXPECT_TRUE(saw_cancel.load());
     EXPECT_TRUE(job.cancelled());
+}
+
+TEST(Scheduler, SubmitDeadlineIsVisibleInsideTasks)
+{
+    using Clock = std::chrono::steady_clock;
+    Scheduler sched(2);
+
+    // Outside any task there is no budget.
+    EXPECT_EQ(Scheduler::current_job_deadline(), Clock::time_point::max());
+    EXPECT_FALSE(Scheduler::current_job_expired());
+
+    // A generous deadline rides the job to every task; none expired.
+    const Clock::time_point deadline = Clock::now() + std::chrono::hours(1);
+    std::atomic<int> bound{0};
+    std::atomic<int> expired{0};
+    Scheduler::JobHandle job = sched.submit(
+        4,
+        [&](std::size_t, int) {
+            if (Scheduler::current_job_deadline() == deadline)
+                bound.fetch_add(1);
+            if (Scheduler::current_job_expired())
+                expired.fetch_add(1);
+        },
+        0, 0, deadline);
+    job.wait();
+    EXPECT_EQ(bound.load(), 4);
+    EXPECT_EQ(expired.load(), 0);
+
+    // A deadline already in the past reports expired immediately.
+    std::atomic<int> late{0};
+    Scheduler::JobHandle past = sched.submit(
+        2,
+        [&](std::size_t, int) {
+            if (Scheduler::current_job_expired())
+                late.fetch_add(1);
+        },
+        0, 0, Clock::now() - std::chrono::seconds(1));
+    past.wait();
+    EXPECT_EQ(late.load(), 2);
+}
+
+TEST(Scheduler, NestedInlineParallelForInheritsCancelAndDeadline)
+{
+    // A parallel_for from inside a task runs inline; the inline tasks
+    // must still see the OUTER job's cancel flag and deadline, not a
+    // blank slate.
+    using Clock = std::chrono::steady_clock;
+    Scheduler sched(1);
+    const Clock::time_point deadline = Clock::now() + std::chrono::hours(2);
+
+    std::atomic<bool> inner_saw_deadline{false};
+    std::atomic<bool> inner_saw_cancel{false};
+    std::atomic<bool> started{false};
+    Scheduler::JobHandle job = sched.submit(
+        1,
+        [&](std::size_t, int) {
+            started = true;
+            // Wait for the outer job to be cancelled, then check that a
+            // nested inline parallel_for still observes both signals.
+            spin_until([] { return Scheduler::current_job_cancelled(); });
+            sched.parallel_for(2, [&](std::size_t, int) {
+                if (Scheduler::current_job_deadline() == deadline)
+                    inner_saw_deadline = true;
+                if (Scheduler::current_job_cancelled())
+                    inner_saw_cancel = true;
+            });
+        },
+        0, 0, deadline);
+    ASSERT_TRUE(spin_until([&] { return started.load(); }));
+    job.cancel();
+    job.wait();
+    EXPECT_TRUE(inner_saw_deadline.load());
+    EXPECT_TRUE(inner_saw_cancel.load());
+}
+
+TEST(Scheduler, ParallelForPropagatesCallerDeadlineToPoolWorkers)
+{
+    // parallel_for stamps the CALLER's thread-local deadline onto the
+    // pool job it creates, so trials stolen by pool workers run under
+    // the same budget as trials the caller runs itself.
+    using Clock = std::chrono::steady_clock;
+    Scheduler sched(4);
+    const Clock::time_point deadline = Clock::now() + std::chrono::hours(3);
+
+    std::atomic<int> with_deadline{0};
+    Scheduler::JobHandle job = sched.submit(
+        1,
+        [&](std::size_t, int) {
+            sched.parallel_for(16, [&](std::size_t, int) {
+                if (Scheduler::current_job_deadline() == deadline)
+                    with_deadline.fetch_add(1);
+            });
+        },
+        0, 0, deadline);
+    job.wait();
+    EXPECT_EQ(with_deadline.load(), 16);
+}
+
+TEST(Scheduler, ClaimFailpointFiresPerTaskAndDisarms)
+{
+    // The scheduler.claim site fires once per claimed task; a counted
+    // trigger burns down and auto-disarms, leaving later jobs clean.
+    failpoint::disarm_all();
+    failpoint::arm("scheduler.claim", "3*trigger");
+
+    Scheduler sched(2);
+    std::atomic<int> ran{0};
+    sched.submit(5, [&](std::size_t, int) { ran.fetch_add(1); }).wait();
+    EXPECT_EQ(ran.load(), 5); // kTrigger at this site is count-only
+    EXPECT_EQ(failpoint::hit_count("scheduler.claim"), 3u);
+
+    sched.submit(4, [&](std::size_t, int) { ran.fetch_add(1); }).wait();
+    EXPECT_EQ(ran.load(), 9);
+    // Counts persist after auto-disarm (until disarm_all).
+    EXPECT_EQ(failpoint::hit_count("scheduler.claim"), 3u);
+    failpoint::disarm_all();
+    EXPECT_EQ(failpoint::hit_count("scheduler.claim"), 0u);
 }
 
 } // namespace

@@ -19,8 +19,10 @@
 #include <mutex>
 #include <string>
 #include <thread>
-#include <unistd.h>
 #include <vector>
+
+#include <sys/socket.h>
+#include <unistd.h>
 
 #include <gtest/gtest.h>
 
@@ -29,6 +31,8 @@
 #include "nassc/serve/client.h"
 #include "nassc/serve/protocol.h"
 #include "nassc/serve/server.h"
+#include "nassc/service/errors.h"
+#include "nassc/service/failpoint.h"
 #include "nassc/transpile/context.h"
 
 namespace nassc {
@@ -140,6 +144,161 @@ TEST(ServeProtocol, OptionParsingIsStrictAndComplete)
                  std::runtime_error);
     EXPECT_THROW(parse_transpile_options({{"router", "magic"}}),
                  std::runtime_error);
+    EXPECT_EQ(parse_transpile_options({{"deadline_ms", "250"}}).deadline_ms,
+              250);
+    EXPECT_THROW(parse_transpile_options({{"deadline_ms", "-1"}}),
+                 std::runtime_error);
+}
+
+TEST(ServeProtocol, ResponseRoundTripsRetryHintAndDegraded)
+{
+    ServeResponse resp;
+    resp.status = "overloaded";
+    resp.error = "queue full";
+    resp.retry_after_ms = 75;
+    ServeResponse back = parse_response(encode_response(resp));
+    EXPECT_EQ(back.status, "overloaded");
+    EXPECT_EQ(back.retry_after_ms, 75);
+
+    ServeResponse degraded;
+    degraded.status = "ok";
+    degraded.qasm = "OPENQASM 2.0;\nqreg q[1];\n";
+    degraded.degraded = true;
+    degraded.trials_consumed = 2;
+    back = parse_response(encode_response(degraded));
+    EXPECT_TRUE(back.degraded);
+    EXPECT_EQ(back.trials_consumed, 2);
+
+    // Unset, neither line is emitted and the parse defaults hold.
+    ServeResponse plain;
+    plain.status = "ok";
+    const std::string encoded = encode_response(plain);
+    EXPECT_EQ(encoded.find("retry-after-ms"), std::string::npos);
+    EXPECT_EQ(encoded.find("degraded"), std::string::npos);
+    back = parse_response(encoded);
+    EXPECT_EQ(back.retry_after_ms, 0);
+    EXPECT_FALSE(back.degraded);
+    EXPECT_EQ(back.trials_consumed, -1);
+}
+
+TEST(ServeProtocol, FrameLengthParsingRejectsEveryMalformedClass)
+{
+    // The length field is attacker-controlled; each rejection class has
+    // its own corpus entry so a laxer future parser fails this test.
+    EXPECT_EQ(parse_frame_length("0"), 0u);
+    EXPECT_EQ(parse_frame_length("123"), 123u);
+    EXPECT_EQ(parse_frame_length("007"), 7u);
+
+    EXPECT_THROW(parse_frame_length(""), std::runtime_error);      // empty
+    EXPECT_THROW(parse_frame_length("abc"), std::runtime_error);   // alpha
+    EXPECT_THROW(parse_frame_length("+5"), std::runtime_error);    // sign
+    EXPECT_THROW(parse_frame_length("-1"), std::runtime_error);    // negative
+    EXPECT_THROW(parse_frame_length(" 5"), std::runtime_error);    // space
+    EXPECT_THROW(parse_frame_length("1 2"), std::runtime_error);   // embedded
+    EXPECT_THROW(parse_frame_length("12x"), std::runtime_error);   // trailing
+    EXPECT_THROW(parse_frame_length("0x10"), std::runtime_error);  // hex
+    // One digit past SIZE_MAX: must throw, not wrap.
+    EXPECT_THROW(parse_frame_length("99999999999999999999999999"),
+                 std::runtime_error);
+}
+
+/** A connected socketpair whose ends close on scope exit. */
+struct SocketPair
+{
+    int fds[2] = {-1, -1};
+    SocketPair()
+    {
+        if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0)
+            throw std::runtime_error("socketpair failed");
+    }
+    ~SocketPair()
+    {
+        for (int fd : fds)
+            if (fd >= 0)
+                ::close(fd);
+    }
+};
+
+TEST(ServeProtocol, MalformedFrameHeadersFailLoudlyOnTheWire)
+{
+    auto reject = [](const std::string &raw) {
+        SocketPair sp;
+        ASSERT_EQ(::send(sp.fds[0], raw.data(), raw.size(), 0),
+                  static_cast<ssize_t>(raw.size()));
+        ::shutdown(sp.fds[0], SHUT_WR);
+        std::string payload;
+        EXPECT_THROW(read_frame(sp.fds[1], payload), std::runtime_error)
+            << "header accepted: " << raw;
+    };
+    reject("BOGUS/9 5\nhello");        // wrong magic
+    reject("NASSC/1 +5\nhello");       // signed length
+    reject("NASSC/1 -5\nhello");       // negative length
+    reject("NASSC/1 5x\nhello");       // trailing junk
+    reject("NASSC/1 \nhello");         // empty length
+    reject("NASSC/1 99999999999999999999999999\n"); // overflow
+    reject("NASSC/1 5\nhi");           // truncated payload (EOF inside)
+}
+
+TEST(ServeProtocol, ShortReadAndEintrFailpointsStillReassemble)
+{
+    failpoint::disarm_all();
+    const std::string payload(300, 'x');
+    {
+        // Every recv clamped to 1 byte: the reassembly loop must still
+        // deliver the payload intact.
+        failpoint::ScopedFailpoint shortread("protocol.read.short",
+                                             "trigger");
+        SocketPair sp;
+        write_frame(sp.fds[0], payload);
+        std::string got;
+        ASSERT_TRUE(read_frame(sp.fds[1], got));
+        EXPECT_EQ(got, payload);
+        EXPECT_GE(failpoint::hit_count("protocol.read.short"),
+                  payload.size());
+    }
+    failpoint::disarm_all();
+    {
+        // An EINTR storm: five spurious loop re-entries, then normal
+        // progress — the reader must neither error nor lose bytes.
+        failpoint::ScopedFailpoint storm("protocol.read.eintr",
+                                         "5*trigger");
+        SocketPair sp;
+        write_frame(sp.fds[0], payload);
+        std::string got;
+        ASSERT_TRUE(read_frame(sp.fds[1], got));
+        EXPECT_EQ(got, payload);
+        EXPECT_EQ(failpoint::hit_count("protocol.read.eintr"), 5u);
+    }
+    failpoint::disarm_all();
+}
+
+TEST(ServeProtocol, ShortWriteFailpointStillDeliversTheFrame)
+{
+    failpoint::disarm_all();
+    failpoint::ScopedFailpoint shortwrite("protocol.write.short",
+                                          "trigger");
+    const std::string payload(200, 'y');
+    SocketPair sp;
+    write_frame(sp.fds[0], payload); // 1 byte per send()
+    std::string got;
+    ASSERT_TRUE(read_frame(sp.fds[1], got));
+    EXPECT_EQ(got, payload);
+    EXPECT_GE(failpoint::hit_count("protocol.write.short"),
+              payload.size());
+}
+
+TEST(ServeProtocol, MidFrameDisconnectFailsBothEndsCleanly)
+{
+    failpoint::disarm_all();
+    failpoint::ScopedFailpoint drop("protocol.write.disconnect",
+                                    "1*trigger");
+    const std::string payload(400, 'z'); // half-frame > header line
+    SocketPair sp;
+    EXPECT_THROW(write_frame(sp.fds[0], payload), std::runtime_error);
+    // The reader sees a truncated payload and must FAIL, never hang.
+    std::string got;
+    EXPECT_THROW(read_frame(sp.fds[1], got), std::runtime_error);
+    EXPECT_EQ(failpoint::hit_count("protocol.write.disconnect"), 1u);
 }
 
 // ------------------------------------------------------- daemon e2e
@@ -343,6 +502,212 @@ TEST(NasscServer, RegisteredBackendRotationInvalidatesEagerly)
     EXPECT_EQ(after.source, "transpiled"); // stale generation swept
     const ServiceStats stats = server.service().stats();
     EXPECT_GE(stats.evictions_invalidated, 1u);
+    server.stop();
+}
+
+TEST(NasscServer, DeadlineExceededAndDegradedMapOntoTheWire)
+{
+    // One scheduler worker keeps the layout trials sequential, so the
+    // failpoint-slowed first trial deterministically overruns the
+    // request deadline (no sleep race).
+    failpoint::disarm_all();
+    ServerOptions options;
+    options.unix_path = socket_path("deadline");
+    options.service.scheduler = std::make_shared<Scheduler>(1);
+    NasscServer server(options);
+    server.start();
+    ServeClient client = ServeClient::connect_unix(options.unix_path);
+    const std::string qasm = to_qasm(ghz(5));
+
+    {
+        // Budget burned before any trial completes -> typed status.
+        failpoint::ScopedFailpoint stall("service.transpile",
+                                         "1*sleep(1500)");
+        ServeRequest req;
+        req.verb = "transpile";
+        req.backend = "ibmq_montreal";
+        req.options = {{"router", "sabre"}, {"deadline_ms", "1000"},
+                       {"layout_trials", "1"}};
+        req.qasm = qasm;
+        const auto t0 = std::chrono::steady_clock::now();
+        const ServeResponse resp = client.request(req);
+        const auto elapsed =
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                std::chrono::steady_clock::now() - t0);
+        EXPECT_EQ(resp.status, "deadline_exceeded");
+        EXPECT_FALSE(resp.error.empty());
+        EXPECT_TRUE(resp.qasm.empty());
+        EXPECT_LT(elapsed.count(), 2000); // settles within 2x deadline
+    }
+    {
+        // First trial overruns, three are skipped -> a DEGRADED ok.
+        failpoint::ScopedFailpoint slow("layout.trial", "1*sleep(1500)");
+        ServeRequest req;
+        req.verb = "transpile";
+        req.backend = "ibmq_montreal";
+        req.options = {{"router", "sabre"}, {"deadline_ms", "1000"},
+                       {"layout_trials", "4"}};
+        req.qasm = qasm;
+        const auto t0 = std::chrono::steady_clock::now();
+        const ServeResponse resp = client.request(req);
+        const auto elapsed =
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                std::chrono::steady_clock::now() - t0);
+        EXPECT_EQ(resp.status, "ok");
+        EXPECT_TRUE(resp.degraded);
+        EXPECT_GE(resp.trials_consumed, 1);
+        EXPECT_LT(resp.trials_consumed, 4);
+        EXPECT_FALSE(resp.qasm.empty());
+        EXPECT_LT(elapsed.count(), 2000);
+    }
+    // Deadline-free requests are untouched by any of this machinery:
+    // same bytes as an in-process transpile.
+    const ServeResponse plain =
+        client.transpile_qasm(qasm, "ibmq_montreal", {{"router", "sabre"}});
+    TranspileOptions lopts;
+    lopts.router = RoutingAlgorithm::kSabre;
+    const TranspileResult local = TranspileContext::global().transpile(
+        from_qasm(qasm), montreal_backend(), lopts);
+    EXPECT_EQ(plain.qasm, to_qasm(local.circuit));
+    EXPECT_FALSE(plain.degraded);
+    server.stop();
+    failpoint::disarm_all();
+}
+
+TEST(NasscServer, QueueSaturationShedsWithRetryHintAndClientRecovers)
+{
+    // Pin the service's only worker so the first request stays queued;
+    // with max_queued=1 the second DISTINCT request must be shed with
+    // `status overloaded` + the configured retry hint, while the
+    // accepted request completes once the worker frees up.
+    failpoint::disarm_all();
+    auto sched = std::make_shared<Scheduler>(1);
+    std::atomic<bool> release{false};
+    std::atomic<int> pinned{0};
+    Scheduler::JobHandle hostage = sched->submit(1, [&](std::size_t, int) {
+        pinned.fetch_add(1);
+        while (!release.load())
+            std::this_thread::yield();
+    });
+    ASSERT_TRUE(spin_until([&] { return pinned.load() == 1; }));
+
+    ServerOptions options;
+    options.unix_path = socket_path("shed");
+    options.service.scheduler = sched;
+    options.service.max_queued = 1;
+    options.retry_after_ms = 75;
+    NasscServer server(options);
+    server.start();
+
+    // Accepted request, on its own connection thread (it blocks).
+    std::string accepted_status, accepted_qasm;
+    std::thread first([&] {
+        try {
+            ServeClient c = ServeClient::connect_unix(options.unix_path);
+            const ServeResponse resp = c.transpile_qasm(
+                to_qasm(ghz(5)), "ibmq_montreal", {{"router", "sabre"}});
+            accepted_status = resp.status;
+            accepted_qasm = resp.qasm;
+        } catch (const std::exception &e) {
+            accepted_status = std::string("exception: ") + e.what();
+        }
+    });
+    ASSERT_TRUE(
+        spin_until([&] { return server.service().stats().misses >= 1; }));
+
+    // Distinct request while the queue is full: shed, not queued.
+    ServeClient shed_client = ServeClient::connect_unix(options.unix_path);
+    ServeRequest req;
+    req.verb = "transpile";
+    req.backend = "ibmq_montreal";
+    req.options = {{"router", "sabre"}};
+    req.qasm = to_qasm(qft(5));
+    const ServeResponse shed = shed_client.request(req);
+    EXPECT_EQ(shed.status, "overloaded");
+    EXPECT_EQ(shed.retry_after_ms, 75);
+    EXPECT_EQ(server.service().stats().shed, 1u);
+
+    // A retrying client parked on the same request succeeds once the
+    // worker frees up — the overloaded responses are absorbed by its
+    // backoff loop (which honors the 75 ms hint).
+    std::string retried_status;
+    std::thread retrier([&] {
+        ServeEndpoint ep;
+        ep.unix_path = options.unix_path;
+        RetryPolicy policy;
+        policy.max_attempts = 20;
+        policy.base_backoff_ms = 5;
+        policy.max_backoff_ms = 200;
+        RetryingServeClient rc(ep, policy);
+        try {
+            retried_status = rc.request(req).status;
+        } catch (const std::exception &e) {
+            retried_status = std::string("exception: ") + e.what();
+        }
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    release = true;
+    hostage.wait();
+    first.join();
+    retrier.join();
+
+    EXPECT_EQ(accepted_status, "ok");
+    TranspileOptions lopts;
+    lopts.router = RoutingAlgorithm::kSabre;
+    const TranspileResult local = TranspileContext::global().transpile(
+        ghz(5), montreal_backend(), lopts);
+    EXPECT_EQ(accepted_qasm, to_qasm(local.circuit));
+    EXPECT_EQ(retried_status, "ok");
+    server.stop();
+}
+
+TEST(NasscServer, ConnectionCapShedsWithOneOverloadedFrame)
+{
+    ServerOptions options;
+    options.unix_path = socket_path("conncap");
+    options.max_connections = 1;
+    options.retry_after_ms = 30;
+    NasscServer server(options);
+    server.start();
+
+    // First connection occupies the one slot (ping proves it is live
+    // and registered server-side).
+    ServeClient keeper = ServeClient::connect_unix(options.unix_path);
+    EXPECT_TRUE(keeper.ping());
+
+    // Second connection: accepted then immediately shed.  The client
+    // MAY see the courtesy overloaded frame or may lose the race to the
+    // close (EPIPE/reset); the shed counter is the reliable signal.
+    {
+        ServeClient extra = ServeClient::connect_unix(options.unix_path);
+        ASSERT_TRUE(spin_until([&] {
+            return server.connections_shed() >= 1;
+        }));
+        try {
+            std::string payload;
+            if (read_frame(extra.fd(), payload)) {
+                const ServeResponse resp = parse_response(payload);
+                EXPECT_EQ(resp.status, "overloaded");
+                EXPECT_EQ(resp.retry_after_ms, 30);
+            }
+        } catch (const std::exception &) {
+            // Connection already torn down: equally acceptable.
+        }
+    }
+    // The kept connection was never disturbed.
+    EXPECT_TRUE(keeper.ping());
+
+    // Dropping it frees the slot; a retrying client gets through even
+    // if it first races the server's reaping of the dead connection.
+    { ServeClient gone = std::move(keeper); } // close
+    ServeEndpoint ep;
+    ep.unix_path = options.unix_path;
+    RetryPolicy policy;
+    policy.max_attempts = 20;
+    policy.base_backoff_ms = 5;
+    policy.max_backoff_ms = 100;
+    RetryingServeClient rc(ep, policy);
+    EXPECT_TRUE(rc.ping());
     server.stop();
 }
 

@@ -27,6 +27,8 @@
 
 #include "nassc/circuits/library.h"
 #include "nassc/service/batch_transpiler.h"
+#include "nassc/service/errors.h"
+#include "nassc/service/failpoint.h"
 #include "nassc/service/scheduler.h"
 #include "nassc/service/transpile_service.h"
 #include "nassc/topo/backends.h"
@@ -395,6 +397,220 @@ TEST(TranspileService, ConcurrentMixedClientsTranspileEachKeyOnce)
     EXPECT_EQ(stats.cache_hits + stats.coalesced + stats.misses,
               stats.requests);
     EXPECT_EQ(stats.inflight, 0u);
+}
+
+TEST(TranspileService, DeadlineDegradesToBestCompletedTrialWithinBudget)
+{
+    // Deterministic, no sleep race: a failpoint makes the FIRST layout
+    // trial overshoot the deadline by construction (sleep 1500 ms vs a
+    // 1000 ms budget), so later trials are skipped at their boundary
+    // poll no matter how threads are scheduled.  One worker keeps the
+    // trials sequential (nested parallel_for runs inline).
+    failpoint::disarm_all();
+    failpoint::ScopedFailpoint slow("layout.trial", "1*sleep(1500)");
+
+    ServiceOptions sopts;
+    sopts.scheduler = std::make_shared<Scheduler>(1);
+    TranspileService service(sopts);
+    auto backend = shared_montreal();
+    const QuantumCircuit circuit = ghz(5);
+    TranspileOptions opts;
+    opts.router = RoutingAlgorithm::kSabre;
+    opts.layout_trials = 4;
+    opts.deadline_ms = 1000;
+
+    const auto t0 = std::chrono::steady_clock::now();
+    TranspileTicket ticket = service.submit(circuit, backend, opts);
+    SharedTranspileResult got = ticket.get();
+    const auto elapsed =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - t0);
+
+    // Degraded but real: at least the slept trial completed, not all
+    // four did, and the request settled within 2x its deadline.
+    EXPECT_TRUE(got->degraded);
+    EXPECT_GE(got->layout_trials_consumed, 1);
+    EXPECT_LT(got->layout_trials_consumed, 4);
+    EXPECT_LT(elapsed.count(), 2000);
+
+    // Degraded results are NEVER cached: the resubmit computes afresh
+    // (the failpoint has burned out, so it now finishes undegraded and
+    // DOES enter the cache).
+    TranspileTicket again = service.submit(circuit, backend, opts);
+    EXPECT_EQ(again.source(), TicketSource::kScheduled);
+    SharedTranspileResult full = again.get();
+    EXPECT_FALSE(full->degraded);
+    EXPECT_EQ(full->layout_trials_consumed, 4);
+    TranspileTicket third = service.submit(circuit, backend, opts);
+    EXPECT_EQ(third.source(), TicketSource::kCacheHit);
+    third.get();
+}
+
+TEST(TranspileService, DeadlineWithNothingCompletedThrowsTyped)
+{
+    // The pre-transpile sleep burns the whole budget before trial 0 can
+    // start, so there is no completed trial to degrade to: the request
+    // must settle with the TYPED deadline error, counted separately
+    // from transpile failures.
+    failpoint::disarm_all();
+    failpoint::ScopedFailpoint stall("service.transpile", "1*sleep(1500)");
+
+    ServiceOptions sopts;
+    sopts.scheduler = std::make_shared<Scheduler>(1);
+    TranspileService service(sopts);
+    auto backend = shared_montreal();
+    TranspileOptions opts;
+    opts.router = RoutingAlgorithm::kSabre;
+    opts.layout_trials = 1;
+    opts.deadline_ms = 1000;
+
+    const auto t0 = std::chrono::steady_clock::now();
+    TranspileTicket ticket = service.submit(ghz(5), backend, opts);
+    EXPECT_THROW(ticket.get(), TranspileDeadlineExceeded);
+    const auto elapsed =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - t0);
+    EXPECT_LT(elapsed.count(), 2000);
+
+    const ServiceStats stats = service.stats();
+    EXPECT_EQ(stats.deadline_exceeded, 1u);
+    EXPECT_EQ(stats.transpiles_failed, 0u); // not an error, a deadline
+    EXPECT_EQ(stats.cache_size, 0u);
+}
+
+TEST(TranspileService, CoalescedWaiterDeadlineIsPerWaiter)
+{
+    // One in-flight computation, two waiters: A has no deadline, B has
+    // a short one.  B must settle deadline_exceeded without cancelling
+    // the computation, and A still gets the (cached) result.  The
+    // worker is pinned so B's timeout fires deterministically while the
+    // job is still queued.
+    failpoint::disarm_all();
+    ServiceOptions sopts;
+    sopts.cache_capacity = 8;
+    sopts.scheduler = std::make_shared<Scheduler>(1);
+    TranspileService service(sopts);
+
+    std::atomic<bool> release{false};
+    std::atomic<bool> pinned{false};
+    Scheduler::JobHandle plug =
+        sopts.scheduler->submit(1, [&](std::size_t, int) {
+            pinned = true;
+            spin_until([&] { return release.load(); });
+        });
+    ASSERT_TRUE(spin_until([&] { return pinned.load(); }));
+
+    auto backend = shared_montreal();
+    const QuantumCircuit circuit = ghz(5);
+    TranspileOptions no_deadline;
+    no_deadline.router = RoutingAlgorithm::kSabre;
+    TranspileOptions short_deadline = no_deadline;
+    short_deadline.deadline_ms = 300;
+
+    TranspileTicket a = service.submit(circuit, backend, no_deadline);
+    TranspileTicket b = service.submit(circuit, backend, short_deadline);
+    EXPECT_EQ(a.source(), TicketSource::kScheduled);
+    // deadline_ms is QoS, not identity: B coalesces onto A's key.
+    ASSERT_EQ(b.source(), TicketSource::kCoalesced);
+
+    EXPECT_THROW(b.get(), TranspileDeadlineExceeded);
+    EXPECT_TRUE(b.deadline_expired());
+
+    release = true;
+    plug.wait();
+    SharedTranspileResult result = a.get(); // unaffected by B's timeout
+    EXPECT_FALSE(result->degraded);
+    // ... and the computation B abandoned still populated the cache.
+    TranspileTicket warm = service.submit(circuit, backend, no_deadline);
+    EXPECT_EQ(warm.source(), TicketSource::kCacheHit);
+    warm.get();
+}
+
+TEST(TranspileService, QueueCapShedsFreshMissesButNeverDuplicates)
+{
+    failpoint::disarm_all();
+    ServiceOptions sopts;
+    sopts.max_queued = 2;
+    sopts.scheduler = std::make_shared<Scheduler>(1);
+    TranspileService service(sopts);
+
+    std::atomic<bool> release{false};
+    std::atomic<bool> pinned{false};
+    Scheduler::JobHandle plug =
+        sopts.scheduler->submit(1, [&](std::size_t, int) {
+            pinned = true;
+            spin_until([&] { return release.load(); });
+        });
+    ASSERT_TRUE(spin_until([&] { return pinned.load(); }));
+
+    auto backend = shared_montreal();
+    TranspileOptions opts;
+    opts.router = RoutingAlgorithm::kSabre;
+
+    TranspileTicket first = service.submit(ghz(4), backend, opts);
+    TranspileTicket second = service.submit(ghz(5), backend, opts);
+    // Third DISTINCT request: past the cap, shed immediately.
+    EXPECT_THROW(service.submit(ghz(6), backend, opts), TranspileOverloaded);
+    EXPECT_EQ(service.stats().shed, 1u);
+    // A DUPLICATE of a queued request coalesces — riding an existing
+    // computation adds no queue pressure, so it is never shed.
+    TranspileTicket dup = service.submit(ghz(4), backend, opts);
+    EXPECT_EQ(dup.source(), TicketSource::kCoalesced);
+
+    release = true;
+    plug.wait();
+    first.get();
+    second.get();
+    dup.get();
+    // Queue drained: fresh misses are admitted again.
+    TranspileTicket third = service.submit(ghz(6), backend, opts);
+    third.get();
+    const ServiceStats stats = service.stats();
+    EXPECT_EQ(stats.shed, 1u);
+    EXPECT_EQ(stats.transpiles_ok, 3u);
+}
+
+TEST(TranspileService, RequestKeyIgnoresDeadlineButFingerprintDoesNot)
+{
+    const Backend montreal = montreal_backend();
+    const QuantumCircuit qc = ghz(5);
+    TranspileOptions base;
+    TranspileOptions rushed = base;
+    rushed.deadline_ms = 250;
+
+    // Same cache identity (deadline is QoS)...
+    EXPECT_EQ(TranspileService::request_key(qc, montreal, base),
+              TranspileService::request_key(qc, montreal, rushed));
+    // ...but the option fingerprint must still see the field, or two
+    // genuinely different configurations would collide elsewhere.
+    EXPECT_NE(base.fingerprint(), rushed.fingerprint());
+}
+
+TEST(TranspileService, CacheInsertFailpointSuppressesAdmission)
+{
+    failpoint::disarm_all();
+    ServiceOptions sopts;
+    sopts.cache_capacity = 8;
+    sopts.scheduler = std::make_shared<Scheduler>(2);
+    TranspileService service(sopts);
+    auto backend = shared_montreal();
+    TranspileOptions opts;
+    opts.router = RoutingAlgorithm::kSabre;
+
+    {
+        failpoint::ScopedFailpoint lossy("service.cache_insert", "trigger");
+        service.submit(ghz(5), backend, opts).get();
+        TranspileTicket again = service.submit(ghz(5), backend, opts);
+        EXPECT_EQ(again.source(), TicketSource::kScheduled)
+            << "suppressed insert must force a recompute";
+        again.get();
+    }
+    // Disarmed: the next compute is admitted and the one after hits.
+    service.submit(ghz(5), backend, opts).get();
+    TranspileTicket warm = service.submit(ghz(5), backend, opts);
+    EXPECT_EQ(warm.source(), TicketSource::kCacheHit);
+    warm.get();
+    EXPECT_EQ(service.stats().cache_size, 1u);
 }
 
 } // namespace

@@ -13,10 +13,24 @@
 #      distinct request exactly once (dedup invariant);
 #   3. one more single-shot request (--builtin) over a fresh connection;
 #   4. SIGTERM: the daemon must drain and exit 0.
+#
+# NASSC_SMOKE_FAILPOINTS=1 runs the same sequence against a daemon with
+# a fault profile armed (an injected worker fault plus a mid-frame
+# disconnect); the client runs with --tolerate-faults and must recover
+# by retrying, and the SIGTERM drain must still exit 0.
 set -euo pipefail
 
 BUILD_DIR=${1:-build}
 SOCK=$(mktemp -u /tmp/nasscd_smoke_XXXXXX.sock)
+
+# Only the daemon arms failpoints from the environment (the client
+# never calls arm_from_env), so a plain export is safe.
+CLIENT_FLAG=""
+if [ "${NASSC_SMOKE_FAILPOINTS:-0}" != "0" ]; then
+    export NASSC_FAILPOINTS='service.transpile=2*throw(injected worker fault);protocol.write.disconnect=1*trigger'
+    CLIENT_FLAG="--tolerate-faults"
+    echo "nasscd_smoke: failpoint profile armed"
+fi
 
 for bin in nasscd nassc_client; do
     if [ ! -x "$BUILD_DIR/$bin" ]; then
@@ -41,10 +55,11 @@ for _ in $(seq 1 100); do
 done
 [ -S "$SOCK" ] || { echo "nasscd_smoke: socket never appeared" >&2; exit 1; }
 
-"$BUILD_DIR/nassc_client" --unix "$SOCK" --smoke 4
+"$BUILD_DIR/nassc_client" --unix "$SOCK" --smoke 4 ${CLIENT_FLAG:+$CLIENT_FLAG}
 
 # A fresh connection after the smoke burst: the daemon keeps serving.
-"$BUILD_DIR/nassc_client" --unix "$SOCK" --builtin bv_n5 >/dev/null
+"$BUILD_DIR/nassc_client" --unix "$SOCK" --builtin bv_n5 \
+    ${CLIENT_FLAG:+$CLIENT_FLAG} >/dev/null
 
 # Graceful shutdown: SIGTERM must drain and exit 0, and the socket
 # path must be unlinked on the way out.
