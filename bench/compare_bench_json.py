@@ -27,9 +27,18 @@ gate — while `transpiles` drift is exact (dedup guarantees one
 execution per distinct key) and flags a pipeline-shape change the same
 way route_passes does.
 
+With --server-current (and optionally --server-baseline), also diffs a
+BENCH_server.json daemon sweep the same way, per (transport, clients,
+shards) cell: requests_per_s drift is informational (wire throughput is
+even noisier than the in-process service numbers), while `transpiles`
+drift is exact — the dedup invariant holds fleet-wide, so any change
+means the sharding or cache shape moved, not the machine.
+
 Usage: compare_bench_json.py [--threshold F] [baseline.json] current.json
                              [--service-baseline S.json]
                              [--service-current S.json]
+                             [--server-baseline S.json]
+                             [--server-current S.json]
 """
 
 import argparse
@@ -106,6 +115,43 @@ def report_service_drift(baseline_path, current_path, threshold):
               f"({len(current)} cells checked)")
 
 
+def load_server_rows(path):
+    """Index a daemon sweep file by (transport, clients, shards)."""
+    with open(path) as f:
+        rows = json.load(f)
+    # Pre-shards baselines lack the field; those rows were shards=1.
+    return {(r["transport"], r["clients"], r.get("shards", 1)): r
+            for r in rows}
+
+
+def report_server_drift(baseline_path, current_path, threshold):
+    """Print informational daemon-sweep drift; never fails the gate."""
+    baseline = load_server_rows(baseline_path)
+    current = load_server_rows(current_path)
+    lines = []
+    for key, base_row in sorted(baseline.items()):
+        cur_row = current.get(key)
+        if cur_row is None:
+            continue
+        transport, clients, shards = key
+        label = f"{transport:5s} clients={clients} shards={shards}"
+        base_tp = base_row["requests_per_s"]
+        cur_tp = cur_row["requests_per_s"]
+        if base_tp > 0 and abs(cur_tp / base_tp - 1.0) > threshold:
+            lines.append(f"  {label} requests_per_s {base_tp:9.1f} -> "
+                         f"{cur_tp:9.1f}  ({(cur_tp / base_tp - 1) * 100:+.1f}%)")
+        if base_row.get("transpiles") != cur_row.get("transpiles"):
+            lines.append(f"  {label} transpiles {base_row.get('transpiles')}"
+                         f" -> {cur_row.get('transpiles')} (dedup shape!)")
+    if lines:
+        print(f"note: daemon throughput drift > {threshold * 100:.0f}% "
+              f"(informational):")
+        print("\n".join(lines))
+    else:
+        print(f"server OK: no cell drifted > {threshold * 100:.0f}% "
+              f"({len(current)} cells checked)")
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("baseline", nargs="?", default="bench/BENCH_baseline.json")
@@ -118,6 +164,11 @@ def main():
                     help="serving-layer sweep baseline (informational)")
     ap.add_argument("--service-current", default=None,
                     help="fresh BENCH_service.json to diff informationally")
+    ap.add_argument("--server-baseline",
+                    default="bench/BENCH_server.json",
+                    help="daemon sweep baseline (informational)")
+    ap.add_argument("--server-current", default=None,
+                    help="fresh BENCH_server.json to diff informationally")
     args = ap.parse_args()
 
     if args.service_current:
@@ -130,6 +181,15 @@ def main():
                                  2 * args.threshold)
         except (OSError, ValueError, KeyError) as e:
             print(f"note: service sweep not compared ({e})")
+
+    if args.server_current:
+        # Same contract as the service sweep: strictly informational,
+        # doubled slack, and a missing file must not abort the gate.
+        try:
+            report_server_drift(args.server_baseline, args.server_current,
+                                2 * args.threshold)
+        except (OSError, ValueError, KeyError) as e:
+            print(f"note: daemon sweep not compared ({e})")
 
     baseline = load_rows(args.baseline)
     current = load_rows(args.current)

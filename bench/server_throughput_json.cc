@@ -1,22 +1,28 @@
 // nasscd daemon throughput sweep, emitting a JSON record per
-// (transport, clients) cell:
+// (transport, clients, shards) cell:
 //
 //   [{"workload": "serve_mix", "transport": "unix", "clients": 4,
-//     "repeat": 2, "requests": 64, "distinct": 8, "wall_ms": 512.0,
-//     "requests_per_s": 125.0, "hits": 40, "coalesced": 16,
-//     "transpiles": 8}, ...]
+//     "shards": 1, "repeat": 2, "requests": 64, "distinct": 8,
+//     "wall_ms": 512.0, "requests_per_s": 125.0, "hits": 40,
+//     "coalesced": 16, "transpiles": 8}, ...]
 //
 // Each cell starts an in-process NasscServer on a fresh socket and
 // fires a duplicated QASM workload from `clients` concurrent
 // connections — the full wire path (framing, parse, submit_qasm, ticket
 // wait, QASM response) rather than the in-process service path that
 // bench/service_throughput_json.cc measures; the difference between the
-// two files is the protocol overhead.  `transpiles` is deterministic
-// (dedup: one execution per distinct key); the hit/coalesce split
-// depends on arrival timing and is informational.
+// two files is the protocol overhead.  shards=3 cells (unix transport
+// only — the shard fabric is unix-domain) run the SHARDED topology: a
+// front-door server forwarding through a ShardRouter to three worker
+// servers, so the shards=1 vs shards=3 delta is the price of the extra
+// hop.  `transpiles` is deterministic (dedup: one execution per
+// distinct key per owning shard); the hit/coalesce split depends on
+// arrival timing and is informational.
 //
 // The `bench_server` CMake/CTest target runs this and CI uploads the
-// resulting BENCH_server.json (advisory; no gate).
+// resulting BENCH_server.json (advisory; no gate — requests_per_s
+// drift is reported informationally by bench/compare_bench_json.py,
+// transpiles drift exactly).
 //
 // Usage: server_throughput_json [--out PATH] [--workers N] [--repeat N]
 
@@ -24,6 +30,7 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <string>
 #include <thread>
 #include <unistd.h>
@@ -33,6 +40,7 @@
 #include "nassc/ir/qasm.h"
 #include "nassc/serve/client.h"
 #include "nassc/serve/server.h"
+#include "nassc/serve/shard_router.h"
 
 using namespace nassc;
 
@@ -71,18 +79,18 @@ int
 main(int argc, char **argv)
 {
     std::string out_path = "BENCH_server.json";
-    int workers = 4;
+    int worker_threads = 4;
     int repeat = 2;
     for (int i = 1; i < argc; ++i) {
         if (!std::strcmp(argv[i], "--out") && i + 1 < argc)
             out_path = argv[++i];
         else if (!std::strcmp(argv[i], "--workers") && i + 1 < argc)
-            workers = std::atoi(argv[++i]);
+            worker_threads = std::atoi(argv[++i]);
         else if (!std::strcmp(argv[i], "--repeat") && i + 1 < argc)
             repeat = std::atoi(argv[++i]);
     }
-    if (workers < 1)
-        workers = 1;
+    if (worker_threads < 1)
+        worker_threads = 1;
     if (repeat < 1)
         repeat = 1;
 
@@ -92,83 +100,133 @@ main(int argc, char **argv)
     bool first = true;
     for (const char *transport : {"unix", "tcp"}) {
         for (int clients : {1, 4}) {
-            ServerOptions options;
-            options.service.num_threads = workers;
-            const std::string sock = "/tmp/nassc_bench_" +
-                                     std::to_string(::getpid()) + ".sock";
-            if (!std::strcmp(transport, "unix"))
-                options.unix_path = sock;
-            else
-                options.tcp_port = 0; // ephemeral
-            NasscServer server(options);
-            server.start();
+            for (int shards : {1, 3}) {
+                // The shard fabric is unix-domain; a TCP front over a
+                // sharded fleet adds nothing the unix cell doesn't show.
+                if (shards > 1 && std::strcmp(transport, "unix") != 0)
+                    continue;
 
-            auto connect = [&] {
-                if (!std::strcmp(transport, "unix"))
-                    return ServeClient::connect_unix(sock);
-                return ServeClient::connect_tcp("127.0.0.1",
-                                                server.tcp_port());
-            };
-
-            // Client c replays the menu `repeat` times, rotated by its
-            // id so concurrent clients overlap on the same keys.
-            const std::size_t per_client = distinct.size() * repeat;
-            auto run_client = [&](int id) {
-                ServeClient client = connect();
-                for (int r = 0; r < repeat; ++r)
-                    for (std::size_t k = 0; k < distinct.size(); ++k) {
-                        const WireRequest &req =
-                            distinct[(k + id) % distinct.size()];
-                        client.transpile_qasm(req.qasm, "ibmq_montreal",
-                                              req.options);
+                const std::string sock = "/tmp/nassc_bench_" +
+                                         std::to_string(::getpid()) +
+                                         ".sock";
+                std::vector<std::unique_ptr<NasscServer>> workers;
+                std::shared_ptr<ShardRouter> router;
+                ServerOptions options;
+                if (shards > 1) {
+                    ShardRouterOptions ropts;
+                    for (int s = 0; s < shards; ++s) {
+                        ServerOptions wopts;
+                        wopts.service.num_threads = worker_threads;
+                        wopts.unix_path =
+                            sock + ".shard" + std::to_string(s);
+                        workers.push_back(
+                            std::make_unique<NasscServer>(wopts));
+                        workers.back()->start();
+                        ServeEndpoint endpoint;
+                        endpoint.unix_path = workers.back()->unix_path();
+                        ropts.shards.push_back(endpoint);
                     }
-            };
+                    router =
+                        std::make_shared<ShardRouter>(std::move(ropts));
+                    options.shard_router = router;
+                } else {
+                    options.service.num_threads = worker_threads;
+                }
+                if (!std::strcmp(transport, "unix"))
+                    options.unix_path = sock;
+                else
+                    options.tcp_port = 0; // ephemeral
+                NasscServer server(options);
+                server.start();
 
-            auto t0 = std::chrono::steady_clock::now();
-            std::vector<std::thread> threads;
-            for (int c = 1; c < clients; ++c)
-                threads.emplace_back(run_client, c);
-            run_client(0);
-            for (std::thread &t : threads)
-                t.join();
-            auto t1 = std::chrono::steady_clock::now();
+                auto connect = [&] {
+                    if (!std::strcmp(transport, "unix"))
+                        return ServeClient::connect_unix(sock);
+                    return ServeClient::connect_tcp("127.0.0.1",
+                                                    server.tcp_port());
+                };
 
-            const ServiceStats stats = server.service().stats();
-            server.stop();
+                // Client c replays the menu `repeat` times, rotated by
+                // its id so concurrent clients overlap on the same keys.
+                const std::size_t per_client = distinct.size() * repeat;
+                auto run_client = [&](int id) {
+                    ServeClient client = connect();
+                    for (int r = 0; r < repeat; ++r)
+                        for (std::size_t k = 0; k < distinct.size(); ++k) {
+                            const WireRequest &req =
+                                distinct[(k + id) % distinct.size()];
+                            client.transpile_qasm(req.qasm,
+                                                  "ibmq_montreal",
+                                                  req.options);
+                        }
+                };
 
-            const double wall_ms =
-                std::chrono::duration<double, std::milli>(t1 - t0).count();
-            const std::size_t requests =
-                per_client * static_cast<std::size_t>(clients);
+                auto t0 = std::chrono::steady_clock::now();
+                std::vector<std::thread> threads;
+                for (int c = 1; c < clients; ++c)
+                    threads.emplace_back(run_client, c);
+                run_client(0);
+                for (std::thread &t : threads)
+                    t.join();
+                auto t1 = std::chrono::steady_clock::now();
 
-            char row[360];
-            std::snprintf(
-                row, sizeof(row),
-                "  {\"workload\": \"serve_mix\", \"transport\": \"%s\", "
-                "\"clients\": %d, \"repeat\": %d, \"requests\": %zu, "
-                "\"distinct\": %zu, \"wall_ms\": %.1f, "
-                "\"requests_per_s\": %.1f, \"hits\": %llu, "
-                "\"coalesced\": %llu, \"transpiles\": %llu}",
-                transport, clients, repeat, requests, distinct.size(),
-                wall_ms,
-                1000.0 * static_cast<double>(requests) / wall_ms,
-                static_cast<unsigned long long>(stats.cache_hits),
-                static_cast<unsigned long long>(stats.coalesced),
-                static_cast<unsigned long long>(stats.transpiles_ok +
-                                                stats.transpiles_failed));
-            if (!first)
-                json += ",\n";
-            json += row;
-            first = false;
-            std::printf("%s clients=%d: %zu requests in %.1f ms "
-                        "(%.1f req/s; %llu hits, %llu coalesced, "
-                        "%llu transpiled)\n",
-                        transport, clients, requests, wall_ms,
-                        1000.0 * static_cast<double>(requests) / wall_ms,
-                        static_cast<unsigned long long>(stats.cache_hits),
-                        static_cast<unsigned long long>(stats.coalesced),
-                        static_cast<unsigned long long>(
-                            stats.transpiles_ok + stats.transpiles_failed));
+                // Sharded cells sum the worker services (the front has
+                // no service stats of its own — it only forwards).
+                ServiceStats stats;
+                if (shards > 1) {
+                    for (auto &worker : workers) {
+                        const ServiceStats s = worker->service().stats();
+                        stats.cache_hits += s.cache_hits;
+                        stats.coalesced += s.coalesced;
+                        stats.transpiles_ok += s.transpiles_ok;
+                        stats.transpiles_failed += s.transpiles_failed;
+                    }
+                } else {
+                    stats = server.service().stats();
+                }
+                server.stop();
+                if (router)
+                    router->close_pools();
+                for (auto &worker : workers)
+                    worker->stop();
+
+                const double wall_ms =
+                    std::chrono::duration<double, std::milli>(t1 - t0)
+                        .count();
+                const std::size_t requests =
+                    per_client * static_cast<std::size_t>(clients);
+
+                char row[400];
+                std::snprintf(
+                    row, sizeof(row),
+                    "  {\"workload\": \"serve_mix\", \"transport\": "
+                    "\"%s\", \"clients\": %d, \"shards\": %d, "
+                    "\"repeat\": %d, \"requests\": %zu, "
+                    "\"distinct\": %zu, \"wall_ms\": %.1f, "
+                    "\"requests_per_s\": %.1f, \"hits\": %llu, "
+                    "\"coalesced\": %llu, \"transpiles\": %llu}",
+                    transport, clients, shards, repeat, requests,
+                    distinct.size(), wall_ms,
+                    1000.0 * static_cast<double>(requests) / wall_ms,
+                    static_cast<unsigned long long>(stats.cache_hits),
+                    static_cast<unsigned long long>(stats.coalesced),
+                    static_cast<unsigned long long>(
+                        stats.transpiles_ok + stats.transpiles_failed));
+                if (!first)
+                    json += ",\n";
+                json += row;
+                first = false;
+                std::printf(
+                    "%s clients=%d shards=%d: %zu requests in %.1f ms "
+                    "(%.1f req/s; %llu hits, %llu coalesced, "
+                    "%llu transpiled)\n",
+                    transport, clients, shards, requests, wall_ms,
+                    1000.0 * static_cast<double>(requests) / wall_ms,
+                    static_cast<unsigned long long>(stats.cache_hits),
+                    static_cast<unsigned long long>(stats.coalesced),
+                    static_cast<unsigned long long>(stats.transpiles_ok +
+                                                    stats.transpiles_failed));
+            }
         }
     }
     json += "\n]\n";

@@ -11,6 +11,7 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <sys/un.h>
 #include <unistd.h>
 
@@ -36,7 +37,9 @@ ServeClient::connect_unix(const std::string &path)
         throw std::runtime_error("nassc client: unix socket path too long: " +
                                  path);
     std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
-    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    // SOCK_CLOEXEC: a forked shard worker must not inherit its parent's
+    // client connections (they would hold peers open past our close).
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
     if (fd < 0)
         sys_fail("socket(AF_UNIX)");
     if (::connect(fd, reinterpret_cast<const sockaddr *>(&addr),
@@ -55,7 +58,7 @@ ServeClient::connect_tcp(const std::string &host, int port)
     addr.sin_port = htons(static_cast<std::uint16_t>(port));
     if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1)
         throw std::runtime_error("nassc client: bad host '" + host + "'");
-    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
     if (fd < 0)
         sys_fail("socket(AF_INET)");
     if (::connect(fd, reinterpret_cast<const sockaddr *>(&addr),
@@ -142,6 +145,20 @@ ServeClient::ping()
     return request(req).status == "ok";
 }
 
+void
+ServeClient::set_io_timeout(int ms)
+{
+    if (fd_ < 0)
+        throw std::runtime_error("nassc client: not connected");
+    timeval tv{};
+    tv.tv_sec = ms / 1000;
+    tv.tv_usec = static_cast<suseconds_t>(ms % 1000) * 1000;
+    if (::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) < 0)
+        sys_fail("setsockopt(SO_RCVTIMEO)");
+    if (::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv)) < 0)
+        sys_fail("setsockopt(SO_SNDTIMEO)");
+}
+
 ServeClient
 ServeEndpoint::connect() const
 {
@@ -157,6 +174,8 @@ RetryingServeClient::session()
 {
     if (!client_) {
         client_.emplace(endpoint_.connect());
+        if (policy_.io_timeout_ms > 0)
+            client_->set_io_timeout(policy_.io_timeout_ms);
         ++retry_stats_.reconnects;
     }
     return *client_;

@@ -21,6 +21,13 @@
  * hint on overload.  Application errors (status "error" /
  * "deadline_exceeded") are NOT retried by default: they are
  * deterministic, so the same request would fail the same way.
+ *
+ * Hung-peer protection: set_io_timeout() (or RetryPolicy::io_timeout_ms)
+ * bounds every send/recv with SO_SNDTIMEO/SO_RCVTIMEO, so a wedged
+ * server surfaces as a typed TranspileTransportTimeout instead of
+ * blocking the caller forever.  A timed-out connection is in an unknown
+ * state (half a frame may be in flight); RetryingServeClient drops it
+ * and retries on a fresh one — safe because transpiles are pure.
  */
 
 #include <cstdint>
@@ -71,6 +78,15 @@ class ServeClient
     /** Round-trip a ping frame. */
     bool ping();
 
+    /**
+     * Bound every subsequent send/recv on this connection to `ms`
+     * milliseconds (SO_SNDTIMEO/SO_RCVTIMEO); 0 restores blocking
+     * forever.  An expired timeout surfaces as
+     * TranspileTransportTimeout from request().
+     * @throws std::runtime_error when setsockopt fails.
+     */
+    void set_io_timeout(int ms);
+
     int fd() const { return fd_; }
 
   private:
@@ -108,6 +124,13 @@ struct RetryPolicy
      * as status error yet the retry is expected to succeed.
      */
     bool retry_application_errors = false;
+    /**
+     * Per-send/recv socket timeout applied to every dialed connection
+     * (ServeClient::set_io_timeout); 0 = block forever (default, the
+     * pre-existing behaviour).  A timeout counts as a transport error:
+     * the connection is dropped and the request retried fresh.
+     */
+    int io_timeout_ms = 0;
 };
 
 /** What a RetryingServeClient spent so far (monotonic). */

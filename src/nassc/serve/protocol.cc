@@ -8,6 +8,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include "nassc/service/errors.h"
 #include "nassc/service/failpoint.h"
 
 namespace nassc {
@@ -18,6 +19,22 @@ namespace {
 bad_payload(const std::string &what)
 {
     throw std::runtime_error("nassc protocol: " + what);
+}
+
+/** Map a failed recv/send to the right exception.  On a socket with
+ *  SO_RCVTIMEO/SO_SNDTIMEO armed (ServeClient::set_io_timeout, the
+ *  shard router's pool) the kernel reports an expired timeout as
+ *  EAGAIN/EWOULDBLOCK — surface that as the typed
+ *  TranspileTransportTimeout so callers can distinguish "peer wedged,
+ *  retry on a fresh connection" from a hard transport error. */
+[[noreturn]] void
+io_failed(const char *op, int err)
+{
+    if (err == EAGAIN || err == EWOULDBLOCK)
+        throw TranspileTransportTimeout(std::string("nassc protocol: ") +
+                                        op + " timed out (peer wedged?)");
+    throw std::runtime_error(std::string("nassc protocol: ") + op + ": " +
+                             std::strerror(err));
 }
 
 /** Consume one '\n'-terminated line starting at `pos`; returns the line
@@ -281,8 +298,7 @@ read_frame(int fd, std::string &payload)
         if (n < 0) {
             if (errno == EINTR)
                 continue;
-            throw std::runtime_error(std::string("nassc protocol: recv: ") +
-                                     std::strerror(errno));
+            io_failed("recv", errno);
         }
         if (c == '\n')
             break;
@@ -322,8 +338,7 @@ read_frame(int fd, std::string &payload)
         if (n < 0) {
             if (errno == EINTR)
                 continue;
-            throw std::runtime_error(std::string("nassc protocol: recv: ") +
-                                     std::strerror(errno));
+            io_failed("recv", errno);
         }
         got += static_cast<std::size_t>(n);
     }
@@ -358,8 +373,7 @@ write_frame(int fd, const std::string &payload)
         if (n < 0) {
             if (errno == EINTR)
                 continue;
-            throw std::runtime_error(std::string("nassc protocol: send: ") +
-                                     std::strerror(errno));
+            io_failed("send", errno);
         }
         sent += static_cast<std::size_t>(n);
         if (drop) {

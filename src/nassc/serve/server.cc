@@ -11,6 +11,7 @@
 #include <vector>
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <poll.h>
 #include <sys/socket.h>
@@ -19,6 +20,7 @@
 
 #include "nassc/ir/qasm.h"
 #include "nassc/serve/protocol.h"
+#include "nassc/serve/shard_router.h"
 
 namespace nassc {
 
@@ -137,7 +139,9 @@ struct NasscServer::Impl
                                      options.unix_path);
         std::strncpy(addr.sun_path, options.unix_path.c_str(),
                      sizeof(addr.sun_path) - 1);
-        const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        // SOCK_CLOEXEC everywhere in serve/: forked shard workers must
+        // not inherit the front door's listeners or connections.
+        const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
         if (fd < 0)
             sys_fail("socket(AF_UNIX)");
         ::unlink(options.unix_path.c_str()); // stale path from a crash
@@ -156,7 +160,7 @@ struct NasscServer::Impl
     int
     listen_tcp()
     {
-        const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+        const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
         if (fd < 0)
             sys_fail("socket(AF_INET)");
         const int one = 1;
@@ -233,12 +237,26 @@ struct NasscServer::Impl
             }
             if (request.verb == "stats") {
                 response.status = "ok";
-                response.stats = stats_pairs(service->stats());
+                response.stats = options.shard_router
+                                     ? options.shard_router->merged_stats()
+                                     : stats_pairs(service->stats());
                 return response;
             }
             const std::shared_ptr<const Backend> backend =
                 lookup_backend(request.backend);
             TranspileOptions opts = parse_transpile_options(request.options);
+            if (options.shard_router) {
+                // Front-door mode: decode only as far as the request
+                // key, then forward the RAW frame to the owning shard
+                // so the worker's response bytes pass through verbatim
+                // (parse/encode of our own wire format round-trips
+                // bit-identically).  The worker applies its own
+                // default deadline.
+                const std::string key = TranspileService::request_key(
+                    from_qasm(request.qasm), *backend, opts);
+                return parse_response(
+                    options.shard_router->forward(key, payload));
+            }
             if (opts.deadline_ms == 0 && options.default_deadline_ms > 0)
                 opts.deadline_ms = options.default_deadline_ms;
             TranspileTicket ticket =
@@ -354,7 +372,8 @@ struct NasscServer::Impl
             for (const pollfd &p : fds) {
                 if (!(p.revents & POLLIN) || p.fd == wake_pipe[0])
                     continue;
-                const int client = ::accept(p.fd, nullptr, nullptr);
+                const int client =
+                    ::accept4(p.fd, nullptr, nullptr, SOCK_CLOEXEC);
                 if (client < 0)
                     continue;
                 if (options.max_connections != 0 &&
@@ -415,7 +434,7 @@ NasscServer::start()
         throw std::logic_error("nasscd: start() called twice");
     if (im.options.unix_path.empty() && im.options.tcp_port < 0)
         throw std::runtime_error("nasscd: no listener configured");
-    if (::pipe(im.wake_pipe) < 0)
+    if (::pipe2(im.wake_pipe, O_CLOEXEC) < 0)
         sys_fail("pipe");
     if (!im.options.unix_path.empty())
         im.unix_fd = im.listen_unix();

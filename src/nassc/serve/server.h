@@ -49,6 +49,8 @@
 
 namespace nassc {
 
+class ShardRouter;
+
 /** Listener + service configuration for one server. */
 struct ServerOptions
 {
@@ -82,6 +84,16 @@ struct ServerOptions
     /** Non-null: serve THIS service instead of owning one (lets tests
      *  and embedders share a service between transports). */
     std::shared_ptr<TranspileService> shared_service;
+    /**
+     * Non-null: front-door mode (nasscd --shards N).  transpile frames
+     * are forwarded RAW to the shard owning their request key
+     * (serve/shard_router.h) and `stats` answers with the fleet-merged
+     * snapshot; only `ping` stays local.  The local service still
+     * exists but sees no traffic.  Sharded requests do NOT get
+     * default_deadline_ms applied at the front — workers apply their
+     * own default, so a deadline is charged once, not twice.
+     */
+    std::shared_ptr<ShardRouter> shard_router;
 };
 
 /** The nasscd daemon core: sockets + framing over a TranspileService. */

@@ -1,0 +1,503 @@
+#include "nassc/serve/supervisor.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+#include <fcntl.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/prctl.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+extern char **environ;
+
+namespace nassc {
+
+namespace {
+
+std::int64_t
+steady_ms()
+{
+    return std::chrono::duration_cast<std::chrono::milliseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+/**
+ * SIGCHLD self-pipe, installed process-wide exactly once.  The handler
+ * does the only async-signal-safe thing — one write() — and the
+ * supervision loop does all real work (reaping, restarting) at thread
+ * level.  The pipe is shared by every Supervisor instance in the
+ * process (tests run several); each loop also polls on a bounded
+ * timeout, so a wakeup drained by a sibling costs at most one tick of
+ * latency, never a missed reap.
+ */
+int g_sigchld_pipe[2] = {-1, -1};
+std::once_flag g_sigchld_once;
+
+void
+sigchld_handler(int)
+{
+    const int saved_errno = errno;
+    (void)!::write(g_sigchld_pipe[1], "c", 1);
+    errno = saved_errno;
+}
+
+void
+install_sigchld()
+{
+    std::call_once(g_sigchld_once, [] {
+        if (::pipe(g_sigchld_pipe) < 0)
+            throw std::runtime_error(
+                std::string("supervisor: pipe: ") + std::strerror(errno));
+        for (int fd : g_sigchld_pipe) {
+            ::fcntl(fd, F_SETFL, O_NONBLOCK);
+            ::fcntl(fd, F_SETFD, FD_CLOEXEC);
+        }
+        struct sigaction sa;
+        std::memset(&sa, 0, sizeof(sa));
+        sa.sa_handler = sigchld_handler;
+        sigemptyset(&sa.sa_mask);
+        // SA_RESTART: the serving stack's blocking syscalls must not
+        // start failing with EINTR because a shard exited.
+        // SA_NOCLDSTOP: only exits matter, not job-control stops.
+        sa.sa_flags = SA_RESTART | SA_NOCLDSTOP;
+        if (::sigaction(SIGCHLD, &sa, nullptr) < 0)
+            throw std::runtime_error(std::string("supervisor: sigaction: ") +
+                                     std::strerror(errno));
+    });
+}
+
+} // namespace
+
+RestartTracker::RestartTracker(RestartPolicy policy)
+    : policy_(policy), rng_state_(policy.jitter_seed ? policy.jitter_seed : 1)
+{
+}
+
+void
+RestartTracker::on_spawn(std::int64_t now_ms)
+{
+    spawned_at_ms_ = now_ms;
+}
+
+std::int64_t
+RestartTracker::on_exit(std::int64_t now_ms)
+{
+    // A stable run forgives history: the exponent and the flap window
+    // reset, so one crash after a week up restarts near-instantly.
+    if (spawned_at_ms_ >= 0 &&
+        now_ms - spawned_at_ms_ >= policy_.stable_ms) {
+        backoff_exponent_ = 0;
+        exit_times_.clear();
+    }
+    spawned_at_ms_ = -1;
+    ++restarts_;
+
+    // Flap breaker: count exits inside the sliding window.
+    exit_times_.erase(
+        std::remove_if(exit_times_.begin(), exit_times_.end(),
+                       [&](std::int64_t t) {
+                           return now_ms - t > policy_.flap_window_ms;
+                       }),
+        exit_times_.end());
+    exit_times_.push_back(now_ms);
+    if (policy_.flap_count > 0 &&
+        static_cast<int>(exit_times_.size()) >= policy_.flap_count) {
+        ++quarantines_;
+        // The cooldown IS the reset: after quarantine the shard gets a
+        // clean slate (fresh window, base backoff) — if it is still
+        // doomed it just trips the breaker again.
+        exit_times_.clear();
+        backoff_exponent_ = 0;
+        return policy_.quarantine_ms;
+    }
+
+    long exp = policy_.base_backoff_ms > 0 ? policy_.base_backoff_ms : 1;
+    for (int k = 0; k < backoff_exponent_ && exp < policy_.max_backoff_ms;
+         ++k)
+        exp *= 2;
+    exp = std::min<long>(exp, policy_.max_backoff_ms);
+    if (backoff_exponent_ < 30)
+        ++backoff_exponent_;
+    // Full jitter on the upper half (the RetryingServeClient idiom):
+    // wait in [exp/2, exp] so sibling shards decorrelate.
+    rng_state_ = static_cast<unsigned>(
+        (static_cast<std::uint64_t>(rng_state_) * 48271u) % 2147483647u);
+    return exp / 2 +
+           static_cast<long>(rng_state_ %
+                             static_cast<unsigned>(exp / 2 + 1));
+}
+
+struct Supervisor::Shard
+{
+    pid_t pid = -1;
+    int generation = 0;           ///< incarnations spawned so far
+    std::int64_t restart_at = -1; ///< steady ms; -1 = not scheduled
+    int health_misses = 0;
+    RestartTracker tracker;
+
+    explicit Shard(RestartPolicy policy) : tracker(policy) {}
+};
+
+struct Supervisor::Impl
+{
+    explicit Impl(SupervisorOptions opts) : options(std::move(opts)) {}
+
+    SupervisorOptions options;
+    mutable std::mutex mu;
+    std::vector<std::unique_ptr<Shard>> shards;
+    std::thread loop_thread;
+    std::atomic<bool> stopping{false};
+    bool started = false;
+    bool stopped = false;
+    std::int64_t next_health_ms = 0;
+    std::uint64_t spawns = 0;
+    std::uint64_t hang_kills = 0;
+
+    void
+    notify(int shard, bool up)
+    {
+        if (options.on_state)
+            options.on_state(shard, up);
+    }
+
+    /** fork+exec one incarnation of shard `i`; everything the child
+     *  touches (argv, envp) is built BEFORE fork — no allocation in a
+     *  forked child of a multithreaded process.  Caller holds mu. */
+    bool
+    spawn(int i, std::string *error)
+    {
+        Shard &shard = *shards[static_cast<std::size_t>(i)];
+        std::vector<std::string> argv_s = options.command(i);
+        if (argv_s.empty()) {
+            if (error)
+                *error = "empty argv";
+            return false;
+        }
+
+        std::vector<std::string> env_s;
+        for (char **e = environ; *e; ++e) {
+            const char *entry = *e;
+            bool scrubbed = false;
+            for (const std::string &name : options.scrub_env) {
+                if (std::strncmp(entry, name.c_str(), name.size()) == 0 &&
+                    entry[name.size()] == '=') {
+                    scrubbed = true;
+                    break;
+                }
+            }
+            if (!scrubbed)
+                env_s.emplace_back(entry);
+        }
+        // Generation 0 only: a deliberately armed crash failpoint must
+        // kill the first incarnation once, not every restart forever.
+        if (shard.generation == 0 && options.first_spawn_env)
+            for (std::string &kv : options.first_spawn_env(i))
+                env_s.push_back(std::move(kv));
+
+        std::vector<char *> argv_p;
+        argv_p.reserve(argv_s.size() + 1);
+        for (std::string &a : argv_s)
+            argv_p.push_back(a.data());
+        argv_p.push_back(nullptr);
+        std::vector<char *> env_p;
+        env_p.reserve(env_s.size() + 1);
+        for (std::string &e : env_s)
+            env_p.push_back(e.data());
+        env_p.push_back(nullptr);
+
+        const pid_t pid = ::fork();
+        if (pid < 0) {
+            if (error)
+                *error = std::string("fork: ") + std::strerror(errno);
+            return false;
+        }
+        if (pid == 0) {
+            // Death pact: if the front door is SIGKILLed (no chance to
+            // run stop()), workers must not linger as orphans serving
+            // a socket nobody routes to.
+            ::prctl(PR_SET_PDEATHSIG, SIGTERM);
+            ::execvpe(argv_p[0], argv_p.data(), env_p.data());
+            // Only async-signal-safe calls past fork in an MT parent.
+            const char msg[] = "supervisor: exec failed\n";
+            (void)!::write(2, msg, sizeof(msg) - 1);
+            ::_exit(127);
+        }
+        shard.pid = pid;
+        shard.restart_at = -1;
+        shard.health_misses = 0;
+        ++shard.generation;
+        ++spawns;
+        shard.tracker.on_spawn(steady_ms());
+        // With a health check configured, "up" means ANSWERING, not
+        // just exec'd — the health tick flips the edge once the
+        // worker's socket is really there.
+        if (!options.health_check)
+            notify(i, true);
+        return true;
+    }
+
+    /** Reap any of OUR children that exited (per-pid WNOHANG — a
+     *  blanket waitpid(-1) would steal children owned by other code,
+     *  e.g. gtest death tests).  Caller holds mu. */
+    void
+    reap_and_schedule()
+    {
+        const std::int64_t now = steady_ms();
+        for (std::size_t i = 0; i < shards.size(); ++i) {
+            Shard &shard = *shards[i];
+            if (shard.pid <= 0)
+                continue;
+            int status = 0;
+            const pid_t got = ::waitpid(shard.pid, &status, WNOHANG);
+            if (got != shard.pid)
+                continue;
+            shard.pid = -1;
+            shard.health_misses = 0;
+            const std::int64_t delay = shard.tracker.on_exit(now);
+            shard.restart_at = now + delay;
+            notify(static_cast<int>(i), false);
+        }
+    }
+
+    /** Respawn shards whose backoff/quarantine expired.  Holds mu. */
+    void
+    restart_due()
+    {
+        if (stopping.load(std::memory_order_relaxed))
+            return;
+        const std::int64_t now = steady_ms();
+        for (std::size_t i = 0; i < shards.size(); ++i) {
+            Shard &shard = *shards[i];
+            if (shard.pid > 0 || shard.restart_at < 0 ||
+                shard.restart_at > now)
+                continue;
+            std::string error;
+            if (!spawn(static_cast<int>(i), &error))
+                // Spawn itself failed (fork exhaustion?): back off as
+                // if the incarnation died instantly.
+                shard.restart_at = now + shard.tracker.on_exit(now);
+        }
+    }
+
+    /** Ping-probe running shards; misses accumulate, a hung shard is
+     *  SIGKILLed (the crash path restarts it).  Holds mu. */
+    void
+    health_tick()
+    {
+        if (options.health_interval_ms <= 0 || !options.health_check)
+            return;
+        const std::int64_t now = steady_ms();
+        if (now < next_health_ms)
+            return;
+        next_health_ms = now + options.health_interval_ms;
+        for (std::size_t i = 0; i < shards.size(); ++i) {
+            Shard &shard = *shards[i];
+            if (shard.pid <= 0)
+                continue;
+            if (options.health_check(static_cast<int>(i))) {
+                shard.health_misses = 0;
+                notify(static_cast<int>(i), true);
+                continue;
+            }
+            if (++shard.health_misses < std::max(1, options.health_failures))
+                continue;
+            // Alive but not answering: convert the hang into a crash.
+            ++hang_kills;
+            notify(static_cast<int>(i), false);
+            ::kill(shard.pid, SIGKILL);
+            // SIGCHLD wakes the loop; reap_and_schedule() handles it.
+        }
+    }
+
+    /** Sleep budget until the next scheduled restart or health tick,
+     *  clamped so drained-by-a-sibling SIGCHLD wakeups cost at most
+     *  one tick.  Holds mu. */
+    int
+    poll_timeout_ms() const
+    {
+        const std::int64_t now = steady_ms();
+        std::int64_t next = now + 200;
+        for (const auto &shard : shards)
+            if (shard->pid <= 0 && shard->restart_at >= 0)
+                next = std::min(next, shard->restart_at);
+        if (options.health_interval_ms > 0 && options.health_check)
+            next = std::min(next, next_health_ms);
+        return static_cast<int>(std::max<std::int64_t>(10, next - now));
+    }
+
+    void
+    loop()
+    {
+        while (!stopping.load(std::memory_order_relaxed)) {
+            int timeout;
+            {
+                std::lock_guard<std::mutex> lk(mu);
+                timeout = poll_timeout_ms();
+            }
+            pollfd pfd{g_sigchld_pipe[0], POLLIN, 0};
+            const int rc = ::poll(&pfd, 1, timeout);
+            if (rc > 0 && (pfd.revents & POLLIN)) {
+                char buf[64];
+                while (::read(g_sigchld_pipe[0], buf, sizeof(buf)) > 0) {
+                }
+            }
+            std::lock_guard<std::mutex> lk(mu);
+            reap_and_schedule();
+            restart_due();
+            health_tick();
+        }
+    }
+};
+
+Supervisor::Supervisor(SupervisorOptions options)
+    : impl_(std::make_unique<Impl>(std::move(options)))
+{
+    if (impl_->options.shards <= 0)
+        throw std::invalid_argument("supervisor: shards must be > 0");
+    if (!impl_->options.command)
+        throw std::invalid_argument("supervisor: no command");
+}
+
+Supervisor::~Supervisor()
+{
+    stop();
+}
+
+void
+Supervisor::start()
+{
+    Impl &im = *impl_;
+    if (im.started)
+        throw std::logic_error("supervisor: start() called twice");
+    install_sigchld();
+    {
+        std::lock_guard<std::mutex> lk(im.mu);
+        for (int i = 0; i < im.options.shards; ++i) {
+            RestartPolicy policy = im.options.restart;
+            // Decorrelate sibling backoff streams.
+            policy.jitter_seed += static_cast<unsigned>(i) * 7919u;
+            im.shards.push_back(std::make_unique<Shard>(policy));
+        }
+        for (int i = 0; i < im.options.shards; ++i) {
+            std::string error;
+            if (!im.spawn(i, &error))
+                throw std::runtime_error("supervisor: spawning shard " +
+                                         std::to_string(i) +
+                                         " failed: " + error);
+        }
+    }
+    im.started = true;
+    im.loop_thread = std::thread([&im] { im.loop(); });
+}
+
+void
+Supervisor::stop()
+{
+    Impl &im = *impl_;
+    if (!im.started || im.stopped)
+        return;
+    im.stopped = true;
+    im.stopping.store(true, std::memory_order_relaxed);
+    if (im.loop_thread.joinable())
+        im.loop_thread.join();
+
+    // Graceful: nasscd workers drain on SIGTERM.
+    std::vector<pid_t> pids;
+    {
+        std::lock_guard<std::mutex> lk(im.mu);
+        for (auto &shard : im.shards)
+            if (shard->pid > 0)
+                pids.push_back(shard->pid);
+    }
+    for (pid_t pid : pids)
+        ::kill(pid, SIGTERM);
+
+    const std::int64_t deadline =
+        steady_ms() + std::max(0, im.options.stop_grace_ms);
+    std::vector<pid_t> remaining = pids;
+    while (!remaining.empty() && steady_ms() < deadline) {
+        for (auto it = remaining.begin(); it != remaining.end();) {
+            int status = 0;
+            if (::waitpid(*it, &status, WNOHANG) == *it)
+                it = remaining.erase(it);
+            else
+                ++it;
+        }
+        if (!remaining.empty())
+            std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    for (pid_t pid : remaining) {
+        ::kill(pid, SIGKILL);
+        int status = 0;
+        ::waitpid(pid, &status, 0);
+    }
+
+    std::lock_guard<std::mutex> lk(im.mu);
+    for (std::size_t i = 0; i < im.shards.size(); ++i) {
+        im.shards[i]->pid = -1;
+        im.notify(static_cast<int>(i), false);
+    }
+}
+
+bool
+Supervisor::wait_all_alive(int timeout_ms)
+{
+    Impl &im = *impl_;
+    const std::int64_t deadline = steady_ms() + timeout_ms;
+    for (;;) {
+        bool all = true;
+        for (int i = 0; i < im.options.shards && all; ++i) {
+            if (shard_pid(i) <= 0)
+                all = false;
+            else if (im.options.health_check &&
+                     !im.options.health_check(i))
+                all = false;
+        }
+        if (all)
+            return true;
+        if (steady_ms() >= deadline)
+            return false;
+        std::this_thread::sleep_for(std::chrono::milliseconds(25));
+    }
+}
+
+pid_t
+Supervisor::shard_pid(int shard) const
+{
+    Impl &im = *impl_;
+    std::lock_guard<std::mutex> lk(im.mu);
+    if (shard < 0 || shard >= static_cast<int>(im.shards.size()))
+        return -1;
+    return im.shards[static_cast<std::size_t>(shard)]->pid;
+}
+
+bool
+Supervisor::shard_alive(int shard) const
+{
+    return shard_pid(shard) > 0;
+}
+
+SupervisorStats
+Supervisor::stats() const
+{
+    Impl &im = *impl_;
+    std::lock_guard<std::mutex> lk(im.mu);
+    SupervisorStats s;
+    s.spawns = im.spawns;
+    s.hang_kills = im.hang_kills;
+    for (const auto &shard : im.shards) {
+        s.restarts += shard->tracker.restarts();
+        s.quarantines += shard->tracker.quarantines();
+    }
+    return s;
+}
+
+} // namespace nassc

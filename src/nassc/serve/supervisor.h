@@ -1,0 +1,201 @@
+#ifndef NASSC_SERVE_SUPERVISOR_H
+#define NASSC_SERVE_SUPERVISOR_H
+
+/**
+ * @file
+ * Supervisor: fork/exec worker shards, reap crashes, restart with
+ * backoff, quarantine flapping shards, and kill hung ones.
+ *
+ * The front-door daemon owns N child `nasscd` worker processes.  A
+ * worker can die three ways, and the supervisor handles each:
+ *
+ *  - CRASH (segfault, abort, OOM-kill): SIGCHLD — caught by a
+ *    self-pipe so nothing async-signal-unsafe runs in the handler —
+ *    wakes the supervision loop, which reaps the zombie with a
+ *    per-pid waitpid(WNOHANG) (never waitpid(-1), which would steal
+ *    other subsystems' children) and schedules a restart.
+ *
+ *  - FLAP (crash loop — e.g. a corrupt cache file or an armed abort
+ *    failpoint re-hit on every boot): restarts back off exponentially
+ *    with full jitter on the upper half (the RetryingServeClient
+ *    idiom), and K crashes inside a T-ms window trips a circuit
+ *    breaker that QUARANTINES the shard for a cooldown — its keyspace
+ *    arc stays redistributed to live shards (ShardRouter::mark_dead)
+ *    instead of bouncing requests off a doomed boot.  An uptime of
+ *    stable_ms resets the exponent and the flap window.
+ *
+ *  - HANG (alive but wedged — deadlock, runaway request): periodic
+ *    ping health checks; health_failures consecutive misses get the
+ *    shard SIGKILLed, which converts the hang into a crash and reuses
+ *    the restart path.
+ *
+ * Restart hygiene: children exec a FRESH binary image (fork+execvpe,
+ * argv/envp built BEFORE fork — no allocation or setenv between fork
+ * and exec in a multithreaded parent).  `first_spawn_env` entries are
+ * injected into generation 0 only and `scrub_env` names are dropped
+ * from every child environment, so an armed crash failpoint
+ * (NASSC_FAILPOINTS=...abort()) kills the first incarnation exactly
+ * once instead of every restart forever.
+ *
+ * The RestartTracker is a pure function of (event, now_ms) — no clock,
+ * no threads — so backoff schedules and flap quarantine are unit
+ * testable with a fake clock.
+ */
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <sys/types.h>
+#include <vector>
+
+namespace nassc {
+
+/** Backoff + circuit-breaker knobs for shard restarts. */
+struct RestartPolicy
+{
+    /** Delay before restart k since last stable run: min(cap,
+     *  base << k), halved-then-jittered (full jitter, upper half). */
+    int base_backoff_ms = 100;
+    int max_backoff_ms = 5000;
+    /** Deterministic jitter stream seed (vary per shard). */
+    unsigned jitter_seed = 1;
+    /** Flap breaker: this many exits ... */
+    int flap_count = 5;
+    /** ... inside this window trip quarantine. */
+    std::int64_t flap_window_ms = 10000;
+    /** Quarantine cooldown before the next restart attempt. */
+    std::int64_t quarantine_ms = 3000;
+    /** Uptime that counts as a stable run: resets the backoff
+     *  exponent and clears the flap window. */
+    std::int64_t stable_ms = 10000;
+};
+
+/**
+ * Pure restart-schedule state machine for ONE shard.  Feed it spawn
+ * and exit events stamped with a millisecond clock; it answers when
+ * the next restart may happen.  No I/O, no real clock — unit testable.
+ */
+class RestartTracker
+{
+  public:
+    explicit RestartTracker(RestartPolicy policy = {});
+
+    /** Record that the shard just spawned at `now_ms`. */
+    void on_spawn(std::int64_t now_ms);
+
+    /**
+     * Record that the shard exited at `now_ms`; returns the delay in
+     * ms to wait before respawning (0 = immediately).  Applies stable-
+     * uptime reset, exponential backoff with jitter, and the flap
+     * breaker (a tripped breaker returns the quarantine cooldown and
+     * counts in quarantines()).
+     */
+    std::int64_t on_exit(std::int64_t now_ms);
+
+    std::uint64_t restarts() const { return restarts_; }
+    std::uint64_t quarantines() const { return quarantines_; }
+    /** Exits currently inside the flap window (diagnostic). */
+    int flap_level() const { return static_cast<int>(exit_times_.size()); }
+
+  private:
+    RestartPolicy policy_;
+    std::int64_t spawned_at_ms_ = -1;
+    int backoff_exponent_ = 0;
+    std::uint64_t restarts_ = 0;
+    std::uint64_t quarantines_ = 0;
+    unsigned rng_state_;
+    std::vector<std::int64_t> exit_times_; ///< recent exits (flap window)
+};
+
+/** Configuration for one Supervisor. */
+struct SupervisorOptions
+{
+    /** Number of worker shards to keep alive. */
+    int shards = 1;
+    /** argv for shard i (argv[0] = executable; resolved via PATH). */
+    std::function<std::vector<std::string>(int shard)> command;
+    /** Extra "KEY=VALUE" environment entries for shard i's FIRST
+     *  incarnation only (generation 0); restarts never see them.
+     *  This is how a crash failpoint is armed exactly once. */
+    std::function<std::vector<std::string>(int shard)> first_spawn_env;
+    /** Environment names dropped from EVERY child (first spawn uses
+     *  first_spawn_env to re-add deliberately). */
+    std::vector<std::string> scrub_env = {"NASSC_FAILPOINTS"};
+    /** Restart backoff/breaker policy (jitter_seed is offset by the
+     *  shard index internally so shards decorrelate). */
+    RestartPolicy restart;
+    /** Health-check cadence; 0 disables proactive hang detection. */
+    int health_interval_ms = 0;
+    /** Consecutive health-check failures before the shard is deemed
+     *  hung and SIGKILLed. */
+    int health_failures = 3;
+    /** Returns whether shard i answers (e.g. connect + ping with a
+     *  short io timeout).  Must not throw. */
+    std::function<bool(int shard)> health_check;
+    /** SIGTERM->SIGKILL grace during stop(). */
+    int stop_grace_ms = 5000;
+    /** Liveness edge callback: (shard, up).  `up=true` right after a
+     *  successful spawn, `false` on exit/quarantine/hang-kill.  Wire
+     *  to ShardRouter::mark_live/mark_dead.  Called from the
+     *  supervision thread; must not block long. */
+    std::function<void(int shard, bool up)> on_state;
+};
+
+/** Aggregate counters across all shards (monotonic). */
+struct SupervisorStats
+{
+    std::uint64_t spawns = 0;      ///< total exec'd incarnations
+    std::uint64_t restarts = 0;    ///< spawns beyond each shard's first
+    std::uint64_t quarantines = 0; ///< flap-breaker trips
+    std::uint64_t hang_kills = 0;  ///< SIGKILLs from failed health checks
+};
+
+/**
+ * Runs the supervision loop on its own thread: spawn all shards, then
+ * react to SIGCHLD (reap + schedule restart), restart timers, and
+ * health-check ticks until stop().  See the file comment for the
+ * crash/flap/hang model.
+ */
+class Supervisor
+{
+  public:
+    explicit Supervisor(SupervisorOptions options);
+    ~Supervisor();
+
+    Supervisor(const Supervisor &) = delete;
+    Supervisor &operator=(const Supervisor &) = delete;
+
+    /** Install the SIGCHLD handler (process-wide, once), spawn every
+     *  shard, and start the supervision thread.
+     *  @throws std::runtime_error when a first spawn fails outright. */
+    void start();
+
+    /**
+     * Graceful stop: SIGTERM every child (nasscd drains on SIGTERM),
+     * wait up to stop_grace_ms, SIGKILL stragglers, reap everything,
+     * join the loop.  Idempotent; the destructor calls it.
+     */
+    void stop();
+
+    /** Block until every shard is up (pid live and, when a
+     *  health_check is configured, answering) or `timeout_ms` passes;
+     *  returns whether they all made it. */
+    bool wait_all_alive(int timeout_ms);
+
+    /** Current pid of shard i; -1 while down/quarantined. */
+    pid_t shard_pid(int shard) const;
+    bool shard_alive(int shard) const;
+
+    SupervisorStats stats() const;
+
+  private:
+    struct Shard;
+    struct Impl;
+    std::unique_ptr<Impl> impl_;
+};
+
+} // namespace nassc
+
+#endif // NASSC_SERVE_SUPERVISOR_H

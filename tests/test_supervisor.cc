@@ -1,0 +1,357 @@
+// Supervisor tests (serve/supervisor.h):
+//
+//  (a) RestartTracker — the pure backoff/flap state machine driven by
+//      a fake millisecond clock: exponential delays with upper-half
+//      jitter, the stable-uptime reset, and the flap circuit breaker
+//      (K crashes in T ms -> quarantine cooldown + clean slate);
+//  (b) the abort() failpoint action — grammar parse plus an actual
+//      EXPECT_DEATH that the armed site calls std::abort();
+//  (c) Supervisor process supervision against real /bin/sh children:
+//      SIGCHLD reap + restart with a NEW pid after kill -9,
+//      first_spawn_env visible to generation 0 only (restarts get the
+//      scrubbed environment), hang-kills from failing health checks,
+//      and graceful SIGTERM stop.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <signal.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include "nassc/serve/supervisor.h"
+#include "nassc/service/failpoint.h"
+
+namespace nassc {
+namespace {
+
+bool
+spin_until(const std::function<bool()> &pred)
+{
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    while (std::chrono::steady_clock::now() < deadline) {
+        if (pred())
+            return true;
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    return pred();
+}
+
+std::string
+tmp_file(const std::string &suffix)
+{
+    return "/tmp/nassc_supervisor_" + std::to_string(::getpid()) + "_" +
+           suffix;
+}
+
+// ------------------------------------------------------ RestartTracker
+
+TEST(RestartTracker, BackoffDoublesWithUpperHalfJitter)
+{
+    RestartPolicy policy;
+    policy.base_backoff_ms = 100;
+    policy.max_backoff_ms = 1600;
+    policy.flap_count = 0; // breaker off: isolate the backoff schedule
+    policy.stable_ms = 1000000;
+    RestartTracker tracker(policy);
+
+    // Crash-loop with a fake clock that never reaches stable uptime:
+    // expected raw delays 100, 200, 400, ..., capped at 1600; jitter
+    // keeps each draw inside [exp/2, exp].
+    std::int64_t now = 0;
+    long expected = 100;
+    for (int k = 0; k < 8; ++k) {
+        tracker.on_spawn(now);
+        now += 10;
+        const std::int64_t delay = tracker.on_exit(now);
+        EXPECT_GE(delay, expected / 2) << "crash " << k;
+        EXPECT_LE(delay, expected) << "crash " << k;
+        now += delay;
+        expected = std::min<long>(expected * 2, policy.max_backoff_ms);
+    }
+    EXPECT_EQ(tracker.restarts(), 8u);
+    EXPECT_EQ(tracker.quarantines(), 0u);
+}
+
+TEST(RestartTracker, JitterStreamsDecorrelateBySeed)
+{
+    RestartPolicy a;
+    a.flap_count = 0;
+    RestartPolicy b = a;
+    a.jitter_seed = 1;
+    b.jitter_seed = 7920; // the per-shard offset start() applies
+    RestartTracker ta(a);
+    RestartTracker tb(b);
+    int differed = 0;
+    std::int64_t now = 0;
+    for (int k = 0; k < 8; ++k) {
+        ta.on_spawn(now);
+        tb.on_spawn(now);
+        now += 5;
+        if (ta.on_exit(now) != tb.on_exit(now))
+            ++differed;
+        now += 10000; // irrelevant: stable_ms is 10000, uptime is 5
+    }
+    EXPECT_GT(differed, 0);
+}
+
+TEST(RestartTracker, StableUptimeResetsTheExponent)
+{
+    RestartPolicy policy;
+    policy.base_backoff_ms = 100;
+    policy.max_backoff_ms = 5000;
+    policy.flap_count = 0;
+    policy.stable_ms = 10000;
+    RestartTracker tracker(policy);
+
+    // Ratchet the exponent up with three quick crashes...
+    std::int64_t now = 0;
+    std::int64_t delay = 0;
+    for (int k = 0; k < 3; ++k) {
+        tracker.on_spawn(now);
+        now += 10;
+        delay = tracker.on_exit(now);
+        now += delay;
+    }
+    EXPECT_GE(delay, 200); // third crash: exp=400, jitter >= 200
+
+    // ...then run stable for stable_ms: the next crash is forgiven and
+    // pays only the base delay again.
+    tracker.on_spawn(now);
+    now += policy.stable_ms + 1;
+    delay = tracker.on_exit(now);
+    EXPECT_GE(delay, 50);
+    EXPECT_LE(delay, 100);
+    EXPECT_EQ(tracker.flap_level(), 1); // the window was cleared too
+}
+
+TEST(RestartTracker, FlapBreakerQuarantinesAndGivesACleanSlate)
+{
+    RestartPolicy policy;
+    policy.base_backoff_ms = 10;
+    policy.max_backoff_ms = 100;
+    policy.flap_count = 3;
+    policy.flap_window_ms = 10000;
+    policy.quarantine_ms = 3000;
+    policy.stable_ms = 1000000;
+    RestartTracker tracker(policy);
+
+    std::int64_t now = 0;
+    std::int64_t delay = 0;
+    for (int k = 0; k < 3; ++k) {
+        tracker.on_spawn(now);
+        now += 5;
+        delay = tracker.on_exit(now);
+        now += delay;
+    }
+    // The third exit inside the window trips the breaker: the delay IS
+    // the quarantine cooldown (no jitter — it is a policy, not a race).
+    EXPECT_EQ(delay, policy.quarantine_ms);
+    EXPECT_EQ(tracker.quarantines(), 1u);
+    EXPECT_EQ(tracker.flap_level(), 0); // clean slate
+
+    // After quarantine the shard starts over at base backoff.
+    tracker.on_spawn(now);
+    now += 5;
+    delay = tracker.on_exit(now);
+    EXPECT_LE(delay, policy.base_backoff_ms);
+
+    // Exits spaced WIDER than the window never trip it.
+    RestartTracker spaced(policy);
+    now = 0;
+    for (int k = 0; k < 6; ++k) {
+        spaced.on_spawn(now);
+        now += policy.flap_window_ms + 1;
+        spaced.on_exit(now);
+    }
+    EXPECT_EQ(spaced.quarantines(), 0u);
+}
+
+// ------------------------------------------------- abort() failpoint
+
+TEST(FailpointAbort, GrammarParsesAndCountsDown)
+{
+    failpoint::ScopedFailpoint fp("test.abort_parse", "1*abort()");
+    // eval() REPORTS the action without executing it (only hit()
+    // aborts), so the grammar is assertable without dying.
+    const failpoint::Hit h = failpoint::eval("test.abort_parse");
+    EXPECT_EQ(h.kind, failpoint::Hit::Kind::kAbort);
+    // The single charge is consumed: the site is disarmed again.
+    EXPECT_EQ(failpoint::eval("test.abort_parse").kind,
+              failpoint::Hit::Kind::kNone);
+}
+
+TEST(FailpointAbortDeathTest, ArmedAbortKillsTheProcess)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    failpoint::ScopedFailpoint fp("test.abort_fire", "1*abort()");
+    EXPECT_DEATH(failpoint::hit("test.abort_fire"), "injected crash");
+}
+
+// ----------------------------------------------------- Supervisor
+
+SupervisorOptions
+sh_supervisor(const std::string &script)
+{
+    SupervisorOptions options;
+    options.shards = 1;
+    options.command = [script](int) {
+        return std::vector<std::string>{"/bin/sh", "-c", script};
+    };
+    options.restart.base_backoff_ms = 20;
+    options.restart.max_backoff_ms = 100;
+    options.restart.flap_count = 0; // tests drive crashes deliberately
+    options.stop_grace_ms = 3000;
+    return options;
+}
+
+TEST(Supervisor, ReapsASigkilledShardAndRestartsWithANewPid)
+{
+    Supervisor supervisor(sh_supervisor("exec sleep 30"));
+    supervisor.start();
+    ASSERT_TRUE(supervisor.wait_all_alive(5000));
+    const pid_t first = supervisor.shard_pid(0);
+    ASSERT_GT(first, 0);
+
+    // Simulate a crash the hard way.  SIGCHLD -> self-pipe -> per-pid
+    // reap -> backoff -> fresh exec: the shard must come back under a
+    // NEW pid without any poll from us.
+    ASSERT_EQ(::kill(first, SIGKILL), 0);
+    ASSERT_TRUE(spin_until([&] {
+        const pid_t pid = supervisor.shard_pid(0);
+        return pid > 0 && pid != first;
+    }));
+    const SupervisorStats stats = supervisor.stats();
+    EXPECT_GE(stats.spawns, 2u);
+    EXPECT_GE(stats.restarts, 1u);
+    EXPECT_EQ(stats.hang_kills, 0u);
+
+    supervisor.stop();
+    EXPECT_FALSE(supervisor.shard_alive(0));
+    EXPECT_EQ(supervisor.shard_pid(0), -1);
+}
+
+TEST(Supervisor, FirstSpawnEnvIsInjectedOnceAndScrubbedOnRestart)
+{
+    // Every incarnation appends "g:<NASSC_FAILPOINTS>" to a log; only
+    // generation 0 may see the armed value — a restart re-hitting an
+    // armed abort() forever would otherwise melt the flap breaker.
+    const std::string log = tmp_file("envlog");
+    std::remove(log.c_str());
+    SupervisorOptions options = sh_supervisor(
+        "echo \"g:$NASSC_FAILPOINTS\" >> " + log + "; exec sleep 30");
+    options.first_spawn_env = [](int) {
+        return std::vector<std::string>{
+            "NASSC_FAILPOINTS=service.transpile=1*abort()"};
+    };
+    Supervisor supervisor(options);
+    supervisor.start();
+    ASSERT_TRUE(supervisor.wait_all_alive(5000));
+    const pid_t first = supervisor.shard_pid(0);
+    ASSERT_GT(first, 0);
+    const auto log_lines = [&log] {
+        std::ifstream in(log);
+        std::string line;
+        int lines = 0;
+        while (std::getline(in, line))
+            ++lines;
+        return lines;
+    };
+    // Let generation 0 reach its echo before crashing it — the pid is
+    // live the instant exec lands, which may be before the first
+    // shell statement has run.
+    ASSERT_TRUE(spin_until([&] { return log_lines() >= 1; }));
+    ASSERT_EQ(::kill(first, SIGKILL), 0);
+    ASSERT_TRUE(spin_until([&] {
+        const pid_t pid = supervisor.shard_pid(0);
+        return pid > 0 && pid != first;
+    }));
+    ASSERT_TRUE(spin_until([&] { return log_lines() >= 2; }));
+    supervisor.stop();
+
+    std::ifstream in(log);
+    std::string line;
+    std::vector<std::string> lines;
+    while (std::getline(in, line))
+        lines.push_back(line);
+    ASSERT_GE(lines.size(), 2u);
+    EXPECT_EQ(lines[0], "g:service.transpile=1*abort()");
+    EXPECT_EQ(lines[1], "g:"); // scrubbed: generation 1 is disarmed
+    std::remove(log.c_str());
+}
+
+TEST(Supervisor, FailingHealthChecksHangKillTheShard)
+{
+    SupervisorOptions options = sh_supervisor("exec sleep 30");
+    options.health_interval_ms = 30;
+    options.health_failures = 2;
+    // A health check that never passes models a wedged worker: the
+    // supervisor must SIGKILL it (converting the hang into a crash)
+    // rather than wait forever.
+    options.health_check = [](int) { return false; };
+    std::atomic<int> down_edges{0};
+    options.on_state = [&](int, bool up) {
+        if (!up)
+            ++down_edges;
+    };
+    Supervisor supervisor(options);
+    supervisor.start();
+    ASSERT_TRUE(spin_until(
+        [&] { return supervisor.stats().hang_kills >= 1; }));
+    supervisor.stop();
+    EXPECT_GE(supervisor.stats().restarts, 1u);
+    EXPECT_GE(down_edges.load(), 1);
+}
+
+TEST(Supervisor, GracefulStopTerminatesTrappingChildren)
+{
+    // The child traps SIGTERM and exits 0 — the drain path every
+    // nasscd worker takes.  stop() must reap it inside the grace
+    // window without escalating to SIGKILL.
+    Supervisor supervisor(sh_supervisor(
+        "trap 'exit 0' TERM; while :; do sleep 0.05; done"));
+    supervisor.start();
+    ASSERT_TRUE(supervisor.wait_all_alive(5000));
+    const pid_t pid = supervisor.shard_pid(0);
+    ASSERT_GT(pid, 0);
+    supervisor.stop();
+    EXPECT_EQ(supervisor.shard_pid(0), -1);
+    // The child is really gone (reaped, not leaked): its pid no longer
+    // accepts signal 0 from us (ESRCH) unless recycled, and a second
+    // stop() is an idempotent no-op.
+    supervisor.stop();
+    EXPECT_EQ(supervisor.stats().spawns, 1u);
+}
+
+TEST(Supervisor, TwoShardsRestartIndependently)
+{
+    SupervisorOptions options = sh_supervisor("exec sleep 30");
+    options.shards = 2;
+    Supervisor supervisor(options);
+    supervisor.start();
+    ASSERT_TRUE(supervisor.wait_all_alive(5000));
+    const pid_t victim = supervisor.shard_pid(1);
+    const pid_t bystander = supervisor.shard_pid(0);
+    ASSERT_GT(victim, 0);
+    ASSERT_EQ(::kill(victim, SIGKILL), 0);
+    ASSERT_TRUE(spin_until([&] {
+        const pid_t pid = supervisor.shard_pid(1);
+        return pid > 0 && pid != victim;
+    }));
+    // Shard 0 never blinked.
+    EXPECT_EQ(supervisor.shard_pid(0), bystander);
+    EXPECT_TRUE(supervisor.shard_alive(0));
+    supervisor.stop();
+}
+
+} // namespace
+} // namespace nassc

@@ -18,6 +18,13 @@
 # a fault profile armed (an injected worker fault plus a mid-frame
 # disconnect); the client runs with --tolerate-faults and must recover
 # by retrying, and the SIGTERM drain must still exit 0.
+#
+# NASSC_SMOKE_SHARDS=1 runs the SHARDED deployment instead: a front
+# door with --shards 3, a long restart-tolerant smoke load, and a
+# kill -9 of one worker shard mid-run.  The client must finish with
+# zero failures and bit-identical responses (transparent failover),
+# the supervisor must restart the shard, and the SIGTERM drain must
+# still exit 0 with every socket (front + shards) unlinked.
 set -euo pipefail
 
 BUILD_DIR=${1:-build}
@@ -39,9 +46,17 @@ for bin in nasscd nassc_client; do
     fi
 done
 
-"$BUILD_DIR/nasscd" --unix "$SOCK" --threads 4 &
+SHARDS=0
+DAEMON_ARGS=(--unix "$SOCK" --threads 4)
+if [ "${NASSC_SMOKE_SHARDS:-0}" != "0" ]; then
+    SHARDS=3
+    DAEMON_ARGS=(--unix "$SOCK" --shards "$SHARDS" --threads 2)
+    echo "nasscd_smoke: sharded mode ($SHARDS worker shards)"
+fi
+
+"$BUILD_DIR/nasscd" "${DAEMON_ARGS[@]}" &
 DAEMON_PID=$!
-trap 'kill -9 "$DAEMON_PID" 2>/dev/null || true; rm -f "$SOCK"' EXIT
+trap 'kill -9 "$DAEMON_PID" 2>/dev/null || true; rm -f "$SOCK" "$SOCK".shard* 2>/dev/null' EXIT
 
 # Wait for the listening socket (the daemon prints its banner only
 # after bind+listen, so the socket file appearing means ready).
@@ -55,7 +70,85 @@ for _ in $(seq 1 100); do
 done
 [ -S "$SOCK" ] || { echo "nasscd_smoke: socket never appeared" >&2; exit 1; }
 
-"$BUILD_DIR/nassc_client" --unix "$SOCK" --smoke 4 ${CLIENT_FLAG:+$CLIENT_FLAG}
+if [ "$SHARDS" -gt 0 ]; then
+    # Wait for every worker shard's socket too — the front only routes
+    # once the supervisor has the fleet up.
+    for i in $(seq 0 $((SHARDS - 1))); do
+        for _ in $(seq 1 100); do
+            [ -S "$SOCK.shard$i" ] && break
+            sleep 0.1
+        done
+        [ -S "$SOCK.shard$i" ] || {
+            echo "nasscd_smoke: shard $i socket never appeared" >&2
+            exit 1
+        }
+    done
+
+    # Find a worker shard's pid by scanning /proc cmdlines for its
+    # socket path.  (pgrep -f / pkill -f are booby traps here: the
+    # pattern text appears in THIS shell's own cmdline, and unescaped
+    # dots match any byte.)
+    find_shard_pid() {
+        local p
+        for p in /proc/[0-9]*/cmdline; do
+            if tr '\0' '\n' < "$p" 2>/dev/null | grep -Fxq "$SOCK.shard1"
+            then
+                basename "$(dirname "$p")"
+                return 0
+            fi
+        done
+        return 1
+    }
+    SHARD_PID=$(find_shard_pid) || {
+        echo "nasscd_smoke: could not locate shard 1's pid" >&2
+        exit 1
+    }
+
+    # Long restart-tolerant smoke load in the background, then murder
+    # shard 1 mid-run.  Failover must make the load finish with ZERO
+    # failures and bit-identical responses; the supervisor must bring
+    # the shard back.
+    "$BUILD_DIR/nassc_client" --unix "$SOCK" --smoke 4 --repeat 1000 \
+        --tolerate-restarts &
+    SMOKE_PID=$!
+    sleep 1.5
+    if ! kill -0 "$SMOKE_PID" 2>/dev/null; then
+        echo "nasscd_smoke: smoke load finished before the crash" \
+             "(machine too fast — raise --repeat)" >&2
+        wait "$SMOKE_PID" || exit 1
+        exit 1
+    fi
+    kill -9 "$SHARD_PID"
+    echo "nasscd_smoke: killed shard 1 (pid $SHARD_PID) mid-load"
+    SMOKE_STATUS=0
+    wait "$SMOKE_PID" || SMOKE_STATUS=$?
+    if [ "$SMOKE_STATUS" -ne 0 ]; then
+        echo "nasscd_smoke: sharded smoke load failed ($SMOKE_STATUS)" >&2
+        exit 1
+    fi
+
+    # The supervisor restarted the shard and the fleet is whole again:
+    # merged stats must show the restart and all shards live.
+    STATS=$("$BUILD_DIR/nassc_client" --unix "$SOCK" --stats)
+    RESTARTS=$(printf '%s\n' "$STATS" |
+               awk '$1 == "supervisor_restarts" { print $2 }')
+    LIVE=$(printf '%s\n' "$STATS" | awk '$1 == "shards_live" { print $2 }')
+    if [ "${RESTARTS:-0}" -lt 1 ]; then
+        echo "nasscd_smoke: expected >=1 supervisor restart, got" \
+             "'${RESTARTS:-}'" >&2
+        exit 1
+    fi
+    if [ "${LIVE:-0}" -ne "$SHARDS" ]; then
+        echo "nasscd_smoke: expected $SHARDS live shards, got" \
+             "'${LIVE:-}'" >&2
+        exit 1
+    fi
+    echo "nasscd_smoke: failover survived ($RESTARTS restart(s)," \
+         "$LIVE/$SHARDS shards live)"
+else
+    "$BUILD_DIR/nassc_client" --unix "$SOCK" --smoke 4 \
+        ${CLIENT_FLAG:+$CLIENT_FLAG}
+fi
 
 # A fresh connection after the smoke burst: the daemon keeps serving.
 "$BUILD_DIR/nassc_client" --unix "$SOCK" --builtin bv_n5 \
@@ -73,6 +166,14 @@ fi
 if [ -e "$SOCK" ]; then
     echo "nasscd_smoke: daemon left stale socket $SOCK" >&2
     exit 1
+fi
+if [ "$SHARDS" -gt 0 ]; then
+    for i in $(seq 0 $((SHARDS - 1))); do
+        if [ -e "$SOCK.shard$i" ]; then
+            echo "nasscd_smoke: stale shard socket $SOCK.shard$i" >&2
+            exit 1
+        fi
+    done
 fi
 trap - EXIT
 echo "nasscd_smoke: ok"
