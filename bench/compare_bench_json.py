@@ -34,11 +34,22 @@ even noisier than the in-process service numbers), while `transpiles`
 drift is exact — the dedup invariant holds fleet-wide, so any change
 means the sharding or cache shape moved, not the machine.
 
+With --scaling-current (and optionally --scaling-baseline), also diffs
+a BENCH_scaling.json topology-axis sweep per (device, workload) cell:
+wall_ms drift is informational (the 4k-qubit cells are the noisiest in
+the suite), while peak_distance_bytes and rows_computed are
+deterministic — the pipeline is seeded end to end — so ANY drift there
+is a provider/router shape change and is flagged loudly, though it
+still never fails the gate (the tier-1 equivalence tests own
+correctness).
+
 Usage: compare_bench_json.py [--threshold F] [baseline.json] current.json
                              [--service-baseline S.json]
                              [--service-current S.json]
                              [--server-baseline S.json]
                              [--server-current S.json]
+                             [--scaling-baseline S.json]
+                             [--scaling-current S.json]
 """
 
 import argparse
@@ -152,6 +163,50 @@ def report_server_drift(baseline_path, current_path, threshold):
               f"({len(current)} cells checked)")
 
 
+def load_scaling_rows(path):
+    """Index a scaling sweep file by (device, workload)."""
+    with open(path) as f:
+        rows = json.load(f)
+    return {(r["device"], r["workload"]): r for r in rows}
+
+
+def report_scaling_drift(baseline_path, current_path, threshold):
+    """Print topology-scaling drift; never fails the gate."""
+    baseline = load_scaling_rows(baseline_path)
+    current = load_scaling_rows(current_path)
+    wall_lines, shape_lines = [], []
+    for key, base_row in sorted(baseline.items()):
+        cur_row = current.get(key)
+        if cur_row is None:
+            continue
+        device, workload = key
+        label = f"{device:16s} {workload:8s}"
+        base_tp, cur_tp = base_row["wall_ms"], cur_row["wall_ms"]
+        if base_tp > 0 and cur_tp / base_tp > 1.0 + threshold:
+            wall_lines.append(
+                f"  {label} wall_ms {base_tp:9.3f} -> {cur_tp:9.3f}"
+                f"  ({(cur_tp / base_tp - 1) * 100:+.1f}%)")
+        # Deterministic counters: any movement is a shape change.
+        for field in ("peak_distance_bytes", "rows_computed", "swaps",
+                      "provider"):
+            if base_row.get(field) != cur_row.get(field):
+                shape_lines.append(
+                    f"  {label} {field} {base_row.get(field)} -> "
+                    f"{cur_row.get(field)}")
+    if wall_lines:
+        print(f"note: scaling wall_ms drift > {threshold * 100:.0f}% "
+              f"(informational):")
+        print("\n".join(wall_lines))
+    if shape_lines:
+        print("note: scaling sweep DETERMINISTIC counters moved "
+              "(provider/router shape change, informational):")
+        print("\n".join(shape_lines))
+    if not wall_lines and not shape_lines:
+        print(f"scaling OK: no cell drifted > {threshold * 100:.0f}% and "
+              f"all deterministic counters match "
+              f"({len(current)} cells checked)")
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("baseline", nargs="?", default="bench/BENCH_baseline.json")
@@ -169,6 +224,11 @@ def main():
                     help="daemon sweep baseline (informational)")
     ap.add_argument("--server-current", default=None,
                     help="fresh BENCH_server.json to diff informationally")
+    ap.add_argument("--scaling-baseline",
+                    default="bench/BENCH_scaling_baseline.json",
+                    help="topology scaling sweep baseline (informational)")
+    ap.add_argument("--scaling-current", default=None,
+                    help="fresh BENCH_scaling.json to diff informationally")
     args = ap.parse_args()
 
     if args.service_current:
@@ -190,6 +250,15 @@ def main():
                                 2 * args.threshold)
         except (OSError, ValueError, KeyError) as e:
             print(f"note: daemon sweep not compared ({e})")
+
+    if args.scaling_current:
+        # Same contract again: informational, doubled slack on wall
+        # times; the deterministic byte/row counters are compared exactly.
+        try:
+            report_scaling_drift(args.scaling_baseline,
+                                 args.scaling_current, 2 * args.threshold)
+        except (OSError, ValueError, KeyError) as e:
+            print(f"note: scaling sweep not compared ({e})")
 
     baseline = load_rows(args.baseline)
     current = load_rows(args.current)

@@ -1,0 +1,146 @@
+// Topology-axis scaling sweep, emitting a JSON record per
+// (device, workload) cell:
+//
+//   [{"device": "heavy_hex_21", "qubits": 1123, "workload": "ghz24",
+//     "wall_ms": 21.4, "swaps": 114, "provider": "sparse",
+//     "rows_computed": 509, "peak_distance_bytes": 4572856,
+//     "dense_bytes": 10089032}, ...]
+//
+// Each cell is one full transpile() through a PRIVATE DistanceCache, so
+// peak_distance_bytes is exactly the distance storage that cell's
+// pipeline allocated: on dense devices (montreal, below the
+// sparse_distance_threshold) it equals dense_bytes = n^2 * 8, while on
+// the 129..4243-qubit heavy-hex and grid-of-grids lattices the sparse
+// row provider keeps it proportional to the rows routing actually
+// touched.  The ratio peak_distance_bytes / dense_bytes is the headline
+// number of the "Scaling the topology axis" README section.
+//
+// The `bench_scaling` CMake/CTest target runs this and CI uploads the
+// resulting BENCH_scaling.json; bench/compare_bench_json.py
+// --scaling-current diffs it against bench/BENCH_scaling_baseline.json
+// informationally (wall times are machine-noisy; the byte and row
+// counters are deterministic, so any drift there is a pipeline-shape
+// change).
+//
+// Usage: scaling_sweep_json [--out PATH] [--reps N] [--max-qubits N]
+//
+// --max-qubits skips devices larger than N (the 4k-qubit cells dominate
+// the sweep's wall time; CI keeps them, quick local runs may not want
+// them).
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "nassc/circuits/library.h"
+#include "nassc/service/distance_cache.h"
+#include "nassc/topo/backends.h"
+#include "nassc/transpile/transpile.h"
+
+using namespace nassc;
+
+int
+main(int argc, char **argv)
+{
+    std::string out_path = "BENCH_scaling.json";
+    int reps = 3; // best-of-N wall time per cell
+    int max_qubits = 0;
+    for (int i = 1; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--out") && i + 1 < argc)
+            out_path = argv[++i];
+        else if (!std::strcmp(argv[i], "--reps") && i + 1 < argc)
+            reps = std::atoi(argv[++i]);
+        else if (!std::strcmp(argv[i], "--max-qubits") && i + 1 < argc)
+            max_qubits = std::atoi(argv[++i]);
+    }
+    if (reps < 1)
+        reps = 1;
+
+    // Table-I-class anchor plus the published heavy-hex generations
+    // (Eagle 127 / Osprey 433 / Condor 1121 scale) and a 4k-qubit
+    // multi-chip grid-of-grids.
+    std::vector<Backend> devices;
+    devices.push_back(montreal_backend());
+    for (int d : {7, 13, 21, 41})
+        devices.push_back(heavy_hex_backend(d));
+    devices.push_back(grid_of_grids_backend(5, 5, 13, 13));
+
+    const std::vector<std::pair<std::string, QuantumCircuit>> workloads = {
+        {"ghz24", ghz(24)},
+        {"qft16", qft(16)},
+    };
+
+    std::string json = "[\n";
+    bool first = true;
+    for (const Backend &dev : devices) {
+        const int n = dev.coupling.num_qubits();
+        if (max_qubits > 0 && n > max_qubits)
+            continue;
+        const std::size_t dense_bytes =
+            static_cast<std::size_t>(n) * static_cast<std::size_t>(n) * 8;
+        for (const auto &[wname, circuit] : workloads) {
+            TranspileOptions opts;
+            opts.router = RoutingAlgorithm::kSabre;
+            // Default sparse_distance_threshold: montreal stays on the
+            // historical dense matrix, everything larger goes sparse —
+            // exactly what production transpiles would allocate.
+            const bool sparse = n > opts.sparse_distance_threshold;
+
+            double best_ms = 0.0;
+            int swaps = 0;
+            std::size_t rows_computed = 0, peak_bytes = 0;
+            for (int r = 0; r < reps; ++r) {
+                DistanceCache cache; // fresh: cell-exact byte accounting
+                auto t0 = std::chrono::steady_clock::now();
+                const TranspileResult res =
+                    transpile(circuit, dev, opts, cache);
+                auto t1 = std::chrono::steady_clock::now();
+                const double ms =
+                    std::chrono::duration<double, std::milli>(t1 - t0)
+                        .count();
+                if (r == 0 || ms < best_ms)
+                    best_ms = ms;
+                swaps = res.routing_stats.num_swaps;
+                const DistanceCache::Stats s = cache.stats();
+                rows_computed = s.rows_computed;
+                peak_bytes = s.row_bytes_peak;
+            }
+
+            char row[400];
+            std::snprintf(
+                row, sizeof(row),
+                "  {\"device\": \"%s\", \"qubits\": %d, "
+                "\"workload\": \"%s\", \"wall_ms\": %.3f, "
+                "\"swaps\": %d, \"provider\": \"%s\", "
+                "\"rows_computed\": %zu, \"peak_distance_bytes\": %zu, "
+                "\"dense_bytes\": %zu}",
+                dev.name.c_str(), n, wname.c_str(), best_ms, swaps,
+                sparse ? "sparse" : "dense", rows_computed, peak_bytes,
+                dense_bytes);
+            if (!first)
+                json += ",\n";
+            json += row;
+            first = false;
+            std::printf("%-16s %5dq %-6s %9.3f ms  %5d swaps  "
+                        "%-6s rows=%zu  peak=%zu (dense %zu, %.1f%%)\n",
+                        dev.name.c_str(), n, wname.c_str(), best_ms, swaps,
+                        sparse ? "sparse" : "dense", rows_computed,
+                        peak_bytes, dense_bytes,
+                        100.0 * static_cast<double>(peak_bytes) /
+                            static_cast<double>(dense_bytes));
+        }
+    }
+    json += "\n]\n";
+
+    std::ofstream f(out_path);
+    if (!f) {
+        std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+        return 1;
+    }
+    f << json;
+    std::printf("json written to %s\n", out_path.c_str());
+    return 0;
+}

@@ -71,7 +71,7 @@ struct LayoutSearch::WorkerCtx
     std::unique_ptr<Router> score;
 
     WorkerCtx(const DagCircuit &fwd_dag, const DagCircuit &rev_dag,
-              const CouplingMap &coupling, const DistanceMatrix &dist,
+              const CouplingMap &coupling, const DistanceProvider &dist,
               const RoutingOptions &opts)
         : fwd(fwd_dag, coupling, dist, opts),
           rev(rev_dag, coupling, dist, opts)
@@ -83,7 +83,10 @@ LayoutSearch::LayoutSearch(const QuantumCircuit &logical,
                            const CouplingMap &coupling,
                            const DistanceMatrix &dist,
                            const RoutingOptions &opts, int iterations)
-    : coupling_(coupling), dist_(dist), opts_(mapping_options(opts)),
+    : coupling_(coupling),
+      borrowed_(std::make_unique<DenseDistanceProvider>(
+          DenseDistanceProvider::borrowed(dist))),
+      dist_(borrowed_.get()), opts_(mapping_options(opts)),
       retain_(opts.reuse_routing &&
               opts.algorithm == RoutingAlgorithm::kSabre),
       trials_requested_(opts.layout_trials), iterations_(iterations),
@@ -94,6 +97,22 @@ LayoutSearch::LayoutSearch(const QuantumCircuit &logical,
     // The refinement passes route the stripped circuit (historical,
     // bit-compatible); the scoring pass must route what route_circuit()
     // would see, so a second DAG exists exactly when they differ.
+    if (logical.size() != fwd_.size())
+        full_dag_.emplace(logical);
+}
+
+LayoutSearch::LayoutSearch(const QuantumCircuit &logical,
+                           const CouplingMap &coupling,
+                           const DistanceProvider &dist,
+                           const RoutingOptions &opts, int iterations)
+    : coupling_(coupling), dist_(&dist), opts_(mapping_options(opts)),
+      retain_(opts.reuse_routing &&
+              opts.algorithm == RoutingAlgorithm::kSabre),
+      trials_requested_(opts.layout_trials), iterations_(iterations),
+      num_logical_(logical.num_qubits()),
+      fwd_(logical.without_non_unitary()), rev_(reversed(fwd_)),
+      fwd_dag_(fwd_), rev_dag_(rev_)
+{
     if (logical.size() != fwd_.size())
         full_dag_.emplace(logical);
 }
@@ -109,7 +128,7 @@ LayoutSearch::ctx(int worker)
     auto &slot = workers_[static_cast<std::size_t>(worker)];
     if (!slot)
         slot = std::make_unique<WorkerCtx>(fwd_dag_, rev_dag_, coupling_,
-                                           dist_, opts_);
+                                           *dist_, opts_);
     return *slot;
 }
 
@@ -119,7 +138,7 @@ LayoutSearch::score_router(WorkerCtx &c)
     if (!full_dag_)
         return c.fwd;
     if (!c.score)
-        c.score = std::make_unique<Router>(*full_dag_, coupling_, dist_,
+        c.score = std::make_unique<Router>(*full_dag_, coupling_, *dist_,
                                            opts_);
     return *c.score;
 }
@@ -150,20 +169,30 @@ LayoutSearch::embedding_seed_layout() const
         nbrs[static_cast<std::size_t>(b)].push_back(a);
     }
 
+    // Rows of the already-placed interaction neighbours are fetched
+    // once per logical qubit (row-oriented for the sparse provider).
+    // Per-candidate accumulation keeps the historical m-order, and
+    // D(mp, p) == D(p, mp) exactly under both metrics (BFS trivially;
+    // Floyd-Warshall preserves symmetry), so the dense path picks the
+    // same best_p bit-for-bit as the old column-wise reads.
+    std::vector<DistanceRow> placed_rows;
     for (int l = 0; l < num_logical_; ++l) {
         if (l2p[static_cast<std::size_t>(l)] >= 0)
             continue;
+        placed_rows.clear();
+        for (int m : nbrs[static_cast<std::size_t>(l)]) {
+            int mp = l2p[static_cast<std::size_t>(m)];
+            if (mp >= 0)
+                placed_rows.push_back(dist_->row(mp));
+        }
         int best_p = -1;
         double best_cost = std::numeric_limits<double>::infinity();
         for (int p = 0; p < np; ++p) {
             if (used[static_cast<std::size_t>(p)])
                 continue;
             double cost = 0.0;
-            for (int m : nbrs[static_cast<std::size_t>(l)]) {
-                int mp = l2p[static_cast<std::size_t>(m)];
-                if (mp >= 0)
-                    cost += dist_(p, mp);
-            }
+            for (const DistanceRow &r : placed_rows)
+                cost += r[p];
             if (cost < best_cost) {
                 best_cost = cost;
                 best_p = p;
@@ -392,6 +421,15 @@ LayoutSearch::run(Scheduler *scheduler)
 LayoutSearchResult
 search_and_route(const QuantumCircuit &logical, const CouplingMap &coupling,
                  const DistanceMatrix &dist, const RoutingOptions &opts,
+                 int iterations, Scheduler *scheduler)
+{
+    LayoutSearch search(logical, coupling, dist, opts, iterations);
+    return search.run(scheduler);
+}
+
+LayoutSearchResult
+search_and_route(const QuantumCircuit &logical, const CouplingMap &coupling,
+                 const DistanceProvider &dist, const RoutingOptions &opts,
                  int iterations, Scheduler *scheduler)
 {
     LayoutSearch search(logical, coupling, dist, opts, iterations);

@@ -64,6 +64,7 @@
 #include "nassc/route/sabre.h"
 #include "nassc/topo/coupling_map.h"
 #include "nassc/topo/distance_matrix.h"
+#include "nassc/topo/distance_provider.h"
 
 namespace nassc {
 
@@ -139,6 +140,15 @@ class LayoutSearch
     LayoutSearch(const QuantumCircuit &logical, const CouplingMap &coupling,
                  const DistanceMatrix &dist, const RoutingOptions &opts,
                  int iterations = 3);
+
+    /**
+     * Provider overload: trials score through DistanceProvider rows.
+     * Dense providers reproduce the matrix overload bit-for-bit (same
+     * flat storage); sparse providers only touch visited rows.
+     */
+    LayoutSearch(const QuantumCircuit &logical, const CouplingMap &coupling,
+                 const DistanceProvider &dist, const RoutingOptions &opts,
+                 int iterations = 3);
     ~LayoutSearch();
 
     LayoutSearch(const LayoutSearch &) = delete;
@@ -163,7 +173,9 @@ class LayoutSearch
     Layout degree_seed_layout() const;
 
     const CouplingMap &coupling_;
-    const DistanceMatrix &dist_;
+    /** Wraps the matrix-ctor argument so both ctors share one path. */
+    std::unique_ptr<DenseDistanceProvider> borrowed_;
+    const DistanceProvider *dist_; ///< never null after construction
     RoutingOptions opts_; ///< routing options with algorithm forced to SABRE
     const bool retain_;   ///< keep the winner's scoring pass for reuse
     const int trials_requested_;
@@ -200,6 +212,14 @@ class LayoutSearch
 LayoutSearchResult search_and_route(const QuantumCircuit &logical,
                                     const CouplingMap &coupling,
                                     const DistanceMatrix &dist,
+                                    const RoutingOptions &opts,
+                                    int iterations = 3,
+                                    Scheduler *scheduler = nullptr);
+
+/** Provider overload of search_and_route (same contract). */
+LayoutSearchResult search_and_route(const QuantumCircuit &logical,
+                                    const CouplingMap &coupling,
+                                    const DistanceProvider &dist,
                                     const RoutingOptions &opts,
                                     int iterations = 3,
                                     Scheduler *scheduler = nullptr);

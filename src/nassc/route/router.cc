@@ -87,23 +87,46 @@ gather_swapped_dists(const int *ks, int m, const int *pa_arr,
 
 Router::Router(const DagCircuit &dag, const CouplingMap &coupling,
                const DistanceMatrix &dist, const RoutingOptions &opts)
-    : dag_(dag), coupling_(coupling), dist_(dist), opts_(opts),
+    : dag_(dag), coupling_(coupling),
+      borrowed_(std::make_unique<DenseDistanceProvider>(
+          DenseDistanceProvider::borrowed(dist))),
+      prov_(borrowed_.get()), flat_(dist.data()), opts_(opts),
       num_phys_(coupling.num_qubits())
 {
-    for (int id = 0; id < dag.num_nodes(); ++id) {
-        const Gate &g = dag.gate(id);
+    init();
+}
+
+Router::Router(const DagCircuit &dag, const CouplingMap &coupling,
+               const DistanceProvider &dist, const RoutingOptions &opts)
+    : dag_(dag), coupling_(coupling), prov_(&dist),
+      flat_(dist.dense_data()), opts_(opts),
+      num_phys_(coupling.num_qubits())
+{
+    init();
+}
+
+void
+Router::init()
+{
+    for (int id = 0; id < dag_.num_nodes(); ++id) {
+        const Gate &g = dag_.gate(id);
         if (g.num_qubits() > 2 && g.kind != OpKind::kBarrier)
             throw std::invalid_argument(
                 "route_circuit: decompose to <= 2q gates first");
     }
-    force_limit_ = 3 * std::max(coupling.diameter(), 2) + 8;
-    edge_stamp_.assign(
-        static_cast<std::size_t>(num_phys_) * num_phys_, 0);
-    node_stamp_.assign(dag.num_nodes(), 0);
+    force_limit_ = 3 * std::max(coupling_.diameter(), 2) + 8;
+    // Candidate dedup marks, one per coupling edge (the historical
+    // n*n table was 144 MB at 4k qubits for the same information).
+    edge_stamp_.assign(coupling_.edges().size(), 0);
+    node_stamp_.assign(dag_.num_nodes(), 0);
     by_phys_.resize(num_phys_);
-    remaining_.resize(dag.num_nodes());
-    out_.reserve(dag.num_nodes() + 64);
-    dead_.reserve(dag.num_nodes() + 64);
+    remaining_.resize(dag_.num_nodes());
+    out_.reserve(dag_.num_nodes() + 64);
+    dead_.reserve(dag_.num_nodes() + 64);
+    if (!flat_)
+        row_cache_.resize(num_phys_);
+    if (opts_.region_radius > 0)
+        phys_stamp_.assign(num_phys_, 0);
 }
 
 Router::~Router() = default;
@@ -243,6 +266,7 @@ Router::swap_candidates()
 {
     ++stamp_;
     cand_.clear();
+    const auto &edges = coupling_.edges();
     for (int id : front_) {
         const Gate &g = dag_.gate(id);
         for (int lq : g.qubits) {
@@ -250,8 +274,11 @@ Router::swap_candidates()
             for (int nbr : coupling_.neighbors(p)) {
                 int a = std::min(p, nbr);
                 int b = std::max(p, nbr);
-                std::uint64_t &st =
-                    edge_stamp_[static_cast<std::size_t>(a) * num_phys_ + b];
+                // Dedup mark lives at the edge's index in the sorted
+                // edge list (always present: nbr came from neighbors()).
+                auto it = std::lower_bound(edges.begin(), edges.end(),
+                                           std::pair<int, int>(a, b));
+                std::uint64_t &st = edge_stamp_[it - edges.begin()];
                 if (st != stamp_) {
                     st = stamp_;
                     cand_.emplace_back(a, b);
@@ -265,14 +292,58 @@ Router::swap_candidates()
     return cand_;
 }
 
+void
+Router::mark_region()
+{
+    // BFS over the coupling graph from every front-layer physical
+    // qubit, to depth opts_.region_radius.  Marked qubits carry
+    // region_mark_ in phys_stamp_; the queue interleaves (qubit,
+    // depth) pairs in a reused vector.
+    region_mark_ = ++stamp_;
+    region_bfs_.clear();
+    for (int id : front_) {
+        const Gate &g = dag_.gate(id);
+        for (int lq : g.qubits) {
+            int p = layout_.phys_of(lq);
+            if (phys_stamp_[p] != region_mark_) {
+                phys_stamp_[p] = region_mark_;
+                region_bfs_.push_back(p);
+                region_bfs_.push_back(0);
+            }
+        }
+    }
+    std::size_t head = 0;
+    while (head < region_bfs_.size()) {
+        int p = region_bfs_[head];
+        int depth = region_bfs_[head + 1];
+        head += 2;
+        if (depth >= opts_.region_radius)
+            continue;
+        for (int nbr : coupling_.neighbors(p)) {
+            if (phys_stamp_[nbr] != region_mark_) {
+                phys_stamp_[nbr] = region_mark_;
+                region_bfs_.push_back(nbr);
+                region_bfs_.push_back(depth + 1);
+            }
+        }
+    }
+}
+
 const std::vector<int> &
 Router::extended_set()
 {
     if (ext_valid_)
         return ext_;
+    const bool limited = opts_.region_radius > 0;
+    if (limited)
+        mark_region();
     // BFS over DAG successors of the front, collecting 2q gates.  The
     // seen set is an epoch-stamped array and the queue a reused vector
-    // with a moving head.
+    // with a moving head.  With a region limit, a gate only joins the
+    // extended set when both of its current physical qubits lie inside
+    // the marked radius — lookahead never reads distance rows of
+    // far-away qubits — but the DAG walk itself is unrestricted so the
+    // window still fills from deeper gates.
     ++stamp_;
     ext_.clear();
     bfs_.clear();
@@ -290,9 +361,18 @@ Router::extended_set()
             node_stamp_[s] = stamp_;
             const Gate &g = dag_.gate(s);
             if (g.num_qubits() == 2 && is_unitary_op(g.kind)) {
-                ext_.push_back(s);
-                if (static_cast<int>(ext_.size()) >= opts_.extended_size)
-                    break;
+                bool in_region =
+                    !limited ||
+                    (phys_stamp_[layout_.phys_of(g.qubits[0])] ==
+                         region_mark_ &&
+                     phys_stamp_[layout_.phys_of(g.qubits[1])] ==
+                         region_mark_);
+                if (in_region) {
+                    ext_.push_back(s);
+                    if (static_cast<int>(ext_.size()) >=
+                        opts_.extended_size)
+                        break;
+                }
             }
             bfs_.push_back(s);
         }
@@ -305,25 +385,27 @@ void
 Router::fill_terms(int begin, int end, double coeff)
 {
 #if defined(__AVX2__)
-    const double *dm = dist_.data();
-    const __m128i vn = _mm_set1_epi32(num_phys_);
-    const __m256d vc = _mm256_set1_pd(coeff);
-    int k = begin;
-    for (; k + 4 <= end; k += 4) {
-        __m128i pa = _mm_loadu_si128(
-            reinterpret_cast<const __m128i *>(score_pa_.data() + k));
-        __m128i pb = _mm_loadu_si128(
-            reinterpret_cast<const __m128i *>(score_pb_.data() + k));
-        __m128i idx = _mm_add_epi32(_mm_mullo_epi32(pa, vn), pb);
-        _mm256_storeu_pd(score_term_.data() + k,
-                         _mm256_mul_pd(vc, gather_pd(dm, idx)));
+    if (flat_) {
+        const double *dm = flat_;
+        const __m128i vn = _mm_set1_epi32(num_phys_);
+        const __m256d vc = _mm256_set1_pd(coeff);
+        int k = begin;
+        for (; k + 4 <= end; k += 4) {
+            __m128i pa = _mm_loadu_si128(
+                reinterpret_cast<const __m128i *>(score_pa_.data() + k));
+            __m128i pb = _mm_loadu_si128(
+                reinterpret_cast<const __m128i *>(score_pb_.data() + k));
+            __m128i idx = _mm_add_epi32(_mm_mullo_epi32(pa, vn), pb);
+            _mm256_storeu_pd(score_term_.data() + k,
+                             _mm256_mul_pd(vc, gather_pd(dm, idx)));
+        }
+        for (; k < end; ++k)
+            score_term_[k] = coeff * dist_at(score_pa_[k], score_pb_[k]);
+        return;
     }
-    for (; k < end; ++k)
-        score_term_[k] = coeff * dist_(score_pa_[k], score_pb_[k]);
-#else
-    for (int k = begin; k < end; ++k)
-        score_term_[k] = coeff * dist_(score_pa_[k], score_pb_[k]);
 #endif
+    for (int k = begin; k < end; ++k)
+        score_term_[k] = coeff * dist_at(score_pa_[k], score_pb_[k]);
 }
 
 void
@@ -384,28 +466,32 @@ Router::accumulate_delta(const std::vector<int> &ks, bool skip_p, int p,
                          int q, double &dfront, double &dext) const
 {
 #if defined(__AVX2__)
-    // Block-wise: vector-gather the relabeled distances into nd_buf,
-    // then accumulate in list order with the same skip logic as the
-    // scalar path — sums stay ordered, results stay bit-identical.
-    constexpr int kBlock = 256;
-    double nd_buf[kBlock];
-    const int m = static_cast<int>(ks.size());
-    for (int off = 0; off < m; off += kBlock) {
-        const int len = std::min(kBlock, m - off);
-        gather_swapped_dists(ks.data() + off, len, score_pa_.data(),
-                             score_pb_.data(), dist_.data(), num_phys_, p,
-                             q, nd_buf);
-        for (int j = 0; j < len; ++j) {
-            const int k = ks[off + j];
-            if (skip_p && (score_pa_[k] == p || score_pb_[k] == p))
-                continue;
-            if (k < score_front_count_)
-                dfront += 3.0 * nd_buf[j] - score_term_[k];
-            else
-                dext += nd_buf[j] - score_term_[k];
+    if (flat_) {
+        // Block-wise: vector-gather the relabeled distances into
+        // nd_buf, then accumulate in list order with the same skip
+        // logic as the scalar path — sums stay ordered, results stay
+        // bit-identical.
+        constexpr int kBlock = 256;
+        double nd_buf[kBlock];
+        const int m = static_cast<int>(ks.size());
+        for (int off = 0; off < m; off += kBlock) {
+            const int len = std::min(kBlock, m - off);
+            gather_swapped_dists(ks.data() + off, len, score_pa_.data(),
+                                 score_pb_.data(), flat_, num_phys_, p, q,
+                                 nd_buf);
+            for (int j = 0; j < len; ++j) {
+                const int k = ks[off + j];
+                if (skip_p && (score_pa_[k] == p || score_pb_[k] == p))
+                    continue;
+                if (k < score_front_count_)
+                    dfront += 3.0 * nd_buf[j] - score_term_[k];
+                else
+                    dext += nd_buf[j] - score_term_[k];
+            }
         }
+        return;
     }
-#else
+#endif
     for (int k : ks) {
         if (skip_p && (score_pa_[k] == p || score_pb_[k] == p))
             continue;
@@ -415,7 +501,6 @@ Router::accumulate_delta(const std::vector<int> &ks, bool skip_p, int p,
         else
             dext += nd - score_term_[k];
     }
-#endif
 }
 
 void
@@ -504,9 +589,14 @@ Router::apply_forced_swap()
     int pb = layout_.phys_of(g.qubits[1]);
     int best_nbr = -1;
     double best = std::numeric_limits<double>::infinity();
+    // One row fetch instead of one per neighbor: D is exactly
+    // symmetric under both metrics (BFS trivially; Floyd-Warshall
+    // preserves symmetry because both orders relax with the same
+    // commutative sums), so rb[nbr] == D(nbr, pb) bit-for-bit.
+    const double *rb = row(pb);
     for (int nbr : coupling_.neighbors(pa)) {
-        if (dist_(nbr, pb) < best) {
-            best = dist_(nbr, pb);
+        if (rb[nbr] < best) {
+            best = rb[nbr];
             best_nbr = nbr;
         }
     }

@@ -43,6 +43,7 @@
 #include "nassc/route/sabre.h"
 #include "nassc/topo/coupling_map.h"
 #include "nassc/topo/distance_matrix.h"
+#include "nassc/topo/distance_provider.h"
 
 namespace nassc {
 
@@ -60,6 +61,16 @@ class Router
      */
     Router(const DagCircuit &dag, const CouplingMap &coupling,
            const DistanceMatrix &dist, const RoutingOptions &opts);
+
+    /**
+     * Provider-backed router.  A dense provider exposes its flat
+     * storage, putting the router on the exact historical fast path
+     * (AVX2 gathers over row-major doubles); a sparse provider is read
+     * through pinned rows fetched on first touch and cached for the
+     * Router's lifetime.  `dist` must outlive the Router.
+     */
+    Router(const DagCircuit &dag, const CouplingMap &coupling,
+           const DistanceProvider &dist, const RoutingOptions &opts);
     ~Router();
 
     Router(const Router &) = delete;
@@ -109,12 +120,33 @@ class Router
     const RoutingStats &stats() const { return stats_; }
 
   private:
+    void init();
     void run_loop();
     int emit(Gate g);
     void execute_node(int id);
     void apply_forced_swap();
     void apply_swap(int p, int q, const SwapReduction &red);
     void reset_decay();
+
+    /**
+     * Distance row of physical qubit `i`.  Dense: a pointer into the
+     * flat matrix, no per-row state.  Sparse: the pinned row handle is
+     * fetched on first touch and cached for the Router's lifetime, so
+     * repeat reads are one array index — and provider-side eviction
+     * cannot invalidate a row this Router still scores through.
+     */
+    const double *
+    row(int i) const
+    {
+        if (flat_)
+            return flat_ + static_cast<std::size_t>(i) * num_phys_;
+        DistanceRow &r = row_cache_[i];
+        if (!r.data)
+            r = prov_->row(i);
+        return r.data;
+    }
+
+    double dist_at(int i, int j) const { return row(i)[j]; }
 
     /** D[pa'][pb'] after relabeling through a SWAP on (p, q). */
     double
@@ -128,8 +160,11 @@ class Router
             pb = q;
         else if (pb == q)
             pb = p;
-        return dist_(pa, pb);
+        return dist_at(pa, pb);
     }
+
+    /** Mark physical qubits within opts_.region_radius of the front. */
+    void mark_region();
 
     /** Build the base sums and per-qubit touch lists for one decision. */
     void build_score_base();
@@ -160,10 +195,15 @@ class Router
     // ---- immutable bindings ------------------------------------------------
     const DagCircuit &dag_;
     const CouplingMap &coupling_;
-    const DistanceMatrix &dist_;
+    /** Wraps the matrix-ctor argument so both ctors share one path. */
+    std::unique_ptr<DenseDistanceProvider> borrowed_;
+    const DistanceProvider *prov_;   ///< never null after construction
+    const double *flat_;             ///< dense storage; null when sparse
     const RoutingOptions opts_;
     const int num_phys_;
     int force_limit_ = 50;
+    /** Sparse-provider pinned rows, fetched lazily (see row()). */
+    mutable std::vector<DistanceRow> row_cache_;
 
     // ---- per-pass state ----------------------------------------------------
     Layout layout_;
@@ -180,13 +220,16 @@ class Router
 
     // ---- epoch-stamped scratch (valid entries carry the current stamp) ----
     std::uint64_t stamp_ = 0;
-    std::vector<std::uint64_t> edge_stamp_; ///< per (p*n+q) candidate edge
+    std::vector<std::uint64_t> edge_stamp_; ///< per coupling edge index
     std::vector<std::uint64_t> node_stamp_; ///< per DAG node (BFS seen set)
     std::vector<std::pair<int, int>> cand_;
     std::vector<int> ext_;
     bool ext_valid_ = false;
     std::vector<int> bfs_;          ///< BFS queue storage (head index local)
     std::vector<int> front_snapshot_; ///< execute_ready iteration snapshot
+    std::vector<std::uint64_t> phys_stamp_; ///< region marks (== region_mark_)
+    std::uint64_t region_mark_ = 0;
+    std::vector<int> region_bfs_;   ///< (qubit, depth) interleaved queue
 
     // ---- incremental-scoring scratch (rebuilt once per decision) ----------
     double front_base_ = 0.0;

@@ -26,6 +26,7 @@
 #include "nassc/route/layout.h"
 #include "nassc/topo/coupling_map.h"
 #include "nassc/topo/distance_matrix.h"
+#include "nassc/topo/distance_provider.h"
 
 namespace nassc {
 
@@ -75,6 +76,17 @@ struct RoutingOptions
      * construction (pinned in tests/test_layout_trials.cc).
      */
     bool reuse_routing = true;
+    /**
+     * Region-limited lookahead for large devices: when > 0, the
+     * extended set only admits gates whose current physical qubits
+     * both lie within this many coupling-graph hops of a front-layer
+     * physical qubit.  SWAP candidates are radius-1 by construction
+     * (edges touching the front layer), so with this set a routing
+     * decision never reads distance rows of qubits far from the front.
+     * 0 (the default) disables the limit and is bit-identical to every
+     * prior release.
+     */
+    int region_radius = 0;
 };
 
 /** Counters reported by one routing run. */
@@ -110,6 +122,18 @@ RoutingResult route_circuit(const QuantumCircuit &logical,
                             const RoutingOptions &opts);
 
 /**
+ * Provider overload: scores through DistanceProvider rows.  With a
+ * dense provider this is bit-identical to the matrix overload (the
+ * router reads the same flat storage); a sparse provider only touches
+ * the rows the routing decisions actually visit.
+ */
+RoutingResult route_circuit(const QuantumCircuit &logical,
+                            const CouplingMap &coupling,
+                            const DistanceProvider &dist,
+                            const Layout &initial,
+                            const RoutingOptions &opts);
+
+/**
  * SABRE reverse-traversal initial layout: opts.layout_trials seed
  * layouts (random, plus embedding/degree heuristics when racing), each
  * refined by alternating forward/backward routing passes, raced on the
@@ -124,6 +148,12 @@ RoutingResult route_circuit(const QuantumCircuit &logical,
 Layout sabre_initial_layout(const QuantumCircuit &logical,
                             const CouplingMap &coupling,
                             const DistanceMatrix &dist,
+                            const RoutingOptions &opts, int iterations = 3);
+
+/** Provider overload of sabre_initial_layout (same contract). */
+Layout sabre_initial_layout(const QuantumCircuit &logical,
+                            const CouplingMap &coupling,
+                            const DistanceProvider &dist,
                             const RoutingOptions &opts, int iterations = 3);
 
 } // namespace nassc

@@ -250,6 +250,21 @@ parse_transpile_options(
             if (opts.deadline_ms < 0)
                 bad_payload("option deadline_ms: must be >= 0, got '" +
                             value + "'");
+        } else if (key == "sparse_distance_threshold") {
+            opts.sparse_distance_threshold = parse_int(key, value);
+        } else if (key == "distance_row_budget_bytes") {
+            const int v = parse_int(key, value);
+            if (v < 0)
+                bad_payload("option distance_row_budget_bytes: must be >= "
+                            "0, got '" +
+                            value + "'");
+            opts.distance_row_budget_bytes =
+                static_cast<std::size_t>(v);
+        } else if (key == "region_radius") {
+            opts.region_radius = parse_int(key, value);
+            if (opts.region_radius < 0)
+                bad_payload("option region_radius: must be >= 0, got '" +
+                            value + "'");
         } else {
             bad_payload("unknown option '" + key + "'");
         }

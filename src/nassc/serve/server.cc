@@ -56,9 +56,12 @@ source_name(TicketSource source)
 }
 
 std::vector<std::pair<std::string, std::string>>
-stats_pairs(const ServiceStats &s)
+stats_pairs(const TranspileService &service)
 {
+    const ServiceStats s = service.stats();
+    const DistanceCache::Stats d = service.distance_cache().stats();
     auto u = [](std::uint64_t v) { return std::to_string(v); };
+    auto z = [](std::size_t v) { return std::to_string(v); };
     return {
         {"requests", u(s.requests)},
         {"cache_hits", u(s.cache_hits)},
@@ -74,6 +77,19 @@ stats_pairs(const ServiceStats &s)
         {"cache_size", std::to_string(s.cache_size)},
         {"cache_bytes", std::to_string(s.cache_bytes)},
         {"inflight", std::to_string(s.inflight)},
+        // Distance-cache rows: provider-level compute/hit counts plus
+        // the sparse providers' per-row counters, so operators can see
+        // lazy-row pressure (and rotation invalidations) per shard.
+        // All numeric, so ShardRouter::merged_stats() sums them.
+        {"distance_entries", z(d.entries)},
+        {"distance_computations", z(d.computations)},
+        {"distance_hits", z(d.hits)},
+        {"distance_evictions_invalidated", z(d.evictions_invalidated)},
+        {"distance_rows_computed", z(d.rows_computed)},
+        {"distance_row_hits", z(d.row_hits)},
+        {"distance_rows_evicted", z(d.rows_evicted)},
+        {"distance_row_bytes", z(d.row_bytes)},
+        {"distance_row_bytes_peak", z(d.row_bytes_peak)},
     };
 }
 
@@ -239,7 +255,7 @@ struct NasscServer::Impl
                 response.status = "ok";
                 response.stats = options.shard_router
                                      ? options.shard_router->merged_stats()
-                                     : stats_pairs(service->stats());
+                                     : stats_pairs(*service);
                 return response;
             }
             const std::shared_ptr<const Backend> backend =
@@ -274,7 +290,7 @@ struct NasscServer::Impl
             response.degraded = result->degraded;
             if (result->degraded)
                 response.trials_consumed = result->layout_trials_consumed;
-            response.stats = stats_pairs(service->stats());
+            response.stats = stats_pairs(*service);
             response.status = "ok";
         } catch (const ClientGone &) {
             throw;

@@ -1,5 +1,6 @@
 #include "nassc/service/distance_cache.h"
 
+#include <chrono>
 #include <cstdio>
 
 namespace nassc {
@@ -7,33 +8,86 @@ namespace nassc {
 std::string
 DistanceRequest::key() const
 {
-    if (!noise_aware)
-        return "hops";
-    char buf[96];
-    std::snprintf(buf, sizeof(buf), "noise:%.9g:%.9g:%.9g", alpha1, alpha2,
-                  alpha3);
-    return buf;
+    std::string k;
+    if (!noise_aware) {
+        k = "hops";
+    } else {
+        char buf[96];
+        std::snprintf(buf, sizeof(buf), "noise:%.9g:%.9g:%.9g", alpha1,
+                      alpha2, alpha3);
+        k = buf;
+    }
+    if (sparse) {
+        char buf[48];
+        std::snprintf(buf, sizeof(buf), "|sparse:%zu", row_budget_bytes);
+        k += buf;
+    }
+    return k;
 }
 
-SharedDistanceMatrix
-DistanceCache::get(const Backend &backend, const DistanceRequest &request)
+void
+DistanceCache::retire_locked(const Entry &entry)
 {
-    const std::string key = backend.cache_key() + "|" + request.key();
+    using namespace std::chrono_literals;
+    if (entry.future.wait_for(0s) != std::future_status::ready)
+        return; // still computing; its stats never become visible
+    try {
+        const SharedDistanceProvider &p = entry.future.get();
+        DistanceProviderStats s = p->stats();
+        retired_rows_computed_ += s.rows_computed;
+        retired_row_hits_ += s.row_hits;
+        retired_rows_evicted_ += s.rows_evicted;
+        retired_peak_bytes_ += s.peak_bytes;
+    } catch (...) {
+        // Failed computation: nothing to fold.
+    }
+}
 
-    std::promise<SharedDistanceMatrix> promise;
-    std::shared_future<SharedDistanceMatrix> future;
+void
+DistanceCache::invalidate_locked(const std::string &backend_name)
+{
+    for (auto it = entries_.begin(); it != entries_.end();) {
+        if (it->second.backend_name == backend_name) {
+            retire_locked(it->second);
+            it = entries_.erase(it);
+            ++evictions_invalidated_;
+        } else {
+            ++it;
+        }
+    }
+}
+
+SharedDistanceProvider
+DistanceCache::provider(const Backend &backend,
+                        const DistanceRequest &request)
+{
+    const std::string bkey = backend.cache_key();
+    const std::string key = bkey + "|" + request.key();
+
+    std::promise<SharedDistanceProvider> promise;
+    std::shared_future<SharedDistanceProvider> future;
     bool owner = false;
     {
         std::lock_guard<std::mutex> lock(mu_);
+        // Rotation detector: same backend name with a different
+        // cache_key means the calibration (or topology) rolled — drop
+        // the old generation eagerly so it cannot be served again and
+        // does not leak one provider per generation.
+        auto [git, inserted] = generation_.try_emplace(backend.name, bkey);
+        if (!inserted && git->second != bkey) {
+            invalidate_locked(backend.name);
+            git->second = bkey;
+        }
+
         auto it = entries_.find(key);
         if (it != entries_.end()) {
             ++hits_;
-            future = it->second;
+            future = it->second.future;
         } else {
             ++computations_;
             owner = true;
             future = promise.get_future().share();
-            entries_.emplace(key, future);
+            entries_.emplace(key, Entry{future, backend.name});
         }
     }
 
@@ -41,12 +95,9 @@ DistanceCache::get(const Backend &backend, const DistanceRequest &request)
         // Compute outside the lock: other keys stay available, same-key
         // requesters block on the shared_future instead of the mutex.
         try {
-            auto matrix = std::make_shared<DistanceMatrix>(
-                request.noise_aware
-                    ? noise_aware_distance(backend, request.alpha1,
-                                           request.alpha2, request.alpha3)
-                    : hop_distance(backend.coupling));
-            promise.set_value(std::move(matrix));
+            promise.set_value(make_distance_provider(
+                backend, request.noise_aware, request.alpha1, request.alpha2,
+                request.alpha3, request.sparse, request.row_budget_bytes));
         } catch (...) {
             promise.set_exception(std::current_exception());
             // Evict so a later request can retry; waiters already holding
@@ -57,6 +108,26 @@ DistanceCache::get(const Backend &backend, const DistanceRequest &request)
     }
 
     return future.get();
+}
+
+SharedDistanceMatrix
+DistanceCache::get(const Backend &backend, const DistanceRequest &request)
+{
+    DistanceRequest dense_request = request;
+    dense_request.sparse = false;
+    dense_request.row_budget_bytes = 0;
+    SharedDistanceProvider p = provider(backend, dense_request);
+    // Non-sparse requests always construct a DenseDistanceProvider.
+    auto dense = std::static_pointer_cast<const DenseDistanceProvider>(p);
+    return SharedDistanceMatrix(dense, &dense->matrix());
+}
+
+void
+DistanceCache::invalidate_backend(const std::string &backend_name)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    invalidate_locked(backend_name);
+    generation_.erase(backend_name);
 }
 
 std::size_t
@@ -83,11 +154,31 @@ DistanceCache::size() const
 DistanceCache::Stats
 DistanceCache::stats() const
 {
+    using namespace std::chrono_literals;
     std::lock_guard<std::mutex> lock(mu_);
     Stats s;
     s.computations = computations_;
     s.hits = hits_;
     s.entries = entries_.size();
+    s.evictions_invalidated = evictions_invalidated_;
+    s.rows_computed = retired_rows_computed_;
+    s.row_hits = retired_row_hits_;
+    s.rows_evicted = retired_rows_evicted_;
+    s.row_bytes_peak = retired_peak_bytes_;
+    for (const auto &[key, entry] : entries_) {
+        if (entry.future.wait_for(0s) != std::future_status::ready)
+            continue;
+        try {
+            DistanceProviderStats ps = entry.future.get()->stats();
+            s.rows_computed += ps.rows_computed;
+            s.row_hits += ps.row_hits;
+            s.rows_evicted += ps.rows_evicted;
+            s.row_bytes += ps.resident_bytes;
+            s.row_bytes_peak += ps.peak_bytes;
+        } catch (...) {
+            // Failed entry mid-eviction; skip.
+        }
+    }
     return s;
 }
 
@@ -95,7 +186,10 @@ void
 DistanceCache::clear()
 {
     std::lock_guard<std::mutex> lock(mu_);
+    for (const auto &[key, entry] : entries_)
+        retire_locked(entry);
     entries_.clear();
+    generation_.clear();
 }
 
 DistanceCache &

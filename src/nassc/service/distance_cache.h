@@ -3,18 +3,34 @@
 
 /**
  * @file
- * Shared read-only cache of per-backend distance matrices.
+ * Shared read-only cache of per-backend distance providers.
  *
- * transpile() needs an all-pairs distance matrix per (backend, metric)
- * pair: plain hop counts for SABRE, or the HA noise-aware weights of
- * paper eq. 3.  Recomputing it per call is wasted work the moment two
- * jobs target the same device — which is every batch sweep in bench/.
- * DistanceCache computes each matrix exactly once, even when many
- * threads request it concurrently: the first requester installs a
+ * transpile() needs all-pairs distances per (backend, metric) pair:
+ * plain hop counts for SABRE, or the HA noise-aware weights of paper
+ * eq. 3.  Recomputing them per call is wasted work the moment two jobs
+ * target the same device — which is every batch sweep in bench/.
+ * DistanceCache builds each DistanceProvider exactly once, even when
+ * many threads request it concurrently: the first requester installs a
  * shared_future and computes, everyone else blocks on that future and
- * shares the finished read-only matrix.
+ * shares the finished read-only provider.
  *
- * Matrices are handed out as shared_ptr<const ...> so they stay valid
+ * Dense providers (small devices) materialize the historical flat
+ * DistanceMatrix up front; sparse providers (large devices) compute
+ * per-source rows lazily, so the cache's memory footprint scales with
+ * the rows workloads actually touch — the row-level counters in Stats
+ * (rows_computed / row_hits / rows_evicted / row_bytes) make that
+ * pressure observable per cache, and through the nasscd stats verb,
+ * per shard.
+ *
+ * Calibration rotation: entries are keyed by Backend::cache_key(),
+ * which fingerprints topology and calibration.  The cache additionally
+ * tracks the last key seen per backend *name*; when a backend rotates
+ * (same name, new key), every entry of the old generation is dropped
+ * eagerly and counted in evictions_invalidated — the next request
+ * recomputes only the rows it touches instead of inheriting a stale
+ * matrix or leaking one per generation.
+ *
+ * Providers are handed out as shared_ptr<const ...> so they stay valid
  * for the duration of a routing run regardless of cache lifetime.
  */
 
@@ -27,13 +43,17 @@
 
 #include "nassc/topo/backends.h"
 #include "nassc/topo/distance_matrix.h"
+#include "nassc/topo/distance_provider.h"
 
 namespace nassc {
 
 /** Read-only handle to a cached flat distance matrix. */
 using SharedDistanceMatrix = std::shared_ptr<const DistanceMatrix>;
 
-/** Which distance metric to fetch for a backend. */
+/** Read-only handle to a cached distance provider. */
+using SharedDistanceProvider = SharedDistanceProviderPtr;
+
+/** Which distance metric (and storage shape) to fetch for a backend. */
 struct DistanceRequest
 {
     bool noise_aware = false;
@@ -41,6 +61,12 @@ struct DistanceRequest
     double alpha1 = 0.5;
     double alpha2 = 0.0;
     double alpha3 = 0.5;
+    /** Lazy per-row provider instead of a dense matrix. */
+    bool sparse = false;
+    /** Sparse row-cache byte budget; 0 = unbounded.  Part of the cache
+     *  key: two budgets are two providers with different eviction
+     *  behavior. */
+    std::size_t row_budget_bytes = 0;
 
     static DistanceRequest hops() { return {}; }
 
@@ -55,11 +81,20 @@ struct DistanceRequest
         return r;
     }
 
-    /** Cache-key fragment identifying this metric. */
+    /** Same metric, served through the sparse provider. */
+    DistanceRequest as_sparse(std::size_t budget_bytes = 0) const
+    {
+        DistanceRequest r = *this;
+        r.sparse = true;
+        r.row_budget_bytes = budget_bytes;
+        return r;
+    }
+
+    /** Cache-key fragment identifying this metric + storage shape. */
     std::string key() const;
 };
 
-/** Thread-safe compute-once distance-matrix cache. */
+/** Thread-safe compute-once distance-provider cache. */
 class DistanceCache
 {
   public:
@@ -68,15 +103,32 @@ class DistanceCache
     DistanceCache &operator=(const DistanceCache &) = delete;
 
     /**
-     * Matrix for (backend, request), computed on first use.  Concurrent
-     * requests for the same key block until the single computation
-     * finishes; a computation that throws is evicted so a later call can
-     * retry, and the exception propagates to every waiter.
+     * Provider for (backend, request), built on first use.  Concurrent
+     * requests for the same key block until the single construction
+     * finishes; a construction that throws is evicted so a later call
+     * can retry, and the exception propagates to every waiter.  A
+     * rotated backend (same name, new cache_key) eagerly drops its old
+     * generation's entries first.
+     */
+    SharedDistanceProvider provider(const Backend &backend,
+                                    const DistanceRequest &request = {});
+
+    /**
+     * Dense-matrix compatibility shim: serves the request through a
+     * dense provider (the sparse flag is ignored — a matrix must be
+     * fully materialized) and returns the matrix aliased into it.
+     * Existing callers and tests keep working unchanged.
      */
     SharedDistanceMatrix get(const Backend &backend,
                              const DistanceRequest &request = {});
 
-    /** Matrices actually computed (not served from cache). */
+    /**
+     * Drop every entry belonging to `backend_name` (any generation),
+     * counting them in evictions_invalidated.
+     */
+    void invalidate_backend(const std::string &backend_name);
+
+    /** Providers actually computed (not served from cache). */
     std::size_t computation_count() const;
 
     /** Requests served from an existing or in-flight entry. */
@@ -86,12 +138,21 @@ class DistanceCache
     std::size_t size() const;
 
     /** One-lock snapshot of all counters (the individual getters above
-     *  can tear against concurrent gets when read one by one). */
+     *  can tear against concurrent gets when read one by one).  Row
+     *  counters aggregate over all resident providers plus every
+     *  provider retired by rotation/invalidation, so they are monotone
+     *  across generations (except row_bytes, which is resident-only). */
     struct Stats
     {
-        std::size_t computations = 0; ///< matrices actually computed
+        std::size_t computations = 0; ///< providers actually computed
         std::size_t hits = 0;         ///< served from (in-flight) entries
         std::size_t entries = 0;      ///< distinct keys resident
+        std::size_t evictions_invalidated = 0; ///< dropped by rotation
+        std::size_t rows_computed = 0; ///< distance rows computed
+        std::size_t row_hits = 0;      ///< row fetches served from cache
+        std::size_t rows_evicted = 0;  ///< rows dropped by byte budgets
+        std::size_t row_bytes = 0;     ///< resident row payload bytes
+        std::size_t row_bytes_peak = 0; ///< sum of provider high-waters
     };
 
     Stats stats() const;
@@ -102,15 +163,38 @@ class DistanceCache
      * Process-wide cache used by the transpile() overload that does not
      * take an explicit cache.  Entries are keyed by Backend::cache_key(),
      * which fingerprints topology and calibration, so two backends only
-     * share an entry when their matrices would be identical.
+     * share an entry when their distances would be identical.
      */
     static DistanceCache &global();
 
   private:
+    struct Entry
+    {
+        std::shared_future<SharedDistanceProvider> future;
+        std::string backend_name; ///< rotation-invalidation key
+    };
+
+    /** Drop `backend_name`'s entries; folds their row stats into the
+     *  retired accumulators.  Caller holds mu_. */
+    void invalidate_locked(const std::string &backend_name);
+
+    /** Fold a ready entry's provider stats into the retired
+     *  accumulators (no-op for in-flight or failed entries).  Caller
+     *  holds mu_. */
+    void retire_locked(const Entry &entry);
+
     mutable std::mutex mu_;
-    std::map<std::string, std::shared_future<SharedDistanceMatrix>> entries_;
+    std::map<std::string, Entry> entries_;
+    /** Last cache_key seen per backend name (rotation detector). */
+    std::map<std::string, std::string> generation_;
     std::size_t computations_ = 0;
     std::size_t hits_ = 0;
+    std::size_t evictions_invalidated_ = 0;
+    /** Row stats of providers no longer resident (rotated away). */
+    std::size_t retired_rows_computed_ = 0;
+    std::size_t retired_row_hits_ = 0;
+    std::size_t retired_rows_evicted_ = 0;
+    std::size_t retired_peak_bytes_ = 0;
 };
 
 } // namespace nassc

@@ -153,13 +153,95 @@ fully_connected_backend(int n)
     return b;
 }
 
-DistanceMatrix
-noise_aware_distance(const Backend &backend, double alpha1, double alpha2,
-                     double alpha3)
+Backend
+heavy_hex_backend(int distance)
+{
+    if (distance < 3 || distance % 2 == 0)
+        throw std::invalid_argument(
+            "heavy_hex distance must be odd and >= 3");
+
+    const int d = distance;
+    const int cols = 2 * d + 1;
+    auto row_id = [cols](int r, int c) { return r * cols + c; };
+
+    std::vector<std::pair<int, int>> edges;
+    // Row chains.
+    for (int r = 0; r < d; ++r)
+        for (int c = 0; c + 1 < cols; ++c)
+            edges.emplace_back(row_id(r, c), row_id(r, c + 1));
+    // Degree-2 bridge qubits between adjacent rows, every four columns,
+    // offset by two columns on alternating row pairs (the heavy-hex
+    // unit cell).  Bridges are numbered after all row qubits.
+    int next = d * cols;
+    for (int r = 0; r + 1 < d; ++r) {
+        const int offset = 2 * (r % 2);
+        for (int c = offset; c < cols; c += 4) {
+            int bridge = next++;
+            edges.emplace_back(row_id(r, c), bridge);
+            edges.emplace_back(bridge, row_id(r + 1, c));
+        }
+    }
+
+    Backend b;
+    b.name = "heavy_hex_d" + std::to_string(d);
+    b.coupling = CouplingMap(next, std::move(edges));
+    b.calibration = make_calibration(b.coupling, 0x48480000u + d); // "HH"
+    return b;
+}
+
+Backend
+grid_of_grids_backend(int tiles_r, int tiles_c, int tile_rows, int tile_cols)
+{
+    if (tiles_r < 1 || tiles_c < 1 || tile_rows < 1 || tile_cols < 1)
+        throw std::invalid_argument(
+            "grid_of_grids parameters must all be >= 1");
+
+    const int tile_n = tile_rows * tile_cols;
+    auto id = [&](int tr, int tc, int r, int c) {
+        return (tr * tiles_c + tc) * tile_n + r * tile_cols + c;
+    };
+
+    std::vector<std::pair<int, int>> edges;
+    for (int tr = 0; tr < tiles_r; ++tr) {
+        for (int tc = 0; tc < tiles_c; ++tc) {
+            // In-tile 2D grid.
+            for (int r = 0; r < tile_rows; ++r)
+                for (int c = 0; c < tile_cols; ++c) {
+                    if (c + 1 < tile_cols)
+                        edges.emplace_back(id(tr, tc, r, c),
+                                           id(tr, tc, r, c + 1));
+                    if (r + 1 < tile_rows)
+                        edges.emplace_back(id(tr, tc, r, c),
+                                           id(tr, tc, r + 1, c));
+                }
+            // One bridge edge to each right/down neighbor tile, from
+            // the middle of the facing border.
+            if (tc + 1 < tiles_c)
+                edges.emplace_back(
+                    id(tr, tc, tile_rows / 2, tile_cols - 1),
+                    id(tr, tc + 1, tile_rows / 2, 0));
+            if (tr + 1 < tiles_r)
+                edges.emplace_back(
+                    id(tr, tc, tile_rows - 1, tile_cols / 2),
+                    id(tr + 1, tc, 0, tile_cols / 2));
+        }
+    }
+
+    Backend b;
+    b.name = "gog_" + std::to_string(tiles_r) + "x" + std::to_string(tiles_c) +
+             "_" + std::to_string(tile_rows) + "x" + std::to_string(tile_cols);
+    b.coupling = CouplingMap(tiles_r * tiles_c * tile_n, std::move(edges));
+    b.calibration = make_calibration(
+        b.coupling, 0x476f4700u + static_cast<unsigned>(tiles_r * tiles_c) *
+                                      static_cast<unsigned>(tile_n));
+    return b;
+}
+
+std::vector<double>
+noise_edge_weights(const Backend &backend, double alpha1, double alpha2,
+                   double alpha3)
 {
     const CouplingMap &cm = backend.coupling;
-    int n = cm.num_qubits();
-
     double max_err = 0.0, max_dur = 0.0;
     for (auto e : cm.edges()) {
         max_err = std::max(max_err, backend.calibration.error_cx.at(e));
@@ -170,14 +252,32 @@ noise_aware_distance(const Backend &backend, double alpha1, double alpha2,
     if (max_dur <= 0.0)
         max_dur = 1.0;
 
+    std::vector<double> w;
+    w.reserve(cm.edges().size());
+    for (auto e : cm.edges())
+        w.push_back(alpha1 * backend.calibration.error_cx.at(e) / max_err +
+                    alpha2 * backend.calibration.duration_cx.at(e) / max_dur +
+                    alpha3);
+    return w;
+}
+
+DistanceMatrix
+noise_aware_distance(const Backend &backend, double alpha1, double alpha2,
+                     double alpha3)
+{
+    const CouplingMap &cm = backend.coupling;
+    int n = cm.num_qubits();
+
+    std::vector<double> weights = noise_edge_weights(backend, alpha1, alpha2,
+                                                     alpha3);
+
     const double inf = 1e18;
     DistanceMatrix d(n, inf);
     for (int i = 0; i < n; ++i)
         d(i, i) = 0.0;
-    for (auto e : cm.edges()) {
-        double w = alpha1 * backend.calibration.error_cx.at(e) / max_err +
-                   alpha2 * backend.calibration.duration_cx.at(e) / max_dur +
-                   alpha3;
+    for (std::size_t k = 0; k < cm.edges().size(); ++k) {
+        auto e = cm.edges()[k];
+        double w = weights[k];
         d(e.first, e.second) = std::min(d(e.first, e.second), w);
         d(e.second, e.first) = d(e.first, e.second);
     }

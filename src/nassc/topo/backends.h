@@ -63,6 +63,30 @@ Backend grid_backend(int rows = 5, int cols = 5);
 Backend fully_connected_backend(int n);
 
 /**
+ * Parameterized IBM-style heavy-hex lattice of distance `d` (odd,
+ * >= 3): d rows of 2d+1 qubits connected in chains, with degree-2
+ * bridge qubits between adjacent rows every four columns, offset by
+ * two columns on alternating rows.  Qubit counts land on the published
+ * device generations: d=7 -> 129 (~Eagle 127), d=13 -> 435
+ * (~Osprey 433), d=21 -> 1123 (~Condor 1121), d=41 -> 4243.
+ * Throws std::invalid_argument when d is even or < 3 (an even
+ * distance has no heavy-hex unit cell and silently yields a
+ * disconnected lattice).
+ */
+Backend heavy_hex_backend(int distance);
+
+/**
+ * Grid of grids: tiles_r x tiles_c tiles, each a tile_rows x tile_cols
+ * 2D grid, with a single bridge edge between the middles of facing
+ * tile borders — the sparse-interconnect multi-chip-module shape.
+ * All four parameters must be >= 1 (throws std::invalid_argument
+ * otherwise; zero tiles would silently produce an empty or
+ * disconnected map).
+ */
+Backend grid_of_grids_backend(int tiles_r, int tiles_c, int tile_rows,
+                              int tile_cols);
+
+/**
  * Noise-aware all-pairs distance matrix (paper eq. 3):
  * edge weight alpha1 * eps_hat + alpha2 * T_hat + alpha3, with eps/T
  * normalized by their maxima, expanded to all pairs by shortest path.
@@ -74,6 +98,16 @@ DistanceMatrix noise_aware_distance(const Backend &backend,
 
 /** Plain hop-distance matrix as doubles (the SABRE default). */
 DistanceMatrix hop_distance(const CouplingMap &cm);
+
+/**
+ * Per-edge HA weights (paper eq. 3) in coupling.edges() order:
+ * alpha1 * eps_hat + alpha2 * T_hat + alpha3 with eps/T normalized by
+ * their maxima.  This is the single source of edge weights for both
+ * the dense Floyd-Warshall expansion above and the sparse per-source
+ * Dijkstra rows, so the two metrics agree on every edge bit-for-bit.
+ */
+std::vector<double> noise_edge_weights(const Backend &backend, double alpha1,
+                                       double alpha2, double alpha3);
 
 } // namespace nassc
 

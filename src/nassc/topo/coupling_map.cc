@@ -9,56 +9,131 @@
 namespace nassc {
 
 CouplingMap::CouplingMap(int num_qubits,
-                         std::vector<std::pair<int, int>> edges)
+                         std::vector<std::pair<int, int>> edges,
+                         int dense_limit)
     : num_qubits_(num_qubits)
 {
-    adj_.assign(num_qubits, std::vector<bool>(num_qubits, false));
-    nbrs_.assign(num_qubits, {});
-    for (auto [a, b] : edges) {
+    for (auto &[a, b] : edges) {
         if (a < 0 || b < 0 || a >= num_qubits || b >= num_qubits)
             throw std::out_of_range("coupling edge outside register");
         if (a == b)
             throw std::invalid_argument("self-loop in coupling map");
         if (a > b)
             std::swap(a, b);
-        if (adj_[a][b])
-            continue;
-        adj_[a][b] = adj_[b][a] = true;
-        edges_.emplace_back(a, b);
+    }
+    std::sort(edges.begin(), edges.end());
+    edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+    edges_ = std::move(edges);
+
+    nbrs_.assign(num_qubits, {});
+    for (auto [a, b] : edges_) {
         nbrs_[a].push_back(b);
         nbrs_[b].push_back(a);
     }
     for (auto &n : nbrs_)
         std::sort(n.begin(), n.end());
-    std::sort(edges_.begin(), edges_.end());
 
-    // BFS all-pairs distances.
-    const int inf = num_qubits + 1;
-    dist_.assign(num_qubits, std::vector<int>(num_qubits, inf));
-    for (int s = 0; s < num_qubits; ++s) {
-        dist_[s][s] = 0;
-        std::queue<int> q;
-        q.push(s);
-        while (!q.empty()) {
-            int u = q.front();
-            q.pop();
-            for (int v : nbrs_[u]) {
-                if (dist_[s][v] > dist_[s][u] + 1) {
-                    dist_[s][v] = dist_[s][u] + 1;
-                    q.push(v);
+    const bool dense = num_qubits <= dense_limit;
+    if (dense) {
+        adj_.assign(num_qubits, std::vector<bool>(num_qubits, false));
+        for (auto [a, b] : edges_)
+            adj_[a][b] = adj_[b][a] = true;
+
+        // BFS all-pairs distances.
+        const int inf = num_qubits + 1;
+        dist_.assign(num_qubits, std::vector<int>(num_qubits, inf));
+        for (int s = 0; s < num_qubits; ++s) {
+            dist_[s][s] = 0;
+            std::queue<int> q;
+            q.push(s);
+            while (!q.empty()) {
+                int u = q.front();
+                q.pop();
+                for (int v : nbrs_[u]) {
+                    if (dist_[s][v] > dist_[s][u] + 1) {
+                        dist_[s][v] = dist_[s][u] + 1;
+                        q.push(v);
+                    }
                 }
             }
         }
     }
 }
 
+std::vector<int>
+CouplingMap::hop_row(int src) const
+{
+    const int inf = num_qubits_ + 1;
+    std::vector<int> d(num_qubits_, inf);
+    d[src] = 0;
+    std::queue<int> q;
+    q.push(src);
+    while (!q.empty()) {
+        int u = q.front();
+        q.pop();
+        for (int v : nbrs_[u]) {
+            if (d[v] > d[u] + 1) {
+                d[v] = d[u] + 1;
+                q.push(v);
+            }
+        }
+    }
+    return d;
+}
+
+int
+CouplingMap::distance(int a, int b) const
+{
+    if (!dist_.empty())
+        return dist_[a][b];
+    if (a == b)
+        return 0;
+    // Early-exit BFS from a.
+    const int inf = num_qubits_ + 1;
+    std::vector<int> d(num_qubits_, inf);
+    d[a] = 0;
+    std::queue<int> q;
+    q.push(a);
+    while (!q.empty()) {
+        int u = q.front();
+        q.pop();
+        for (int v : nbrs_[u]) {
+            if (d[v] > d[u] + 1) {
+                d[v] = d[u] + 1;
+                if (v == b)
+                    return d[v];
+                q.push(v);
+            }
+        }
+    }
+    return inf;
+}
+
+const std::vector<std::vector<int>> &
+CouplingMap::distance_matrix() const
+{
+    if (dist_.empty())
+        throw std::logic_error(
+            "dense distance table not materialized above "
+            "CouplingMap dense limit; use hop_row()/DistanceProvider");
+    return dist_;
+}
+
 DistanceMatrix
 CouplingMap::distance_matrix_double() const
 {
     DistanceMatrix d(num_qubits_);
-    for (int i = 0; i < num_qubits_; ++i)
+    if (!dist_.empty()) {
+        for (int i = 0; i < num_qubits_; ++i)
+            for (int j = 0; j < num_qubits_; ++j)
+                d(i, j) = dist_[i][j];
+        return d;
+    }
+    for (int i = 0; i < num_qubits_; ++i) {
+        std::vector<int> row = hop_row(i);
         for (int j = 0; j < num_qubits_; ++j)
-            d(i, j) = dist_[i][j];
+            d(i, j) = row[j];
+    }
     return d;
 }
 
@@ -77,20 +152,52 @@ CouplingMap::fingerprint() const
 int
 CouplingMap::diameter() const
 {
-    int d = 0;
-    for (int i = 0; i < num_qubits_; ++i)
-        for (int j = 0; j < num_qubits_; ++j)
-            d = std::max(d, dist_[i][j]);
-    return d;
+    if (!dist_.empty()) {
+        int d = 0;
+        for (int i = 0; i < num_qubits_; ++i)
+            for (int j = 0; j < num_qubits_; ++j)
+                d = std::max(d, dist_[i][j]);
+        return d;
+    }
+    if (num_qubits_ == 0)
+        return 0;
+    // Double-sweep pseudo-diameter: BFS from 0, then BFS from the
+    // farthest reachable qubit; exact on trees and a lower bound in
+    // general (unreachable sentinels are ignored here — a disconnected
+    // graph reports the largest eccentricity seen within 0's component).
+    auto farthest = [this](int src, int &best_d) {
+        std::vector<int> row = hop_row(src);
+        int best = src;
+        best_d = 0;
+        for (int i = 0; i < num_qubits_; ++i)
+            if (row[i] <= num_qubits_ && row[i] > best_d) {
+                best_d = row[i];
+                best = i;
+            }
+        return best;
+    };
+    int d1 = 0, d2 = 0;
+    int far = farthest(0, d1);
+    farthest(far, d2);
+    return std::max(d1, d2);
 }
 
 bool
 CouplingMap::is_connected_graph() const
 {
+    if (!dist_.empty()) {
+        for (int i = 0; i < num_qubits_; ++i)
+            for (int j = 0; j < num_qubits_; ++j)
+                if (dist_[i][j] > num_qubits_)
+                    return false;
+        return true;
+    }
+    if (num_qubits_ == 0)
+        return true;
+    std::vector<int> row = hop_row(0);
     for (int i = 0; i < num_qubits_; ++i)
-        for (int j = 0; j < num_qubits_; ++j)
-            if (dist_[i][j] > num_qubits_)
-                return false;
+        if (row[i] > num_qubits_)
+            return false;
     return true;
 }
 

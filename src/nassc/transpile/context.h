@@ -85,6 +85,16 @@ class TranspileContext
                                 const TranspileOptions &opts = {});
 
     DistanceCache &distances() const { return *distances_; }
+
+    /** One-lock snapshot of the context's distance-cache counters —
+     *  provider computations/hits plus the per-row lazy-provider stats
+     *  (rows computed, row cache hits, evictions, resident/peak bytes).
+     *  What the nasscd stats verb reports as the distance_* rows. */
+    DistanceCache::Stats distance_stats() const
+    {
+        return distances_->stats();
+    }
+
     Scheduler &scheduler() const;
 
     /** The context's TranspileService, created on first call. */

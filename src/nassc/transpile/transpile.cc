@@ -62,6 +62,9 @@ TranspileOptions::fingerprint() const
     fp.u32(static_cast<std::uint32_t>(priority));
     fp.f64(cache_ttl_seconds);
     fp.u32(static_cast<std::uint32_t>(deadline_ms));
+    fp.u32(static_cast<std::uint32_t>(sparse_distance_threshold));
+    fp.u64(static_cast<std::uint64_t>(distance_row_budget_bytes));
+    fp.u32(static_cast<std::uint32_t>(region_radius));
     return fp.value();
 }
 
@@ -87,13 +90,19 @@ transpile(const QuantumCircuit &qc, const Backend &backend,
     run_optimize_1q(c, Basis1q::kUGate);
     consolidate_2q_blocks(c, Basis1q::kUGate);
 
-    // 3. Distance matrix: plain hops, or the HA noise-aware variant,
-    //    shared through the cache so repeat calls against one backend
-    //    (and concurrent batch jobs) reuse a single computation.
-    SharedDistanceMatrix dist_shared = cache.get(
-        backend, opts.noise_aware ? DistanceRequest::noise()
-                                  : DistanceRequest::hops());
-    const DistanceMatrix &dist = *dist_shared;
+    // 3. Distances: plain hops, or the HA noise-aware variant, shared
+    //    through the cache so repeat calls against one backend (and
+    //    concurrent batch jobs) reuse a single computation.  Devices
+    //    above the sparse threshold get a lazy per-row provider —
+    //    distance memory proportional to the rows routing actually
+    //    touches — while everything at or below it keeps the historical
+    //    dense matrix, bit for bit.
+    DistanceRequest dreq = opts.noise_aware ? DistanceRequest::noise()
+                                            : DistanceRequest::hops();
+    if (backend.coupling.num_qubits() > opts.sparse_distance_threshold)
+        dreq = dreq.as_sparse(opts.distance_row_budget_bytes);
+    SharedDistanceProvider dist_shared = cache.provider(backend, dreq);
+    const DistanceProvider &dist = *dist_shared;
 
     // 4. Initial layout (shared between SABRE and NASSC, paper Sec. IV-A).
     RoutingOptions ropts;
@@ -108,6 +117,7 @@ transpile(const QuantumCircuit &qc, const Backend &backend,
     ropts.layout_trials = opts.layout_trials;
     ropts.layout_threads = opts.layout_threads;
     ropts.reuse_routing = opts.reuse_routing;
+    ropts.region_radius = opts.region_radius;
 
     auto tl0 = std::chrono::steady_clock::now();
     LayoutSearchResult search = search_and_route(

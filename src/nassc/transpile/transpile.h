@@ -94,6 +94,32 @@ struct TranspileOptions
      * (deadlines are QoS, not identity) but part of fingerprint().
      */
     int deadline_ms = 0;
+    /**
+     * Device size above which distances are served through the sparse
+     * per-row provider instead of a dense all-pairs matrix.  At the
+     * default (256) every Table-I-class device stays on the historical
+     * dense path — bit-identical output — while 1k+-qubit heavy-hex /
+     * grid-of-grids devices allocate distance rows on demand.  Set to a
+     * huge value to force dense everywhere, or 0 to force sparse (the
+     * equivalence tests do both).  Note the sparse noise-aware metric
+     * (per-source Dijkstra) can differ from the dense Floyd-Warshall
+     * expansion by ~1 ulp per path; hop distances are bit-identical.
+     */
+    int sparse_distance_threshold = 256;
+    /**
+     * Byte budget for each sparse provider's row cache; 0 = unbounded.
+     * Rows are evicted LRU-first past the budget (and recomputed on
+     * next touch), bounding resident distance memory per (backend,
+     * metric) at the cost of recompute.  Dense providers ignore it.
+     */
+    std::size_t distance_row_budget_bytes = 0;
+    /**
+     * RoutingOptions::region_radius passthrough: when > 0, the router's
+     * extended lookahead only admits gates whose physical qubits lie
+     * within this many coupling hops of the front layer.  0 (default)
+     * is bit-identical to every prior release.
+     */
+    int region_radius = 0;
 
     /**
      * FNV-1a fingerprint over EVERY field above, in declaration order.

@@ -111,11 +111,11 @@ TEST(CircuitFingerprint, GateGroupingCannotAlias)
 
 TEST(OptionsFingerprint, PinnedStableValues)
 {
-    EXPECT_EQ(TranspileOptions{}.fingerprint(), 0x2fb5f713b978e1b7ull);
+    EXPECT_EQ(TranspileOptions{}.fingerprint(), 0x4c60e4db5626fb3cull);
     TranspileOptions s;
     s.router = RoutingAlgorithm::kSabre;
     s.seed = 7;
-    EXPECT_EQ(s.fingerprint(), 0xcdb1f7d3a33746c9ull);
+    EXPECT_EQ(s.fingerprint(), 0x566bd1ae297254ceull);
 }
 
 TEST(OptionsFingerprint, EveryFieldIsCovered)
@@ -149,10 +149,15 @@ TEST(OptionsFingerprint, EveryFieldIsCovered)
     vary([](TranspileOptions &o) { o.priority = 3; });
     vary([](TranspileOptions &o) { o.cache_ttl_seconds = 30.0; });
     vary([](TranspileOptions &o) { o.deadline_ms = 750; });
+    vary([](TranspileOptions &o) { o.sparse_distance_threshold = 64; });
+    vary([](TranspileOptions &o) {
+        o.distance_row_budget_bytes = 1 << 20;
+    });
+    vary([](TranspileOptions &o) { o.region_radius = 4; });
 
     // Tripwire: sizeof changes when fields are added; update the variant
     // list, the hash, and this constant together.
-    ASSERT_EQ(variants.size(), 18u);
+    ASSERT_EQ(variants.size(), 21u);
 
     const std::uint64_t base = TranspileOptions{}.fingerprint();
     std::set<std::uint64_t> seen{base};

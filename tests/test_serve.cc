@@ -399,6 +399,15 @@ TEST(NasscServer, TcpTransportServesPingStatsAndTranspile)
     const auto stats = client.stats();
     EXPECT_GE(stats.at("requests"), 1u);
     EXPECT_EQ(stats.at("transpiles_ok"), 1u);
+    // Distance-cache observability rides on the same verb: the one
+    // transpile above computed grid_5x5's dense hop matrix (25 qubits
+    // is below the sparse threshold, so every row materializes).
+    EXPECT_GE(stats.at("distance_entries"), 1u);
+    EXPECT_GE(stats.at("distance_computations"), 1u);
+    EXPECT_GE(stats.at("distance_rows_computed"), 25u);
+    EXPECT_GT(stats.at("distance_row_bytes"), 0u);
+    EXPECT_GE(stats.at("distance_row_bytes_peak"),
+              stats.at("distance_row_bytes"));
     server.stop();
 }
 

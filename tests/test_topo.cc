@@ -71,6 +71,96 @@ TEST(CouplingMap, DeduplicatesEdges)
     EXPECT_EQ(cm.edges().size(), 1u);
 }
 
+TEST(HeavyHex, RejectsInvalidDistance)
+{
+    // An even (or tiny) distance has no heavy-hex unit cell; the
+    // generator refuses instead of silently emitting a disconnected map.
+    EXPECT_THROW(heavy_hex_backend(2), std::invalid_argument);
+    EXPECT_THROW(heavy_hex_backend(4), std::invalid_argument);
+    EXPECT_THROW(heavy_hex_backend(1), std::invalid_argument);
+    EXPECT_THROW(heavy_hex_backend(0), std::invalid_argument);
+    EXPECT_THROW(heavy_hex_backend(-3), std::invalid_argument);
+}
+
+TEST(HeavyHex, QubitCountsMatchDeviceGenerations)
+{
+    // d -> d*(2d+1) row qubits + bridge qubits; the counts land next to
+    // the published Falcon/Eagle/Osprey/Condor generations.
+    EXPECT_EQ(heavy_hex_backend(3).coupling.num_qubits(), 25);
+    EXPECT_EQ(heavy_hex_backend(7).coupling.num_qubits(), 129);
+    EXPECT_EQ(heavy_hex_backend(13).coupling.num_qubits(), 435);
+    EXPECT_EQ(heavy_hex_backend(21).coupling.num_qubits(), 1123);
+}
+
+TEST(HeavyHex, ConnectedWithHeavyHexDegrees)
+{
+    for (int d : {3, 7, 13}) {
+        const Backend b = heavy_hex_backend(d);
+        EXPECT_TRUE(b.coupling.is_connected_graph()) << "d=" << d;
+        for (int q = 0; q < b.coupling.num_qubits(); ++q) {
+            EXPECT_GE(b.coupling.neighbors(q).size(), 1u);
+            EXPECT_LE(b.coupling.neighbors(q).size(), 3u);
+        }
+        // Deterministic synthetic calibration covers every edge.
+        for (auto e : b.coupling.edges()) {
+            EXPECT_GT(b.calibration.cx_error(e.first, e.second), 0.0);
+            EXPECT_GT(b.calibration.cx_duration(e.first, e.second), 0.0);
+        }
+    }
+}
+
+TEST(GridOfGrids, RejectsZeroParameters)
+{
+    EXPECT_THROW(grid_of_grids_backend(0, 2, 3, 3), std::invalid_argument);
+    EXPECT_THROW(grid_of_grids_backend(2, 0, 3, 3), std::invalid_argument);
+    EXPECT_THROW(grid_of_grids_backend(2, 2, 0, 3), std::invalid_argument);
+    EXPECT_THROW(grid_of_grids_backend(2, 2, 3, 0), std::invalid_argument);
+    EXPECT_THROW(grid_of_grids_backend(-1, 2, 3, 3),
+                 std::invalid_argument);
+}
+
+TEST(GridOfGrids, TiledStructure)
+{
+    const Backend b = grid_of_grids_backend(2, 3, 4, 4);
+    EXPECT_EQ(b.coupling.num_qubits(), 2 * 3 * 4 * 4);
+    EXPECT_TRUE(b.coupling.is_connected_graph());
+    // Edge count: per-tile grid edges + one bridge per adjacent tile
+    // pair: 6 tiles * 24 in-tile + (2*2 + 1*3) horizontal/vertical
+    // bridges.
+    EXPECT_EQ(b.coupling.edges().size(), 6u * 24u + 4u + 3u);
+}
+
+TEST(CouplingMap, SparseModeMatchesDenseTwin)
+{
+    // Same edges through the dense (adjacency matrix + eager BFS table)
+    // and sparse (on-demand BFS) code paths must agree on every query.
+    const Backend seed = grid_backend(4, 5);
+    std::vector<std::pair<int, int>> edges(seed.coupling.edges());
+    const int n = seed.coupling.num_qubits();
+    const CouplingMap dense(n, edges);
+    const CouplingMap sparse(n, edges, /*dense_limit=*/4);
+    ASSERT_TRUE(dense.has_dense_distances());
+    ASSERT_FALSE(sparse.has_dense_distances());
+
+    EXPECT_EQ(sparse.diameter(), dense.diameter());
+    EXPECT_EQ(sparse.is_connected_graph(), dense.is_connected_graph());
+    for (int i = 0; i < n; ++i) {
+        EXPECT_EQ(sparse.hop_row(i), dense.hop_row(i));
+        for (int j = 0; j < n; ++j) {
+            EXPECT_EQ(sparse.connected(i, j), dense.connected(i, j));
+            EXPECT_EQ(sparse.distance(i, j), dense.distance(i, j));
+        }
+    }
+    // The all-pairs table is a dense-only affordance.
+    EXPECT_THROW(sparse.distance_matrix(), std::logic_error);
+    // The double-precision matrix still materializes (per-row BFS).
+    const DistanceMatrix dd = dense.distance_matrix_double();
+    const DistanceMatrix sd = sparse.distance_matrix_double();
+    for (int i = 0; i < n; ++i)
+        for (int j = 0; j < n; ++j)
+            EXPECT_EQ(sd(i, j), dd(i, j));
+}
+
 TEST(Calibration, DeterministicAndInRange)
 {
     Backend a = montreal_backend();
