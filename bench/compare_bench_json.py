@@ -32,7 +32,12 @@ BENCH_server.json daemon sweep the same way, per (transport, clients,
 shards) cell: requests_per_s drift is informational (wire throughput is
 even noisier than the in-process service numbers), while `transpiles`
 drift is exact — the dedup invariant holds fleet-wide, so any change
-means the sharding or cache shape moved, not the machine.
+means the sharding or cache shape moved, not the machine.  The same
+files carry span-histogram summary rows ({"histogram": "queue_wait_us",
+"p50_us": …, "p99_us": …}) emitted by server_throughput_json; their
+p50/p99 drift is reported informationally too, and because the
+quantiles sit on log2 bucket edges any report is at least a full
+doubling.
 
 With --scaling-current (and optionally --scaling-baseline), also diffs
 a BENCH_scaling.json topology-axis sweep per (device, workload) cell:
@@ -131,8 +136,48 @@ def load_server_rows(path):
     with open(path) as f:
         rows = json.load(f)
     # Pre-shards baselines lack the field; those rows were shards=1.
+    # Span-histogram summary rows (keyed by "histogram", no transport)
+    # share the file; load_histogram_rows picks those up.
     return {(r["transport"], r["clients"], r.get("shards", 1)): r
-            for r in rows}
+            for r in rows if "transport" in r}
+
+
+def load_histogram_rows(path):
+    """Index a daemon sweep's span-histogram rows by instrument name."""
+    with open(path) as f:
+        rows = json.load(f)
+    return {r["histogram"]: r for r in rows if "histogram" in r}
+
+
+def report_histogram_drift(baseline_path, current_path, threshold):
+    """Print span-latency quantile drift; never fails the gate.
+
+    p50/p99 land on log2 bucket edges, so any reported movement is at
+    least a full doubling/halving — small timer jitter cannot trip
+    this, which is why it is worth printing despite being wall-time.
+    """
+    baseline = load_histogram_rows(baseline_path)
+    current = load_histogram_rows(current_path)
+    lines = []
+    for name, base_row in sorted(baseline.items()):
+        cur_row = current.get(name)
+        if cur_row is None:
+            continue
+        for q in ("p50_us", "p99_us"):
+            base, cur = base_row.get(q, 0), cur_row.get(q, 0)
+            if base > 0 and abs(cur / base - 1.0) > threshold:
+                lines.append(f"  {name:20s} {q} {base:8d} -> {cur:8d}"
+                             f"  ({(cur / base - 1) * 100:+.1f}%)")
+    if lines:
+        print("note: span-latency quantile drift (informational, "
+              "log2-bucket edges):")
+        print("\n".join(lines))
+    elif baseline:
+        print(f"spans OK: no queue-wait/routing quantile moved more than "
+              f"a bucket ({len(current)} histograms checked)")
+    else:
+        print("note: baseline has no span-histogram rows (pre-obs sweep); "
+              "skipping quantile drift")
 
 
 def report_server_drift(baseline_path, current_path, threshold):
@@ -250,6 +295,14 @@ def main():
                                 2 * args.threshold)
         except (OSError, ValueError, KeyError) as e:
             print(f"note: daemon sweep not compared ({e})")
+        # p50/p99 queue-wait and routing-span drift rides in the same
+        # files; a one-bucket move is at least +100%/-50%, far past any
+        # slack, so the threshold here only suppresses rounding noise.
+        try:
+            report_histogram_drift(args.server_baseline, args.server_current,
+                                   2 * args.threshold)
+        except (OSError, ValueError, KeyError) as e:
+            print(f"note: span histograms not compared ({e})")
 
     if args.scaling_current:
         # Same contract again: informational, doubled slack on wall

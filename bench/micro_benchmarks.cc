@@ -9,6 +9,7 @@
 
 #include "nassc/circuits/library.h"
 #include "nassc/ir/dag.h"
+#include "nassc/obs/trace.h"
 #include "nassc/math/weyl.h"
 #include "nassc/passes/basis_translation.h"
 #include "nassc/passes/commutation.h"
@@ -238,6 +239,34 @@ BM_TranspileGrover8(benchmark::State &state)
     }
 }
 BENCHMARK(BM_TranspileGrover8)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+// The obs overhead contract (obs/trace.h): a pure TraceSpan site with
+// no tracer live anywhere must cost ONE relaxed atomic load — the
+// armed/unarmed pair below is how that claim is checked, not assumed.
+// Router::run opens one of these per routing pass.
+void
+BM_TraceSpanSiteUnarmed(benchmark::State &state)
+{
+    for (auto _ : state) {
+        obs::TraceSpan span("bench_site");
+        benchmark::DoNotOptimize(span);
+    }
+}
+BENCHMARK(BM_TraceSpanSiteUnarmed);
+
+void
+BM_TraceSpanSiteArmed(benchmark::State &state)
+{
+    // A live tracer on this thread: every span now reads the clock
+    // twice and records under the tracer's mutex.
+    auto tracer = std::make_shared<obs::Tracer>("bench");
+    obs::TraceScope scope(tracer);
+    for (auto _ : state) {
+        obs::TraceSpan span("bench_site");
+        benchmark::DoNotOptimize(span);
+    }
+}
+BENCHMARK(BM_TraceSpanSiteArmed);
 
 } // namespace
 

@@ -24,7 +24,16 @@
 // drift is reported informationally by bench/compare_bench_json.py,
 // transpiles drift exactly).
 //
-// Usage: server_throughput_json [--out PATH] [--workers N] [--repeat N]
+// After the sweep the array gains one row per span histogram
+// ({"histogram": "queue_wait_us", "count": …, "p50_us": …,
+// "p99_us": …}, whole-sweep aggregate from the process-global
+// MetricsRegistry) — compare_bench_json.py reports p50/p99 drift on
+// these informationally — and the full Prometheus text exposition is
+// written next to the JSON (--metrics-out, default
+// BENCH_metrics.prom) so CI can upload a scraped snapshot artifact.
+//
+// Usage: server_throughput_json [--out PATH] [--metrics-out PATH]
+//                               [--workers N] [--repeat N]
 
 #include <chrono>
 #include <cstdio>
@@ -38,6 +47,7 @@
 
 #include "nassc/circuits/library.h"
 #include "nassc/ir/qasm.h"
+#include "nassc/obs/metrics.h"
 #include "nassc/serve/client.h"
 #include "nassc/serve/server.h"
 #include "nassc/serve/shard_router.h"
@@ -79,11 +89,14 @@ int
 main(int argc, char **argv)
 {
     std::string out_path = "BENCH_server.json";
+    std::string metrics_path = "BENCH_metrics.prom";
     int worker_threads = 4;
     int repeat = 2;
     for (int i = 1; i < argc; ++i) {
         if (!std::strcmp(argv[i], "--out") && i + 1 < argc)
             out_path = argv[++i];
+        else if (!std::strcmp(argv[i], "--metrics-out") && i + 1 < argc)
+            metrics_path = argv[++i];
         else if (!std::strcmp(argv[i], "--workers") && i + 1 < argc)
             worker_threads = std::atoi(argv[++i]);
         else if (!std::strcmp(argv[i], "--repeat") && i + 1 < argc)
@@ -229,6 +242,42 @@ main(int argc, char **argv)
             }
         }
     }
+    // Whole-sweep span histograms: every cell above ran in THIS
+    // process, so the global registry holds the aggregate of all of
+    // them.  One row per instrument, shape-distinguished from the
+    // throughput cells by the "histogram" key (no "transport" key —
+    // compare_bench_json.py keys on that).
+    {
+        obs::StackMetrics &om = obs::StackMetrics::get();
+        const std::pair<const char *, const obs::Histogram *> hists[] = {
+            {"queue_wait_us", &om.queue_wait_us},
+            {"routing_us", &om.routing_us},
+            {"layout_us", &om.layout_us},
+            {"transpile_us", &om.transpile_us},
+            {"request_us", &om.request_us},
+        };
+        for (const auto &h : hists) {
+            const obs::HistogramSnapshot snap = h.second->snapshot();
+            char row[240];
+            std::snprintf(
+                row, sizeof(row),
+                "  {\"workload\": \"serve_mix\", \"histogram\": \"%s\", "
+                "\"count\": %llu, \"sum_us\": %llu, \"p50_us\": %llu, "
+                "\"p99_us\": %llu}",
+                h.first, static_cast<unsigned long long>(snap.count),
+                static_cast<unsigned long long>(snap.sum),
+                static_cast<unsigned long long>(snap.quantile_us(0.50)),
+                static_cast<unsigned long long>(snap.quantile_us(0.99)));
+            if (!first)
+                json += ",\n";
+            json += row;
+            first = false;
+            std::printf("%s: count=%llu p50=%llu us p99=%llu us\n", h.first,
+                        static_cast<unsigned long long>(snap.count),
+                        static_cast<unsigned long long>(snap.quantile_us(0.50)),
+                        static_cast<unsigned long long>(snap.quantile_us(0.99)));
+        }
+    }
     json += "\n]\n";
 
     std::ofstream f(out_path);
@@ -238,5 +287,15 @@ main(int argc, char **argv)
     }
     f << json;
     std::printf("json written to %s\n", out_path.c_str());
+
+    // The scraped-snapshot artifact: exactly what the `metrics` verb
+    // would have returned from this process at the end of the sweep.
+    std::ofstream mf(metrics_path);
+    if (!mf) {
+        std::fprintf(stderr, "cannot write %s\n", metrics_path.c_str());
+        return 1;
+    }
+    mf << obs::MetricsRegistry::global().render();
+    std::printf("metrics snapshot written to %s\n", metrics_path.c_str());
     return 0;
 }

@@ -10,6 +10,9 @@
 //
 //   --builtin NAME   transpile a library benchmark circuit by name
 //   --stats          print the daemon's ServiceStats snapshot
+//   --metrics        scrape the daemon's Prometheus text exposition
+//                    (a sharded front door answers with the fleet's
+//                    bucket-exact histogram merge)
 //   --smoke N        CI smoke: N client threads push a duplicated
 //                    workload through the daemon and verify that every
 //                    response is BIT-IDENTICAL to an in-process
@@ -65,6 +68,7 @@ struct Args
     std::string builtin;
     std::string qasm_file;
     bool stats = false;
+    bool metrics = false;
     int smoke_threads = 0;
     int repeat = 1;
     bool tolerate_faults = false;
@@ -352,6 +356,8 @@ main(int argc, char **argv)
             args.builtin = value();
         } else if (arg == "--stats") {
             args.stats = true;
+        } else if (arg == "--metrics") {
+            args.metrics = true;
         } else if (arg == "--smoke") {
             args.smoke_threads = std::atoi(value());
         } else if (arg == "--tolerate-faults") {
@@ -365,8 +371,11 @@ main(int argc, char **argv)
                 stderr,
                 "usage: nassc_client (--unix PATH | --port N [--host H]) "
                 "[--backend NAME] [--option k=v]... "
-                "[--builtin NAME | --stats | --smoke N [--repeat R] "
-                "[--tolerate-faults] [--tolerate-restarts] | FILE|-]\n");
+                "[--builtin NAME | --stats | --metrics | --smoke N "
+                "[--repeat R] [--tolerate-faults] [--tolerate-restarts] "
+                "| FILE|-]\n"
+                "  --metrics  scrape the daemon's Prometheus exposition\n"
+                "  --option trace=1  print per-stage span lines (stderr)\n");
             return 0;
         } else {
             args.qasm_file = arg;
@@ -388,6 +397,16 @@ main(int argc, char **argv)
                             static_cast<unsigned long long>(kv.second));
             return 0;
         }
+        if (args.metrics) {
+            // Prometheus text exposition verbatim: pipe into a scraper
+            // or promtool without post-processing.  A sharded front
+            // answers with the fleet's bucket-exact merge.
+            const std::string body = client.metrics();
+            std::fputs(body.c_str(), stdout);
+            if (!body.empty() && body.back() != '\n')
+                std::fputc('\n', stdout);
+            return 0;
+        }
         std::string qasm;
         if (!args.builtin.empty())
             qasm = nassc::to_qasm(nassc::benchmark_by_name(args.builtin));
@@ -396,6 +415,11 @@ main(int argc, char **argv)
         const nassc::ServeResponse resp =
             client.transpile_qasm(qasm, args.backend, args.options);
         std::fprintf(stderr, "source: %s\n", resp.source.c_str());
+        if (!resp.trace_id.empty())
+            std::fprintf(stderr, "trace-id: %s\n", resp.trace_id.c_str());
+        for (const auto &span : resp.spans)
+            std::fprintf(stderr, "span %s %llu us\n", span.first.c_str(),
+                         static_cast<unsigned long long>(span.second));
         if (resp.degraded)
             std::fprintf(stderr,
                          "degraded: deadline hit after %d layout trial(s)\n",

@@ -47,6 +47,7 @@
 
 #include <unistd.h>
 
+#include "nassc/obs/event_log.h"
 #include "nassc/serve/client.h"
 #include "nassc/serve/server.h"
 #include "nassc/serve/shard_router.h"
@@ -82,6 +83,13 @@ usage(const char *argv0)
         "  --ttl SECONDS      default result TTL (0 = never expires)\n"
         "  --purge-interval S sweep expired cache entries every S seconds\n"
         "                     (default 30; 0 disables the sweep)\n"
+        "\n"
+        "observability:\n"
+        "  --slow-ms MS       log a slow_request event for transpiles\n"
+        "                     slower than MS server-side (0 = off)\n"
+        "  --event-log PATH   append structured JSONL events (slow\n"
+        "                     requests, sheds, deadline misses, shard\n"
+        "                     restarts) to PATH; default stderr\n"
         "\n"
         "overload and deadlines:\n"
         "  --max-conns N      shed connections past N with `status\n"
@@ -125,6 +133,8 @@ main(int argc, char **argv)
 {
     nassc::ServerOptions options;
     double purge_interval = 30.0;
+    int slow_ms = 0;
+    std::string event_log_path;
     int shards = 0;
     int shard_timeout_ms = 30000;
     std::vector<std::pair<int, std::string>> shard_failpoints;
@@ -165,6 +175,10 @@ main(int argc, char **argv)
                 std::atof(worker_flag(value()));
         } else if (arg == "--purge-interval") {
             purge_interval = std::atof(worker_flag(value()));
+        } else if (arg == "--slow-ms") {
+            slow_ms = std::atoi(worker_flag(value()));
+        } else if (arg == "--event-log") {
+            event_log_path = value();
         } else if (arg == "--max-conns") {
             options.max_connections =
                 static_cast<std::size_t>(std::atoll(value()));
@@ -216,6 +230,34 @@ main(int argc, char **argv)
     if (armed > 0)
         std::printf("nasscd armed %d failpoint(s) from NASSC_FAILPOINTS\n",
                     armed);
+
+    if (slow_ms > 0)
+        nassc::obs::EventLog::global().set_slow_threshold_us(
+            static_cast<std::uint64_t>(slow_ms) * 1000);
+    std::FILE *event_sink = stderr;
+    if (!event_log_path.empty()) {
+        event_sink = std::fopen(event_log_path.c_str(), "a");
+        if (!event_sink) {
+            std::fprintf(stderr,
+                         "nasscd: cannot open --event-log %s; using stderr\n",
+                         event_log_path.c_str());
+            event_sink = stderr;
+        }
+    }
+    // Flush the bounded ring (slow requests, sheds, deadline misses,
+    // supervisor restarts) as JSONL; called every main-loop tick and
+    // once more at shutdown so nothing buffered is lost.
+    auto flush_events = [&]() {
+        const std::vector<std::string> lines =
+            nassc::obs::EventLog::global().drain();
+        if (lines.empty())
+            return;
+        for (const std::string &line : lines) {
+            std::fputs(line.c_str(), event_sink);
+            std::fputc('\n', event_sink);
+        }
+        std::fflush(event_sink);
+    };
 
     try {
         // --- Sharded front door: supervisor + router around the same
@@ -323,6 +365,7 @@ main(int argc, char **argv)
         auto last_purge = std::chrono::steady_clock::now();
         while (!g_stop.load()) {
             std::this_thread::sleep_for(std::chrono::milliseconds(50));
+            flush_events();
             if (purge_interval <= 0 || shards > 0)
                 continue;
             const auto now = std::chrono::steady_clock::now();
@@ -342,6 +385,9 @@ main(int argc, char **argv)
             router->close_pools();
         if (supervisor)
             supervisor->stop();
+        flush_events();
+        if (event_sink != stderr)
+            std::fclose(event_sink);
         if (shards > 0) {
             const nassc::ShardRouterStats rs = router->stats_snapshot();
             const nassc::SupervisorStats ss = supervisor->stats();

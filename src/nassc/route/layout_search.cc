@@ -5,6 +5,8 @@
 #include <random>
 
 #include "nassc/ir/fnv1a.h"
+#include "nassc/obs/metrics.h"
+#include "nassc/obs/trace.h"
 #include "nassc/route/perfect_layout.h"
 #include "nassc/route/router.h"
 #include "nassc/service/errors.h"
@@ -277,6 +279,11 @@ LayoutSearch::run_trial(int trial, int worker)
     if (Scheduler::current_job_expired())
         return;
     failpoint::hit("layout.trial");
+    // One span per CONSUMED trial (deadline-skipped trials record
+    // nothing); workers carry the owning request's tracer through the
+    // scheduler's Job seam, so concurrent requests never mix spans.
+    obs::TraceSpan span("layout_trial",
+                        &obs::StackMetrics::get().layout_trial_us);
 
     WorkerCtx &c = ctx(worker);
     Layout layout = seed_layout(trial, out.seed, out.kind);

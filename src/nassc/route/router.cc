@@ -8,6 +8,7 @@
 #include <immintrin.h>
 #endif
 
+#include "nassc/obs/trace.h"
 #include "nassc/route/nassc_router.h"
 
 namespace nassc {
@@ -173,6 +174,10 @@ Router::run_loop()
 RoutingResult
 Router::run(const Layout &initial)
 {
+    // Pure trace site (no histogram): unarmed cost is ONE relaxed
+    // load — this is the router's hot entry and must stay free when
+    // nobody asked for a trace.
+    obs::TraceSpan span("route_pass");
     reset(initial);
     RoutingResult res;
     res.initial_l2p = layout_.l2p();

@@ -26,6 +26,31 @@ sys_fail(const std::string &what)
                              std::strerror(errno));
 }
 
+/** Stat rows to a numeric map, skipping rows that are not plain
+ *  decimal integers (a sharded front door passes some worker rows
+ *  through verbatim) — one odd row must not fail the whole fetch. */
+std::map<std::string, std::uint64_t>
+stats_to_map(const std::vector<std::pair<std::string, std::string>> &rows)
+{
+    std::map<std::string, std::uint64_t> out;
+    for (const auto &kv : rows) {
+        if (kv.second.empty() || kv.second.size() > 20)
+            continue;
+        std::uint64_t value = 0;
+        bool numeric = true;
+        for (char c : kv.second) {
+            if (c < '0' || c > '9') {
+                numeric = false;
+                break;
+            }
+            value = value * 10 + static_cast<std::uint64_t>(c - '0');
+        }
+        if (numeric)
+            out[kv.first] = value;
+    }
+    return out;
+}
+
 } // namespace
 
 ServeClient
@@ -131,10 +156,19 @@ ServeClient::stats()
     if (resp.status != "ok")
         throw std::runtime_error("nassc client: server error: " +
                                  resp.error);
-    std::map<std::string, std::uint64_t> out;
-    for (const auto &kv : resp.stats)
-        out[kv.first] = std::stoull(kv.second);
-    return out;
+    return stats_to_map(resp.stats);
+}
+
+std::string
+ServeClient::metrics()
+{
+    ServeRequest req;
+    req.verb = "metrics";
+    ServeResponse resp = request(req);
+    if (resp.status != "ok")
+        throw std::runtime_error("nassc client: server error: " +
+                                 resp.error);
+    return resp.metrics;
 }
 
 bool
@@ -273,10 +307,19 @@ RetryingServeClient::stats()
     if (resp.status != "ok")
         throw std::runtime_error("nassc client: server error: " +
                                  resp.error);
-    std::map<std::string, std::uint64_t> out;
-    for (const auto &kv : resp.stats)
-        out[kv.first] = std::stoull(kv.second);
-    return out;
+    return stats_to_map(resp.stats);
+}
+
+std::string
+RetryingServeClient::metrics()
+{
+    ServeRequest req;
+    req.verb = "metrics";
+    ServeResponse resp = request(req);
+    if (resp.status != "ok")
+        throw std::runtime_error("nassc client: server error: " +
+                                 resp.error);
+    return resp.metrics;
 }
 
 bool

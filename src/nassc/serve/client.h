@@ -72,8 +72,14 @@ class ServeClient
                    const std::vector<std::pair<std::string, std::string>>
                        &options = {});
 
-    /** Fetch the daemon's ServiceStats snapshot as a name->value map. */
+    /** Fetch the daemon's ServiceStats snapshot as a name->value map.
+     *  Rows whose values are not decimal integers (a front door passes
+     *  some through verbatim) are skipped, not fatal. */
     std::map<std::string, std::uint64_t> stats();
+
+    /** Fetch the daemon's metrics as Prometheus text exposition (a
+     *  sharded front door returns the fleet's bucket-exact merge). */
+    std::string metrics();
 
     /** Round-trip a ping frame. */
     bool ping();
@@ -175,6 +181,9 @@ class RetryingServeClient
 
     /** Retrying stats fetch (see ServeClient::stats). */
     std::map<std::string, std::uint64_t> stats();
+
+    /** Retrying metrics scrape (see ServeClient::metrics). */
+    std::string metrics();
 
     /** Retrying ping; false only after exhausting attempts. */
     bool ping();

@@ -121,7 +121,8 @@ parse_request(const std::string &payload)
     ServeRequest request;
     std::size_t pos = 0;
     request.verb = next_line(payload, pos);
-    if (request.verb == "stats" || request.verb == "ping")
+    if (request.verb == "stats" || request.verb == "ping" ||
+        request.verb == "metrics")
         return request;
     if (request.verb != "transpile")
         bad_payload("unknown verb '" + request.verb + "'");
@@ -155,9 +156,18 @@ encode_response(const ServeResponse &response)
                "\n";
     if (response.degraded)
         out += "degraded " + std::to_string(response.trials_consumed) + "\n";
+    if (!response.trace_id.empty())
+        out += "trace-id " + response.trace_id + "\n";
+    for (const auto &span : response.spans)
+        out += "span " + span.first + " " + std::to_string(span.second) +
+               "\n";
     for (const auto &kv : response.stats)
         out += "stat " + kv.first + "=" + kv.second + "\n";
-    if (!response.qasm.empty()) {
+    // Body sections are terminal and mutually exclusive by verb.
+    if (!response.metrics.empty()) {
+        out += "metrics\n";
+        out += response.metrics;
+    } else if (!response.qasm.empty()) {
         out += "qasm\n";
         out += response.qasm;
     }
@@ -177,6 +187,10 @@ parse_response(const std::string &payload)
             response.qasm = payload.substr(pos);
             return response;
         }
+        if (line == "metrics") {
+            response.metrics = payload.substr(pos);
+            return response;
+        }
         if (line.rfind("status ", 0) == 0) {
             response.status = line.substr(7);
         } else if (line.rfind("error ", 0) == 0) {
@@ -189,6 +203,18 @@ parse_response(const std::string &payload)
         } else if (line.rfind("degraded ", 0) == 0) {
             response.degraded = true;
             response.trials_consumed = parse_int("degraded", line.substr(9));
+        } else if (line.rfind("trace-id ", 0) == 0) {
+            response.trace_id = line.substr(9);
+        } else if (line.rfind("span ", 0) == 0) {
+            // "span <name> <us>"; stage names never contain spaces.
+            const std::string body = line.substr(5);
+            const std::size_t sp = body.rfind(' ');
+            if (sp == std::string::npos || sp == 0)
+                bad_payload("malformed span line '" + line + "'");
+            const std::string us_text = body.substr(sp + 1);
+            response.spans.emplace_back(
+                body.substr(0, sp),
+                static_cast<std::uint64_t>(parse_frame_length(us_text)));
         } else if (line.rfind("stat ", 0) == 0) {
             response.stats.push_back(split_kv(line.substr(5), "stat"));
         } else {
@@ -265,6 +291,13 @@ parse_transpile_options(
             if (opts.region_radius < 0)
                 bad_payload("option region_radius: must be >= 0, got '" +
                             value + "'");
+        } else if (key == "trace") {
+            // Protocol-level flag, not a TranspileOptions field: the
+            // server reads it from the raw option list (tracing is QoS,
+            // like deadline_ms — it must not split cache identity, and
+            // TranspileOptions::fingerprint() is a persistent
+            // contract).  Validate the value so typos still fail loud.
+            (void)parse_bool(key, value);
         } else {
             bad_payload("unknown option '" + key + "'");
         }
@@ -299,8 +332,17 @@ parse_frame_length(const std::string &text)
 bool
 read_frame(int fd, std::string &payload)
 {
-    // Header: "NASSC/1 <len>\n", read byte-by-byte (it is tiny and this
-    // keeps the reader stateless — no lookahead into the payload).
+    return read_frame(fd, payload, nullptr);
+}
+
+bool
+read_frame(int fd, std::string &payload, std::string *trace_id)
+{
+    if (trace_id)
+        trace_id->clear();
+    // Header: "NASSC/1 <len>[ <trace-id>]\n", read byte-by-byte (it is
+    // tiny and this keeps the reader stateless — no lookahead into the
+    // payload).
     std::string header;
     for (;;) {
         char c;
@@ -326,7 +368,19 @@ read_frame(int fd, std::string &payload)
     if (header.rfind(magic, 0) != 0)
         throw std::runtime_error("nassc protocol: bad frame magic '" +
                                  header + "'");
-    const std::size_t len = parse_frame_length(header.substr(magic.size()));
+    std::string length_text = header.substr(magic.size());
+    // Optional trace-id token after the length (shard forwarding).
+    const std::size_t sp = length_text.find(' ');
+    if (sp != std::string::npos) {
+        const std::string id = length_text.substr(sp + 1);
+        if (id.empty() || id.find(' ') != std::string::npos)
+            throw std::runtime_error(
+                "nassc protocol: malformed frame header '" + header + "'");
+        if (trace_id)
+            *trace_id = id;
+        length_text.resize(sp);
+    }
+    const std::size_t len = parse_frame_length(length_text);
     if (len > kMaxFrameBytes)
         throw std::runtime_error("nassc protocol: frame of " +
                                  std::to_string(len) +
@@ -363,12 +417,24 @@ read_frame(int fd, std::string &payload)
 void
 write_frame(int fd, const std::string &payload)
 {
+    write_frame(fd, payload, std::string());
+}
+
+void
+write_frame(int fd, const std::string &payload, const std::string &trace_id)
+{
     if (payload.size() > kMaxFrameBytes)
         throw std::runtime_error("nassc protocol: refusing to send a " +
                                  std::to_string(payload.size()) +
                                  "-byte frame");
+    if (trace_id.find_first_of(" \n") != std::string::npos ||
+        trace_id.size() > 32)
+        throw std::runtime_error(
+            "nassc protocol: invalid trace id for frame header");
     std::string frame = std::string(kFrameMagic) + " " +
-                        std::to_string(payload.size()) + "\n" + payload;
+                        std::to_string(payload.size()) +
+                        (trace_id.empty() ? "" : " " + trace_id) + "\n" +
+                        payload;
     std::size_t sent = 0;
     while (sent < frame.size()) {
         std::size_t chunk = frame.size() - sent;

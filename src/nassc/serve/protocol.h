@@ -7,23 +7,35 @@
  *
  * Framing (both directions):
  *
- *     NASSC/1 <payload-bytes>\n
+ *     NASSC/1 <payload-bytes>[ <trace-id>]\n
  *     <payload>
  *
- * — a fixed magic+version token, one decimal byte count, one newline,
- * then exactly that many payload bytes.  Text framing keeps the daemon
- * debuggable with a terminal; the length prefix keeps parsing O(1) and
- * payloads binary-safe.  Frames above kMaxFrameBytes are rejected
- * without buffering (a malformed or hostile peer cannot balloon the
- * daemon's memory).
+ * — a fixed magic+version token, one decimal byte count, an OPTIONAL
+ * trace-id token (16 hex digits; a shard front stamps it when
+ * forwarding a traced request so the worker's spans join the same
+ * trace), one newline, then exactly that many payload bytes.  Text
+ * framing keeps the daemon debuggable with a terminal; the length
+ * prefix keeps parsing O(1) and payloads binary-safe.  Frames above
+ * kMaxFrameBytes are rejected without buffering (a malformed or
+ * hostile peer cannot balloon the daemon's memory).  Readers that
+ * predate the trace-id token never see one (clients only mint ids for
+ * `option trace=1` requests to servers that already understand them).
  *
  * Request payload — verb line, then verb-specific lines:
  *
- *     transpile            |  stats  |  ping
+ *     transpile            |  stats  |  ping  |  metrics
  *     backend <name>
- *     option <key>=<value>     (zero or more; TranspileOptions fields)
+ *     option <key>=<value>     (zero or more; TranspileOptions fields,
+ *                               plus trace=0|1 — protocol-level: opt
+ *                               into per-stage span response lines;
+ *                               never part of the request's cache key)
  *     qasm
  *     <OpenQASM 2.0 body, verbatim to end of payload>
+ *
+ * `metrics` returns the process's MetricsRegistry as Prometheus text
+ * exposition; a sharded front door returns the bucket-exact merge of
+ * its live workers' registries instead (obs::merge_prometheus — legal
+ * because every histogram shares one fixed bucket-bound table).
  *
  * Response payload:
  *
@@ -33,7 +45,13 @@
  *     retry-after-ms <N>       (status overloaded: backoff hint)
  *     degraded <trials>        (ok only: deadline cut the layout race
  *                               short; <trials> completed)
+ *     trace-id <id>            (trace=1 only: this request's trace)
+ *     span <name> <us>         (trace=1 only: one per recorded stage,
+ *                               e.g. decode, admission, queue_wait,
+ *                               layout_trial, routing, cache_insert)
  *     stat <key>=<value>       (ServiceStats snapshot; stats+transpile)
+ *     metrics                  (metrics verb only)
+ *     <Prometheus text exposition, verbatim to end of payload>
  *     qasm                     (transpile only)
  *     <routed OpenQASM 2.0 body, verbatim to end of payload>
  *
@@ -55,6 +73,7 @@
  */
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <utility>
 #include <vector>
@@ -72,7 +91,7 @@ inline constexpr const char *kFrameMagic = "NASSC/1";
 /** One parsed request payload. */
 struct ServeRequest
 {
-    std::string verb;    ///< "transpile", "stats", or "ping"
+    std::string verb;    ///< "transpile", "stats", "ping", or "metrics"
     std::string backend; ///< backend name (transpile)
     /** Raw key=value option lines, in wire order. */
     std::vector<std::pair<std::string, std::string>> options;
@@ -94,8 +113,14 @@ struct ServeResponse
     /** Layout trials that completed; -1 = not reported (non-degraded
      *  responses omit the line unless the server filled it). */
     int trials_consumed = -1;
+    /** This request's trace id (trace=1 requests only). */
+    std::string trace_id;
+    /** Per-stage spans, wire order: (stage name, microseconds). */
+    std::vector<std::pair<std::string, std::uint64_t>> spans;
     /** ServiceStats snapshot as key=value pairs, in wire order. */
     std::vector<std::pair<std::string, std::string>> stats;
+    /** Prometheus text exposition body (metrics verb only). */
+    std::string metrics;
     std::string qasm; ///< routed OpenQASM 2.0 body
 };
 
@@ -129,9 +154,17 @@ std::size_t parse_frame_length(const std::string &text);
 /** @name Frame I/O over a connected socket fd.
  * Blocking, EINTR-safe, partial-read/write-safe.  read_frame returns
  * false on clean EOF before any header byte; throws std::runtime_error
- * on malformed headers, oversized frames, or socket errors. @{ */
+ * on malformed headers, oversized frames, or socket errors.
+ *
+ * The three-argument forms carry the optional header trace-id token:
+ * read_frame stores it into *trace_id (cleared when absent); a
+ * non-empty `trace_id` on write_frame is stamped into the header
+ * (shard forwarding — the payload itself stays byte-identical). @{ */
 bool read_frame(int fd, std::string &payload);
+bool read_frame(int fd, std::string &payload, std::string *trace_id);
 void write_frame(int fd, const std::string &payload);
+void write_frame(int fd, const std::string &payload,
+                 const std::string &trace_id);
 /** @} */
 
 } // namespace nassc

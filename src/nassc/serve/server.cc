@@ -19,6 +19,9 @@
 #include <unistd.h>
 
 #include "nassc/ir/qasm.h"
+#include "nassc/obs/event_log.h"
+#include "nassc/obs/metrics.h"
+#include "nassc/obs/trace.h"
 #include "nassc/serve/protocol.h"
 #include "nassc/serve/shard_router.h"
 
@@ -91,6 +94,28 @@ stats_pairs(const TranspileService &service)
         {"distance_row_bytes", z(d.row_bytes)},
         {"distance_row_bytes_peak", z(d.row_bytes_peak)},
     };
+}
+
+/** Did the client opt into span response lines?  `trace` is a
+ *  protocol-level option (see parse_transpile_options): last
+ *  occurrence wins, values validated there. */
+bool
+request_wants_trace(const ServeRequest &request)
+{
+    bool trace = false;
+    for (const auto &kv : request.options)
+        if (kv.first == "trace")
+            trace = kv.second == "1" || kv.second == "true";
+    return trace;
+}
+
+std::uint64_t
+us_since(std::chrono::steady_clock::time_point start)
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count());
 }
 
 } // namespace
@@ -241,57 +266,104 @@ struct NasscServer::Impl
         return true;
     }
 
+    /** Verb dispatch on an already-decoded request; throws typed
+     *  service errors for handle_payload to map.  `trace_id` is this
+     *  request's trace (empty when untraced) — a shard front stamps it
+     *  into the forwarded frame header so the worker joins the trace. */
     ServeResponse
-    handle_payload(const std::string &payload, int fd)
+    dispatch(const ServeRequest &request, const std::string &payload, int fd,
+             const std::string &trace_id)
     {
         ServeResponse response;
+        if (request.verb == "ping") {
+            response.status = "ok";
+            return response;
+        }
+        if (request.verb == "stats") {
+            response.status = "ok";
+            response.stats = options.shard_router
+                                 ? options.shard_router->merged_stats()
+                                 : stats_pairs(*service);
+            return response;
+        }
+        if (request.verb == "metrics") {
+            // Prometheus text exposition.  A front door answers with
+            // the bucket-exact merge of its live workers' registries
+            // (the front's own registry sees no transpiles, mirroring
+            // merged_stats' worker-only sums).
+            response.status = "ok";
+            response.metrics = options.shard_router
+                                   ? options.shard_router->merged_metrics()
+                                   : obs::MetricsRegistry::global().render();
+            return response;
+        }
+        const std::shared_ptr<const Backend> backend =
+            lookup_backend(request.backend);
+        TranspileOptions opts = parse_transpile_options(request.options);
+        if (options.shard_router) {
+            // Front-door mode: decode only as far as the request
+            // key, then forward the RAW frame to the owning shard
+            // so the worker's response bytes pass through verbatim
+            // (parse/encode of our own wire format round-trips
+            // bit-identically).  The worker applies its own
+            // default deadline.
+            const std::string key = TranspileService::request_key(
+                from_qasm(request.qasm), *backend, opts);
+            return parse_response(
+                options.shard_router->forward(key, payload, trace_id));
+        }
+        if (opts.deadline_ms == 0 && options.default_deadline_ms > 0)
+            opts.deadline_ms = options.default_deadline_ms;
+        TranspileTicket ticket =
+            service->submit_qasm(request.qasm, backend, opts);
+        if (!wait_ticket(ticket, fd)) {
+            // Nobody will read the answer; a request no worker has
+            // started yet is dropped entirely.
+            service->try_cancel(ticket);
+            throw ClientGone{};
+        }
+        // Rethrows transpile errors (typed ones mapped by the caller).
+        const SharedTranspileResult result = ticket.get();
+        response.qasm = to_qasm(result->circuit);
+        response.source = source_name(ticket.source());
+        response.degraded = result->degraded;
+        if (result->degraded)
+            response.trials_consumed = result->layout_trials_consumed;
+        response.stats = stats_pairs(*service);
+        response.status = "ok";
+        return response;
+    }
+
+    ServeResponse
+    handle_payload(const std::string &payload, int fd,
+                   const std::string &frame_trace_id)
+    {
+        obs::StackMetrics &om = obs::StackMetrics::get();
+        const auto start = std::chrono::steady_clock::now();
+        ServeResponse response;
+        obs::SharedTracer tracer;
+        bool transpile_verb = false;
         try {
             const ServeRequest request = parse_request(payload);
-            if (request.verb == "ping") {
-                response.status = "ok";
-                return response;
+            const std::uint64_t decode_us = us_since(start);
+            om.decode_us.observe(decode_us);
+            transpile_verb = request.verb == "transpile";
+            if (transpile_verb && request_wants_trace(request)) {
+                // Adopt the frame header's id when a front door
+                // forwarded a traced request; mint otherwise.  The
+                // decode happened before the tracer could exist, so
+                // note its already-measured span explicitly.
+                tracer = std::make_shared<obs::Tracer>(
+                    frame_trace_id.empty() ? obs::mint_trace_id()
+                                           : frame_trace_id);
+                tracer->record("decode", decode_us);
             }
-            if (request.verb == "stats") {
-                response.status = "ok";
-                response.stats = options.shard_router
-                                     ? options.shard_router->merged_stats()
-                                     : stats_pairs(*service);
-                return response;
-            }
-            const std::shared_ptr<const Backend> backend =
-                lookup_backend(request.backend);
-            TranspileOptions opts = parse_transpile_options(request.options);
-            if (options.shard_router) {
-                // Front-door mode: decode only as far as the request
-                // key, then forward the RAW frame to the owning shard
-                // so the worker's response bytes pass through verbatim
-                // (parse/encode of our own wire format round-trips
-                // bit-identically).  The worker applies its own
-                // default deadline.
-                const std::string key = TranspileService::request_key(
-                    from_qasm(request.qasm), *backend, opts);
-                return parse_response(
-                    options.shard_router->forward(key, payload));
-            }
-            if (opts.deadline_ms == 0 && options.default_deadline_ms > 0)
-                opts.deadline_ms = options.default_deadline_ms;
-            TranspileTicket ticket =
-                service->submit_qasm(request.qasm, backend, opts);
-            if (!wait_ticket(ticket, fd)) {
-                // Nobody will read the answer; a request no worker has
-                // started yet is dropped entirely.
-                service->try_cancel(ticket);
-                throw ClientGone{};
-            }
-            // Rethrows transpile errors (typed ones mapped below).
-            const SharedTranspileResult result = ticket.get();
-            response.qasm = to_qasm(result->circuit);
-            response.source = source_name(ticket.source());
-            response.degraded = result->degraded;
-            if (result->degraded)
-                response.trials_consumed = result->layout_trials_consumed;
-            response.stats = stats_pairs(*service);
-            response.status = "ok";
+            // Install for the scope of the request: submit() runs the
+            // admission span on this thread, and the scheduler carries
+            // the tracer onto whichever workers execute the job.
+            obs::TraceScope scope(tracer);
+            response = dispatch(request, payload, fd,
+                                tracer ? tracer->id() : std::string());
         } catch (const ClientGone &) {
             throw;
         } catch (const TranspileOverloaded &e) {
@@ -308,6 +380,31 @@ struct NasscServer::Impl
             response.status = "error";
             response.error = e.what();
         }
+
+        if (tracer) {
+            // Forwarded responses already carry the worker's spans;
+            // append this process's (front-side decode) after them.
+            if (response.trace_id.empty())
+                response.trace_id = tracer->id();
+            const auto spans = tracer->spans();
+            response.spans.insert(response.spans.end(), spans.begin(),
+                                  spans.end());
+        }
+        if (transpile_verb) {
+            const std::uint64_t total_us = us_since(start);
+            om.request_us.observe(total_us);
+            obs::EventLog &events = obs::EventLog::global();
+            const std::uint64_t slow = events.slow_threshold_us();
+            if (slow != 0 && total_us >= slow) {
+                om.slow_requests_total.inc();
+                events.append(obs::format_event(
+                    "slow_request",
+                    {{"trace", tracer ? tracer->id() : ""},
+                     {"status", response.status},
+                     {"source", response.source}},
+                    {{"us", total_us}}));
+            }
+        }
         return response;
     }
 
@@ -316,10 +413,12 @@ struct NasscServer::Impl
     {
         try {
             std::string payload;
-            while (read_frame(conn->fd, payload)) {
+            std::string frame_trace_id;
+            while (read_frame(conn->fd, payload, &frame_trace_id)) {
                 frames.fetch_add(1, std::memory_order_relaxed);
-                write_frame(conn->fd, encode_response(
-                                          handle_payload(payload, conn->fd)));
+                write_frame(conn->fd,
+                            encode_response(handle_payload(
+                                payload, conn->fd, frame_trace_id)));
             }
         } catch (...) {
             // ClientGone, protocol violations, or socket errors all end

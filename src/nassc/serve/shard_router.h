@@ -119,8 +119,9 @@ struct ShardRouterOptions
     /** Idle pooled connections kept per shard. */
     std::size_t pool_cap_per_shard = 8;
     /** Extra rows appended to merged_stats() — the supervisor hooks
-     *  its restart/quarantine counters in here.  Values MUST be
-     *  numeric (clients parse every stat with stoull). */
+     *  its restart/quarantine counters in here.  Numeric values sum
+     *  across scrapes like any other stat; non-numeric values pass
+     *  through verbatim (merged_stats only sums worker rows). */
     std::function<std::vector<std::pair<std::string, std::string>>()>
         extra_stats;
 };
@@ -151,17 +152,34 @@ class ShardRouter
      * @throws TranspileOverloaded when attempts are exhausted or no
      * shard is live — always client-retryable, because transpiles are
      * pure and the supervisor is restarting workers meanwhile.
+     *
+     * A non-empty `trace_id` is stamped into the forwarded frame's
+     * header (the payload bytes stay identical) so the worker's spans
+     * join the front door's trace.
      */
-    std::string forward(const std::string &key, const std::string &payload);
+    std::string forward(const std::string &key, const std::string &payload,
+                        const std::string &trace_id = std::string());
 
     /**
      * `stats` fanned out to every live shard and summed per key, plus
      * the front door's own rows: shards, shards_live, forwards,
      * failovers, forward_errors, shard<i>_live, and the options'
      * extra_stats.  A shard that faults mid-fan-out is marked dead and
-     * skipped — stats never fail, they narrow.
+     * skipped — stats never fail, they narrow.  Worker rows whose
+     * values are not decimal integers cannot be summed; they pass
+     * through per-shard as `shard<i>_<key>` and are counted in a
+     * `merge_skipped` row instead of being silently dropped.
      */
     std::vector<std::pair<std::string, std::string>> merged_stats();
+
+    /**
+     * `metrics` fanned out to every live shard, merged bucket-wise with
+     * obs::merge_prometheus (exact: every histogram in the fleet shares
+     * one fixed bucket-bound table).  The front door's own registry is
+     * NOT mixed in, mirroring merged_stats' worker-only sums.  Faulting
+     * shards are marked dead and skipped.
+     */
+    std::string merged_metrics();
 
     /** Liveness edges (supervisor exit/health events land here too).
      *  mark_dead() drops the shard's pooled connections. */
@@ -193,8 +211,10 @@ class ShardRouter
     ServeClient acquire(ShardState &state);
     /** Return a healthy connection to the pool (drops past the cap). */
     void release(ShardState &state, ServeClient &&client);
-    /** One frame round-trip on one connection. */
-    std::string roundtrip(ServeClient &client, const std::string &payload);
+    /** One frame round-trip on one connection; a non-empty `trace_id`
+     *  is stamped into the outgoing frame header. */
+    std::string roundtrip(ServeClient &client, const std::string &payload,
+                          const std::string &trace_id = std::string());
     /** Pick the live owner for `point`, allowing a rate-limited
      *  half-open probe of dead shards; -1 when nothing is eligible. */
     int pick_shard(std::uint64_t point);

@@ -15,6 +15,8 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include "nassc/obs/event_log.h"
+
 extern char **environ;
 
 namespace nassc {
@@ -261,8 +263,18 @@ struct Supervisor::Impl
                 continue;
             shard.pid = -1;
             shard.health_misses = 0;
+            const std::uint64_t quarantines_before =
+                shard.tracker.quarantines();
             const std::int64_t delay = shard.tracker.on_exit(now);
             shard.restart_at = now + delay;
+            const bool quarantined =
+                shard.tracker.quarantines() != quarantines_before;
+            obs::EventLog::global().append(obs::format_event(
+                quarantined ? "shard_quarantine" : "shard_exit", {},
+                {{"shard", static_cast<std::uint64_t>(i)},
+                 {"exit_status", static_cast<std::uint64_t>(
+                                     static_cast<unsigned>(status))},
+                 {"restart_in_ms", static_cast<std::uint64_t>(delay)}}));
             notify(static_cast<int>(i), false);
         }
     }
@@ -311,6 +323,11 @@ struct Supervisor::Impl
                 continue;
             // Alive but not answering: convert the hang into a crash.
             ++hang_kills;
+            obs::EventLog::global().append(obs::format_event(
+                "shard_hang_kill", {},
+                {{"shard", static_cast<std::uint64_t>(i)},
+                 {"misses", static_cast<std::uint64_t>(
+                                shard.health_misses)}}));
             notify(static_cast<int>(i), false);
             ::kill(shard.pid, SIGKILL);
             // SIGCHLD wakes the loop; reap_and_schedule() handles it.

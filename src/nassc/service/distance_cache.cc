@@ -3,6 +3,8 @@
 #include <chrono>
 #include <cstdio>
 
+#include "nassc/obs/trace.h"
+
 namespace nassc {
 
 std::string
@@ -94,6 +96,9 @@ DistanceCache::provider(const Backend &backend,
     if (owner) {
         // Compute outside the lock: other keys stay available, same-key
         // requesters block on the shared_future instead of the mutex.
+        // Pure trace site: distinguishes a miss (this span appears)
+        // from a hit (only distance_resolve shows) in a request trace.
+        obs::TraceSpan span("distance_compute");
         try {
             promise.set_value(make_distance_provider(
                 backend, request.noise_aware, request.alpha1, request.alpha2,

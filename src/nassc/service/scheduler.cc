@@ -1,5 +1,6 @@
 #include "nassc/service/scheduler.h"
 
+#include "nassc/obs/trace.h"
 #include "nassc/service/failpoint.h"
 
 #include <algorithm>
@@ -99,6 +100,12 @@ struct Scheduler::JobHandle::Job
     /** Absolute budget installed while this job's tasks run; max() =
      *  none.  Immutable after the job becomes visible to workers. */
     Clock::time_point deadline = Clock::time_point::max();
+
+    /** Submitter's request tracer (null unless the submitting thread
+     *  was tracing); workers install it around this job's tasks so
+     *  spans from stolen work land on the right request.  Immutable
+     *  after the job becomes visible to workers. */
+    obs::SharedTracer trace;
 
     // Completion latch, guarded by done_mu (error is safe to read after
     // observing done: every error write under Impl::mu happens-before
@@ -259,6 +266,10 @@ Scheduler::worker_main()
         lk.unlock();
         std::exception_ptr err;
         {
+            // Bind the job's tracer (usually null — swapping empty
+            // shared_ptrs, no atomics) before entering the task, so
+            // span sites inside it attribute to the owning request.
+            obs::TraceScope trace_scope(job->trace);
             TaskScope scope(&job->cancelled, job->deadline);
             try {
                 failpoint::hit("scheduler.claim");
@@ -289,6 +300,7 @@ Scheduler::submit(std::size_t count, TaskFn fn, int max_slots, int priority,
     job->priority = priority;
     job->impl = impl_;
     job->deadline = deadline;
+    job->trace = obs::current_tracer(); // one relaxed load when off
     if (count == 0) {
         job->done = true;
         return JobHandle(job);
@@ -346,6 +358,9 @@ Scheduler::parallel_for(std::size_t count, const TaskFn &fn, int max_workers)
     // Hand the caller's budget to the stolen tasks: a DeadlineScope
     // around this parallel_for must bound trials on pool workers too.
     job->deadline = t_deadline;
+    // Likewise the caller's tracer: stolen layout trials report spans
+    // onto the request being traced, not into the void.
+    job->trace = obs::current_tracer();
     int slots = max_workers;
     if (static_cast<std::size_t>(slots) > count)
         slots = static_cast<int>(count);

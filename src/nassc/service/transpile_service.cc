@@ -5,6 +5,9 @@
 #include <utility>
 
 #include "nassc/ir/qasm.h"
+#include "nassc/obs/event_log.h"
+#include "nassc/obs/metrics.h"
+#include "nassc/obs/trace.h"
 #include "nassc/service/failpoint.h"
 
 namespace nassc {
@@ -203,13 +206,23 @@ TranspileService::run_request(
     const std::string &key, const QuantumCircuit &circuit,
     const Backend &backend, const TranspileOptions &options,
     const std::shared_ptr<std::promise<SharedTranspileResult>> &promise,
-    Clock::time_point deadline, bool dequeue)
+    Clock::time_point deadline, Clock::time_point submitted, bool dequeue)
 {
+    obs::StackMetrics &om = obs::StackMetrics::get();
     if (dequeue) {
         // Claimed: this request no longer occupies queue depth.
         std::lock_guard<std::mutex> lk(mu_);
         --queued_;
     }
+    // Queue wait: accepted at submit() until a worker (or the inline
+    // path) picked it up.  Measured across threads, so it cannot be a
+    // scoped span — note the already-measured duration.
+    const auto queue_wait_us = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                              submitted)
+            .count());
+    om.queue_wait_us.observe(queue_wait_us);
+    obs::span_note("queue_wait", queue_wait_us);
 
     SharedTranspileResult result;
     std::exception_ptr error;
@@ -220,6 +233,7 @@ TranspileService::run_request(
         // scope from options.deadline_ms, but relative to its start —
         // this outer scope is the one that charges the queue wait.
         Scheduler::DeadlineScope budget(deadline);
+        obs::TraceSpan span("transpile", &om.transpile_us);
         failpoint::hit("service.transpile");
         result = std::make_shared<TranspileResult>(
             transpile(circuit, backend, options, *distances_));
@@ -234,18 +248,28 @@ TranspileService::run_request(
         std::lock_guard<std::mutex> lk(mu_);
         if (result) {
             ++stats_.transpiles_ok;
+            om.transpiles_ok_total.inc();
             // Insert BEFORE dropping the in-flight entry: a concurrent
             // submit always finds the key in one table or the other,
             // never recomputes a result that is already known.  Except
             // degraded results: they are best-effort UNDER THIS
             // REQUEST'S BUDGET, not the key's canonical answer — a
             // later deadline-free request must get the full race.
-            if (!result->degraded)
+            if (!result->degraded) {
+                obs::TraceSpan insert_span("cache_insert",
+                                           &om.cache_insert_us);
                 cache_insert(key, result, backend, options);
+            }
         } else if (missed_deadline) {
             ++stats_.deadline_exceeded;
+            om.deadline_exceeded_total.inc();
+            const obs::SharedTracer t = obs::current_tracer();
+            obs::EventLog::global().append(obs::format_event(
+                "deadline", {{"key", key}, {"trace", t ? t->id() : ""}},
+                {{"queue_wait_us", queue_wait_us}}));
         } else {
             ++stats_.transpiles_failed;
+            om.transpiles_failed_total.inc();
         }
         inflight_.erase(key);
     }
@@ -285,9 +309,16 @@ TranspileService::submit(const QuantumCircuit &circuit,
             : Clock::time_point::max();
     const bool inline_run = Scheduler::in_task();
 
+    obs::StackMetrics &om = obs::StackMetrics::get();
+    om.requests_total.inc();
+    const Clock::time_point submitted = Clock::now();
+
     auto promise = std::make_shared<std::promise<SharedTranspileResult>>();
     {
         std::lock_guard<std::mutex> lk(mu_);
+        // Admission covers the whole decision critical section: cache
+        // probe, coalesce probe, shed check, in-flight filing.
+        obs::TraceSpan admission("admission", &om.admission_us);
         ++stats_.requests;
         note_backend_generation(*backend);
 
@@ -300,6 +331,7 @@ TranspileService::submit(const QuantumCircuit &circuit,
         }
         if (hit != cache_.end()) {
             ++stats_.cache_hits;
+            om.cache_hits_total.inc();
             lru_.splice(lru_.begin(), lru_, hit->second);
             promise->set_value(hit->second->result);
             ticket.source_ = TicketSource::kCacheHit;
@@ -310,6 +342,7 @@ TranspileService::submit(const QuantumCircuit &circuit,
         auto flight = inflight_.find(ticket.key_);
         if (flight != inflight_.end()) {
             ++stats_.coalesced;
+            om.coalesced_total.inc();
             ++flight->second.waiters;
             ticket.source_ = TicketSource::kCoalesced;
             ticket.future_ = flight->second.future;
@@ -327,6 +360,12 @@ TranspileService::submit(const QuantumCircuit &circuit,
         if (options_.max_queued != 0 && !inline_run &&
             queued_ >= options_.max_queued) {
             ++stats_.shed;
+            om.shed_total.inc();
+            const obs::SharedTracer t = obs::current_tracer();
+            obs::EventLog::global().append(obs::format_event(
+                "shed",
+                {{"key", ticket.key_}, {"trace", t ? t->id() : ""}},
+                {{"queued", queued_}}));
             throw TranspileOverloaded(
                 "transpile service overloaded: " +
                 std::to_string(queued_) + " requests queued");
@@ -349,7 +388,7 @@ TranspileService::submit(const QuantumCircuit &circuit,
         // queue.  Dedup above still applied.
         ticket.source_ = TicketSource::kInline;
         run_request(ticket.key_, circuit, *backend, options, promise,
-                    deadline, /*dequeue=*/false);
+                    deadline, submitted, /*dequeue=*/false);
         return ticket;
     }
 
@@ -359,9 +398,9 @@ TranspileService::submit(const QuantumCircuit &circuit,
     Scheduler::JobHandle handle = scheduler().submit(
         1,
         [this, key = ticket.key_, circuit, backend = std::move(backend),
-         options, promise, deadline](std::size_t, int) {
+         options, promise, deadline, submitted](std::size_t, int) {
             run_request(key, circuit, *backend, options, promise, deadline,
-                        /*dequeue=*/true);
+                        submitted, /*dequeue=*/true);
         },
         /*max_slots=*/1, options.priority, deadline);
     {

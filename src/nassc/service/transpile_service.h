@@ -332,12 +332,14 @@ class TranspileService
 
     /** Run one owned request and settle its promise.  Any thread.
      *  `deadline` is the request's absolute budget (max() = none);
+     *  `submitted` is when submit() accepted it (queue-wait metric);
      *  `dequeue` says whether this request was counted in queued_. */
     void run_request(const std::string &key, const QuantumCircuit &circuit,
                      const Backend &backend, const TranspileOptions &options,
                      const std::shared_ptr<std::promise<SharedTranspileResult>>
                          &promise,
-                     Clock::time_point deadline, bool dequeue);
+                     Clock::time_point deadline, Clock::time_point submitted,
+                     bool dequeue);
 
     /** Insert into the cache, evicting to fit both bounds.  Under mu_. */
     void cache_insert(const std::string &key, SharedTranspileResult result,

@@ -4,6 +4,8 @@
 #include <optional>
 
 #include "nassc/ir/fnv1a.h"
+#include "nassc/obs/metrics.h"
+#include "nassc/obs/trace.h"
 #include "nassc/passes/basis_translation.h"
 #include "nassc/passes/cancellation.h"
 #include "nassc/passes/collect_blocks.h"
@@ -101,7 +103,11 @@ transpile(const QuantumCircuit &qc, const Backend &backend,
                                             : DistanceRequest::hops();
     if (backend.coupling.num_qubits() > opts.sparse_distance_threshold)
         dreq = dreq.as_sparse(opts.distance_row_budget_bytes);
-    SharedDistanceProvider dist_shared = cache.provider(backend, dreq);
+    SharedDistanceProvider dist_shared = [&] {
+        obs::TraceSpan span("distance_resolve",
+                            &obs::StackMetrics::get().distance_resolve_us);
+        return cache.provider(backend, dreq);
+    }();
     const DistanceProvider &dist = *dist_shared;
 
     // 4. Initial layout (shared between SABRE and NASSC, paper Sec. IV-A).
@@ -120,8 +126,11 @@ transpile(const QuantumCircuit &qc, const Backend &backend,
     ropts.region_radius = opts.region_radius;
 
     auto tl0 = std::chrono::steady_clock::now();
-    LayoutSearchResult search = search_and_route(
-        c, backend.coupling, dist, ropts, opts.layout_iterations);
+    LayoutSearchResult search = [&] {
+        obs::TraceSpan span("layout", &obs::StackMetrics::get().layout_us);
+        return search_and_route(c, backend.coupling, dist, ropts,
+                                opts.layout_iterations);
+    }();
     auto tl1 = std::chrono::steady_clock::now();
 
     // 5. Routing.  The search scored every trial by routing the full
@@ -129,10 +138,12 @@ transpile(const QuantumCircuit &qc, const Backend &backend,
     //    winner's scoring pass used exactly `ropts`, so it IS the route
     //    and this step is skipped — bit-identical to recomputing it.
     const bool reused = search.routed.has_value();
-    RoutingResult routed =
-        reused ? std::move(*search.routed)
-               : route_circuit(c, backend.coupling, dist, search.initial,
-                               ropts);
+    RoutingResult routed = [&] {
+        obs::TraceSpan span("routing", &obs::StackMetrics::get().routing_us);
+        return reused ? std::move(*search.routed)
+                      : route_circuit(c, backend.coupling, dist,
+                                      search.initial, ropts);
+    }();
 
     QuantumCircuit phys = std::move(routed.circuit);
 

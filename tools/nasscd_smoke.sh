@@ -11,8 +11,11 @@
 #      workload and verify every response is bit-identical to an
 #      in-process transpile() AND that the daemon transpiled each
 #      distinct request exactly once (dedup invariant);
-#   3. one more single-shot request (--builtin) over a fresh connection;
-#   4. SIGTERM: the daemon must drain and exit 0.
+#   3. scrape `--metrics` and check nassc_requests_total agrees with
+#      the stats verb and the driven load, then drive one traced
+#      request (`--option trace=1`) and check its span lines;
+#   4. one more single-shot request (--builtin) over a fresh connection;
+#   5. SIGTERM: the daemon must drain and exit 0.
 #
 # NASSC_SMOKE_FAILPOINTS=1 runs the same sequence against a daemon with
 # a fault profile armed (an injected worker fault plus a mid-frame
@@ -149,6 +152,55 @@ else
     "$BUILD_DIR/nassc_client" --unix "$SOCK" --smoke 4 \
         ${CLIENT_FLAG:+$CLIENT_FLAG}
 fi
+
+# Observability: the Prometheus scrape must exist and agree with the
+# stats verb — both count one increment per accepted transpile request,
+# and in sharded mode both are worker-only merges, so they move in
+# lockstep.  The smoke drove 16 transpile requests per pass (4 circuits
+# x 2 routers x 2 duplicates); retries (fault mode) and long repeats
+# with a crash-reset shard (sharded mode) can only leave the counter at
+# or above one clean pass.
+METRICS=$("$BUILD_DIR/nassc_client" --unix "$SOCK" --metrics)
+REQ_TOTAL=$(printf '%s\n' "$METRICS" |
+            awk '$1 == "nassc_requests_total" { print $2 }')
+STATS_REQ=$("$BUILD_DIR/nassc_client" --unix "$SOCK" --stats |
+            awk '$1 == "requests" { print $2 }')
+DRIVEN=16
+if [ -z "${REQ_TOTAL:-}" ]; then
+    echo "nasscd_smoke: metrics scrape has no nassc_requests_total" >&2
+    printf '%s\n' "$METRICS" >&2
+    exit 1
+fi
+if [ "$REQ_TOTAL" -ne "${STATS_REQ:-0}" ]; then
+    echo "nasscd_smoke: nassc_requests_total ($REQ_TOTAL) disagrees with" \
+         "stats requests row (${STATS_REQ:-missing})" >&2
+    exit 1
+fi
+if [ "$SHARDS" -gt 0 ] || [ -n "$CLIENT_FLAG" ]; then
+    if [ "$REQ_TOTAL" -lt "$DRIVEN" ]; then
+        echo "nasscd_smoke: nassc_requests_total $REQ_TOTAL < driven" \
+             "$DRIVEN" >&2
+        exit 1
+    fi
+elif [ "$REQ_TOTAL" -ne "$DRIVEN" ]; then
+    echo "nasscd_smoke: nassc_requests_total $REQ_TOTAL != driven" \
+         "$DRIVEN" >&2
+    exit 1
+fi
+echo "nasscd_smoke: metrics scrape ok (nassc_requests_total=$REQ_TOTAL)"
+
+# A traced request end to end: span lines must cover the documented
+# stages on a miss-or-hit path (queue_wait appears either way).
+TRACE_ERR=$("$BUILD_DIR/nassc_client" --unix "$SOCK" --builtin bv_n5 \
+    --option trace=1 ${CLIENT_FLAG:+$CLIENT_FLAG} 2>&1 >/dev/null)
+for stage in queue_wait; do
+    if ! printf '%s\n' "$TRACE_ERR" | grep -q "^span $stage "; then
+        echo "nasscd_smoke: trace=1 response missing span '$stage'" >&2
+        printf '%s\n' "$TRACE_ERR" >&2
+        exit 1
+    fi
+done
+echo "nasscd_smoke: trace=1 spans ok"
 
 # A fresh connection after the smoke burst: the daemon keeps serving.
 "$BUILD_DIR/nassc_client" --unix "$SOCK" --builtin bv_n5 \
